@@ -1,0 +1,145 @@
+//! Equal-performance contours and cycle-time-equivalence slopes.
+//!
+//! The paper's Figure 3-4 follows "lines of equal performance across the
+//! design space"; their slope is the cycle time a designer can trade for a
+//! doubling of cache size. Figures 4-3…4-5 use the same machinery to map
+//! the break-even cycle-time degradation for set associativity.
+
+use crate::interp::{crossing, interp_at};
+
+/// The cycle time at which `exec_curve` (sampled at `cts`) reaches
+/// `target_exec` — the paper's vertical interpolation. `None` when the
+/// curve never attains the target in the sampled range.
+pub fn equivalent_cycle_time(cts: &[f64], exec_curve: &[f64], target_exec: f64) -> Option<f64> {
+    crossing(cts, exec_curve, target_exec)
+}
+
+/// The cycle-time value of one *doubling step* in cache size at constant
+/// performance, evaluated at cycle time `ct`:
+///
+/// take the performance of the smaller configuration at `ct`, find the
+/// cycle time at which the larger configuration matches it, and return the
+/// difference (positive when the larger cache affords a slower clock).
+///
+/// Returns `None` when the larger curve never reaches that performance in
+/// the sampled range.
+pub fn ns_per_doubling(cts: &[f64], exec_small: &[f64], exec_big: &[f64], ct: f64) -> Option<f64> {
+    let target = interp_at(cts, exec_small, ct);
+    equivalent_cycle_time(cts, exec_big, target).map(|ct_big| ct_big - ct)
+}
+
+/// The break-even cycle-time degradation for an organizational feature
+/// (e.g. set associativity) at cycle time `ct`: how much slower the
+/// *enhanced* machine's clock may be while still matching the *base*
+/// machine — "a degradation in cycle time greater than this difference
+/// results in a net decrease in performance".
+pub fn break_even_degradation(
+    cts: &[f64],
+    exec_base: &[f64],
+    exec_enhanced: &[f64],
+    ct: f64,
+) -> Option<f64> {
+    let target = interp_at(cts, exec_base, ct);
+    equivalent_cycle_time(cts, exec_enhanced, target).map(|ct_enh| ct_enh - ct)
+}
+
+/// Classifies a ns-per-doubling slope into the paper's Figure 3-4 shading
+/// regions.
+pub fn slope_region(slope_ns: f64) -> &'static str {
+    match slope_ns {
+        s if s > 10.0 => ">10ns",
+        s if s > 7.5 => "7.5-10ns",
+        s if s > 5.0 => "5-7.5ns",
+        s if s > 2.5 => "2.5-5ns",
+        _ => "<2.5ns",
+    }
+}
+
+/// One equal-performance line: for each entry of `curves` (one execution
+/// time curve per cache size, all sampled at `cts`), the interpolated
+/// cycle time at which that size attains `level`.
+pub fn equal_performance_line(cts: &[f64], curves: &[Vec<f64>], level: f64) -> Vec<Option<f64>> {
+    curves
+        .iter()
+        .map(|c| equivalent_cycle_time(cts, c, level))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Synthetic model: exec(size, ct) = (1 + penalty(size)) * ct where a
+    // bigger cache has a smaller penalty — linear in ct, so crossings are
+    // exact.
+    fn curve(penalty: f64, cts: &[f64]) -> Vec<f64> {
+        cts.iter().map(|&ct| (1.0 + penalty) * ct).collect()
+    }
+
+    const CTS: [f64; 4] = [20.0, 40.0, 60.0, 80.0];
+
+    #[test]
+    fn equivalent_cycle_time_inverts_the_curve() {
+        let c = curve(0.5, &CTS);
+        let ct = equivalent_cycle_time(&CTS, &c, 1.5 * 50.0).unwrap();
+        assert!((ct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_per_doubling_positive_when_big_cache_faster() {
+        let small = curve(1.0, &CTS); // 2.0 * ct
+        let big = curve(0.5, &CTS); // 1.5 * ct
+                                    // At ct = 30: small runs at 60. Big reaches 60 at ct = 40.
+        let slope = ns_per_doubling(&CTS, &small, &big, 30.0).unwrap();
+        assert!((slope - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_per_doubling_shrinks_for_flat_improvements() {
+        let small = curve(0.10, &CTS);
+        let big = curve(0.09, &CTS);
+        let slope = ns_per_doubling(&CTS, &small, &big, 40.0).unwrap();
+        assert!(
+            slope < 1.0,
+            "marginal improvement => tiny slope, got {slope}"
+        );
+        assert!(slope > 0.0);
+    }
+
+    #[test]
+    fn break_even_matches_manual_computation() {
+        let dm = curve(0.30, &CTS); // direct mapped
+        let sa = curve(0.20, &CTS); // 2-way: fewer misses
+                                    // At ct=40 the DM machine runs at 52; the SA machine reaches 52 at
+                                    // ct = 52/1.2 = 43.33 -> break-even 3.33ns.
+        let be = break_even_degradation(&CTS, &dm, &sa, 40.0).unwrap();
+        assert!((be - (52.0 / 1.2 - 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_targets_give_none() {
+        let c = curve(0.5, &CTS);
+        assert_eq!(equivalent_cycle_time(&CTS, &c, 1.0), None);
+        assert_eq!(equivalent_cycle_time(&CTS, &c, 1e9), None);
+    }
+
+    #[test]
+    fn regions_partition_the_slope_axis() {
+        assert_eq!(slope_region(12.0), ">10ns");
+        assert_eq!(slope_region(8.0), "7.5-10ns");
+        assert_eq!(slope_region(6.0), "5-7.5ns");
+        assert_eq!(slope_region(3.0), "2.5-5ns");
+        assert_eq!(slope_region(1.0), "<2.5ns");
+        assert_eq!(slope_region(-2.0), "<2.5ns");
+    }
+
+    #[test]
+    fn line_spans_all_sizes() {
+        let curves = vec![curve(1.0, &CTS), curve(0.5, &CTS), curve(0.25, &CTS)];
+        let line = equal_performance_line(&CTS, &curves, 90.0);
+        assert_eq!(line.len(), 3);
+        // Equal performance => larger caches tolerate longer cycle times.
+        let cts: Vec<f64> = line.into_iter().map(|o| o.unwrap()).collect();
+        assert!(cts[0] < cts[1] && cts[1] < cts[2]);
+    }
+}

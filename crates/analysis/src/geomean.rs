@@ -1,0 +1,94 @@
+//! Geometric means — "numerical results in this paper are the geometric
+//! mean of warm start runs for all eight traces".
+
+/// Computes the geometric mean of strictly positive values.
+///
+/// Uses the log-sum formulation to avoid overflow on long products.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value — both
+/// indicate a broken experiment upstream, not a recoverable condition.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_analysis::geometric_mean;
+///
+/// assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of no values");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric mean of `values[i] / baselines[i]` — the normalized form used
+/// when traces of different lengths are combined (each trace's execution
+/// time is meaningful only relative to its own reference count).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain
+/// non-positive entries.
+pub fn geometric_mean_normalized(values: &[f64], baselines: &[f64]) -> f64 {
+    assert_eq!(values.len(), baselines.len(), "mismatched lengths");
+    let ratios: Vec<f64> = values
+        .iter()
+        .zip(baselines)
+        .map(|(&v, &b)| {
+            assert!(b > 0.0, "non-positive baseline {b}");
+            v / b
+        })
+        .collect();
+    geometric_mean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_values() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overflow_on_large_products() {
+        let many = vec![1e100; 50];
+        let m = geometric_mean(&many);
+        assert!((m / 1e100 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn empty_panics() {
+        geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_panics() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_divides_pairwise() {
+        let m = geometric_mean_normalized(&[2.0, 12.0], &[1.0, 3.0]);
+        assert!((m - (2.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn normalized_length_mismatch_panics() {
+        geometric_mean_normalized(&[1.0], &[1.0, 2.0]);
+    }
+}

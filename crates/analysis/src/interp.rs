@@ -1,0 +1,184 @@
+//! Piecewise-linear interpolation over sampled curves.
+
+/// Linearly interpolates `y` at `x` over the sampled curve `(xs, ys)`.
+///
+/// `xs` must be strictly increasing. Outside the sampled range the curve is
+/// extrapolated from the nearest segment.
+///
+/// # Panics
+///
+/// Panics if the slices are empty, differ in length, or `xs` is not
+/// strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_analysis::interp_at;
+///
+/// let xs = [0.0, 10.0, 20.0];
+/// let ys = [1.0, 2.0, 4.0];
+/// assert!((interp_at(&xs, &ys, 5.0) - 1.5).abs() < 1e-12);
+/// assert!((interp_at(&xs, &ys, 15.0) - 3.0).abs() < 1e-12);
+/// ```
+pub fn interp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    check(xs, ys);
+    if xs.len() == 1 {
+        return ys[0];
+    }
+    // Choose the segment: the one containing x, or the nearest edge
+    // segment for extrapolation.
+    let i = match xs.iter().position(|&xi| xi >= x) {
+        Some(0) => 0,
+        Some(i) => i - 1,
+        None => xs.len() - 2,
+    };
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    ys[i] + t * (ys[i + 1] - ys[i])
+}
+
+/// Finds the `x` at which the sampled curve `(xs, ys)` first crosses
+/// `target` (scanning segments left to right), interpolating within the
+/// bracketing segment. Returns `None` if no segment brackets the target.
+///
+/// This is the paper's "vertical interpolation": given execution times
+/// sampled at several cycle times, find the cycle time that yields a given
+/// performance level. Scanning segments (rather than assuming global
+/// monotonicity) tolerates the quantization non-monotonicities around
+/// 56 ns.
+///
+/// # Panics
+///
+/// Panics on empty/mismatched inputs or non-increasing `xs`.
+pub fn crossing(xs: &[f64], ys: &[f64], target: f64) -> Option<f64> {
+    check(xs, ys);
+    if ys[0] == target {
+        return Some(xs[0]);
+    }
+    for i in 0..xs.len() - 1 {
+        let (y0, y1) = (ys[i], ys[i + 1]);
+        if (y0 < target && y1 >= target) || (y0 > target && y1 <= target) {
+            let t = (target - y0) / (y1 - y0);
+            return Some(xs[i] + t * (xs[i + 1] - xs[i]));
+        }
+    }
+    None
+}
+
+/// Returns a copy of `ys` with index `i` replaced by the linear
+/// interpolation of its neighbours — the paper's treatment of the
+/// "abnormally inefficient" 56 ns design point, whose quantization artifact
+/// "severely distorted the analysis of set associativity".
+///
+/// Endpoint indices are copied from their single neighbour.
+///
+/// # Panics
+///
+/// Panics on empty/mismatched inputs, non-increasing `xs`, or `i` out of
+/// range.
+pub fn smooth_index(xs: &[f64], ys: &[f64], i: usize) -> Vec<f64> {
+    check(xs, ys);
+    assert!(i < ys.len(), "smooth_index out of range");
+    let mut out = ys.to_vec();
+    out[i] = if i == 0 {
+        ys[1]
+    } else if i == ys.len() - 1 {
+        ys[ys.len() - 2]
+    } else {
+        let t = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1]);
+        ys[i - 1] + t * (ys[i + 1] - ys[i - 1])
+    };
+    out
+}
+
+fn check(xs: &[f64], ys: &[f64]) {
+    assert!(!xs.is_empty(), "empty curve");
+    assert_eq!(xs.len(), ys.len(), "mismatched curve lengths");
+    assert!(
+        xs.windows(2).all(|w| w[0] < w[1]),
+        "xs must be strictly increasing"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_exact_points() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 40.0];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((interp_at(&xs, &ys, *x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interp_extrapolates_edges() {
+        let xs = [1.0, 2.0];
+        let ys = [10.0, 20.0];
+        assert!((interp_at(&xs, &ys, 0.0) - 0.0).abs() < 1e-12);
+        assert!((interp_at(&xs, &ys, 3.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_curve_is_constant() {
+        assert_eq!(interp_at(&[5.0], &[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn crossing_increasing() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 30.0];
+        assert!((crossing(&xs, &ys, 5.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((crossing(&xs, &ys, 20.0).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_decreasing() {
+        let xs = [0.0, 1.0];
+        let ys = [10.0, 0.0];
+        assert!((crossing(&xs, &ys, 5.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_handles_non_monotone() {
+        // A dip like the 56ns anomaly: first crossing wins.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 10.0, 8.0, 20.0];
+        assert!((crossing(&xs, &ys, 9.0).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_misses_out_of_range() {
+        assert_eq!(crossing(&[0.0, 1.0], &[0.0, 1.0], 5.0), None);
+    }
+
+    #[test]
+    fn crossing_at_first_sample() {
+        assert_eq!(crossing(&[2.0, 3.0], &[7.0, 9.0], 7.0), Some(2.0));
+    }
+
+    #[test]
+    fn smooth_interior_point() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 99.0, 20.0];
+        let s = smooth_index(&xs, &ys, 1);
+        assert!((s[1] - 10.0).abs() < 1e-12);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[2], 20.0);
+    }
+
+    #[test]
+    fn smooth_endpoints_copy_neighbour() {
+        let xs = [0.0, 1.0];
+        let ys = [5.0, 9.0];
+        assert_eq!(smooth_index(&xs, &ys, 0)[0], 9.0);
+        assert_eq!(smooth_index(&xs, &ys, 1)[1], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_xs_panic() {
+        interp_at(&[1.0, 1.0], &[0.0, 0.0], 0.5);
+    }
+}

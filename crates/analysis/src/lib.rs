@@ -1,0 +1,33 @@
+//! Analysis toolkit for `cachetime` experiments.
+//!
+//! The paper's derived figures are not raw simulator output; they come from
+//! post-processing:
+//!
+//! * geometric means across the eight traces ([`geometric_mean`]);
+//! * "vertical interpolation" between simulated cycle times to find the
+//!   cycle time at which a configuration reaches a given performance level
+//!   ([`crossing`]), which "smooths the quantization effects to the point
+//!   where they are inconsequential" — the basis of the equal-performance
+//!   lines of Figure 3-4 and the break-even maps of Figures 4-3…4-5
+//!   ([`contour`]);
+//! * parabola fits through the three lowest points of an execution-time
+//!   curve to estimate non-integral optimal block sizes, Figures 5-3/5-4
+//!   ([`parabola_vertex`]/[`sampled_minimum`]);
+//! * the explicit smoothing the paper applies to its anomalous 56 ns data
+//!   points in the associativity study ([`smooth_index`]);
+//! * fixed-width ASCII tables for reproducing the paper's tabular output
+//!   ([`table::Table`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contour;
+mod geomean;
+mod interp;
+mod parabola;
+pub mod plot;
+pub mod table;
+
+pub use geomean::{geometric_mean, geometric_mean_normalized};
+pub use interp::{crossing, interp_at, smooth_index};
+pub use parabola::{parabola_vertex, sampled_minimum};

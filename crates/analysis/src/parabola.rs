@@ -1,0 +1,125 @@
+//! Parabola fitting for optimum estimation.
+//!
+//! "On each of the curves … an optimal block size can be estimated by
+//! fitting a parabola to the lowest three points and finding its minimum"
+//! (paper, section 5). Block sizes are spaced in powers of two, so callers
+//! fit in `log2(block size)` and exponentiate the vertex.
+
+/// Returns the vertex `x` of the parabola through three points.
+///
+/// Returns `None` if the points are collinear or the parabola opens
+/// downward (no interior minimum).
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_analysis::parabola_vertex;
+///
+/// // y = (x - 2)^2 + 1 through x = 1, 2, 3.
+/// let v = parabola_vertex((1.0, 2.0), (2.0, 1.0), (3.0, 2.0)).unwrap();
+/// assert!((v - 2.0).abs() < 1e-12);
+/// ```
+pub fn parabola_vertex(p0: (f64, f64), p1: (f64, f64), p2: (f64, f64)) -> Option<f64> {
+    let (x0, y0) = p0;
+    let (x1, y1) = p1;
+    let (x2, y2) = p2;
+    // Second divided difference = a (the x^2 coefficient, up to a factor).
+    let d01 = (y1 - y0) / (x1 - x0);
+    let d12 = (y2 - y1) / (x2 - x1);
+    let a = (d12 - d01) / (x2 - x0);
+    if a <= 0.0 {
+        return None;
+    }
+    // Vertex of the Newton-form quadratic.
+    Some((x0 + x1) / 2.0 - d01 / (2.0 * a))
+}
+
+/// Estimates the minimizing `x` of a sampled convex-ish curve: takes the
+/// lowest sample and fits a parabola through it and its neighbours.
+///
+/// At a boundary minimum (no neighbour on one side) the boundary `x` is
+/// returned directly — the paper's curves with edge minima are reported at
+/// the edge.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched input.
+pub fn sampled_minimum(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "no samples");
+    assert_eq!(xs.len(), ys.len(), "mismatched lengths");
+    let i_min = ys
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    if i_min == 0 || i_min == xs.len() - 1 {
+        return xs[i_min];
+    }
+    parabola_vertex(
+        (xs[i_min - 1], ys[i_min - 1]),
+        (xs[i_min], ys[i_min]),
+        (xs[i_min + 1], ys[i_min + 1]),
+    )
+    // Clamp into the bracketing interval: the fit cannot escape it.
+    .map(|v| v.clamp(xs[i_min - 1], xs[i_min + 1]))
+    .unwrap_or(xs[i_min])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_recovered() {
+        // y = 3(x - 1.7)^2 + 0.5
+        let f = |x: f64| 3.0 * (x - 1.7).powi(2) + 0.5;
+        let v = parabola_vertex((0.0, f(0.0)), (1.0, f(1.0)), (4.0, f(4.0))).unwrap();
+        assert!((v - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_rejected() {
+        assert_eq!(parabola_vertex((0.0, 0.0), (1.0, 1.0), (2.0, 2.0)), None);
+    }
+
+    #[test]
+    fn downward_parabola_rejected() {
+        assert_eq!(parabola_vertex((0.0, 0.0), (1.0, 1.0), (2.0, 0.0)), None);
+    }
+
+    #[test]
+    fn sampled_minimum_interior() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| (x - 3.3f64).powi(2)).collect();
+        let m = sampled_minimum(&xs, &ys);
+        assert!((m - 3.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_minimum_boundary() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [0.5, 1.0, 2.0];
+        assert_eq!(sampled_minimum(&xs, &ys), 1.0);
+        let ys = [2.0, 1.0, 0.5];
+        assert_eq!(sampled_minimum(&xs, &ys), 3.0);
+    }
+
+    #[test]
+    fn log2_block_size_fit() {
+        // Execution time minimized near block size 6 words (between the
+        // sampled 4 and 8): fit in log2 space.
+        let blocks = [2.0f64, 4.0, 8.0, 16.0];
+        let xs: Vec<f64> = blocks.iter().map(|b| b.log2()).collect();
+        let ys = [3.0, 1.1, 1.2, 3.5];
+        let opt = sampled_minimum(&xs, &ys).exp2();
+        assert!((4.0..8.0).contains(&opt), "optimum {opt}");
+    }
+
+    #[test]
+    fn flat_region_falls_back_to_lowest_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 1.0, 1.0];
+        assert_eq!(sampled_minimum(&xs, &ys), 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal ASCII charts for experiment reports.
+//!
+//! The paper communicates through figures; the `repro` harness prints the
+//! same series as tables *and* as terminal charts so the shapes — the
+//! flattening miss-ratio curve, the interior block-size optimum, the
+//! balance-line crossover — are visible at a glance.
+
+use std::fmt::Write as _;
+
+/// Symbols assigned to series, in order.
+const SYMBOLS: &[char] = &['*', '+', 'x', 'o', '#', '@', '%', '&'];
+
+/// A scatter/line chart over `(x, y)` points with optional log axes.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_analysis::plot::Chart;
+///
+/// let mut c = Chart::new(40, 10).log_x();
+/// c.series("miss", vec![(4.0, 9.3), (64.0, 3.0), (4096.0, 0.56)]);
+/// let s = c.render();
+/// assert!(s.contains('*'));
+/// assert!(s.contains("miss"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Chart {
+    /// Creates an empty chart with a plotting area of `width` × `height`
+    /// characters (clamped to sane minimums).
+    pub fn new(width: usize, height: usize) -> Self {
+        Chart {
+            width: width.max(10),
+            height: height.max(4),
+            log_x: false,
+            log_y: false,
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses a logarithmic x axis (points with `x <= 0` are dropped).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a logarithmic y axis (points with `y <= 0` are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Sets the axis captions.
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Adds a named series.
+    pub fn series(&mut self, label: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((label.to_string(), points));
+        self
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.log2()
+        } else {
+            x
+        }
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.log2()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart. Returns a placeholder line when no finite points
+    /// exist.
+    pub fn render(&self) -> String {
+        let pts: Vec<(usize, f64, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, pts))| pts.iter().map(move |&(x, y)| (si, x, y)))
+            .filter(|&(_, x, y)| {
+                x.is_finite()
+                    && y.is_finite()
+                    && (!self.log_x || x > 0.0)
+                    && (!self.log_y || y > 0.0)
+            })
+            .map(|(si, x, y)| (si, self.tx(x), self.ty(y)))
+            .collect();
+        if pts.is_empty() {
+            return "(no plottable points)\n".to_string();
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(_, x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            let symbol = SYMBOLS[si % SYMBOLS.len()];
+            let cell = &mut grid[row][cx];
+            // Collisions between different series render as '?'.
+            *cell = match *cell {
+                ' ' => symbol,
+                c if c == symbol => c,
+                _ => '?',
+            };
+        }
+        let untx = |v: f64| if self.log_x { v.exp2() } else { v };
+        let unty = |v: f64| if self.log_y { v.exp2() } else { v };
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{:>9.3}", unty(y1))
+            } else if i == self.height - 1 {
+                format!("{:>9.3}", unty(y0))
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(self.width));
+        let left = format!("{:.3}", untx(x0));
+        let right = format!("{:.3}", untx(x1));
+        let pad = self.width.saturating_sub(left.len() + right.len());
+        let _ = writeln!(out, "{} {left}{}{right}", " ".repeat(9), " ".repeat(pad));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} x: {}, y: {}",
+                " ".repeat(9),
+                self.x_label,
+                self.y_label
+            );
+        }
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{} {} {label}",
+                " ".repeat(9),
+                SYMBOLS[si % SYMBOLS.len()]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Positions of `sym` within the plot area only (rows containing the
+    /// axis bar '|'), excluding the legend.
+    fn line(chart_s: &str, sym: char) -> Vec<(usize, usize)> {
+        chart_s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .enumerate()
+            .flat_map(|(r, l)| {
+                l.char_indices()
+                    .filter(move |&(_, c)| c == sym)
+                    .map(move |(col, _)| (r, col))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn renders_dimensions_and_legend() {
+        let mut c = Chart::new(30, 8).labels("size", "miss");
+        c.series("dm", vec![(1.0, 10.0), (2.0, 5.0), (3.0, 2.0)]);
+        let s = c.render();
+        assert!(s.lines().count() >= 8 + 3);
+        assert!(s.contains("x: size, y: miss"));
+        assert!(s.contains("* dm"));
+    }
+
+    #[test]
+    fn decreasing_series_renders_decreasing() {
+        let mut c = Chart::new(30, 10);
+        c.series("d", vec![(0.0, 10.0), (5.0, 5.0), (10.0, 1.0)]);
+        let s = c.render();
+        let pts = line(&s, '*');
+        assert_eq!(pts.len(), 3);
+        // Sort by column; rows must increase (y falls downward).
+        let mut sorted = pts.clone();
+        sorted.sort_by_key(|&(_, col)| col);
+        assert!(sorted.windows(2).all(|w| w[1].0 > w[0].0), "{s}");
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let mut c = Chart::new(20, 5).log_x().log_y();
+        c.series("a", vec![(0.0, 1.0), (-1.0, 2.0), (4.0, 8.0), (16.0, 2.0)]);
+        let s = c.render();
+        assert_eq!(line(&s, '*').len(), 2);
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let mut c = Chart::new(20, 5).log_x();
+        c.series("a", vec![(-3.0, 1.0)]);
+        assert!(c.render().contains("no plottable points"));
+        assert!(Chart::new(20, 5).render().contains("no plottable points"));
+    }
+
+    #[test]
+    fn collisions_between_series_marked() {
+        let mut c = Chart::new(10, 4);
+        c.series("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        c.series("b", vec![(0.0, 0.0), (1.0, 0.5)]);
+        let s = c.render();
+        assert!(s.contains('?'), "{s}");
+        assert!(s.contains('+'), "{s}");
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let mut c = Chart::new(20, 5);
+        c.series("p", vec![(3.0, 7.0)]);
+        let s = c.render();
+        assert_eq!(line(&s, '*').len(), 1);
+    }
+}

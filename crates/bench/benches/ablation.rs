@@ -1,0 +1,187 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! These are *model* ablations, not speed ablations: each bench prints the
+//! execution-time impact of toggling one modeling decision (write-buffer
+//! depth, read priority, coalescing, replacement policy, dual-issue
+//! couplets, early continuation) and then measures the run so regressions
+//! in either direction show up.
+
+use cachetime::{Simulator, SystemConfig};
+use cachetime_bench::traces;
+use cachetime_cache::{CacheConfig, ReplacementPolicy};
+use cachetime_mem::MemoryConfig;
+use cachetime_types::{Assoc, CacheSize};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Mean ns/ref of a configuration over the first two bench traces.
+fn mean_time(config: &SystemConfig) -> f64 {
+    let mut sim = Simulator::new(config);
+    let mut total = 0.0;
+    let mut n = 0.0;
+    for t in traces().traces().iter().take(2) {
+        total += sim.run(t).time_per_ref_ns();
+        n += 1.0;
+    }
+    total / n
+}
+
+fn report(label: &str, base: f64, variant: f64) {
+    println!(
+        "{label}: {base:.2} -> {variant:.2} ns/ref ({:+.1}%)",
+        100.0 * (variant / base - 1.0)
+    );
+}
+
+fn small_cache_config(mutate: impl FnOnce(&mut cachetime::SystemConfigBuilder)) -> SystemConfig {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(8).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    let mut b = SystemConfig::builder();
+    b.l1_both(l1);
+    mutate(&mut b);
+    b.build().expect("valid system")
+}
+
+fn bench_write_buffer_depth(c: &mut Criterion) {
+    let base = mean_time(&small_cache_config(|_| {}));
+    for depth in [0u32, 1, 4, 16] {
+        let config = small_cache_config(|b| {
+            b.memory(
+                MemoryConfig::builder()
+                    .wb_depth(depth)
+                    .build()
+                    .expect("valid memory"),
+            );
+        });
+        report(&format!("wb depth {depth}"), base, mean_time(&config));
+    }
+    c.bench_function("ablation/wb_depth_0", |b| {
+        let config = small_cache_config(|bld| {
+            bld.memory(MemoryConfig::builder().wb_depth(0).build().expect("valid"));
+        });
+        let mut sim = Simulator::new(&config);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_read_priority(c: &mut Criterion) {
+    let base = mean_time(&small_cache_config(|_| {}));
+    let fifo = small_cache_config(|b| {
+        b.memory(
+            MemoryConfig::builder()
+                .read_priority(false)
+                .build()
+                .expect("valid memory"),
+        );
+    });
+    report("FIFO drain (no read priority)", base, mean_time(&fifo));
+    c.bench_function("ablation/no_read_priority", |b| {
+        let mut sim = Simulator::new(&fifo);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    let base = mean_time(&small_cache_config(|_| {}));
+    let no_coalesce = small_cache_config(|b| {
+        b.memory(
+            MemoryConfig::builder()
+                .wb_coalesce(false)
+                .build()
+                .expect("valid memory"),
+        );
+    });
+    report("no write coalescing", base, mean_time(&no_coalesce));
+    c.bench_function("ablation/no_coalescing", |b| {
+        let mut sim = Simulator::new(&no_coalesce);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_replacement(c: &mut Criterion) {
+    // The paper uses random replacement for its associativity study; LRU
+    // is the common alternative.
+    let mk = |policy| {
+        let l1 = CacheConfig::builder(CacheSize::from_kib(8).expect("pow2"))
+            .assoc(Assoc::new(2).expect("pow2"))
+            .replacement(policy)
+            .build()
+            .expect("valid cache");
+        SystemConfig::builder()
+            .l1_both(l1)
+            .build()
+            .expect("valid system")
+    };
+    let random = mean_time(&mk(ReplacementPolicy::Random));
+    for (name, policy) in [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("tree-PLRU", ReplacementPolicy::TreePlru),
+    ] {
+        report(&format!("{name} vs random"), random, mean_time(&mk(policy)));
+    }
+    c.bench_function("ablation/lru_replacement", |b| {
+        let config = mk(ReplacementPolicy::Lru);
+        let mut sim = Simulator::new(&config);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_unified_vs_split(c: &mut Criterion) {
+    // Same total storage: split 8+8KB vs unified 16KB. The couplet CPU
+    // cannot dual-issue against a unified cache.
+    let split = small_cache_config(|_| {});
+    let unified = {
+        let l1 = CacheConfig::builder(CacheSize::from_kib(16).expect("pow2"))
+            .build()
+            .expect("valid cache");
+        SystemConfig::builder()
+            .l1_both(l1)
+            .unified(true)
+            .build()
+            .expect("valid system")
+    };
+    report(
+        "unified vs split (equal total)",
+        mean_time(&split),
+        mean_time(&unified),
+    );
+    c.bench_function("ablation/unified", |b| {
+        let mut sim = Simulator::new(&unified);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_single_issue(c: &mut Criterion) {
+    let base = mean_time(&small_cache_config(|_| {}));
+    let single = small_cache_config(|b| {
+        b.dual_issue(false);
+    });
+    report("single-issue CPU", base, mean_time(&single));
+    c.bench_function("ablation/single_issue", |b| {
+        let mut sim = Simulator::new(&single);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+fn bench_early_continuation(c: &mut Criterion) {
+    let base = mean_time(&small_cache_config(|_| {}));
+    let ec = small_cache_config(|b| {
+        b.early_continuation(true);
+    });
+    report("early continuation", base, mean_time(&ec));
+    c.bench_function("ablation/early_continuation", |b| {
+        let mut sim = Simulator::new(&ec);
+        b.iter(|| black_box(sim.run(&traces().traces()[0])));
+    });
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_write_buffer_depth, bench_read_priority, bench_coalescing,
+        bench_replacement, bench_unified_vs_split, bench_single_issue,
+        bench_early_continuation
+}
+criterion_main!(ablation);

@@ -1,0 +1,88 @@
+//! Raw-throughput benches: the simulator core, the cache model, and the
+//! trace generator.
+//!
+//! The paper's farm of 10–20 MicroVAX IIs sustained 38,000 references per
+//! second; these benches report how far one core of this implementation
+//! gets (typically tens of millions per second).
+
+use cachetime::{Simulator, SystemConfig};
+use cachetime_bench::traces;
+use cachetime_cache::{Cache, CacheConfig};
+use cachetime_trace::catalog;
+use cachetime_types::{CacheSize, Pid, WordAddr};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let config = SystemConfig::paper_default().expect("valid config");
+    let mut group = c.benchmark_group("engine");
+    for trace in traces().traces().iter().take(2) {
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(format!("simulate/{}", trace.name()), |b| {
+            let mut sim = Simulator::new(&config);
+            b.iter(|| black_box(sim.run(trace)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_cache_thrash(c: &mut Criterion) {
+    // A 4KB-per-side machine: high miss rates exercise the memory path.
+    let l1 = CacheConfig::builder(CacheSize::from_kib(4).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    let config = SystemConfig::builder()
+        .l1_both(l1)
+        .build()
+        .expect("valid system");
+    let trace = &traces().traces()[0];
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("simulate/4KB-thrash", |b| {
+        let mut sim = Simulator::new(&config);
+        b.iter(|| black_box(sim.run(trace)));
+    });
+    group.finish();
+}
+
+fn bench_cache_accesses(c: &mut Criterion) {
+    let config = CacheConfig::paper_default_data().expect("valid cache");
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("read-hit-loop", |b| {
+        let mut cache = Cache::new(config);
+        cache.read(WordAddr::new(0), Pid(0));
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(cache.read(WordAddr::new(i % 4), Pid(0)));
+            }
+        });
+    });
+    group.bench_function("read-miss-loop", |b| {
+        let mut cache = Cache::new(config);
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                // A stride defeating the 4K-set cache: every read misses.
+                black_box(cache.read(WordAddr::new(i * 16384 % (1 << 30)), Pid(0)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    let spec = catalog::savec(0.02);
+    let len = spec.generate().len() as u64;
+    group.throughput(Throughput::Elements(len));
+    group.bench_function("generate/savec", |b| b.iter(|| black_box(spec.generate())));
+    group.finish();
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator_throughput, bench_small_cache_thrash,
+        bench_cache_accesses, bench_trace_generation
+}
+criterion_main!(engine);

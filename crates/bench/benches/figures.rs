@@ -1,0 +1,140 @@
+//! One Criterion bench per table and figure of the paper.
+//!
+//! Each bench executes the same code path the `repro` binary uses to
+//! regenerate that table/figure, over small-scale traces, and prints the
+//! rendered result once so a bench run doubles as a smoke reproduction.
+//!
+//! Run a single figure with e.g.:
+//! `cargo bench -p cachetime-bench --bench figures -- fig3-1`
+
+use cachetime_bench::traces;
+use cachetime_experiments::runner::SpeedSizeGrid;
+use cachetime_experiments::{
+    fig3_1, fig3_2, fig3_3, fig3_4, fig4_1, fig4_2, fig4_345, fig5_1, fig5_2, fig5_3, fig5_4, sec6,
+    table1, table2, table3,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+// Reduced axes: benches must iterate in seconds, not minutes.
+const SIZES: [u64; 4] = [2, 16, 128, 1024];
+const CTS: [u32; 5] = [20, 36, 52, 56, 68];
+const BLOCKS: [u32; 5] = [2, 4, 8, 32, 128];
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::render(&table1::run(traces())));
+    c.bench_function("table1", |b| b.iter(|| black_box(table1::run(traces()))));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("{}", table2::render(&table2::run()));
+    c.bench_function("table2", |b| b.iter(|| black_box(table2::run())));
+}
+
+fn bench_fig3_1(c: &mut Criterion) {
+    println!("{}", fig3_1::render(&fig3_1::run(traces())));
+    c.bench_function("fig3_1", |b| b.iter(|| black_box(fig3_1::run(traces()))));
+}
+
+fn grid() -> SpeedSizeGrid {
+    SpeedSizeGrid::compute_over(traces(), 1, &SIZES, &CTS)
+}
+
+fn bench_fig3_2(c: &mut Criterion) {
+    println!("{}", fig3_2::render(&fig3_2::run(&grid())));
+    c.bench_function("fig3_2", |b| b.iter(|| black_box(fig3_2::run(&grid()))));
+}
+
+fn bench_fig3_3(c: &mut Criterion) {
+    println!("{}", fig3_3::render(&fig3_3::run(&grid())));
+    c.bench_function("fig3_3", |b| b.iter(|| black_box(fig3_3::run(&grid()))));
+}
+
+fn bench_fig3_4(c: &mut Criterion) {
+    println!("{}", fig3_4::render(&fig3_4::run(&grid(), 16)));
+    c.bench_function("fig3_4", |b| b.iter(|| black_box(fig3_4::run(&grid(), 16))));
+}
+
+fn bench_fig4_1(c: &mut Criterion) {
+    let run = || fig4_1::run_over(traces(), &SIZES, &[1, 2, 4, 8]);
+    println!("{}", fig4_1::render(&run()));
+    c.bench_function("fig4_1", |b| b.iter(|| black_box(run())));
+}
+
+fn assoc_grids() -> fig4_2::AssocGrids {
+    fig4_2::run_over(traces(), &[1, 2, 4, 8], &SIZES, &CTS)
+}
+
+fn bench_fig4_2(c: &mut Criterion) {
+    println!("{}", fig4_2::render(&assoc_grids()));
+    c.bench_function("fig4_2", |b| b.iter(|| black_box(assoc_grids())));
+}
+
+fn bench_fig4_345(c: &mut Criterion) {
+    let grids = assoc_grids();
+    for ways in [2, 4, 8] {
+        println!("{}", fig4_345::render(&fig4_345::run(&grids, ways)));
+    }
+    c.bench_function("fig4_345", |b| {
+        b.iter(|| {
+            for ways in [2, 4, 8] {
+                black_box(fig4_345::run(&grids, ways));
+            }
+        })
+    });
+}
+
+fn bench_fig5_1(c: &mut Criterion) {
+    let run = || fig5_1::run_over(traces(), &BLOCKS);
+    println!("{}", fig5_1::render(&run()));
+    c.bench_function("fig5_1", |b| b.iter(|| black_box(run())));
+}
+
+fn fig5_curves() -> Vec<fig5_2::Curve> {
+    fig5_2::run_over(
+        traces(),
+        &[100, 260, 420],
+        &fig5_2::TRANSFER_RATES[1..4],
+        &BLOCKS,
+    )
+}
+
+fn bench_fig5_2(c: &mut Criterion) {
+    println!("{}", fig5_2::render(&fig5_curves()));
+    c.bench_function("fig5_2", |b| b.iter(|| black_box(fig5_curves())));
+}
+
+fn bench_fig5_3(c: &mut Criterion) {
+    let curves = fig5_curves();
+    println!("{}", fig5_3::render(&fig5_3::run(&curves)));
+    c.bench_function("fig5_3", |b| b.iter(|| black_box(fig5_3::run(&curves))));
+}
+
+fn bench_fig5_4(c: &mut Criterion) {
+    let minima = fig5_3::run(&fig5_curves());
+    println!("{}", fig5_4::render(&fig5_4::run(&minima)));
+    c.bench_function("fig5_4", |b| b.iter(|| black_box(fig5_4::run(&minima))));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let g = grid();
+    let rows = table3::run(&g);
+    println!("{}", table3::render(&g, &rows, &[4, 32, 256]));
+    c.bench_function("table3", |b| b.iter(|| black_box(table3::run(&g))));
+}
+
+fn bench_sec6(c: &mut Criterion) {
+    let run = || sec6::run(traces(), 20, &[2, 8, 32, 128]);
+    let (without, with) = run();
+    println!("{}", sec6::render(&without, &with));
+    c.bench_function("sec6", |b| b.iter(|| black_box(run())));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_fig3_1, bench_fig3_2, bench_fig3_3,
+        bench_fig3_4, bench_fig4_1, bench_fig4_2, bench_fig4_345, bench_fig5_1,
+        bench_fig5_2, bench_fig5_3, bench_fig5_4, bench_table3, bench_sec6
+}
+criterion_main!(figures);

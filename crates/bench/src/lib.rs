@@ -1,0 +1,35 @@
+//! Shared helpers for the `cachetime` Criterion benches.
+//!
+//! The benches regenerate every table and figure of the paper at a small
+//! trace scale (benchmarks measure the *harness*; the full-scale numbers
+//! come from the `repro` binary) and measure the simulator's raw
+//! throughput and its design ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cachetime_experiments::runner::TraceSet;
+use std::sync::OnceLock;
+
+/// The trace scale used by benches: small enough for tight iteration.
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// A process-wide trace set shared by every bench (generation is
+/// deterministic, so sharing does not couple measurements).
+pub fn traces() -> &'static TraceSet {
+    static TRACES: OnceLock<TraceSet> = OnceLock::new();
+    TRACES.get_or_init(|| TraceSet::generate(BENCH_SCALE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_traces_are_generated_once() {
+        let a = traces() as *const TraceSet;
+        let b = traces() as *const TraceSet;
+        assert_eq!(a, b);
+        assert_eq!(traces().traces().len(), 8);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-block metadata: tag, owner, and per-word valid/dirty masks.
+
+use cachetime_types::Pid;
+
+/// The largest supported block size in words.
+///
+/// 256 words (1 KB) comfortably covers the paper's block-size sweep while
+/// letting the per-word masks live inline in the block metadata.
+pub const MAX_BLOCK_WORDS: u32 = 256;
+
+const MASK_LIMBS: usize = (MAX_BLOCK_WORDS as usize) / 64;
+
+/// A fixed-capacity bitmask with one bit per word of a cache block.
+///
+/// Used both for *dirty* bits (the paper reports one write-traffic ratio
+/// counting all words of dirty victim blocks and another counting only the
+/// words actually written) and for *valid* bits when the fetch size is
+/// smaller than the block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirtyMask {
+    limbs: [u64; MASK_LIMBS],
+}
+
+impl DirtyMask {
+    /// An empty mask.
+    pub const EMPTY: DirtyMask = DirtyMask {
+        limbs: [0; MASK_LIMBS],
+    };
+
+    /// Sets the bit for word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= MAX_BLOCK_WORDS` (debug builds; release wraps into
+    /// a panic via indexing too).
+    #[inline]
+    pub fn set(&mut self, word: u32) {
+        self.limbs[(word / 64) as usize] |= 1u64 << (word % 64);
+    }
+
+    /// Sets the bits for `count` consecutive words starting at `start`.
+    #[inline]
+    pub fn set_range(&mut self, start: u32, count: u32) {
+        for w in start..start + count {
+            self.set(w);
+        }
+    }
+
+    /// Returns whether the bit for word `word` is set.
+    #[inline]
+    pub fn get(&self, word: u32) -> bool {
+        self.limbs[(word / 64) as usize] & (1u64 << (word % 64)) != 0
+    }
+
+    /// Returns the number of set bits.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Clears all bits.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.limbs = [0; MASK_LIMBS];
+    }
+}
+
+/// Metadata for one cache block frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockState {
+    /// Tag: the block address bits above the set index.
+    pub tag: u64,
+    /// Owning process, compared only in virtual caches.
+    pub owner: Pid,
+    /// Whether the frame holds a block at all.
+    pub valid: bool,
+    /// Per-word presence, used only for sub-block (partial-fetch) caches.
+    pub valid_words: DirtyMask,
+    /// Per-word dirty bits (write-back caches).
+    pub dirty_words: DirtyMask,
+}
+
+impl BlockState {
+    pub(crate) const INVALID: BlockState = BlockState {
+        tag: 0,
+        owner: Pid(0),
+        valid: false,
+        valid_words: DirtyMask::EMPTY,
+        dirty_words: DirtyMask::EMPTY,
+    };
+
+    /// Returns `true` if any word of the block is dirty.
+    #[inline]
+    pub(crate) fn is_dirty(&self) -> bool {
+        !self.dirty_words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mask() {
+        let m = DirtyMask::EMPTY;
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+        assert!(!m.get(0));
+        assert!(!m.get(MAX_BLOCK_WORDS - 1));
+    }
+
+    #[test]
+    fn set_get_count() {
+        let mut m = DirtyMask::EMPTY;
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(255);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(255));
+        assert!(!m.get(1) && !m.get(65));
+        assert_eq!(m.count(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn set_range_spans_limbs() {
+        let mut m = DirtyMask::EMPTY;
+        m.set_range(60, 10);
+        assert_eq!(m.count(), 10);
+        for w in 60..70 {
+            assert!(m.get(w));
+        }
+        assert!(!m.get(59) && !m.get(70));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = DirtyMask::EMPTY;
+        m.set_range(0, 256);
+        assert_eq!(m.count(), 256);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn invalid_block_is_clean() {
+        let b = BlockState::INVALID;
+        assert!(!b.valid);
+        assert!(!b.is_dirty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_word_panics() {
+        let mut m = DirtyMask::EMPTY;
+        m.set(MAX_BLOCK_WORDS);
+    }
+}

@@ -1,0 +1,655 @@
+//! The cache model: tag lookup, fills, evictions, and write handling.
+
+use crate::block::BlockState;
+use crate::config::{CacheConfig, WriteAllocate, WritePolicy};
+use crate::mapping::AddressMap;
+use crate::replacement::Replacer;
+use crate::stats::CacheStats;
+use cachetime_types::{BlockAddr, Pid, WordAddr};
+
+/// A block displaced from the cache that must be written to the next level.
+///
+/// Only *dirty* victims generate an `Eviction`; clean victims vanish
+/// silently (their replacement is still counted in [`CacheStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block address of the victim.
+    pub addr: BlockAddr,
+    /// Words transferred on the write-back: the entire block, "regardless of
+    /// which words were dirty" (paper, section 2).
+    pub words: u32,
+    /// How many of those words were actually dirty (for the paper's smaller
+    /// write-traffic ratio).
+    pub dirty_words: u32,
+}
+
+/// The organizational result of a read access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The word was present; a hit costs one CPU cycle.
+    Hit,
+    /// The word was absent; `fill_words` words were fetched from the next
+    /// level, displacing `victim` if it was dirty.
+    Miss {
+        /// Number of words fetched (the fetch size, or the block size for
+        /// whole-block fetching).
+        fill_words: u32,
+        /// The dirty block displaced by the fill, if any.
+        victim: Option<Eviction>,
+    },
+}
+
+impl ReadOutcome {
+    /// Returns `true` for [`ReadOutcome::Hit`].
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, ReadOutcome::Hit)
+    }
+}
+
+/// The organizational result of a write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The block was present. In a write-back cache the word is now dirty;
+    /// in a write-through cache one word must also go downstream.
+    Hit {
+        /// `true` if the cache is write-through and the word travels to the
+        /// next level as well.
+        through: bool,
+    },
+    /// Write miss in a no-allocate cache: the word bypasses the cache and
+    /// goes downstream (through the write buffer).
+    MissNoAllocate,
+    /// Write miss in a write-allocate cache: the block was fetched first.
+    MissAllocate {
+        /// Number of words fetched for the allocation.
+        fill_words: u32,
+        /// The dirty block displaced by the fill, if any.
+        victim: Option<Eviction>,
+        /// `true` if the cache is write-through and the word also travels
+        /// downstream.
+        through: bool,
+    },
+}
+
+impl WriteOutcome {
+    /// Returns `true` if the access hit.
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, WriteOutcome::Hit { .. })
+    }
+}
+
+/// A set-associative cache with per-word valid/dirty state and virtual
+/// (PID-extended) tags.
+///
+/// The model is purely organizational: methods report *what happened*
+/// ([`ReadOutcome`]/[`WriteOutcome`]) and the timing engine in the core
+/// crate translates outcomes into cycles. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    map: AddressMap,
+    frames: Vec<BlockState>,
+    replacer: Replacer,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given organization.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.assoc().ways();
+        Cache {
+            config,
+            map: AddressMap::new(sets, config.block().words()),
+            frames: vec![BlockState::INVALID; (sets * ways as u64) as usize],
+            replacer: Replacer::new(config.replacement(), sets, ways, config.rng_seed()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (used at the warm-start boundary) without
+    /// touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Returns `true` if a read of `addr` by `pid` would hit, without
+    /// changing any state (not even replacement metadata).
+    pub fn probe(&self, addr: WordAddr, pid: Pid) -> bool {
+        self.find(addr, pid).is_some()
+    }
+
+    /// Performs a read access (load or instruction fetch).
+    pub fn read(&mut self, addr: WordAddr, pid: Pid) -> ReadOutcome {
+        self.stats.reads += 1;
+        if let Some(way) = self.find(addr, pid) {
+            let set = self.map.set_index(addr);
+            self.replacer.touch(set, way);
+            return ReadOutcome::Hit;
+        }
+        self.stats.read_misses += 1;
+        let (fill_words, victim) = self.fill(addr, pid);
+        ReadOutcome::Miss { fill_words, victim }
+    }
+
+    /// Performs a write access (store).
+    ///
+    /// In a no-allocate cache, a store whose *tag* matches but whose word is
+    /// not yet valid (sub-block caches only) is treated as a hit that
+    /// validates the word: the CPU supplies the whole word, so no fetch is
+    /// needed.
+    pub fn write(&mut self, addr: WordAddr, pid: Pid) -> WriteOutcome {
+        self.stats.writes += 1;
+        let through = self.config.write_policy() == WritePolicy::WriteThrough;
+        let set = self.map.set_index(addr);
+        if let Some(way) = self.find_tag(addr, pid) {
+            let offset = addr.offset_in_block(self.config.block().words());
+            let frame = self.frame_mut(set, way);
+            frame.valid_words.set(offset);
+            if !through {
+                frame.dirty_words.set(offset);
+            }
+            self.replacer.touch(set, way);
+            if through {
+                self.stats.word_writes_downstream += 1;
+            }
+            return WriteOutcome::Hit { through };
+        }
+        self.stats.write_misses += 1;
+        match self.config.write_allocate() {
+            WriteAllocate::NoAllocate => {
+                self.stats.word_writes_downstream += 1;
+                WriteOutcome::MissNoAllocate
+            }
+            WriteAllocate::Allocate => {
+                let (fill_words, victim) = self.fill(addr, pid);
+                let way = self
+                    .find_tag(addr, pid)
+                    .expect("fill just installed the block");
+                let offset = addr.offset_in_block(self.config.block().words());
+                let frame = self.frame_mut(set, way);
+                frame.valid_words.set(offset);
+                if !through {
+                    frame.dirty_words.set(offset);
+                }
+                if through {
+                    self.stats.word_writes_downstream += 1;
+                }
+                WriteOutcome::MissAllocate {
+                    fill_words,
+                    victim,
+                    through,
+                }
+            }
+        }
+    }
+
+    /// Performs one write access covering `words` consecutive words
+    /// starting at `addr` (all within one block). Used when a lower level
+    /// absorbs a whole victim block from the level above as a single
+    /// access.
+    ///
+    /// Counts as one write in the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a block boundary.
+    pub fn write_range(&mut self, addr: WordAddr, pid: Pid, words: u32) -> WriteOutcome {
+        let block_words = self.config.block().words();
+        let offset = addr.offset_in_block(block_words);
+        assert!(
+            offset + words <= block_words,
+            "write_range crosses a block boundary"
+        );
+        self.stats.writes += 1;
+        let through = self.config.write_policy() == WritePolicy::WriteThrough;
+        let set = self.map.set_index(addr);
+        if let Some(way) = self.find_tag(addr, pid) {
+            let frame = self.frame_mut(set, way);
+            frame.valid_words.set_range(offset, words);
+            if !through {
+                frame.dirty_words.set_range(offset, words);
+            }
+            self.replacer.touch(set, way);
+            if through {
+                self.stats.word_writes_downstream += words as u64;
+            }
+            return WriteOutcome::Hit { through };
+        }
+        self.stats.write_misses += 1;
+        match self.config.write_allocate() {
+            WriteAllocate::NoAllocate => {
+                self.stats.word_writes_downstream += words as u64;
+                WriteOutcome::MissNoAllocate
+            }
+            WriteAllocate::Allocate => {
+                let (fill_words, victim) = self.fill(addr, pid);
+                let way = self
+                    .find_tag(addr, pid)
+                    .expect("fill just installed the block");
+                let frame = self.frame_mut(set, way);
+                frame.valid_words.set_range(offset, words);
+                if !through {
+                    frame.dirty_words.set_range(offset, words);
+                }
+                if through {
+                    self.stats.word_writes_downstream += words as u64;
+                }
+                WriteOutcome::MissAllocate {
+                    fill_words,
+                    victim,
+                    through,
+                }
+            }
+        }
+    }
+
+    /// Invalidates every block, discarding dirty data (used between
+    /// independent experiment runs).
+    pub fn invalidate_all(&mut self) {
+        for frame in &mut self.frames {
+            *frame = BlockState::INVALID;
+        }
+    }
+
+    /// Writes back and cleans every dirty block, returning the evictions in
+    /// set order. Blocks stay valid.
+    pub fn flush_dirty(&mut self) -> Vec<Eviction> {
+        let block_words = self.config.block().words();
+        let sets = self.config.sets();
+        let ways = self.config.assoc().ways() as u64;
+        let mut out = Vec::new();
+        for set in 0..sets {
+            for way in 0..ways {
+                let map = self.map;
+                let frame = &mut self.frames[(set * ways + way) as usize];
+                if frame.valid && frame.is_dirty() {
+                    out.push(Eviction {
+                        addr: map.reconstruct(set, frame.tag),
+                        words: block_words,
+                        dirty_words: frame.dirty_words.count(),
+                    });
+                    frame.dirty_words.clear();
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts the blocks currently valid (for occupancy assertions in
+    /// tests).
+    pub fn valid_blocks(&self) -> u64 {
+        self.frames.iter().filter(|f| f.valid).count() as u64
+    }
+
+    #[inline]
+    fn frame_mut(&mut self, set: u64, way: u32) -> &mut BlockState {
+        let ways = self.config.assoc().ways() as u64;
+        &mut self.frames[(set * ways + way as u64) as usize]
+    }
+
+    /// Finds the way whose tag matches *and* whose requested word is valid.
+    #[inline]
+    fn find(&self, addr: WordAddr, pid: Pid) -> Option<u32> {
+        let way = self.find_tag(addr, pid)?;
+        if self.config.is_sub_block() {
+            let set = self.map.set_index(addr);
+            let ways = self.config.assoc().ways() as u64;
+            let frame = &self.frames[(set * ways + way as u64) as usize];
+            let offset = addr.offset_in_block(self.config.block().words());
+            if !frame.valid_words.get(offset) {
+                return None;
+            }
+        }
+        Some(way)
+    }
+
+    /// Finds the way whose tag (and PID, for virtual caches) matches,
+    /// ignoring word validity.
+    #[inline]
+    fn find_tag(&self, addr: WordAddr, pid: Pid) -> Option<u32> {
+        let set = self.map.set_index(addr);
+        let tag = self.map.tag(addr);
+        let ways = self.config.assoc().ways();
+        let base = (set * ways as u64) as usize;
+        let virtual_tags = self.config.virtual_tags();
+        self.frames[base..base + ways as usize]
+            .iter()
+            .position(|f| f.valid && f.tag == tag && (!virtual_tags || f.owner == pid))
+            .map(|w| w as u32)
+    }
+
+    /// Installs the (sub-)block containing `addr`, selecting and displacing
+    /// a victim if necessary. Returns the words fetched and the dirty victim
+    /// (if any).
+    fn fill(&mut self, addr: WordAddr, pid: Pid) -> (u32, Option<Eviction>) {
+        let block_words = self.config.block().words();
+        let fetch_words = self.config.fetch().words();
+        let set = self.map.set_index(addr);
+        let tag = self.map.tag(addr);
+        let ways = self.config.assoc().ways();
+        let offset = addr.offset_in_block(block_words);
+        let fetch_start = offset & !(fetch_words - 1);
+        let map = self.map;
+
+        // Sub-block partial fill: the tag already matches, only words arrive.
+        if let Some(way) = self.find_tag(addr, pid) {
+            self.stats.fills += 1;
+            self.stats.fill_words += fetch_words as u64;
+            let frame = self.frame_mut(set, way);
+            frame.valid_words.set_range(fetch_start, fetch_words);
+            self.replacer.touch(set, way);
+            return (fetch_words, None);
+        }
+
+        // Pick a frame: an invalid one if available, otherwise a victim.
+        let base = (set * ways as u64) as usize;
+        let way = match self.frames[base..base + ways as usize]
+            .iter()
+            .position(|f| !f.valid)
+        {
+            Some(w) => w as u32,
+            None => self.replacer.victim(set),
+        };
+
+        let mut eviction = None;
+        {
+            let frame = self.frame_mut(set, way);
+            if frame.valid && frame.is_dirty() {
+                eviction = Some(Eviction {
+                    addr: map.reconstruct(set, frame.tag),
+                    words: block_words,
+                    dirty_words: frame.dirty_words.count(),
+                });
+            }
+        }
+        if let Some(ev) = eviction {
+            self.stats.evictions += 1;
+            self.stats.dirty_evictions += 1;
+            self.stats.write_back_words += ev.words as u64;
+            self.stats.dirty_words_written_back += ev.dirty_words as u64;
+        } else if self.frames[base + way as usize].valid {
+            self.stats.evictions += 1;
+        }
+
+        self.stats.fills += 1;
+        self.stats.fill_words += fetch_words as u64;
+        let frame = self.frame_mut(set, way);
+        *frame = BlockState::INVALID;
+        frame.valid = true;
+        frame.tag = tag;
+        frame.owner = pid;
+        frame.valid_words.set_range(fetch_start, fetch_words);
+        self.replacer.touch(set, way);
+        (fetch_words, eviction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::replacement::ReplacementPolicy;
+    use cachetime_types::{Assoc, BlockWords, CacheSize};
+
+    fn tiny(ways: u32) -> Cache {
+        // 64-byte cache: 16 words, 4 blocks of 4 words.
+        let config = CacheConfig::builder(CacheSize::from_bytes(64).unwrap())
+            .assoc(Assoc::new(ways).unwrap())
+            .replacement(ReplacementPolicy::Lru)
+            .build()
+            .unwrap();
+        Cache::new(config)
+    }
+
+    #[test]
+    fn cold_miss_then_hit_within_block() {
+        let mut c = tiny(1);
+        assert!(!c.read(WordAddr::new(0), Pid(0)).is_hit());
+        for w in 0..4 {
+            assert!(c.read(WordAddr::new(w), Pid(0)).is_hit(), "word {w}");
+        }
+        assert!(!c.read(WordAddr::new(4), Pid(0)).is_hit());
+        assert_eq!(c.stats().reads, 6);
+        assert_eq!(c.stats().read_misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = tiny(1);
+        let a = WordAddr::new(0);
+        let b = WordAddr::new(16); // same set (4 sets * 4 words), different tag
+        c.read(a, Pid(0));
+        c.read(b, Pid(0));
+        assert!(!c.read(a, Pid(0)).is_hit(), "b displaced a");
+    }
+
+    #[test]
+    fn two_way_avoids_that_conflict() {
+        let mut c = tiny(2);
+        let a = WordAddr::new(0);
+        let b = WordAddr::new(32); // with 2 sets of 2 ways, same set as a
+        c.read(a, Pid(0));
+        c.read(b, Pid(0));
+        assert!(c.read(a, Pid(0)).is_hit());
+        assert!(c.read(b, Pid(0)).is_hit());
+    }
+
+    #[test]
+    fn virtual_tags_separate_processes() {
+        let mut c = tiny(1);
+        c.read(WordAddr::new(0), Pid(1));
+        assert!(!c.read(WordAddr::new(0), Pid(2)).is_hit());
+        assert!(c.read(WordAddr::new(0), Pid(2)).is_hit());
+    }
+
+    #[test]
+    fn physical_tags_shared_between_processes() {
+        let config = CacheConfig::builder(CacheSize::from_bytes(64).unwrap())
+            .virtual_tags(false)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        c.read(WordAddr::new(0), Pid(1));
+        assert!(c.read(WordAddr::new(0), Pid(2)).is_hit());
+    }
+
+    #[test]
+    fn write_miss_no_allocate_bypasses() {
+        let mut c = tiny(1);
+        assert_eq!(
+            c.write(WordAddr::new(0), Pid(0)),
+            WriteOutcome::MissNoAllocate
+        );
+        // Still not present.
+        assert!(!c.probe(WordAddr::new(0), Pid(0)));
+        assert_eq!(c.stats().word_writes_downstream, 1);
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn write_back_dirty_eviction_reports_whole_block() {
+        let mut c = tiny(1);
+        c.read(WordAddr::new(0), Pid(0));
+        c.write(WordAddr::new(1), Pid(0));
+        c.write(WordAddr::new(2), Pid(0));
+        // Conflict fill displaces the dirty block.
+        match c.read(WordAddr::new(16), Pid(0)) {
+            ReadOutcome::Miss {
+                victim: Some(ev), ..
+            } => {
+                assert_eq!(ev.addr, WordAddr::new(0).block(4));
+                assert_eq!(ev.words, 4, "entire block transferred");
+                assert_eq!(ev.dirty_words, 2);
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().write_back_words, 4);
+        assert_eq!(c.stats().dirty_words_written_back, 2);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = tiny(1);
+        c.read(WordAddr::new(0), Pid(0));
+        match c.read(WordAddr::new(16), Pid(0)) {
+            ReadOutcome::Miss { victim: None, .. } => {}
+            other => panic!("expected clean eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 0);
+    }
+
+    #[test]
+    fn write_through_never_dirty() {
+        let config = CacheConfig::builder(CacheSize::from_bytes(64).unwrap())
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        c.read(WordAddr::new(0), Pid(0));
+        assert_eq!(
+            c.write(WordAddr::new(0), Pid(0)),
+            WriteOutcome::Hit { through: true }
+        );
+        match c.read(WordAddr::new(16), Pid(0)) {
+            ReadOutcome::Miss { victim: None, .. } => {}
+            other => panic!("write-through block must be clean, got {other:?}"),
+        }
+        assert_eq!(c.stats().word_writes_downstream, 1);
+    }
+
+    #[test]
+    fn write_allocate_fetches_block() {
+        let config = CacheConfig::builder(CacheSize::from_bytes(64).unwrap())
+            .write_allocate(WriteAllocate::Allocate)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        match c.write(WordAddr::new(0), Pid(0)) {
+            WriteOutcome::MissAllocate {
+                fill_words,
+                victim: None,
+                through: false,
+            } => assert_eq!(fill_words, 4),
+            other => panic!("expected allocating miss, got {other:?}"),
+        }
+        assert!(c.read(WordAddr::new(1), Pid(0)).is_hit());
+        // The written word is dirty.
+        let evs = c.flush_dirty();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].dirty_words, 1);
+    }
+
+    #[test]
+    fn sub_block_fetch_validates_only_fetched_words() {
+        let config = CacheConfig::builder(CacheSize::from_bytes(128).unwrap())
+            .block(BlockWords::new(8).unwrap())
+            .fetch(BlockWords::new(4).unwrap())
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config);
+        match c.read(WordAddr::new(0), Pid(0)) {
+            ReadOutcome::Miss { fill_words, .. } => assert_eq!(fill_words, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.read(WordAddr::new(3), Pid(0)).is_hit());
+        // Upper half of the block: tag matches but word invalid -> miss
+        // without eviction.
+        match c.read(WordAddr::new(5), Pid(0)) {
+            ReadOutcome::Miss {
+                fill_words,
+                victim: None,
+            } => assert_eq!(fill_words, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.read(WordAddr::new(7), Pid(0)).is_hit());
+    }
+
+    #[test]
+    fn flush_dirty_cleans_but_keeps_valid() {
+        let mut c = tiny(1);
+        c.read(WordAddr::new(0), Pid(0));
+        c.write(WordAddr::new(0), Pid(0));
+        let evs = c.flush_dirty();
+        assert_eq!(evs.len(), 1);
+        assert!(c.flush_dirty().is_empty(), "second flush finds nothing");
+        assert!(c.probe(WordAddr::new(0), Pid(0)), "block still valid");
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = tiny(2);
+        for w in [0u64, 16, 32, 48] {
+            c.read(WordAddr::new(w), Pid(0));
+        }
+        assert!(c.valid_blocks() > 0);
+        c.invalidate_all();
+        assert_eq!(c.valid_blocks(), 0);
+        assert!(!c.probe(WordAddr::new(0), Pid(0)));
+    }
+
+    #[test]
+    fn write_range_marks_whole_span_dirty() {
+        let mut c = tiny(1);
+        c.read(WordAddr::new(0), Pid(0));
+        assert_eq!(
+            c.write_range(WordAddr::new(0), Pid(0), 4),
+            WriteOutcome::Hit { through: false }
+        );
+        let evs = c.flush_dirty();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].dirty_words, 4);
+        assert_eq!(c.stats().writes, 1, "one access, not four");
+    }
+
+    #[test]
+    fn write_range_miss_no_allocate_forwards_all_words() {
+        let mut c = tiny(1);
+        assert_eq!(
+            c.write_range(WordAddr::new(8), Pid(0), 4),
+            WriteOutcome::MissNoAllocate
+        );
+        assert_eq!(c.stats().word_writes_downstream, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundary")]
+    fn write_range_cannot_cross_blocks() {
+        let mut c = tiny(1);
+        c.write_range(WordAddr::new(2), Pid(0), 4);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny(2);
+        for w in 0..1000u64 {
+            c.read(WordAddr::new(w * 7), Pid(0));
+        }
+        assert!(c.valid_blocks() <= 4);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut c = tiny(2);
+        let a = WordAddr::new(0);
+        let b = WordAddr::new(32);
+        let d = WordAddr::new(64);
+        c.read(a, Pid(0));
+        c.read(b, Pid(0)); // LRU order: a, b
+        c.probe(a, Pid(0)); // must NOT refresh a
+        c.read(d, Pid(0)); // evicts a (LRU), not b
+        assert!(c.probe(b, Pid(0)));
+        assert!(!c.probe(a, Pid(0)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Address decomposition: block offset, set index, and tag.
+
+use cachetime_types::{BlockAddr, WordAddr};
+
+/// Precomputed address-decomposition parameters for one cache organization.
+///
+/// A word address splits (from least to most significant) into the block
+/// offset (`offset_bits`), the set index (`index_bits`), and the tag. The
+/// set bits are "the portion of the address used to index into the cache"
+/// (paper, footnote 1).
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_cache::AddressMap;
+/// use cachetime_types::WordAddr;
+///
+/// // 64KB direct-mapped, 4-word blocks: 4096 sets.
+/// let map = AddressMap::new(4096, 4);
+/// let addr = WordAddr::new(0x12_3456);
+/// assert_eq!(map.set_index(addr), (0x12_3456 >> 2) & 0xfff);
+/// let (set, tag) = (map.set_index(addr), map.tag(addr));
+/// assert_eq!(map.reconstruct(set, tag), addr.block(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    offset_bits: u32,
+    index_bits: u32,
+}
+
+impl AddressMap {
+    /// Creates a map for a cache of `sets` sets with `block_words`-word
+    /// blocks. Both must be powers of two (`sets` may be 1 for a fully
+    /// associative cache).
+    pub fn new(sets: u64, block_words: u32) -> Self {
+        debug_assert!(sets.is_power_of_two());
+        debug_assert!(block_words.is_power_of_two());
+        AddressMap {
+            offset_bits: block_words.trailing_zeros(),
+            index_bits: sets.trailing_zeros(),
+        }
+    }
+
+    /// Returns the number of block-offset bits.
+    pub const fn offset_bits(&self) -> u32 {
+        self.offset_bits
+    }
+
+    /// Returns the number of set-index bits.
+    pub const fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Extracts the set index of `addr`.
+    #[inline]
+    pub fn set_index(&self, addr: WordAddr) -> u64 {
+        (addr.value() >> self.offset_bits) & ((1u64 << self.index_bits) - 1)
+    }
+
+    /// Extracts the tag of `addr` (block address bits above the index).
+    #[inline]
+    pub fn tag(&self, addr: WordAddr) -> u64 {
+        addr.value() >> (self.offset_bits + self.index_bits)
+    }
+
+    /// Rebuilds the block address from a set index and tag.
+    #[inline]
+    pub fn reconstruct(&self, set: u64, tag: u64) -> BlockAddr {
+        BlockAddr::new((tag << self.index_bits) | set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_64kb_paper_default() {
+        let map = AddressMap::new(4096, 4);
+        assert_eq!(map.offset_bits(), 2);
+        assert_eq!(map.index_bits(), 12);
+    }
+
+    #[test]
+    fn fully_associative_has_no_index_bits() {
+        let map = AddressMap::new(1, 16);
+        assert_eq!(map.index_bits(), 0);
+        assert_eq!(map.set_index(WordAddr::new(0xdead_beef)), 0);
+        assert_eq!(map.tag(WordAddr::new(0xf0)), 0xf);
+    }
+
+    #[test]
+    fn round_trip_reconstruction() {
+        let map = AddressMap::new(256, 8);
+        for raw in [0u64, 1, 0xfff, 0x1234_5678, u64::MAX >> 8] {
+            let addr = WordAddr::new(raw);
+            let block = addr.block(8);
+            assert_eq!(map.reconstruct(map.set_index(addr), map.tag(addr)), block);
+        }
+    }
+
+    #[test]
+    fn adjacent_blocks_hit_adjacent_sets() {
+        let map = AddressMap::new(1024, 4);
+        let a = WordAddr::new(0);
+        let b = WordAddr::new(4);
+        assert_eq!(map.set_index(a) + 1, map.set_index(b));
+        assert_eq!(map.tag(a), map.tag(b));
+    }
+
+    #[test]
+    fn index_wraps_at_cache_extent() {
+        let map = AddressMap::new(1024, 4);
+        // Addresses one cache-extent apart share a set but differ in tag.
+        let a = WordAddr::new(0x40);
+        let b = WordAddr::new(0x40 + 1024 * 4);
+        assert_eq!(map.set_index(a), map.set_index(b));
+        assert_ne!(map.tag(a), map.tag(b));
+    }
+}

@@ -1,0 +1,241 @@
+//! Replacement policies: random (the paper's choice), LRU, FIFO, tree-PLRU.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Which block of a set is evicted on a miss.
+///
+/// The paper uses **random** replacement "regardless of the set size"; LRU,
+/// FIFO and tree-PLRU are provided for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Uniformly random victim (seeded; runs are reproducible).
+    #[default]
+    Random,
+    /// Evict the least recently used block.
+    Lru,
+    /// Evict blocks in fill order.
+    Fifo,
+    /// Tree pseudo-LRU (one decision bit per internal tree node).
+    TreePlru,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplacementPolicy::Random => "random",
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::TreePlru => "tree-PLRU",
+        })
+    }
+}
+
+/// Per-cache replacement state.
+///
+/// The owning [`Cache`](crate::Cache) consults invalid frames first, so
+/// `victim` is only asked to choose among valid blocks; it is called exactly
+/// once per replacement (FIFO advances its pointer inside `victim`).
+#[derive(Debug, Clone)]
+pub(crate) struct Replacer {
+    policy: ReplacementPolicy,
+    ways: u32,
+    /// LRU: one recency stamp per frame, indexed `set * ways + way`.
+    stamps: Vec<u64>,
+    /// LRU: monotone clock.
+    clock: u64,
+    /// FIFO: per-set round-robin pointer. Tree-PLRU: per-set decision bits.
+    per_set: Vec<u32>,
+    rng: SmallRng,
+}
+
+impl Replacer {
+    pub(crate) fn new(policy: ReplacementPolicy, sets: u64, ways: u32, seed: u64) -> Self {
+        let frames = (sets * ways as u64) as usize;
+        let (stamps, per_set) = match policy {
+            ReplacementPolicy::Lru => (vec![0u64; frames], Vec::new()),
+            ReplacementPolicy::Fifo | ReplacementPolicy::TreePlru => {
+                (Vec::new(), vec![0u32; sets as usize])
+            }
+            ReplacementPolicy::Random => (Vec::new(), Vec::new()),
+        };
+        Replacer {
+            policy,
+            ways,
+            stamps,
+            clock: 0,
+            per_set,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records a use of `way` in `set` (on hits and on fills).
+    #[inline]
+    pub(crate) fn touch(&mut self, set: u64, way: u32) {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.clock += 1;
+                self.stamps[(set * self.ways as u64 + way as u64) as usize] = self.clock;
+            }
+            ReplacementPolicy::TreePlru => {
+                // Flip the path bits to point *away* from the touched way.
+                let bits = &mut self.per_set[set as usize];
+                let levels = self.ways.trailing_zeros();
+                let mut node = 0u32; // index within the implicit tree
+                for level in 0..levels {
+                    let dir = (way >> (levels - 1 - level)) & 1;
+                    if dir == 0 {
+                        *bits |= 1 << node; // next victim search goes right
+                    } else {
+                        *bits &= !(1 << node);
+                    }
+                    node = 2 * node + 1 + dir;
+                }
+            }
+            ReplacementPolicy::Random | ReplacementPolicy::Fifo => {}
+        }
+    }
+
+    /// Chooses the way to evict from `set`.
+    #[inline]
+    pub(crate) fn victim(&mut self, set: u64) -> u32 {
+        match self.policy {
+            ReplacementPolicy::Random => {
+                if self.ways == 1 {
+                    0
+                } else {
+                    self.rng.gen_range(0..self.ways)
+                }
+            }
+            ReplacementPolicy::Lru => {
+                let base = (set * self.ways as u64) as usize;
+                let slice = &self.stamps[base..base + self.ways as usize];
+                let mut best = 0u32;
+                let mut best_stamp = u64::MAX;
+                for (w, &s) in slice.iter().enumerate() {
+                    if s < best_stamp {
+                        best_stamp = s;
+                        best = w as u32;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::Fifo => {
+                let ptr = &mut self.per_set[set as usize];
+                let way = *ptr;
+                *ptr = (way + 1) % self.ways;
+                way
+            }
+            ReplacementPolicy::TreePlru => {
+                let bits = self.per_set[set as usize];
+                let levels = self.ways.trailing_zeros();
+                let mut node = 0u32;
+                let mut way = 0u32;
+                for _ in 0..levels {
+                    let dir = (bits >> node) & 1;
+                    way = (way << 1) | dir;
+                    node = 2 * node + 1 + dir;
+                }
+                way
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(policy: ReplacementPolicy, ways: u32) -> Replacer {
+        let mut r = Replacer::new(policy, 4, ways, 42);
+        for way in 0..ways {
+            r.touch(0, way);
+        }
+        r
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut r = filled(ReplacementPolicy::Lru, 4);
+        // Touch order was 0,1,2,3 -> victim is 0.
+        assert_eq!(r.victim(0), 0);
+        r.touch(0, 0);
+        assert_eq!(r.victim(0), 1);
+        r.touch(0, 1);
+        r.touch(0, 2);
+        assert_eq!(r.victim(0), 3);
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut r = Replacer::new(ReplacementPolicy::Lru, 2, 2, 0);
+        r.touch(0, 0);
+        r.touch(0, 1);
+        r.touch(1, 1);
+        r.touch(1, 0);
+        assert_eq!(r.victim(0), 0);
+        assert_eq!(r.victim(1), 1);
+    }
+
+    #[test]
+    fn fifo_cycles_through_ways() {
+        let mut r = filled(ReplacementPolicy::Fifo, 4);
+        let seq: Vec<u32> = (0..8).map(|_| r.victim(0)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut r = filled(ReplacementPolicy::Fifo, 2);
+        r.touch(0, 0);
+        r.touch(0, 0);
+        assert_eq!(r.victim(0), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut a = Replacer::new(ReplacementPolicy::Random, 1, 8, 7);
+        let mut b = Replacer::new(ReplacementPolicy::Random, 1, 8, 7);
+        for _ in 0..100 {
+            let (va, vb) = (a.victim(0), b.victim(0));
+            assert_eq!(va, vb);
+            assert!(va < 8);
+        }
+    }
+
+    #[test]
+    fn random_direct_mapped_always_zero() {
+        let mut r = Replacer::new(ReplacementPolicy::Random, 4, 1, 1);
+        assert_eq!(r.victim(0), 0);
+        assert_eq!(r.victim(3), 0);
+    }
+
+    #[test]
+    fn random_covers_all_ways_eventually() {
+        let mut r = Replacer::new(ReplacementPolicy::Random, 1, 4, 3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.victim(0) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_most_recent() {
+        let mut r = filled(ReplacementPolicy::TreePlru, 4);
+        for &way in &[2u32, 0, 3, 1, 1, 2] {
+            r.touch(0, way);
+            assert_ne!(r.victim(0), way, "PLRU must protect the MRU way");
+        }
+    }
+
+    #[test]
+    fn tree_plru_exact_lru_for_two_ways() {
+        let mut r = filled(ReplacementPolicy::TreePlru, 2);
+        r.touch(0, 0);
+        assert_eq!(r.victim(0), 1);
+        r.touch(0, 1);
+        assert_eq!(r.victim(0), 0);
+    }
+}

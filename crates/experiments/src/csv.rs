@@ -1,0 +1,210 @@
+//! CSV export of experiment data, for plotting outside the terminal.
+//!
+//! Each exporter takes the experiment's *typed* results (not the rendered
+//! text) and produces one CSV per logical table. The `repro` binary wires
+//! these to `--csv DIR`.
+
+use crate::runner::SpeedSizeGrid;
+use crate::{fig3_1, fig4_1, fig4_345, fig5_1, fig5_3, fig5_4, sec6, table2};
+use cachetime_analysis::table::Table;
+
+/// Figure 3-1's series.
+pub fn fig3_1(points: &[fig3_1::Point]) -> String {
+    let mut t = Table::new([
+        "total_kb",
+        "read_miss_ratio",
+        "ifetch_miss_ratio",
+        "load_miss_ratio",
+        "read_traffic",
+        "write_traffic_block",
+        "write_traffic_dirty",
+    ]);
+    for p in points {
+        t.row([
+            p.total_kb.to_string(),
+            p.read_miss_ratio.to_string(),
+            p.ifetch_miss_ratio.to_string(),
+            p.load_miss_ratio.to_string(),
+            p.read_traffic.to_string(),
+            p.write_traffic_block.to_string(),
+            p.write_traffic_dirty.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Any speed–size grid (Figures 3-2/3-3/4-2) in long form.
+pub fn grid(grid: &SpeedSizeGrid) -> String {
+    let mut t = Table::new([
+        "assoc",
+        "total_kb",
+        "ct_ns",
+        "cycles_per_ref",
+        "time_per_ref_ns",
+        "read_miss_ratio",
+    ]);
+    for (i, &kb) in grid.sizes_total_kb.iter().enumerate() {
+        for (j, &ct) in grid.cts_ns.iter().enumerate() {
+            t.row([
+                grid.assoc.to_string(),
+                kb.to_string(),
+                ct.to_string(),
+                grid.cycles_per_ref[i][j].to_string(),
+                grid.time_per_ref[i][j].to_string(),
+                grid.read_miss_ratio[i][j].to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Table 2's rows.
+pub fn table2(rows: &[table2::Row]) -> String {
+    let mut t = Table::new(["ct_ns", "read_cycles", "write_cycles", "recovery_cycles"]);
+    for r in rows {
+        t.row([
+            r.ct_ns.to_string(),
+            r.read_cycles.to_string(),
+            r.write_cycles.to_string(),
+            r.recovery_cycles.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Figure 4-1's miss-ratio curves in long form.
+pub fn fig4_1(m: &fig4_1::MissRatios) -> String {
+    let mut t = Table::new(["assoc", "total_kb", "read_miss_ratio"]);
+    for (ai, &ways) in m.assocs.iter().enumerate() {
+        for (si, &kb) in m.sizes_total_kb.iter().enumerate() {
+            t.row([
+                ways.to_string(),
+                kb.to_string(),
+                m.miss_ratio[ai][si].to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// A break-even map (Figures 4-3/4/5) in long form.
+pub fn break_even(m: &fig4_345::BreakEvenMap) -> String {
+    let mut t = Table::new(["assoc", "total_kb", "ct_ns", "break_even_ns"]);
+    for (si, &kb) in m.sizes_total_kb.iter().enumerate() {
+        for (ci, &ct) in m.cts_ns.iter().enumerate() {
+            t.row([
+                m.assoc.to_string(),
+                kb.to_string(),
+                ct.to_string(),
+                m.break_even[si][ci].map_or(String::new(), |v| v.to_string()),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Figure 5-1's series.
+pub fn fig5_1(points: &[fig5_1::Point]) -> String {
+    let mut t = Table::new([
+        "block_words",
+        "ifetch_miss_ratio",
+        "load_miss_ratio",
+        "time_per_ref_ns",
+    ]);
+    for p in points {
+        t.row([
+            p.block_words.to_string(),
+            p.ifetch_miss_ratio.to_string(),
+            p.load_miss_ratio.to_string(),
+            p.time_per_ref_ns.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Figures 5-2/5-3's minima.
+pub fn fig5_3(minima: &[fig5_3::Minimum]) -> String {
+    let mut t = Table::new([
+        "latency_ns",
+        "transfer_wpc",
+        "best_time_ns",
+        "optimal_block_words",
+    ]);
+    for m in minima {
+        t.row([
+            m.latency_ns.to_string(),
+            m.transfer.words_per_cycle().to_string(),
+            m.best_time_ns.to_string(),
+            m.optimal_block_words.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Figure 5-4's scatter.
+pub fn fig5_4(points: &[fig5_4::Point]) -> String {
+    let mut t = Table::new([
+        "memory_speed_product",
+        "optimal_block_words",
+        "balanced_block_words",
+        "latency_ns",
+        "transfer_wpc",
+    ]);
+    for p in points {
+        t.row([
+            p.memory_speed_product.to_string(),
+            p.optimal_block_words.to_string(),
+            p.balanced_block_words.to_string(),
+            p.latency_ns.to_string(),
+            p.transfer_wpc.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// The section-6 sweeps.
+pub fn sec6(without: &sec6::Sweep, with: &sec6::Sweep) -> String {
+    let mut t = Table::new(["l1_per_cache_kb", "no_l2_ns_per_ref", "with_l2_ns_per_ref"]);
+    for (i, &kb) in without.sizes_per_cache_kb.iter().enumerate() {
+        t.row([
+            kb.to_string(),
+            without.time_per_ref_ns[i].to_string(),
+            with.time_per_ref_ns[i].to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn exporters_produce_headers_and_rows() {
+        let traces = TraceSet::quick();
+        let pts = crate::fig3_1::run(&traces);
+        let csv = fig3_1(&pts);
+        assert!(csv.starts_with("total_kb,"));
+        assert_eq!(csv.lines().count(), pts.len() + 1);
+
+        let rows = crate::table2::run();
+        let csv = table2(&rows);
+        assert!(csv.contains("40,10,8,3"));
+
+        let g = SpeedSizeGrid::compute_over(&traces, 1, &[2, 32], &[20, 60]);
+        let csv = grid(&g);
+        assert_eq!(csv.lines().count(), 1 + 2 * 2);
+        assert!(csv.starts_with("assoc,total_kb,ct_ns"));
+    }
+
+    #[test]
+    fn break_even_handles_missing_cells() {
+        let traces = TraceSet::quick();
+        let grids = crate::fig4_2::run_over(&traces, &[1, 2], &[2], &[20, 50, 80]);
+        let m = crate::fig4_345::run(&grids, 2);
+        let csv = break_even(&m);
+        assert!(csv.starts_with("assoc,total_kb,ct_ns,break_even_ns"));
+        assert_eq!(csv.lines().count(), 1 + 3);
+    }
+}

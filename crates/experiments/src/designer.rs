@@ -1,0 +1,160 @@
+//! A design-space assistant built on the paper's worked example.
+//!
+//! "Consider a system being built around a 40ns CPU, requiring 15ns RAMs to
+//! attain that cycle time. If the best available 16Kb and 64Kb RAMs run at
+//! 15 and 25ns respectively, then two comparable design alternatives are
+//! 8KB per cache with the 2K by 8b chips or 32KB per cache with the 8K by
+//! 8b chips. … running the CPU at 50ns with a larger cache improves the
+//! overall performance by 7.3%."
+//!
+//! [`best_design`] generalizes that reasoning: given a catalog of feasible
+//! (cache size, cycle time) pairings — each derived from an available RAM
+//! family at a fixed chip count — it simulates every candidate and ranks
+//! them by execution time, the metric the paper insists on.
+
+use crate::runner::{run_config, TraceSet};
+use cachetime::SystemConfig;
+use cachetime_analysis::table::Table;
+use cachetime_cache::CacheConfig;
+use cachetime_types::{CacheSize, ConfigError, CycleTime};
+
+/// One feasible machine: a RAM family fixes both the per-cache capacity
+/// (at constant chip count) and the achievable cycle time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamOption {
+    /// Descriptive label (e.g. `"16Kb SRAM @ 15ns"`).
+    pub label: String,
+    /// Per-cache data capacity this family yields.
+    pub per_cache: CacheSize,
+    /// System cycle time achievable with these RAMs.
+    pub cycle_time: CycleTime,
+}
+
+impl RamOption {
+    /// Convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates size/cycle-time validation errors.
+    pub fn new(label: &str, per_cache_kb: u64, cycle_ns: u32) -> Result<Self, ConfigError> {
+        Ok(RamOption {
+            label: label.to_string(),
+            per_cache: CacheSize::from_kib(per_cache_kb)?,
+            cycle_time: CycleTime::from_ns(cycle_ns)?,
+        })
+    }
+}
+
+/// A catalog mirroring the paper's era: denser SRAM families are a RAM
+/// generation slower, and the system adds 25 ns of overhead (CPU, board,
+/// and margin) on top of the RAM access time.
+///
+/// # Errors
+///
+/// Never fails in practice; mirrors the constructors' `Result`.
+pub fn paper_era_catalog() -> Result<Vec<RamOption>, ConfigError> {
+    Ok(vec![
+        RamOption::new("4Kb SRAM @ 10ns -> 2KB/cache, 35ns", 2, 35)?,
+        RamOption::new("16Kb SRAM @ 15ns -> 8KB/cache, 40ns", 8, 40)?,
+        RamOption::new("64Kb SRAM @ 25ns -> 32KB/cache, 50ns", 32, 50)?,
+        RamOption::new("256Kb SRAM @ 35ns -> 128KB/cache, 60ns", 128, 60)?,
+        RamOption::new("1Mb SRAM @ 55ns -> 512KB/cache, 80ns", 512, 80)?,
+    ])
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedDesign {
+    /// The option this came from.
+    pub option: RamOption,
+    /// Mean execution time per reference (ns), geometric mean over traces.
+    pub time_per_ref_ns: f64,
+    /// Combined read miss ratio.
+    pub read_miss_ratio: f64,
+}
+
+/// Simulates every option and returns them best-first.
+///
+/// # Panics
+///
+/// Panics if `options` is empty or a configuration fails to build (the
+/// options were validated at construction).
+pub fn best_design(traces: &TraceSet, options: &[RamOption]) -> Vec<RankedDesign> {
+    assert!(!options.is_empty(), "no design options");
+    let mut ranked: Vec<RankedDesign> = options
+        .iter()
+        .map(|opt| {
+            let l1 = CacheConfig::builder(opt.per_cache)
+                .build()
+                .expect("validated size");
+            let config = SystemConfig::builder()
+                .cycle_time(opt.cycle_time)
+                .l1_both(l1)
+                .build()
+                .expect("validated option");
+            let agg = run_config(&config, traces);
+            RankedDesign {
+                option: opt.clone(),
+                time_per_ref_ns: agg.time_per_ref_ns,
+                read_miss_ratio: agg.read_miss_ratio,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.time_per_ref_ns
+            .partial_cmp(&b.time_per_ref_ns)
+            .expect("no NaNs")
+    });
+    ranked
+}
+
+/// Renders the ranking.
+pub fn render(ranked: &[RankedDesign]) -> String {
+    let mut t = Table::new(["rank", "design", "ns/ref", "read MR %"]);
+    for (i, d) in ranked.iter().enumerate() {
+        t.row([
+            (i + 1).to_string(),
+            d.option.label.clone(),
+            format!("{:.2}", d.time_per_ref_ns),
+            format!("{:.2}", 100.0 * d.read_miss_ratio),
+        ]);
+    }
+    format!("Design ranking (execution time, the paper's metric)\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neither_extreme_wins_the_paper_era_catalog() {
+        let traces = TraceSet::generate(0.05);
+        let catalog = paper_era_catalog().expect("valid catalog");
+        let ranked = best_design(&traces, &catalog);
+        assert_eq!(ranked.len(), 5);
+        // Ranking is sorted.
+        for w in ranked.windows(2) {
+            assert!(w[0].time_per_ref_ns <= w[1].time_per_ref_ns);
+        }
+        // The fastest-clock/smallest-cache extreme does not win — the
+        // paper's core claim.
+        assert_ne!(
+            ranked[0].option.per_cache.kib(),
+            2,
+            "2KB/35ns must not be optimal"
+        );
+        // Nor does the biggest/slowest.
+        assert_ne!(
+            ranked[0].option.per_cache.kib(),
+            512,
+            "512KB/80ns must not be optimal"
+        );
+        assert!(render(&ranked).contains("rank"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no design options")]
+    fn empty_catalog_panics() {
+        best_design(&TraceSet::quick(), &[]);
+    }
+}

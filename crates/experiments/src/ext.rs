@@ -1,0 +1,567 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! Each of these follows a thread the paper opens but does not evaluate:
+//!
+//! * [`translation`] — §4 notes that the large-cache associativity gains
+//!   come from *virtual* caches ("neither intra- nor inter-process
+//!   conflicts are eliminated by adding more sets"). Placing an MMU in
+//!   front of the hierarchy (physical caches with first-touch frame
+//!   allocation) removes the cross-process aliasing and shows how much of
+//!   the large-cache miss ratio was inter-process conflict.
+//! * [`fill_policy`] — §5 lists early continuation among the techniques
+//!   that "have the effect of increasing the performance optimal block
+//!   size"; this experiment measures that shift.
+//! * [`write_policy`] — the paper fixes write-back + no-allocate; this
+//!   compares the three common write strategies under the same timing
+//!   model.
+//! * [`split_ratio`] — the paper always splits L1 capacity evenly between
+//!   I and D; this sweeps the partition at fixed total size.
+
+use crate::runner::{run_config, TraceSet};
+use cachetime::{FillPolicy, SystemConfig};
+use cachetime_analysis::table::Table;
+use cachetime_cache::{CacheConfig, WriteAllocate, WritePolicy};
+use cachetime_mmu::TranslationConfig;
+use cachetime_types::{BlockWords, CacheSize};
+
+/// One row of the virtual-versus-physical comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranslationPoint {
+    /// Total L1 size (KB).
+    pub total_kb: u64,
+    /// Read miss ratio with virtual (PID-tagged) caches.
+    pub virtual_miss_ratio: f64,
+    /// Read miss ratio with an MMU and physically addressed caches.
+    pub physical_miss_ratio: f64,
+    /// Execution time per reference (ns), virtual.
+    pub virtual_time_ns: f64,
+    /// Execution time per reference (ns), physical (includes TLB walks).
+    pub physical_time_ns: f64,
+}
+
+/// Compares virtual and physical hierarchies across sizes.
+pub mod translation {
+    use super::*;
+
+    /// Runs the comparison.
+    pub fn run(traces: &TraceSet, sizes_per_cache_kb: &[u64]) -> Vec<TranslationPoint> {
+        sizes_per_cache_kb
+            .iter()
+            .map(|&kb| {
+                let virt_l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+                    .build()
+                    .expect("valid cache");
+                let phys_l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+                    .virtual_tags(false)
+                    .build()
+                    .expect("valid cache");
+                let virt = SystemConfig::builder()
+                    .l1_both(virt_l1)
+                    .build()
+                    .expect("valid system");
+                let phys = SystemConfig::builder()
+                    .l1_both(phys_l1)
+                    .translation(TranslationConfig::default())
+                    .build()
+                    .expect("valid system");
+                let v = run_config(&virt, traces);
+                let p = run_config(&phys, traces);
+                TranslationPoint {
+                    total_kb: 2 * kb,
+                    virtual_miss_ratio: v.read_miss_ratio,
+                    physical_miss_ratio: p.read_miss_ratio,
+                    virtual_time_ns: v.time_per_ref_ns,
+                    physical_time_ns: p.time_per_ref_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the comparison.
+    pub fn render(points: &[TranslationPoint]) -> String {
+        let mut t = Table::new([
+            "Total L1",
+            "virtual MR %",
+            "physical MR %",
+            "virtual ns/ref",
+            "physical ns/ref",
+        ]);
+        for p in points {
+            t.row([
+                format!("{}KB", p.total_kb),
+                format!("{:.3}", 100.0 * p.virtual_miss_ratio),
+                format!("{:.3}", 100.0 * p.physical_miss_ratio),
+                format!("{:.1}", p.virtual_time_ns),
+                format!("{:.1}", p.physical_time_ns),
+            ]);
+        }
+        format!("Extension: virtual vs physical caches (MMU + TLB)\n{t}")
+    }
+}
+
+/// One fill-policy sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillPolicyPoint {
+    /// Block size (words).
+    pub block_words: u32,
+    /// ns/ref waiting for the whole block (the paper's model).
+    pub wait_whole_ns: f64,
+    /// ns/ref with early continuation.
+    pub early_continuation_ns: f64,
+    /// ns/ref with load forwarding (wrap-around fills).
+    pub load_forward_ns: f64,
+}
+
+/// Early continuation versus whole-block fills across block sizes.
+pub mod fill_policy {
+    use super::*;
+
+    /// Runs the sweep at the default memory.
+    pub fn run(traces: &TraceSet, blocks: &[u32]) -> Vec<FillPolicyPoint> {
+        blocks
+            .iter()
+            .map(|&bw| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(64).expect("pow2"))
+                    .block(BlockWords::new(bw).expect("pow2"))
+                    .build()
+                    .expect("valid cache");
+                let mk = |policy: FillPolicy| {
+                    let config = SystemConfig::builder()
+                        .l1_both(l1)
+                        .fill_policy(policy)
+                        .build()
+                        .expect("valid system");
+                    run_config(&config, traces).time_per_ref_ns
+                };
+                FillPolicyPoint {
+                    block_words: bw,
+                    wait_whole_ns: mk(FillPolicy::WaitWholeBlock),
+                    early_continuation_ns: mk(FillPolicy::EarlyContinuation),
+                    load_forward_ns: mk(FillPolicy::LoadForward),
+                }
+            })
+            .collect()
+    }
+
+    /// The block sizes minimizing each policy's execution time:
+    /// (wait-whole, early-continuation, load-forward).
+    pub fn optima(points: &[FillPolicyPoint]) -> (u32, u32, u32) {
+        let best = |f: &dyn Fn(&FillPolicyPoint) -> f64| {
+            points
+                .iter()
+                .min_by(|a, b| f(a).partial_cmp(&f(b)).expect("no NaNs"))
+                .expect("nonempty")
+                .block_words
+        };
+        (
+            best(&|p| p.wait_whole_ns),
+            best(&|p| p.early_continuation_ns),
+            best(&|p| p.load_forward_ns),
+        )
+    }
+
+    /// Renders the sweep.
+    pub fn render(points: &[FillPolicyPoint]) -> String {
+        let mut t = Table::new([
+            "Block",
+            "wait-whole ns/ref",
+            "early-continuation ns/ref",
+            "load-forward ns/ref",
+        ]);
+        for p in points {
+            t.row([
+                format!("{}W", p.block_words),
+                format!("{:.2}", p.wait_whole_ns),
+                format!("{:.2}", p.early_continuation_ns),
+                format!("{:.2}", p.load_forward_ns),
+            ]);
+        }
+        let (whole, early, forward) = optima(points);
+        format!(
+            "Extension: fill policy vs block size\n{t}\
+             optimal block: {whole}W waiting, {early}W early continuation, {forward}W load forwarding\n"
+        )
+    }
+}
+
+/// One write-policy comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritePolicyRow {
+    /// Human-readable policy name.
+    pub name: String,
+    /// ns/ref.
+    pub time_ns: f64,
+    /// Cycles/ref.
+    pub cycles_per_ref: f64,
+}
+
+/// Write-back/no-allocate (the paper) vs write-back/allocate vs
+/// write-through.
+pub mod write_policy {
+    use super::*;
+
+    /// Runs the three policies on 16 KB-per-side caches (small enough that
+    /// write traffic matters).
+    pub fn run(traces: &TraceSet) -> Vec<WritePolicyRow> {
+        let variants = [
+            (
+                "write-back, no-allocate (paper)",
+                WritePolicy::WriteBack,
+                WriteAllocate::NoAllocate,
+            ),
+            (
+                "write-back, allocate",
+                WritePolicy::WriteBack,
+                WriteAllocate::Allocate,
+            ),
+            (
+                "write-through, no-allocate",
+                WritePolicy::WriteThrough,
+                WriteAllocate::NoAllocate,
+            ),
+        ];
+        variants
+            .iter()
+            .map(|(name, wp, wa)| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(16).expect("pow2"))
+                    .write_policy(*wp)
+                    .write_allocate(*wa)
+                    .build()
+                    .expect("valid cache");
+                let config = SystemConfig::builder()
+                    .l1_both(l1)
+                    .build()
+                    .expect("valid system");
+                let agg = run_config(&config, traces);
+                WritePolicyRow {
+                    name: name.to_string(),
+                    time_ns: agg.time_per_ref_ns,
+                    cycles_per_ref: agg.cycles_per_ref,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the comparison.
+    pub fn render(rows: &[WritePolicyRow]) -> String {
+        let mut t = Table::new(["policy", "ns/ref", "cycles/ref"]);
+        for r in rows {
+            t.row([
+                r.name.clone(),
+                format!("{:.2}", r.time_ns),
+                format!("{:.3}", r.cycles_per_ref),
+            ]);
+        }
+        format!("Extension: write policies at 16KB per cache\n{t}")
+    }
+}
+
+/// One seed-robustness draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedDraw {
+    /// Seed offset applied to every catalog workload.
+    pub seed_offset: u64,
+    /// Read miss ratio of the default 64 KB machine.
+    pub miss_ratio_64kb: f64,
+    /// Performance-optimal block size (Figure 5-1's headline).
+    pub optimal_block_words: u32,
+    /// ns/ref of the default machine.
+    pub time_ns: f64,
+}
+
+/// Seed robustness: do the headline conclusions survive regenerating the
+/// synthetic workloads from different random draws?
+///
+/// The catalog seeds are fixed for reproducibility; this experiment
+/// re-rolls them and re-measures the quantities the reproduction leans on.
+/// Tight spreads mean the conclusions reflect the workload *family*, not
+/// one lucky sample.
+pub mod seeds {
+    use super::*;
+    use crate::fig5_1;
+
+    /// Runs `draws` independent re-rolls at `scale`.
+    pub fn run(scale: f64, draws: u64) -> Vec<SeedDraw> {
+        (0..draws)
+            .map(|offset| {
+                let traces = TraceSet::generate_with_seed_offset(scale, offset);
+                let default = SystemConfig::builder().build().expect("valid system");
+                let agg = run_config(&default, &traces);
+                let pts = fig5_1::run_over(&traces, &[2, 4, 8, 16, 32, 64]);
+                SeedDraw {
+                    seed_offset: offset,
+                    miss_ratio_64kb: agg.read_miss_ratio,
+                    optimal_block_words: fig5_1::argmin_block(&pts, |p| p.time_per_ref_ns),
+                    time_ns: agg.time_per_ref_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the draws with their relative spread.
+    pub fn render(draws: &[SeedDraw]) -> String {
+        let mut t = Table::new(["seed offset", "64KB read MR %", "opt block", "ns/ref"]);
+        for d in draws {
+            t.row([
+                d.seed_offset.to_string(),
+                format!("{:.3}", 100.0 * d.miss_ratio_64kb),
+                format!("{}W", d.optimal_block_words),
+                format!("{:.2}", d.time_ns),
+            ]);
+        }
+        let spread = |f: &dyn Fn(&SeedDraw) -> f64| {
+            let vals: Vec<f64> = draws.iter().map(f).collect();
+            let max = vals.iter().copied().fold(f64::MIN, f64::max);
+            let min = vals.iter().copied().fold(f64::MAX, f64::min);
+            100.0 * (max - min) / ((max + min) / 2.0)
+        };
+        format!(
+            "Extension: seed robustness of the headline results\n{t}\
+             relative spread: miss ratio {:.1}%, exec time {:.1}%\n",
+            spread(&|d| d.miss_ratio_64kb),
+            spread(&|d| d.time_ns),
+        )
+    }
+}
+
+/// One sub-block (partial-fetch) sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubBlockPoint {
+    /// Block (tag granularity) size in words.
+    pub block_words: u32,
+    /// Fetch (transfer) size in words.
+    pub fetch_words: u32,
+    /// ns/ref.
+    pub time_ns: f64,
+    /// Combined read miss ratio.
+    pub miss_ratio: f64,
+}
+
+/// Sub-block placement: large blocks (few tags) with small fetches.
+///
+/// The paper's simulator supports a fetch size distinct from the block
+/// size (its footnote calls fetch size "the transfer size or sub-block");
+/// all its experiments use whole-block fetching. This extension sweeps the
+/// fetch size under a fixed 32-word block, trading the miss-ratio benefit
+/// of big tags against the penalty of re-missing on unfetched words.
+pub mod sub_block {
+    use super::*;
+
+    /// Runs the sweep on small (8 KB) caches where tag pressure matters.
+    pub fn run(traces: &TraceSet) -> Vec<SubBlockPoint> {
+        [4u32, 8, 16, 32]
+            .iter()
+            .map(|&fetch| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(8).expect("pow2"))
+                    .block(BlockWords::new(32).expect("pow2"))
+                    .fetch(BlockWords::new(fetch).expect("pow2"))
+                    .build()
+                    .expect("valid cache");
+                let config = SystemConfig::builder()
+                    .l1_both(l1)
+                    .build()
+                    .expect("valid system");
+                let agg = run_config(&config, traces);
+                SubBlockPoint {
+                    block_words: 32,
+                    fetch_words: fetch,
+                    time_ns: agg.time_per_ref_ns,
+                    miss_ratio: agg.read_miss_ratio,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the sweep.
+    pub fn render(points: &[SubBlockPoint]) -> String {
+        let mut t = Table::new(["block", "fetch", "ns/ref", "read MR %"]);
+        for p in points {
+            t.row([
+                format!("{}W", p.block_words),
+                format!("{}W", p.fetch_words),
+                format!("{:.2}", p.time_ns),
+                format!("{:.3}", 100.0 * p.miss_ratio),
+            ]);
+        }
+        format!("Extension: sub-block fetching (32W blocks, 8KB caches)\n{t}")
+    }
+}
+
+/// One I:D partition point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitPoint {
+    /// Instruction-cache share of the total (KB).
+    pub i_kb: u64,
+    /// Data-cache share (KB).
+    pub d_kb: u64,
+    /// ns/ref.
+    pub time_ns: f64,
+}
+
+/// Sweeping the I:D capacity partition at a fixed 64 KB total.
+pub mod split_ratio {
+    use super::*;
+
+    /// Runs the partition sweep. Cache sizes must be powers of two, so the
+    /// partitions bracket the even 32+32 split with 1:4 and 4:1 ratios at
+    /// slightly larger totals (72 KB) — close enough to expose which side
+    /// deserves the capacity.
+    pub fn run(traces: &TraceSet) -> Vec<SplitPoint> {
+        [(8u64, 64u64), (16, 64), (32, 32), (64, 16), (64, 8)]
+            .iter()
+            .filter_map(|&(i_kb, d_kb)| {
+                let i = CacheSize::from_kib(i_kb).ok()?;
+                let d = CacheSize::from_kib(d_kb).ok()?;
+                let l1i = CacheConfig::builder(i).build().ok()?;
+                let l1d = CacheConfig::builder(d).build().ok()?;
+                let config = SystemConfig::builder().l1i(l1i).l1d(l1d).build().ok()?;
+                Some(SplitPoint {
+                    i_kb,
+                    d_kb,
+                    time_ns: run_config(&config, traces).time_per_ref_ns,
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the sweep.
+    pub fn render(points: &[SplitPoint]) -> String {
+        let mut t = Table::new(["I cache", "D cache", "ns/ref"]);
+        for p in points {
+            t.row([
+                format!("{}KB", p.i_kb),
+                format!("{}KB", p.d_kb),
+                format!("{:.2}", p.time_ns),
+            ]);
+        }
+        format!("Extension: I:D capacity partition (~64KB total)\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_caches_remove_interprocess_conflicts_at_large_sizes() {
+        let traces = TraceSet::quick();
+        let pts = translation::run(&traces, &[256]);
+        let p = &pts[0];
+        // At 256KB per cache the virtual hierarchy still suffers
+        // cross-process aliasing; first-touch physical allocation spreads
+        // processes out.
+        assert!(
+            p.physical_miss_ratio <= p.virtual_miss_ratio * 1.05,
+            "physical {} vs virtual {}",
+            p.physical_miss_ratio,
+            p.virtual_miss_ratio
+        );
+        assert!(translation::render(&pts).contains("physical"));
+    }
+
+    #[test]
+    fn early_continuation_never_hurts_and_shifts_the_optimum_up() {
+        let traces = TraceSet::quick();
+        let pts = fill_policy::run(&traces, &[2, 8, 32, 128]);
+        for p in &pts {
+            assert!(
+                p.early_continuation_ns <= p.wait_whole_ns * 1.001,
+                "early continuation cannot be slower at {}W",
+                p.block_words
+            );
+        }
+        let (whole, early, forward) = fill_policy::optima(&pts);
+        assert!(
+            early >= whole,
+            "early continuation must not shrink the optimal block: {early} vs {whole}"
+        );
+        assert!(
+            forward >= whole,
+            "load forwarding must not shrink the optimal block: {forward} vs {whole}"
+        );
+        // Load forwarding dominates early continuation (the requested
+        // word never waits behind earlier words).
+        for p in &pts {
+            assert!(
+                p.load_forward_ns <= p.early_continuation_ns * 1.001,
+                "at {}W: forward {} vs early {}",
+                p.block_words,
+                p.load_forward_ns,
+                p.early_continuation_ns
+            );
+        }
+        // The gain grows with block size (more trailing words skipped).
+        let gain = |p: &FillPolicyPoint| 1.0 - p.early_continuation_ns / p.wait_whole_ns;
+        assert!(gain(&pts[3]) > gain(&pts[0]));
+    }
+
+    #[test]
+    fn write_policies_rank_sanely() {
+        let traces = TraceSet::quick();
+        let rows = write_policy::run(&traces);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.time_ns > 0.0);
+        }
+        assert!(write_policy::render(&rows).contains("paper"));
+    }
+
+    #[test]
+    fn seed_draws_agree_on_the_headlines() {
+        let draws = seeds::run(0.05, 3);
+        assert_eq!(draws.len(), 3);
+        // Every draw lands the optimal block in the small-block band.
+        for d in &draws {
+            assert!(
+                (2..=16).contains(&d.optimal_block_words),
+                "draw {} optimum {}W",
+                d.seed_offset,
+                d.optimal_block_words
+            );
+        }
+        // Miss ratios of the default machine agree within a factor of two.
+        let mrs: Vec<f64> = draws.iter().map(|d| d.miss_ratio_64kb).collect();
+        let max = mrs.iter().copied().fold(f64::MIN, f64::max);
+        let min = mrs.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max / min < 2.0, "seed-sensitive miss ratios: {mrs:?}");
+        assert!(seeds::render(&draws).contains("relative spread"));
+    }
+
+    #[test]
+    fn sub_block_fetching_raises_miss_ratio_but_can_win_on_time() {
+        let traces = TraceSet::quick();
+        let pts = sub_block::run(&traces);
+        assert_eq!(pts.len(), 4);
+        // Smaller fetches re-miss on unfetched words: miss ratio falls as
+        // fetch grows toward the whole block.
+        for w in pts.windows(2) {
+            assert!(
+                w[0].miss_ratio >= w[1].miss_ratio * 0.98,
+                "miss ratio must not rise with fetch size: {pts:?}"
+            );
+        }
+        // But each miss is cheaper; execution times stay within a modest
+        // band of each other (the tradeoff is real, not one-sided).
+        let best = pts.iter().map(|p| p.time_ns).fold(f64::INFINITY, f64::min);
+        let worst = pts.iter().map(|p| p.time_ns).fold(0.0f64, f64::max);
+        assert!(worst / best < 1.6, "sub-block spread {}", worst / best);
+        assert!(sub_block::render(&pts).contains("fetch"));
+    }
+
+    #[test]
+    fn split_ratio_has_an_interior_preference() {
+        let traces = TraceSet::quick();
+        let pts = split_ratio::run(&traces);
+        assert_eq!(pts.len(), 5);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.time_ns.partial_cmp(&b.time_ns).expect("no NaNs"))
+            .expect("nonempty");
+        // The starved-I and starved-D extremes should not win.
+        assert!(
+            best.i_kb != 8 || best.time_ns < pts[2].time_ns * 1.02,
+            "extreme partition should not dominate: best I={}KB",
+            best.i_kb
+        );
+    }
+}

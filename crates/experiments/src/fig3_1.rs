@@ -1,0 +1,132 @@
+//! Figure 3-1: miss ratios and traffic ratios versus total L1 size.
+//!
+//! "Figure 3-1 confirms the widely held belief that larger caches are
+//! better, but that beyond a certain size, the incremental improvements
+//! are small." Sizes sweep 2 KB–2 MB per cache (4 KB–4 MB total); all
+//! other parameters stay at the paper's defaults; the miss ratios are
+//! read misses per read.
+
+use crate::runner::{run_config, TraceSet, SIZES_PER_CACHE_KB};
+use cachetime::SystemConfig;
+use cachetime_analysis::plot::Chart;
+use cachetime_analysis::table::Table;
+use cachetime_cache::CacheConfig;
+use cachetime_types::CacheSize;
+
+/// One point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Total first-level cache size (both caches) in KB.
+    pub total_kb: u64,
+    /// Combined read miss ratio.
+    pub read_miss_ratio: f64,
+    /// Instruction-fetch miss ratio.
+    pub ifetch_miss_ratio: f64,
+    /// Load miss ratio.
+    pub load_miss_ratio: f64,
+    /// Words fetched per reference.
+    pub read_traffic: f64,
+    /// Write traffic counting whole dirty victim blocks.
+    pub write_traffic_block: f64,
+    /// Write traffic counting dirty words only.
+    pub write_traffic_dirty: f64,
+}
+
+/// Sweeps the size axis and returns one point per total L1 size.
+pub fn run(traces: &TraceSet) -> Vec<Point> {
+    SIZES_PER_CACHE_KB
+        .iter()
+        .map(|&kb| {
+            let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("power of two"))
+                .build()
+                .expect("valid cache config");
+            let config = SystemConfig::builder()
+                .l1_both(l1)
+                .build()
+                .expect("valid system config");
+            let agg = run_config(&config, traces);
+            Point {
+                total_kb: 2 * kb,
+                read_miss_ratio: agg.read_miss_ratio,
+                ifetch_miss_ratio: agg.ifetch_miss_ratio,
+                load_miss_ratio: agg.load_miss_ratio,
+                read_traffic: agg.read_traffic,
+                write_traffic_block: agg.write_traffic_block,
+                write_traffic_dirty: agg.write_traffic_dirty,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's series as a table.
+pub fn render(points: &[Point]) -> String {
+    let mut t = Table::new([
+        "Total L1",
+        "Read MR %",
+        "IFetch MR %",
+        "Load MR %",
+        "Read traffic",
+        "Write traffic (blk)",
+        "Write traffic (dirty)",
+    ]);
+    for p in points {
+        t.row([
+            format!("{}KB", p.total_kb),
+            format!("{:.3}", 100.0 * p.read_miss_ratio),
+            format!("{:.3}", 100.0 * p.ifetch_miss_ratio),
+            format!("{:.3}", 100.0 * p.load_miss_ratio),
+            format!("{:.4}", p.read_traffic),
+            format!("{:.4}", p.write_traffic_block),
+            format!("{:.4}", p.write_traffic_dirty),
+        ]);
+    }
+    let mut chart = Chart::new(56, 14)
+        .log_x()
+        .log_y()
+        .labels("total L1 (KB)", "miss ratio %");
+    chart.series(
+        "read MR",
+        points
+            .iter()
+            .map(|p| (p.total_kb as f64, 100.0 * p.read_miss_ratio))
+            .collect(),
+    );
+    chart.series(
+        "ifetch MR",
+        points
+            .iter()
+            .map(|p| (p.total_kb as f64, 100.0 * p.ifetch_miss_ratio))
+            .collect(),
+    );
+    chart.series(
+        "load MR",
+        points
+            .iter()
+            .map(|p| (p.total_kb as f64, 100.0 * p.load_miss_ratio))
+            .collect(),
+    );
+    format!(
+        "Figure 3-1: miss and traffic ratios vs total L1 size\n{t}\n{}",
+        chart.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_decreases_with_size() {
+        let traces = TraceSet::quick();
+        let pts = run(&traces);
+        assert_eq!(pts.len(), SIZES_PER_CACHE_KB.len());
+        assert!(
+            pts.first().unwrap().read_miss_ratio > pts.last().unwrap().read_miss_ratio,
+            "bigger caches must miss less"
+        );
+        // The two write-traffic curves are ordered.
+        for p in &pts {
+            assert!(p.write_traffic_block >= p.write_traffic_dirty);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 3-2: normalized total cycle count across the speed–size space.
+//!
+//! "As the CPU/cache cycle time is varied over the range of 20ns through
+//! 80ns, the total cycle count for the traces decreases, giving the
+//! illusion of improved performance." Counts are normalized to the
+//! smallest in the experiment — two 2 MB caches at 80 ns.
+
+use crate::runner::SpeedSizeGrid;
+use cachetime_analysis::table::Table;
+
+/// The normalized cycle-count surface.
+#[derive(Debug, Clone)]
+pub struct CycleCounts {
+    /// Total L1 sizes (KB), row axis.
+    pub sizes_total_kb: Vec<u64>,
+    /// Cycle times (ns), column axis.
+    pub cts_ns: Vec<u32>,
+    /// `normalized[size][ct]`, 1.0 at the global minimum.
+    pub normalized: Vec<Vec<f64>>,
+}
+
+/// Normalizes the grid's cycle counts.
+pub fn run(grid: &SpeedSizeGrid) -> CycleCounts {
+    let min = grid
+        .cycles_per_ref
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    CycleCounts {
+        sizes_total_kb: grid.sizes_total_kb.clone(),
+        cts_ns: grid.cts_ns.clone(),
+        normalized: grid
+            .cycles_per_ref
+            .iter()
+            .map(|row| row.iter().map(|&c| c / min).collect())
+            .collect(),
+    }
+}
+
+/// Renders the surface with one row per size.
+pub fn render(c: &CycleCounts) -> String {
+    let mut headers = vec!["Total L1".to_string()];
+    headers.extend(c.cts_ns.iter().map(|ct| format!("{ct}ns")));
+    let mut t = Table::new(headers);
+    for (i, &kb) in c.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB")];
+        row.extend(c.normalized[i].iter().map(|v| format!("{v:.3}")));
+        t.row(row);
+    }
+    format!("Figure 3-2: relative total cycle count (normalized to the minimum)\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn cycle_count_falls_with_cycle_time_and_size() {
+        let traces = TraceSet::quick();
+        let grid = SpeedSizeGrid::compute_over(&traces, 1, &[2, 32, 512], &[20, 40, 80]);
+        let c = run(&grid);
+        // Normalization: minimum is 1.0.
+        let min = c
+            .normalized
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-12);
+        // For a fixed size, slower clocks mean fewer cycles (the paper's
+        // "illusion of improved performance").
+        for row in &c.normalized {
+            assert!(row.first().unwrap() > row.last().unwrap());
+        }
+        // For a fixed clock, bigger caches mean fewer cycles.
+        for j in 0..c.cts_ns.len() {
+            assert!(c.normalized[0][j] > c.normalized[2][j]);
+        }
+        // The global minimum is at (largest size, slowest clock).
+        assert!((c.normalized[2][2] - 1.0).abs() < 1e-12);
+        assert!(render(&c).contains("80ns"));
+    }
+}

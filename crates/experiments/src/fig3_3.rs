@@ -1,0 +1,101 @@
+//! Figure 3-3: execution time across the speed–size space.
+//!
+//! "Total execution time is the product of cycle time and cycle count …
+//! overall performance is strongly dependent on both the cache size and
+//! cycle time." Times are normalized to the best configuration — two 4 MB
+//! caches at 20 ns in the full sweep. The figure also exhibits the 56 ns
+//! anomaly: "decreasing the cycle time from 60ns to 56ns slows the machine
+//! down close to 3%" for small caches, because the quantized miss penalty
+//! jumps from 8 to 9 cycles.
+
+use crate::runner::SpeedSizeGrid;
+use cachetime_analysis::table::Table;
+
+/// The normalized execution-time surface.
+#[derive(Debug, Clone)]
+pub struct ExecTimes {
+    /// Total L1 sizes (KB), row axis.
+    pub sizes_total_kb: Vec<u64>,
+    /// Cycle times (ns), column axis.
+    pub cts_ns: Vec<u32>,
+    /// `normalized[size][ct]` execution time, 1.0 at the global best.
+    pub normalized: Vec<Vec<f64>>,
+}
+
+impl ExecTimes {
+    /// The 56 ns-anomaly check: by how much the given size slows down when
+    /// the clock tightens from 60 ns to 56 ns (positive = anomaly present).
+    pub fn anomaly_56ns(&self, size_idx: usize) -> Option<f64> {
+        let i60 = self.cts_ns.iter().position(|&c| c == 60)?;
+        let i56 = self.cts_ns.iter().position(|&c| c == 56)?;
+        Some(self.normalized[size_idx][i56] / self.normalized[size_idx][i60] - 1.0)
+    }
+}
+
+/// Normalizes the grid's execution times.
+pub fn run(grid: &SpeedSizeGrid) -> ExecTimes {
+    let min = grid.min_time();
+    ExecTimes {
+        sizes_total_kb: grid.sizes_total_kb.clone(),
+        cts_ns: grid.cts_ns.clone(),
+        normalized: grid
+            .time_per_ref
+            .iter()
+            .map(|row| row.iter().map(|&t| t / min).collect())
+            .collect(),
+    }
+}
+
+/// Renders the surface with one row per size.
+pub fn render(e: &ExecTimes) -> String {
+    let mut headers = vec!["Total L1".to_string()];
+    headers.extend(e.cts_ns.iter().map(|ct| format!("{ct}ns")));
+    let mut t = Table::new(headers);
+    for (i, &kb) in e.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB")];
+        row.extend(e.normalized[i].iter().map(|v| format!("{v:.3}")));
+        t.row(row);
+    }
+    format!("Figure 3-3: relative execution time (normalized to the best)\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn execution_time_depends_on_both_axes() {
+        let traces = TraceSet::quick();
+        let grid = SpeedSizeGrid::compute_over(&traces, 1, &[2, 32, 512], &[20, 40, 80]);
+        let e = run(&grid);
+        // Small cache at a fast clock is NOT the best point: memory
+        // dominates (the paper's central argument).
+        let best = e
+            .normalized
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!((best - 1.0).abs() < 1e-12);
+        assert!(
+            e.normalized[0][0] > 1.2,
+            "2KB-per-cache at 20ns must be far from optimal, got {}",
+            e.normalized[0][0]
+        );
+        // At a fixed clock, larger caches are faster.
+        assert!(e.normalized[0][1] > e.normalized[2][1]);
+        // At the largest size, the faster clock wins (misses are rare).
+        assert!(e.normalized[2][0] < e.normalized[2][2]);
+    }
+
+    #[test]
+    fn anomaly_accessor_needs_56_and_60() {
+        let traces = TraceSet::quick();
+        let grid = SpeedSizeGrid::compute_over(&traces, 1, &[2], &[56, 60]);
+        let e = run(&grid);
+        assert!(e.anomaly_56ns(0).is_some());
+        let grid = SpeedSizeGrid::compute_over(&traces, 1, &[2], &[40, 80]);
+        assert!(run(&grid).anomaly_56ns(0).is_none());
+    }
+}

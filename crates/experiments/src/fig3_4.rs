@@ -1,0 +1,227 @@
+//! Figure 3-4: lines of equal performance across the speed–size space.
+//!
+//! "Horizontal slices through Figure 3-3 expose groups of machines with
+//! equal performance. By vertically interpolating between the simulations
+//! of the same cache size, we can estimate the cycle time required in
+//! conjunction with each cache organization to attain any given
+//! performance level." The slope of the resulting lines — nanoseconds of
+//! cycle time per doubling of cache size — is the paper's headline
+//! quantity: more than 10 ns per doubling below ~16 KB, under 2.5 ns above
+//! ~256 KB.
+
+use crate::runner::SpeedSizeGrid;
+use cachetime_analysis::contour::{equal_performance_line, ns_per_doubling, slope_region};
+use cachetime_analysis::table::Table;
+
+/// The performance levels the paper draws: `1.1 + 0.3 k` times the best
+/// execution time, for k = 0, 1, ….
+pub fn paper_levels(n: usize) -> Vec<f64> {
+    (0..n).map(|k| 1.1 + 0.3 * k as f64).collect()
+}
+
+/// Lines of equal performance plus ns-per-doubling slopes.
+#[derive(Debug, Clone)]
+pub struct EqualPerformance {
+    /// Total L1 sizes (KB).
+    pub sizes_total_kb: Vec<u64>,
+    /// Performance levels (multiples of the best execution time).
+    pub levels: Vec<f64>,
+    /// `lines[level][size]`: interpolated cycle time (ns) at which that
+    /// size attains the level; `None` when unattainable in 20–80 ns.
+    pub lines: Vec<Vec<Option<f64>>>,
+    /// `slopes[size]`: ns of cycle time per *doubling* of total size,
+    /// evaluated at 40 ns between adjacent sizes (None when either curve
+    /// misses the target).
+    pub slopes: Vec<Option<f64>>,
+}
+
+/// The full ns-per-doubling map over the (size, cycle time) plane — the
+/// figure's shaded regions.
+#[derive(Debug, Clone)]
+pub struct SlopeMap {
+    /// Total L1 sizes (KB); each row is the doubling step starting there.
+    pub sizes_total_kb: Vec<u64>,
+    /// Cycle times (ns).
+    pub cts_ns: Vec<u32>,
+    /// `slope[size][ct]` in ns per doubling (None when interpolation
+    /// leaves the sampled range).
+    pub slope: Vec<Vec<Option<f64>>>,
+}
+
+impl SlopeMap {
+    /// How nearly vertical the regions are: for each size row, the ratio
+    /// of max to min defined slope across cycle times. The paper observes
+    /// "the cycle time – cache size tradeoff is independent of the cycle
+    /// time".
+    pub fn verticality(&self) -> Vec<Option<f64>> {
+        self.slope
+            .iter()
+            .map(|row| {
+                let vals: Vec<f64> = row
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|v| *v > 0.05)
+                    .collect();
+                if vals.len() < 2 {
+                    return None;
+                }
+                let max = vals.iter().copied().fold(f64::MIN, f64::max);
+                let min = vals.iter().copied().fold(f64::MAX, f64::min);
+                Some(max / min)
+            })
+            .collect()
+    }
+}
+
+/// Computes the slope at every grid cell (not just 40 ns).
+pub fn slope_map(grid: &SpeedSizeGrid) -> SlopeMap {
+    let cts = grid.cts_f64();
+    let min = grid.min_time();
+    let norm: Vec<Vec<f64>> = grid
+        .time_per_ref
+        .iter()
+        .map(|row| row.iter().map(|&t| t / min).collect())
+        .collect();
+    let mut slope = Vec::new();
+    for i in 0..norm.len().saturating_sub(1) {
+        let row = cts
+            .iter()
+            .map(|&ct| ns_per_doubling(&cts, &norm[i], &norm[i + 1], ct))
+            .collect();
+        slope.push(row);
+    }
+    SlopeMap {
+        sizes_total_kb: grid.sizes_total_kb[..grid.sizes_total_kb.len().saturating_sub(1)].to_vec(),
+        cts_ns: grid.cts_ns.clone(),
+        slope,
+    }
+}
+
+/// Renders the region map (each cell labeled with its shading band).
+pub fn render_slope_map(m: &SlopeMap) -> String {
+    let mut headers = vec!["Total L1".to_string()];
+    headers.extend(m.cts_ns.iter().map(|ct| format!("{ct}ns")));
+    let mut t = Table::new(headers);
+    for (i, &kb) in m.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB x2")];
+        row.extend(m.slope[i].iter().map(|v| match v {
+            Some(s) => format!("{s:.1}"),
+            None => "-".into(),
+        }));
+        t.row(row);
+    }
+    format!("Figure 3-4 (regions): ns of cycle time per size doubling, across the plane\n{t}")
+}
+
+/// Computes the equal-performance lines and doubling slopes.
+pub fn run(grid: &SpeedSizeGrid, n_levels: usize) -> EqualPerformance {
+    let cts = grid.cts_f64();
+    let min = grid.min_time();
+    let norm: Vec<Vec<f64>> = grid
+        .time_per_ref
+        .iter()
+        .map(|row| row.iter().map(|&t| t / min).collect())
+        .collect();
+    let levels = paper_levels(n_levels);
+    let lines = levels
+        .iter()
+        .map(|&level| equal_performance_line(&cts, &norm, level))
+        .collect();
+    // Slopes between adjacent sizes, evaluated at the paper's default
+    // 40 ns clock.
+    let mut slopes = vec![None; norm.len()];
+    for i in 0..norm.len().saturating_sub(1) {
+        slopes[i] = ns_per_doubling(&cts, &norm[i], &norm[i + 1], 40.0);
+    }
+    EqualPerformance {
+        sizes_total_kb: grid.sizes_total_kb.clone(),
+        levels,
+        lines,
+        slopes,
+    }
+}
+
+/// Renders the slopes (the figure's shaded regions) and the line grid.
+pub fn render(e: &EqualPerformance) -> String {
+    let mut s = String::from("Figure 3-4: lines of equal performance\n\n");
+    let mut t = Table::new(["Total L1", "ns per size doubling @40ns", "region"]);
+    for (i, &kb) in e.sizes_total_kb.iter().enumerate() {
+        match e.slopes[i] {
+            Some(sl) => t.row([
+                format!("{kb}KB -> {}KB", 2 * kb),
+                format!("{sl:.2}"),
+                slope_region(sl).to_string(),
+            ]),
+            None => t.row([format!("{kb}KB -> {}KB", 2 * kb), "-".into(), "-".into()]),
+        };
+    }
+    s.push_str(&t.to_string());
+    s.push('\n');
+    let mut headers = vec!["Level".to_string()];
+    headers.extend(e.sizes_total_kb.iter().map(|kb| format!("{kb}KB")));
+    let mut t = Table::new(headers);
+    for (k, line) in e.lines.iter().enumerate() {
+        let mut row = vec![format!("{:.1}x", e.levels[k])];
+        row.extend(
+            line.iter()
+                .map(|v| v.map_or("-".to_string(), |ct| format!("{ct:.1}"))),
+        );
+        t.row(row);
+    }
+    s.push_str(&t.to_string());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn slopes_shrink_with_cache_size() {
+        let traces = TraceSet::quick();
+        let grid = SpeedSizeGrid::compute_over(
+            &traces,
+            1,
+            &[2, 8, 32, 128, 512],
+            &[20, 32, 44, 56, 68, 80],
+        );
+        let e = run(&grid, 16);
+        // Small-cache slopes exceed large-cache slopes (the basis of the
+        // paper's 32KB–128KB recommendation).
+        let small = e.slopes[0].expect("small-size slope");
+        let large = e.slopes[3].expect("large-size slope");
+        assert!(
+            small > large,
+            "ns/doubling must fall with size: {small} vs {large}"
+        );
+        assert!(small > 0.0, "doubling a small cache buys cycle time");
+        // Equal-performance lines: within one level, bigger caches afford
+        // slower clocks.
+        let line = e.lines.iter().find(|l| l.iter().flatten().count() >= 3);
+        if let Some(line) = line {
+            let cts: Vec<f64> = line.iter().flatten().copied().collect();
+            assert!(cts.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+        }
+        assert!(render(&e).contains("ns per size doubling"));
+    }
+
+    #[test]
+    fn slope_map_regions_are_roughly_vertical() {
+        let traces = TraceSet::quick();
+        let grid =
+            SpeedSizeGrid::compute_over(&traces, 1, &[2, 8, 32, 128], &[20, 32, 44, 56, 68, 80]);
+        let m = slope_map(&grid);
+        assert_eq!(m.slope.len(), 3, "one doubling row per adjacent pair");
+        assert_eq!(m.cts_ns.len(), 6);
+        // "The cycle time - cache size tradeoff is independent of the
+        // cycle time": within each size row, the slope varies far less
+        // than it does across sizes.
+        let vert = m.verticality();
+        for v in vert.iter().flatten() {
+            assert!(*v < 4.0, "slope varies too much along ct: {v}");
+        }
+        assert!(render_slope_map(&m).contains("across the plane"));
+    }
+}

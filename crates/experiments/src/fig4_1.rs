@@ -1,0 +1,111 @@
+//! Figure 4-1: read miss ratio versus size for set sizes 1, 2, 4, 8.
+//!
+//! "As the total cache size is being kept constant, a doubling in
+//! associativity is accompanied by a halving of the number of sets.
+//! Random replacement is used regardless of the set size. The change from
+//! direct mapped to two way set associativity drops the miss ratio by
+//! about 20% for caches up to about 256KB total."
+
+use crate::runner::{run_config, TraceSet, ASSOCS, SIZES_PER_CACHE_KB};
+use cachetime::SystemConfig;
+use cachetime_analysis::table::Table;
+use cachetime_cache::CacheConfig;
+use cachetime_types::{Assoc, CacheSize};
+
+/// Miss-ratio curves, one per associativity.
+#[derive(Debug, Clone)]
+pub struct MissRatios {
+    /// Total L1 sizes (KB).
+    pub sizes_total_kb: Vec<u64>,
+    /// The set sizes swept.
+    pub assocs: Vec<u32>,
+    /// `miss_ratio[assoc][size]`.
+    pub miss_ratio: Vec<Vec<f64>>,
+}
+
+impl MissRatios {
+    /// The miss-ratio spread (Hill's term): relative improvement from the
+    /// first associativity to the second at the given size index.
+    pub fn spread(&self, from_assoc: usize, to_assoc: usize, size_idx: usize) -> f64 {
+        1.0 - self.miss_ratio[to_assoc][size_idx] / self.miss_ratio[from_assoc][size_idx]
+    }
+}
+
+/// Sweeps associativity × size at the default 40 ns clock (miss ratios are
+/// organizational, so one clock suffices).
+pub fn run(traces: &TraceSet) -> MissRatios {
+    run_over(traces, &SIZES_PER_CACHE_KB, &ASSOCS)
+}
+
+/// Sweeps explicit axes.
+pub fn run_over(traces: &TraceSet, sizes_per_cache_kb: &[u64], assocs: &[u32]) -> MissRatios {
+    let mut miss_ratio = Vec::new();
+    for &ways in assocs {
+        let mut row = Vec::new();
+        for &kb in sizes_per_cache_kb {
+            let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("power of two"))
+                .assoc(Assoc::new(ways).expect("power of two"))
+                .build()
+                .expect("valid cache");
+            let config = SystemConfig::builder()
+                .l1_both(l1)
+                .build()
+                .expect("valid system");
+            row.push(run_config(&config, traces).read_miss_ratio);
+        }
+        miss_ratio.push(row);
+    }
+    MissRatios {
+        sizes_total_kb: sizes_per_cache_kb.iter().map(|&kb| 2 * kb).collect(),
+        assocs: assocs.to_vec(),
+        miss_ratio,
+    }
+}
+
+/// Renders the curves.
+pub fn render(m: &MissRatios) -> String {
+    let mut headers = vec!["Total L1".to_string()];
+    headers.extend(m.assocs.iter().map(|a| format!("{a}-way MR %")));
+    headers.push("DM->2way spread %".into());
+    let mut t = Table::new(headers);
+    for (j, &kb) in m.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB")];
+        row.extend(
+            m.miss_ratio
+                .iter()
+                .map(|curve| format!("{:.3}", 100.0 * curve[j])),
+        );
+        row.push(if m.assocs.len() > 1 {
+            format!("{:.1}", 100.0 * m.spread(0, 1, j))
+        } else {
+            "-".into()
+        });
+        t.row(row);
+    }
+    format!("Figure 4-1: read miss ratio vs associativity\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associativity_reduces_misses_with_diminishing_returns() {
+        let traces = TraceSet::quick();
+        let m = run_over(&traces, &[2, 16], &[1, 2, 4]);
+        for j in 0..2 {
+            assert!(
+                m.miss_ratio[0][j] > m.miss_ratio[1][j],
+                "2-way must beat direct mapped at size index {j}"
+            );
+            let dm_to_2 = m.spread(0, 1, j);
+            let two_to_4 = m.spread(1, 2, j);
+            assert!(dm_to_2 > 0.0);
+            assert!(
+                two_to_4 < dm_to_2 + 0.05,
+                "spread must diminish: {dm_to_2} then {two_to_4}"
+            );
+        }
+        assert!(render(&m).contains("2-way"));
+    }
+}

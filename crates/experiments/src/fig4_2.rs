@@ -1,0 +1,102 @@
+//! Figure 4-2: execution time versus size, associativity, and cycle time.
+//!
+//! "A change in associativity can be seen to have a significant
+//! performance effect for the smaller caches … for large caches, the
+//! improvement is much less significant." The underlying data is one
+//! speed–size grid per set size; the break-even maps of Figures 4-3…4-5
+//! interpolate between them.
+
+use crate::runner::{SpeedSizeGrid, TraceSet, ASSOCS};
+use cachetime_analysis::table::Table;
+
+/// One execution-time grid per associativity.
+#[derive(Debug, Clone)]
+pub struct AssocGrids {
+    /// The grids, in [`grids`](Self::grids) order of `assocs`.
+    pub grids: Vec<SpeedSizeGrid>,
+}
+
+impl AssocGrids {
+    /// The grid for a given set size, if swept.
+    pub fn for_assoc(&self, ways: u32) -> Option<&SpeedSizeGrid> {
+        self.grids.iter().find(|g| g.assoc == ways)
+    }
+
+    /// Global minimum execution time across all grids (the normalization
+    /// point of the figure).
+    pub fn min_time(&self) -> f64 {
+        self.grids
+            .iter()
+            .map(SpeedSizeGrid::min_time)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Computes grids for every set size in the paper's sweep.
+pub fn run(traces: &TraceSet) -> AssocGrids {
+    AssocGrids {
+        grids: ASSOCS
+            .iter()
+            .map(|&a| SpeedSizeGrid::compute(traces, a))
+            .collect(),
+    }
+}
+
+/// Computes grids over explicit axes (tests, quick modes).
+pub fn run_over(
+    traces: &TraceSet,
+    assocs: &[u32],
+    sizes_per_cache_kb: &[u64],
+    cts_ns: &[u32],
+) -> AssocGrids {
+    AssocGrids {
+        grids: assocs
+            .iter()
+            .map(|&a| SpeedSizeGrid::compute_over(traces, a, sizes_per_cache_kb, cts_ns))
+            .collect(),
+    }
+}
+
+/// Renders normalized execution times, one block per associativity.
+pub fn render(g: &AssocGrids) -> String {
+    let min = g.min_time();
+    let mut out = String::from("Figure 4-2: execution time vs size, associativity, cycle time\n");
+    for grid in &g.grids {
+        out.push_str(&format!("\nset size {}:\n", grid.assoc));
+        let mut headers = vec!["Total L1".to_string()];
+        headers.extend(grid.cts_ns.iter().map(|ct| format!("{ct}ns")));
+        let mut t = Table::new(headers);
+        for (i, &kb) in grid.sizes_total_kb.iter().enumerate() {
+            let mut row = vec![format!("{kb}KB")];
+            row.extend(
+                grid.time_per_ref[i]
+                    .iter()
+                    .map(|&v| format!("{:.3}", v / min)),
+            );
+            t.row(row);
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associativity_helps_small_caches_more() {
+        let traces = TraceSet::quick();
+        let g = run_over(&traces, &[1, 2], &[2, 256], &[40]);
+        let dm = g.for_assoc(1).unwrap();
+        let sa = g.for_assoc(2).unwrap();
+        let improvement_small = 1.0 - sa.time_per_ref[0][0] / dm.time_per_ref[0][0];
+        let improvement_large = 1.0 - sa.time_per_ref[1][0] / dm.time_per_ref[1][0];
+        assert!(
+            improvement_small > improvement_large,
+            "small-cache gain {improvement_small} must exceed large-cache gain {improvement_large}"
+        );
+        assert!(g.for_assoc(4).is_none());
+        assert!(render(&g).contains("set size 2"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Figures 4-3, 4-4, 4-5: break-even cycle-time degradation for set
+//! associativity.
+//!
+//! "Vertical interpolation between solid lines allows estimation of the
+//! cycle time that a direct mapped machine would need to match the
+//! performance of a set associative design of the same size. The
+//! difference between the cycle times of the two machines is the amount of
+//! time available for the implementation of set associativity."
+//!
+//! Per footnote 9, the 56 ns data is smoothed first: the quantization
+//! artifact "severely distorted the analysis of set associativity".
+
+use crate::fig4_2::AssocGrids;
+use cachetime_analysis::table::Table;
+use cachetime_analysis::{crossing, interp_at, smooth_index};
+
+/// A break-even map for one set size.
+#[derive(Debug, Clone)]
+pub struct BreakEvenMap {
+    /// The set size this map compares against direct mapped.
+    pub assoc: u32,
+    /// Total L1 sizes (KB).
+    pub sizes_total_kb: Vec<u64>,
+    /// Cycle times (ns).
+    pub cts_ns: Vec<u32>,
+    /// `break_even[size][ct]`: ns of cycle-time degradation at which the
+    /// set-associative machine stops paying off (None when the
+    /// interpolation leaves the sampled range).
+    pub break_even: Vec<Vec<Option<f64>>>,
+}
+
+impl BreakEvenMap {
+    /// The largest break-even value anywhere in the map.
+    pub fn max_break_even(&self) -> Option<f64> {
+        self.break_even
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Computes the break-even map of `assoc` ways against direct mapped.
+///
+/// # Panics
+///
+/// Panics if the grids lack a direct-mapped sweep or the requested
+/// associativity.
+pub fn run(grids: &AssocGrids, assoc: u32) -> BreakEvenMap {
+    let dm = grids.for_assoc(1).expect("direct-mapped grid required");
+    let sa = grids.for_assoc(assoc).expect("assoc grid required");
+    let cts = dm.cts_f64();
+    let smooth = |curve: &[f64]| -> Vec<f64> {
+        match dm.cts_ns.iter().position(|&c| c == 56) {
+            Some(i) => smooth_index(&cts, curve, i),
+            None => curve.to_vec(),
+        }
+    };
+    let mut break_even = Vec::new();
+    for (i, _) in dm.sizes_total_kb.iter().enumerate() {
+        let dm_curve = smooth(&dm.time_per_ref[i]);
+        let sa_curve = smooth(&sa.time_per_ref[i]);
+        let row = cts
+            .iter()
+            .map(|&ct| {
+                // The direct-mapped machine at cycle time ct sets the bar;
+                // the set-associative machine matches it at ct_sa. The gap
+                // is the time budget for implementing associativity.
+                let dm_perf = interp_at(&cts, &dm_curve, ct);
+                crossing(&cts, &sa_curve, dm_perf).map(|ct_sa| ct_sa - ct)
+            })
+            .collect();
+        break_even.push(row);
+    }
+    BreakEvenMap {
+        assoc,
+        sizes_total_kb: dm.sizes_total_kb.clone(),
+        cts_ns: dm.cts_ns.clone(),
+        break_even,
+    }
+}
+
+/// Renders the map (the figure's 2 ns contour bands become numbers here).
+pub fn render(m: &BreakEvenMap) -> String {
+    let mut headers = vec!["Total L1".to_string()];
+    headers.extend(m.cts_ns.iter().map(|ct| format!("{ct}ns")));
+    let mut t = Table::new(headers);
+    for (i, &kb) in m.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB")];
+        row.extend(
+            m.break_even[i]
+                .iter()
+                .map(|v| v.map_or("-".to_string(), |b| format!("{b:.1}"))),
+        );
+        t.row(row);
+    }
+    format!(
+        "Figure 4-{}: set size {} break-even cycle time degradation (ns)\n{t}",
+        match m.assoc {
+            2 => "3",
+            4 => "4",
+            _ => "5",
+        },
+        m.assoc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig4_2;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn break_even_is_small_and_positive_where_defined() {
+        let traces = TraceSet::quick();
+        let grids = fig4_2::run_over(&traces, &[1, 2], &[2, 64], &[20, 40, 60, 80]);
+        let m = run(&grids, 2);
+        assert_eq!(m.assoc, 2);
+        let mut seen = 0;
+        for row in &m.break_even {
+            for v in row.iter().flatten() {
+                seen += 1;
+                assert!(
+                    (-5.0..30.0).contains(v),
+                    "break-even {v} outside plausible band"
+                );
+            }
+        }
+        assert!(seen > 0, "at least some cells must interpolate");
+        assert!(render(&m).contains("set size 2"));
+    }
+
+    #[test]
+    fn small_caches_afford_more_than_large() {
+        let traces = TraceSet::quick();
+        let grids = fig4_2::run_over(&traces, &[1, 2], &[2, 512], &[20, 40, 60, 80]);
+        let m = run(&grids, 2);
+        let at = |i: usize| m.break_even[i][1].unwrap_or(0.0);
+        assert!(
+            at(0) >= at(1) - 0.5,
+            "4KB break-even {} should not be dwarfed by 1MB's {}",
+            at(0),
+            at(1)
+        );
+    }
+}

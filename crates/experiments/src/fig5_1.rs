@@ -1,0 +1,131 @@
+//! Figure 5-1: miss ratios and execution time versus block size.
+//!
+//! "It shows the miss ratios and relative execution time of the default
+//! organization (separate 64KB I and D caches) with a 260ns latency
+//! memory. The best block size on the data side is 32W, and somewhat
+//! greater than 64W on the instruction side … The block size that
+//! optimizes system performance is significantly smaller than that which
+//! minimizes the miss rate."
+
+use crate::runner::{run_config, TraceSet, BLOCK_WORDS};
+use cachetime::SystemConfig;
+use cachetime_analysis::plot::Chart;
+use cachetime_analysis::table::Table;
+use cachetime_cache::CacheConfig;
+use cachetime_mem::{MemoryConfig, TransferRate};
+use cachetime_types::{BlockWords, CacheSize, Nanos};
+
+/// One block-size sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Block size in words (both caches).
+    pub block_words: u32,
+    /// Instruction-fetch miss ratio.
+    pub ifetch_miss_ratio: f64,
+    /// Load miss ratio.
+    pub load_miss_ratio: f64,
+    /// Mean execution time per reference (ns).
+    pub time_per_ref_ns: f64,
+}
+
+/// Sweeps the block size with the section-5 260 ns uniform-latency memory.
+pub fn run(traces: &TraceSet) -> Vec<Point> {
+    run_over(traces, &BLOCK_WORDS)
+}
+
+/// Sweeps explicit block sizes.
+pub fn run_over(traces: &TraceSet, blocks: &[u32]) -> Vec<Point> {
+    let memory = MemoryConfig::uniform_latency(Nanos(260), TransferRate::WordsPerCycle(1))
+        .expect("valid memory");
+    blocks
+        .iter()
+        .map(|&bw| {
+            let l1 = CacheConfig::builder(CacheSize::from_kib(64).expect("power of two"))
+                .block(BlockWords::new(bw).expect("power of two"))
+                .build()
+                .expect("valid cache");
+            let config = SystemConfig::builder()
+                .l1_both(l1)
+                .memory(memory)
+                .build()
+                .expect("valid system");
+            let agg = run_config(&config, traces);
+            Point {
+                block_words: bw,
+                ifetch_miss_ratio: agg.ifetch_miss_ratio,
+                load_miss_ratio: agg.load_miss_ratio,
+                time_per_ref_ns: agg.time_per_ref_ns,
+            }
+        })
+        .collect()
+}
+
+/// The block size minimizing a metric among the sampled points.
+pub fn argmin_block(points: &[Point], metric: impl Fn(&Point) -> f64) -> u32 {
+    points
+        .iter()
+        .min_by(|a, b| metric(a).partial_cmp(&metric(b)).expect("no NaNs"))
+        .expect("nonempty sweep")
+        .block_words
+}
+
+/// Renders the figure's three curves.
+pub fn render(points: &[Point]) -> String {
+    let base = points
+        .iter()
+        .map(|p| p.time_per_ref_ns)
+        .fold(f64::INFINITY, f64::min);
+    let mut t = Table::new(["Block", "IFetch MR %", "Load MR %", "Relative exec time"]);
+    for p in points {
+        t.row([
+            format!("{}W", p.block_words),
+            format!("{:.3}", 100.0 * p.ifetch_miss_ratio),
+            format!("{:.3}", 100.0 * p.load_miss_ratio),
+            format!("{:.3}", p.time_per_ref_ns / base),
+        ]);
+    }
+    let mut chart = Chart::new(56, 12)
+        .log_x()
+        .labels("block size (words)", "relative exec time");
+    chart.series(
+        "exec",
+        points
+            .iter()
+            .map(|p| (p.block_words as f64, p.time_per_ref_ns / base))
+            .collect(),
+    );
+    format!(
+        "Figure 5-1: miss ratios and execution time vs block size (64KB caches, 260ns memory)\n\
+         {t}miss-ratio-optimal blocks: I={}W D={}W; performance-optimal block: {}W\n\n{}",
+        argmin_block(points, |p| p.ifetch_miss_ratio),
+        argmin_block(points, |p| p.load_miss_ratio),
+        argmin_block(points, |p| p.time_per_ref_ns),
+        chart.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_optimum_below_miss_rate_optimum() {
+        let traces = TraceSet::quick();
+        let pts = run_over(&traces, &[1, 2, 4, 8, 16, 32, 64]);
+        let perf_opt = argmin_block(&pts, |p| p.time_per_ref_ns);
+        let miss_opt_i = argmin_block(&pts, |p| p.ifetch_miss_ratio);
+        assert!(
+            perf_opt <= miss_opt_i,
+            "performance optimum {perf_opt}W must not exceed the miss-rate optimum {miss_opt_i}W"
+        );
+        // The paper's central section-5 claim: small blocks win on time.
+        assert!(
+            (2..=16).contains(&perf_opt),
+            "performance-optimal block {perf_opt}W outside the paper's 4-8W band (±1 step)"
+        );
+        // Instruction fetches keep benefiting from bigger blocks longer
+        // than the time metric does.
+        assert!(miss_opt_i >= 8, "instruction miss optimum {miss_opt_i}W");
+        assert!(render(&pts).contains("performance-optimal"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 5-3: best-case execution time versus memory parameters.
+//!
+//! "On each of the curves … an optimal block size can be estimated by
+//! fitting a parabola to the lowest three points and finding its minimum.
+//! Figure 5-3 plots these minima as a function of the memory
+//! characteristics. Over most of the range, an increase in 80ns (2
+//! cycles) in the latency causes an increase in the execution time of
+//! between 3% and 6%. Similarly, a halving of the peak transfer rate
+//! increases the execution time by between 3% and 13%."
+
+use crate::fig5_2::Curve;
+use cachetime_analysis::table::Table;
+use cachetime_mem::TransferRate;
+
+/// The execution-time minimum of one (latency, transfer) pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Memory latency, ns.
+    pub latency_ns: u64,
+    /// Backplane transfer rate.
+    pub transfer: TransferRate,
+    /// Execution time per reference (ns) at the best sampled block size.
+    pub best_time_ns: f64,
+    /// The fitted (non-integral) optimal block size in words.
+    pub optimal_block_words: f64,
+}
+
+/// Extracts the minima from the Figure 5-2 curves.
+pub fn run(curves: &[Curve]) -> Vec<Minimum> {
+    curves
+        .iter()
+        .map(|c| {
+            let xs: Vec<f64> = c.block_words.iter().map(|&b| (b as f64).log2()).collect();
+            let fitted = cachetime_analysis::sampled_minimum(&xs, &c.time_per_ref_ns).exp2();
+            let best = c
+                .time_per_ref_ns
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            Minimum {
+                latency_ns: c.latency_ns,
+                transfer: c.transfer,
+                best_time_ns: best,
+                optimal_block_words: fitted,
+            }
+        })
+        .collect()
+}
+
+/// Mean relative execution-time increase per +80 ns of latency, at a fixed
+/// transfer rate (the paper reports 3–6%).
+pub fn latency_sensitivity(minima: &[Minimum], transfer: TransferRate) -> Option<f64> {
+    let mut pts: Vec<&Minimum> = minima.iter().filter(|m| m.transfer == transfer).collect();
+    pts.sort_by_key(|m| m.latency_ns);
+    if pts.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut steps = 0.0;
+    for w in pts.windows(2) {
+        let dlat = (w[1].latency_ns - w[0].latency_ns) as f64;
+        total += (w[1].best_time_ns / w[0].best_time_ns - 1.0) * (80.0 / dlat);
+        steps += 1.0;
+    }
+    Some(total / steps)
+}
+
+/// Mean relative execution-time increase per halving of the transfer rate
+/// at a fixed latency (the paper reports 3–13%).
+pub fn transfer_sensitivity(minima: &[Minimum], latency_ns: u64) -> Option<f64> {
+    let mut pts: Vec<&Minimum> = minima
+        .iter()
+        .filter(|m| m.latency_ns == latency_ns)
+        .collect();
+    pts.sort_by(|a, b| {
+        b.transfer
+            .words_per_cycle()
+            .partial_cmp(&a.transfer.words_per_cycle())
+            .expect("no NaNs")
+    });
+    if pts.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut steps = 0.0;
+    for w in pts.windows(2) {
+        total += w[1].best_time_ns / w[0].best_time_ns - 1.0;
+        steps += 1.0;
+    }
+    Some(total / steps)
+}
+
+/// Renders the minima surface.
+pub fn render(minima: &[Minimum]) -> String {
+    let base = minima
+        .iter()
+        .map(|m| m.best_time_ns)
+        .fold(f64::INFINITY, f64::min);
+    let mut t = Table::new(["latency", "transfer", "best exec (rel)", "opt block (W)"]);
+    for m in minima {
+        t.row([
+            format!("{}ns", m.latency_ns),
+            m.transfer.to_string(),
+            format!("{:.3}", m.best_time_ns / base),
+            format!("{:.1}", m.optimal_block_words),
+        ]);
+    }
+    format!("Figure 5-3: optimal execution time vs memory parameters\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig5_2;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn sensitivities_are_modest_and_positive() {
+        let traces = TraceSet::quick();
+        let curves = fig5_2::run_over(
+            &traces,
+            &[100, 260, 420],
+            &[
+                TransferRate::WordsPerCycle(2),
+                TransferRate::WordsPerCycle(1),
+            ],
+            &[2, 4, 8, 16, 32],
+        );
+        let minima = run(&curves);
+        assert_eq!(minima.len(), 6);
+        let lat = latency_sensitivity(&minima, TransferRate::WordsPerCycle(1)).unwrap();
+        assert!(
+            (0.0..0.25).contains(&lat),
+            "latency sensitivity {lat} out of band"
+        );
+        let tr = transfer_sensitivity(&minima, 260).unwrap();
+        assert!(
+            (0.0..0.30).contains(&tr),
+            "transfer sensitivity {tr} out of band"
+        );
+        // "In comparison to the cache speed and size parameters, the
+        // memory system design has a relatively small impact": worst vs
+        // best within a factor ~2.
+        let best = minima
+            .iter()
+            .map(|m| m.best_time_ns)
+            .fold(f64::INFINITY, f64::min);
+        let worst = minima.iter().map(|m| m.best_time_ns).fold(0.0, f64::max);
+        assert!(worst / best < 2.5, "range {}", worst / best);
+        assert!(render(&minima).contains("opt block"));
+    }
+}

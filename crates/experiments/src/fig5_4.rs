@@ -1,0 +1,167 @@
+//! Figure 5-4: optimal block size versus the memory-speed product.
+//!
+//! "The non-integral optimal block size is plotted against the product of
+//! the latency in cycles and the transfer rate. … The line segments line
+//! up quite well, verifying that the optimal block size is a function of
+//! the memory speed product, la × tr." The dotted reference line is the
+//! balance strategy `BS = la × tr` (equal latency and transfer time),
+//! which the optimum provably does not follow.
+
+use crate::fig5_3::Minimum;
+use cachetime_analysis::plot::Chart;
+use cachetime_analysis::table::Table;
+
+/// One point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// `la × tr`: latency in 40 ns cycles times transfer rate (words per
+    /// cycle).
+    pub memory_speed_product: f64,
+    /// Fitted optimal block size (words).
+    pub optimal_block_words: f64,
+    /// The balance-line block size `la × tr` for comparison.
+    pub balanced_block_words: f64,
+    /// Latency (ns) — identifies the curve segment.
+    pub latency_ns: u64,
+    /// Transfer rate (words/cycle) — identifies the curve segment.
+    pub transfer_wpc: f64,
+}
+
+/// Builds the product-vs-optimum scatter from the Figure 5-3 minima.
+pub fn run(minima: &[Minimum]) -> Vec<Point> {
+    let mut pts: Vec<Point> = minima
+        .iter()
+        .map(|m| {
+            let la = (m.latency_ns as f64 / 40.0).ceil();
+            let tr = m.transfer.words_per_cycle();
+            Point {
+                memory_speed_product: la * tr,
+                optimal_block_words: m.optimal_block_words,
+                balanced_block_words: la * tr,
+                latency_ns: m.latency_ns,
+                transfer_wpc: tr,
+            }
+        })
+        .collect();
+    pts.sort_by(|a, b| {
+        a.memory_speed_product
+            .partial_cmp(&b.memory_speed_product)
+            .expect("no NaNs")
+    });
+    pts
+}
+
+/// How well the points collapse onto a single function of the product:
+/// the mean relative spread of `optimal_block_words` among points sharing
+/// (approximately) the same product. 0 = perfect collapse.
+pub fn collapse_spread(points: &[Point]) -> f64 {
+    let mut total = 0.0;
+    let mut groups = 0.0;
+    let mut i = 0;
+    while i < points.len() {
+        let mut j = i + 1;
+        while j < points.len()
+            && (points[j].memory_speed_product / points[i].memory_speed_product) < 1.3
+        {
+            j += 1;
+        }
+        if j - i >= 2 {
+            let vals: Vec<f64> = points[i..j].iter().map(|p| p.optimal_block_words).collect();
+            let max = vals.iter().copied().fold(0.0f64, f64::max);
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            total += (max - min) / ((max + min) / 2.0);
+            groups += 1.0;
+        }
+        i = j;
+    }
+    if groups == 0.0 {
+        0.0
+    } else {
+        total / groups
+    }
+}
+
+/// Renders the scatter with the balance line.
+pub fn render(points: &[Point]) -> String {
+    let mut t = Table::new([
+        "la x tr",
+        "optimal block (W)",
+        "balance line (W)",
+        "latency",
+        "tr (W/cycle)",
+    ]);
+    for p in points {
+        t.row([
+            format!("{:.2}", p.memory_speed_product),
+            format!("{:.1}", p.optimal_block_words),
+            format!("{:.1}", p.balanced_block_words),
+            format!("{}ns", p.latency_ns),
+            format!("{:.2}", p.transfer_wpc),
+        ]);
+    }
+    let mut chart = Chart::new(56, 14)
+        .log_x()
+        .log_y()
+        .labels("la x tr", "block size (words)");
+    chart.series(
+        "optimum",
+        points
+            .iter()
+            .map(|p| (p.memory_speed_product, p.optimal_block_words))
+            .collect(),
+    );
+    chart.series(
+        "balance",
+        points
+            .iter()
+            .map(|p| (p.memory_speed_product, p.balanced_block_words))
+            .collect(),
+    );
+    format!(
+        "Figure 5-4: optimal block size vs memory speed product\n{t}\n{}",
+        chart.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig5_2::{self, TRANSFER_RATES};
+    use crate::fig5_3;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn optimum_grows_with_product_and_defies_balance_line() {
+        // Needs traces long enough that compulsory misses do not dominate
+        // (cold-heavy traces reward huge blocks and blow past the balance
+        // line artificially).
+        let traces = TraceSet::generate(0.15);
+        let curves = fig5_2::run_over(
+            &traces,
+            &[100, 260, 420],
+            &TRANSFER_RATES[0..4],
+            &[1, 2, 4, 8, 16, 32, 64],
+        );
+        let minima = fig5_3::run(&curves);
+        let pts = run(&minima);
+        assert_eq!(pts.len(), 12);
+        // Broad trend: optimum increases with the product.
+        let lo = pts.first().unwrap();
+        let hi = pts.last().unwrap();
+        assert!(
+            hi.optimal_block_words >= lo.optimal_block_words,
+            "optimum must grow with la x tr: {} vs {}",
+            lo.optimal_block_words,
+            hi.optimal_block_words
+        );
+        // "When the product is high … the optimal block size is smaller
+        // than one might expect" — below the balance line at the top end.
+        assert!(
+            hi.optimal_block_words < hi.balanced_block_words,
+            "optimum {} must undercut the balance line {}",
+            hi.optimal_block_words,
+            hi.balanced_block_words
+        );
+        assert!(render(&pts).contains("balance line"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Section 6: the case for multi-level cache hierarchies.
+//!
+//! "The existence of a second level cache modifies the speed–size tradeoff
+//! for the first level cache by reducing the cost of first-level cache
+//! misses, making small, fast caches a viable alternative." The experiment
+//! sweeps the L1 size at a fast clock with and without a 512 KB unified
+//! second level and reports execution time and the resulting optimum.
+
+use crate::runner::{run_config, TraceSet};
+use cachetime::{LevelTwoConfig, SystemConfig};
+use cachetime_analysis::table::Table;
+use cachetime_cache::CacheConfig;
+use cachetime_types::{BlockWords, CacheSize, CycleTime};
+
+/// One sweep (with or without the L2).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Whether the 512 KB L2 was present.
+    pub with_l2: bool,
+    /// Cycle time (ns) of the CPU/L1.
+    pub ct_ns: u32,
+    /// L1 sizes per cache (KB).
+    pub sizes_per_cache_kb: Vec<u64>,
+    /// Execution time per reference (ns) per size.
+    pub time_per_ref_ns: Vec<f64>,
+}
+
+impl Sweep {
+    /// The per-cache L1 size (KB) minimizing execution time.
+    pub fn optimal_size_kb(&self) -> u64 {
+        let i = self
+            .time_per_ref_ns
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+            .map(|(i, _)| i)
+            .expect("nonempty sweep");
+        self.sizes_per_cache_kb[i]
+    }
+}
+
+/// Runs both sweeps at the given clock.
+pub fn run(traces: &TraceSet, ct_ns: u32, sizes_per_cache_kb: &[u64]) -> (Sweep, Sweep) {
+    let sweep = |with_l2: bool| -> Sweep {
+        let times = sizes_per_cache_kb
+            .iter()
+            .map(|&kb| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("power of two"))
+                    .build()
+                    .expect("valid cache");
+                let mut b = SystemConfig::builder();
+                b.cycle_time(CycleTime::from_ns(ct_ns).expect("nonzero"))
+                    .l1_both(l1);
+                if with_l2 {
+                    let l2cache =
+                        CacheConfig::builder(CacheSize::from_kib(512).expect("power of two"))
+                            .block(BlockWords::new(16).expect("power of two"))
+                            .build()
+                            .expect("valid L2");
+                    b.l2(LevelTwoConfig::new(l2cache));
+                }
+                let config = b.build().expect("valid system");
+                run_config(&config, traces).time_per_ref_ns
+            })
+            .collect();
+        Sweep {
+            with_l2,
+            ct_ns,
+            sizes_per_cache_kb: sizes_per_cache_kb.to_vec(),
+            time_per_ref_ns: times,
+        }
+    };
+    (sweep(false), sweep(true))
+}
+
+/// Renders the comparison.
+pub fn render(without: &Sweep, with: &Sweep) -> String {
+    let mut t = Table::new(["L1 per cache", "no L2 (ns/ref)", "with 512KB L2 (ns/ref)"]);
+    for (i, &kb) in without.sizes_per_cache_kb.iter().enumerate() {
+        t.row([
+            format!("{kb}KB"),
+            format!("{:.2}", without.time_per_ref_ns[i]),
+            format!("{:.2}", with.time_per_ref_ns[i]),
+        ]);
+    }
+    format!(
+        "Section 6: two-level hierarchy at {}ns\n{t}\
+         optimal L1 per cache: {}KB without L2, {}KB with L2\n",
+        without.ct_ns,
+        without.optimal_size_kb(),
+        with.optimal_size_kb(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_helps_small_l1_at_fast_clocks() {
+        let traces = TraceSet::quick();
+        let (without, with) = run(&traces, 20, &[2, 8, 64]);
+        // A small L1 backed by an L2 must beat the same L1 alone.
+        assert!(
+            with.time_per_ref_ns[0] < without.time_per_ref_ns[0],
+            "L2 must shrink the small-L1 miss penalty: {} vs {}",
+            with.time_per_ref_ns[0],
+            without.time_per_ref_ns[0]
+        );
+        // The optimal L1 with an L2 is no larger than without.
+        assert!(with.optimal_size_kb() <= without.optimal_size_kb());
+        assert!(render(&without, &with).contains("optimal L1"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Table 2: memory access cycle counts versus cycle time.
+//!
+//! Pure timing arithmetic — no simulation. "The cost in cycles of each
+//! type of operation changes with the cycle time, since the latency
+//! portion takes a constant amount of time."
+
+use cachetime_analysis::table::Table;
+use cachetime_mem::{MemoryConfig, MemoryTiming};
+use cachetime_types::CycleTime;
+
+/// The cycle times the paper tabulates.
+pub const TABLE2_CTS_NS: [u32; 9] = [20, 24, 28, 32, 36, 40, 48, 52, 60];
+
+/// One row: cycle time and the three quantized operation costs for the
+/// default memory and a four-word block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Cycle time (ns).
+    pub ct_ns: u32,
+    /// Read time in cycles (address + latency + transfer).
+    pub read_cycles: u64,
+    /// Write time in cycles (address + transfer + write operation).
+    pub write_cycles: u64,
+    /// Recovery time in cycles.
+    pub recovery_cycles: u64,
+}
+
+/// Computes the table for the paper's default memory (180/100/120 ns).
+pub fn run() -> Vec<Row> {
+    let config = MemoryConfig::paper_default();
+    TABLE2_CTS_NS
+        .iter()
+        .map(|&ct_ns| {
+            let t = MemoryTiming::new(&config, CycleTime::from_ns(ct_ns).expect("nonzero"));
+            Row {
+                ct_ns,
+                read_cycles: t.read_time(4),
+                write_cycles: t.write_time(4),
+                recovery_cycles: t.recovery_cycles(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "Cycle Time (ns)",
+        "Read Time (cycles)",
+        "Write Time (cycles)",
+        "Recovery time (cycles)",
+    ]);
+    for r in rows {
+        t.row([
+            r.ct_ns.to_string(),
+            r.read_cycles.to_string(),
+            r.write_cycles.to_string(),
+            r.recovery_cycles.to_string(),
+        ]);
+    }
+    format!(
+        "Table 2: memory access cycle counts\n{t}\
+         Read Operation Time: 180 ns   Write Operation Time: 100 ns   MM Recover Time: 120 ns\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 2, verbatim.
+    const PAPER: [(u32, u64, u64, u64); 9] = [
+        (20, 14, 10, 6),
+        (24, 13, 10, 5),
+        (28, 12, 9, 5),
+        (32, 11, 9, 4),
+        (36, 10, 8, 4),
+        (40, 10, 8, 3),
+        (48, 9, 8, 3),
+        (52, 9, 7, 3),
+        (60, 8, 7, 2),
+    ];
+
+    #[test]
+    fn regenerates_the_paper_exactly() {
+        let rows = run();
+        assert_eq!(rows.len(), PAPER.len());
+        for (row, &(ct, r, w, rec)) in rows.iter().zip(&PAPER) {
+            assert_eq!(row.ct_ns, ct);
+            assert_eq!(row.read_cycles, r, "read at {ct}ns");
+            assert_eq!(row.write_cycles, w, "write at {ct}ns");
+            assert_eq!(row.recovery_cycles, rec, "recovery at {ct}ns");
+        }
+    }
+
+    #[test]
+    fn render_includes_footer() {
+        let s = render(&run());
+        assert!(s.contains("180 ns"));
+        assert!(s.contains("Recovery"));
+    }
+}

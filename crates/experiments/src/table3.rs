@@ -1,0 +1,134 @@
+//! Table 3: memory performance versus cache miss penalty.
+//!
+//! "The hidden variable in the plots of the speed–size design space is
+//! cache miss penalty. As the cycle time was varied from 20ns through
+//! 80ns, the cache miss penalty went from 14 to 8 cycles." For each cache
+//! size the table reports cycles per reference and the cycle-time value of
+//! a size doubling *as a fraction of the cycle time*.
+
+use crate::runner::SpeedSizeGrid;
+use cachetime_analysis::contour::ns_per_doubling;
+use cachetime_analysis::table::Table;
+use cachetime_mem::{MemoryConfig, MemoryTiming};
+use cachetime_types::CycleTime;
+
+/// One row: a miss penalty with per-size cycles/ref and doubling value.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Read-miss penalty in cycles (Table 2's read time).
+    pub penalty: u64,
+    /// The cycle time (ns) producing this penalty.
+    pub ct_ns: u32,
+    /// Per size: (cycles per reference, doubling value as a cycle-time
+    /// fraction — `None` at the largest size or when interpolation fails).
+    pub per_size: Vec<(f64, Option<f64>)>,
+}
+
+/// Derives the table from a speed–size grid.
+///
+/// For each sampled cycle time the miss penalty is the quantized Table-2
+/// read time; duplicate penalties keep the *slowest* clock (the paper's
+/// rows are unique penalties).
+pub fn run(grid: &SpeedSizeGrid) -> Vec<Row> {
+    let memory = MemoryConfig::paper_default();
+    let cts = grid.cts_f64();
+    let min = grid.min_time();
+    let norm: Vec<Vec<f64>> = grid
+        .time_per_ref
+        .iter()
+        .map(|row| row.iter().map(|&t| t / min).collect())
+        .collect();
+    let mut rows: Vec<Row> = Vec::new();
+    for (j, &ct_ns) in grid.cts_ns.iter().enumerate() {
+        let block_words = 4;
+        let penalty = MemoryTiming::new(&memory, CycleTime::from_ns(ct_ns).expect("nonzero"))
+            .read_time(block_words);
+        let per_size: Vec<(f64, Option<f64>)> = (0..grid.sizes_total_kb.len())
+            .map(|i| {
+                let cpr = grid.cycles_per_ref[i][j];
+                let doubling = if i + 1 < norm.len() {
+                    ns_per_doubling(&cts, &norm[i], &norm[i + 1], ct_ns as f64)
+                        .map(|ns| ns / ct_ns as f64)
+                } else {
+                    None
+                };
+                (cpr, doubling)
+            })
+            .collect();
+        match rows.iter_mut().find(|r| r.penalty == penalty) {
+            Some(r) => {
+                // Keep the slowest clock for this penalty.
+                r.ct_ns = ct_ns;
+                r.per_size = per_size;
+            }
+            None => rows.push(Row {
+                penalty,
+                ct_ns,
+                per_size,
+            }),
+        }
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.penalty));
+    rows
+}
+
+/// Renders the table for a chosen subset of sizes (the paper shows 4, 16,
+/// 64 and 256 KB total).
+pub fn render(grid: &SpeedSizeGrid, rows: &[Row], sizes_total_kb: &[u64]) -> String {
+    let idx: Vec<usize> = sizes_total_kb
+        .iter()
+        .filter_map(|kb| grid.sizes_total_kb.iter().position(|g| g == kb))
+        .collect();
+    let mut headers = vec!["Cycles/Read".to_string()];
+    for &i in &idx {
+        headers.push(format!("{}KB c/ref", grid.sizes_total_kb[i]));
+        headers.push(format!("{}KB size x2", grid.sizes_total_kb[i]));
+    }
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.penalty.to_string()];
+        for &i in &idx {
+            let (cpr, doubling) = r.per_size[i];
+            cells.push(format!("{cpr:.2}"));
+            cells.push(doubling.map_or("-".to_string(), |d| format!("{d:.2}")));
+        }
+        t.row(cells);
+    }
+    format!("Table 3: memory performance vs cache miss penalty\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TraceSet;
+
+    #[test]
+    fn penalties_span_8_to_14_and_cycles_scale_with_penalty() {
+        let traces = TraceSet::quick();
+        let grid = SpeedSizeGrid::compute_over(&traces, 1, &[2, 8, 32, 128], &[20, 40, 60, 80]);
+        let rows = run(&grid);
+        let penalties: Vec<u64> = rows.iter().map(|r| r.penalty).collect();
+        assert_eq!(penalties, [14, 10, 8], "20/40/60-80ns penalties");
+        // Small caches: cycles/ref strongly increasing in penalty; large
+        // caches barely.
+        let small_at = |p: u64| {
+            rows.iter()
+                .find(|r| r.penalty == p)
+                .map(|r| r.per_size[0].0)
+                .unwrap()
+        };
+        assert!(small_at(14) > small_at(8));
+        let large_range = {
+            let vals: Vec<f64> = rows.iter().map(|r| r.per_size[3].0).collect();
+            vals.iter().copied().fold(0.0f64, f64::max)
+                - vals.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let small_range = small_at(14) - small_at(8);
+        assert!(
+            small_range > large_range,
+            "penalty sensitivity must fall with size: {small_range} vs {large_range}"
+        );
+        let s = render(&grid, &rows, &[4, 64]);
+        assert!(s.contains("size x2"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Main-memory and write-buffer configuration.
+
+use cachetime_types::{ConfigError, Nanos};
+use std::fmt;
+
+/// The backplane transfer rate between memory and cache.
+///
+/// The paper sweeps this from four words per cycle down to one word every
+/// four cycles (peak bandwidths of 400 MB/s to 25 MB/s at 40 ns). The
+/// default is one word per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferRate {
+    /// `n` words move per cycle (`n ≥ 1`). A partial bus-width transfer
+    /// still takes a full cycle.
+    WordsPerCycle(u32),
+    /// Each word takes `n` cycles (`n ≥ 1`).
+    CyclesPerWord(u32),
+}
+
+impl TransferRate {
+    /// Cycles needed to move `words` words (at least one cycle for any
+    /// nonzero transfer).
+    #[inline]
+    pub const fn cycles_for_words(self, words: u32) -> u64 {
+        match self {
+            TransferRate::WordsPerCycle(n) => words.div_ceil(n) as u64,
+            TransferRate::CyclesPerWord(n) => words as u64 * n as u64,
+        }
+    }
+
+    /// The rate as words per cycle (fractional for slow buses); `tr` in the
+    /// paper's `la × tr` memory-speed product.
+    #[inline]
+    pub fn words_per_cycle(self) -> f64 {
+        match self {
+            TransferRate::WordsPerCycle(n) => n as f64,
+            TransferRate::CyclesPerWord(n) => 1.0 / n as f64,
+        }
+    }
+
+    fn validate(self) -> Result<Self, ConfigError> {
+        let n = match self {
+            TransferRate::WordsPerCycle(n) | TransferRate::CyclesPerWord(n) => n,
+        };
+        if n == 0 {
+            Err(ConfigError::OutOfRange {
+                what: "transfer rate",
+                value: 0,
+                min: 1,
+                max: u32::MAX as u64,
+            })
+        } else {
+            Ok(self)
+        }
+    }
+}
+
+impl Default for TransferRate {
+    fn default() -> Self {
+        TransferRate::WordsPerCycle(1)
+    }
+}
+
+impl fmt::Display for TransferRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferRate::WordsPerCycle(n) => write!(f, "{n}W/cycle"),
+            TransferRate::CyclesPerWord(n) => write!(f, "1W/{n}cycles"),
+        }
+    }
+}
+
+/// Complete description of the main-memory system and the write buffer in
+/// front of it.
+///
+/// The paper's defaults (section 2): 180 ns read operation, 100 ns write
+/// operation, 120 ns recovery, one address cycle, one word per cycle
+/// transfer, and a four-block write buffer deep enough that it "essentially
+/// never fills up".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    read_op: Nanos,
+    write_op: Nanos,
+    recovery: Nanos,
+    transfer: TransferRate,
+    addr_cycles: u64,
+    wb_depth: u32,
+    wb_coalesce: bool,
+    wb_drain_delay: u64,
+    read_priority: bool,
+}
+
+impl MemoryConfig {
+    /// The paper's default memory system.
+    pub fn paper_default() -> Self {
+        MemoryConfig {
+            read_op: Nanos(180),
+            write_op: Nanos(100),
+            recovery: Nanos(120),
+            transfer: TransferRate::WordsPerCycle(1),
+            addr_cycles: 1,
+            wb_depth: 4,
+            wb_coalesce: true,
+            wb_drain_delay: 32,
+            read_priority: true,
+        }
+    }
+
+    /// The section-5 variation: "the read and write operation times and the
+    /// recovery time, all three of which are made equal" to `latency`, with
+    /// the given transfer rate.
+    pub fn uniform_latency(latency: Nanos, transfer: TransferRate) -> Result<Self, ConfigError> {
+        Self::builder()
+            .read_op(latency)
+            .write_op(latency)
+            .recovery(latency)
+            .transfer(transfer)
+            .build()
+    }
+
+    /// Starts a builder initialized to [`MemoryConfig::paper_default`].
+    pub fn builder() -> MemoryConfigBuilder {
+        MemoryConfigBuilder {
+            inner: Self::paper_default(),
+        }
+    }
+
+    /// DRAM read-operation time (the asynchronous latency component).
+    pub const fn read_op(&self) -> Nanos {
+        self.read_op
+    }
+
+    /// DRAM write-operation time.
+    pub const fn write_op(&self) -> Nanos {
+        self.write_op
+    }
+
+    /// Recovery time between consecutive memory operations.
+    pub const fn recovery(&self) -> Nanos {
+        self.recovery
+    }
+
+    /// Backplane transfer rate.
+    pub const fn transfer(&self) -> TransferRate {
+        self.transfer
+    }
+
+    /// Cycles to present an address to the memory (1 in the paper).
+    pub const fn addr_cycles(&self) -> u64 {
+        self.addr_cycles
+    }
+
+    /// Write-buffer depth in entries; 0 disables buffering (the CPU waits
+    /// for every downstream write).
+    pub const fn wb_depth(&self) -> u32 {
+        self.wb_depth
+    }
+
+    /// Whether consecutive word writes to the same region merge into one
+    /// write-buffer entry.
+    pub const fn wb_coalesce(&self) -> bool {
+        self.wb_coalesce
+    }
+
+    /// Cycles a buffered write lingers (aggregating coalescible
+    /// neighbours) before the controller launches it to an idle memory.
+    /// Reads overtake pending writes regardless, so a generous delay
+    /// mostly improves coalescing; pressure (a full buffer or a read
+    /// address match) forces immediate drains.
+    pub const fn wb_drain_delay(&self) -> u64 {
+        self.wb_drain_delay
+    }
+
+    /// Whether a fill may overtake buffered writes (true in the paper's
+    /// model; the buffer still drains first on an address match).
+    pub const fn read_priority(&self) -> bool {
+        self.read_priority
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory: read {}, write {}, recovery {}, {}, wb depth {}",
+            self.read_op, self.write_op, self.recovery, self.transfer, self.wb_depth
+        )
+    }
+}
+
+/// Builder for [`MemoryConfig`]; see [`MemoryConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct MemoryConfigBuilder {
+    inner: MemoryConfig,
+}
+
+impl MemoryConfigBuilder {
+    /// Sets the DRAM read-operation time. Default 180 ns.
+    pub fn read_op(&mut self, ns: Nanos) -> &mut Self {
+        self.inner.read_op = ns;
+        self
+    }
+
+    /// Sets the DRAM write-operation time. Default 100 ns.
+    pub fn write_op(&mut self, ns: Nanos) -> &mut Self {
+        self.inner.write_op = ns;
+        self
+    }
+
+    /// Sets the recovery time. Default 120 ns.
+    pub fn recovery(&mut self, ns: Nanos) -> &mut Self {
+        self.inner.recovery = ns;
+        self
+    }
+
+    /// Sets the transfer rate. Default one word per cycle.
+    pub fn transfer(&mut self, rate: TransferRate) -> &mut Self {
+        self.inner.transfer = rate;
+        self
+    }
+
+    /// Sets the address-presentation cycles. Default 1.
+    pub fn addr_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.inner.addr_cycles = cycles;
+        self
+    }
+
+    /// Sets the write-buffer depth. Default 4.
+    pub fn wb_depth(&mut self, depth: u32) -> &mut Self {
+        self.inner.wb_depth = depth;
+        self
+    }
+
+    /// Enables or disables write coalescing. Default enabled.
+    pub fn wb_coalesce(&mut self, coalesce: bool) -> &mut Self {
+        self.inner.wb_coalesce = coalesce;
+        self
+    }
+
+    /// Sets the drain delay in cycles. Default 32.
+    pub fn wb_drain_delay(&mut self, cycles: u64) -> &mut Self {
+        self.inner.wb_drain_delay = cycles;
+        self
+    }
+
+    /// Enables or disables read priority over buffered writes. Default
+    /// enabled.
+    pub fn read_priority(&mut self, priority: bool) -> &mut Self {
+        self.inner.read_priority = priority;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] for a zero transfer rate or a
+    /// write-buffer depth above 1024.
+    pub fn build(&self) -> Result<MemoryConfig, ConfigError> {
+        self.inner.transfer.validate()?;
+        if self.inner.wb_depth > 1024 {
+            return Err(ConfigError::OutOfRange {
+                what: "write buffer depth",
+                value: self.inner.wb_depth as u64,
+                min: 0,
+                max: 1024,
+            });
+        }
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = MemoryConfig::paper_default();
+        assert_eq!(c.read_op(), Nanos(180));
+        assert_eq!(c.write_op(), Nanos(100));
+        assert_eq!(c.recovery(), Nanos(120));
+        assert_eq!(c.transfer(), TransferRate::WordsPerCycle(1));
+        assert_eq!(c.addr_cycles(), 1);
+        assert_eq!(c.wb_depth(), 4);
+    }
+
+    #[test]
+    fn uniform_latency_sets_all_three() {
+        let c = MemoryConfig::uniform_latency(Nanos(260), TransferRate::WordsPerCycle(2)).unwrap();
+        assert_eq!(c.read_op(), Nanos(260));
+        assert_eq!(c.write_op(), Nanos(260));
+        assert_eq!(c.recovery(), Nanos(260));
+        assert_eq!(c.transfer(), TransferRate::WordsPerCycle(2));
+    }
+
+    #[test]
+    fn transfer_cycles_fast_bus() {
+        let t = TransferRate::WordsPerCycle(4);
+        assert_eq!(t.cycles_for_words(4), 1);
+        assert_eq!(t.cycles_for_words(5), 2);
+        // "for very small block sizes, having a large tr is of no benefit,
+        // as the minimum transfer time is one cycle"
+        assert_eq!(t.cycles_for_words(1), 1);
+    }
+
+    #[test]
+    fn transfer_cycles_slow_bus() {
+        let t = TransferRate::CyclesPerWord(4);
+        assert_eq!(t.cycles_for_words(1), 4);
+        assert_eq!(t.cycles_for_words(8), 32);
+    }
+
+    #[test]
+    fn words_per_cycle_fractional() {
+        assert_eq!(TransferRate::WordsPerCycle(4).words_per_cycle(), 4.0);
+        assert_eq!(TransferRate::CyclesPerWord(4).words_per_cycle(), 0.25);
+    }
+
+    #[test]
+    fn zero_transfer_rejected() {
+        assert!(MemoryConfig::builder()
+            .transfer(TransferRate::WordsPerCycle(0))
+            .build()
+            .is_err());
+        assert!(MemoryConfig::builder()
+            .transfer(TransferRate::CyclesPerWord(0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_wb_rejected() {
+        assert!(MemoryConfig::builder().wb_depth(4096).build().is_err());
+        assert!(MemoryConfig::builder().wb_depth(0).build().is_ok());
+    }
+}

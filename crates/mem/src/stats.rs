@@ -1,0 +1,64 @@
+//! Main-memory traffic and contention statistics.
+
+use std::ops::AddAssign;
+
+/// Event counts accumulated by a [`MemorySystem`](crate::MemorySystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Block-read operations (cache fills).
+    pub reads: u64,
+    /// Words delivered by reads.
+    pub read_words: u64,
+    /// Write operations drained from the write buffer.
+    pub writes: u64,
+    /// Words transferred by drained writes.
+    pub write_words: u64,
+    /// Reads delayed because they matched a buffered write's address.
+    pub read_match_stalls: u64,
+    /// Pushes that found the write buffer full and had to force a drain.
+    pub full_stalls: u64,
+    /// Word writes merged into an existing buffer entry.
+    pub coalesced_writes: u64,
+}
+
+impl MemStats {
+    /// Total memory operations.
+    pub fn operations(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: MemStats) {
+        self.reads += rhs.reads;
+        self.read_words += rhs.read_words;
+        self.writes += rhs.writes;
+        self.write_words += rhs.write_words;
+        self.read_match_stalls += rhs.read_match_stalls;
+        self.full_stalls += rhs.full_stalls;
+        self.coalesced_writes += rhs.coalesced_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut a = MemStats {
+            reads: 1,
+            write_words: 4,
+            ..MemStats::default()
+        };
+        a += MemStats {
+            reads: 2,
+            writes: 3,
+            ..MemStats::default()
+        };
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.write_words, 4);
+        assert_eq!(a.operations(), 6);
+    }
+}

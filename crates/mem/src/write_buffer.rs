@@ -1,0 +1,303 @@
+//! The write-buffer queue: bounded FIFO entries with address matching.
+//!
+//! "Write buffers are included between every level of the modeled system.
+//! … The write buffers check the addresses of reads to make sure that the
+//! fetched data is not stale. In the case of a match, the read is delayed
+//! until the write propagates out of the buffer and into the next level of
+//! the hierarchy." (paper, section 2)
+//!
+//! [`WriteBuffer`] is a passive data structure: *when* entries drain is
+//! decided by its owner ([`MemorySystem`](crate::MemorySystem) for the last
+//! level, the hierarchy engine for inter-cache buffers), which keeps the
+//! drain-scheduling policy next to the resource being scheduled.
+
+use cachetime_types::{Pid, WordAddr};
+use std::collections::VecDeque;
+
+/// Maximum words coverable by a coalescing word-write entry (mask width).
+const WORD_ENTRY_SPAN: u64 = 16;
+
+/// What an entry carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WbPayload {
+    /// A whole victim block (write-back): `words` words transfer on drain.
+    Block {
+        /// Words in the block.
+        words: u32,
+    },
+    /// Individual word writes within one aligned region, one mask bit per
+    /// word; only the set words transfer on drain.
+    Words {
+        /// Bit `i` set means word `start + i` is pending.
+        mask: u64,
+    },
+}
+
+/// One pending downstream write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbEntry {
+    /// Issuing process (virtual addresses are per-process).
+    pub pid: Pid,
+    /// First word of the region the entry covers.
+    pub start: u64,
+    /// Extent of the region in words (for overlap checks).
+    pub span: u32,
+    /// The data description.
+    pub payload: WbPayload,
+    /// Cycle at which the entry is fully inside the buffer and may start
+    /// draining (a victim block arrives one word per cycle).
+    pub ready_at: u64,
+}
+
+impl WbEntry {
+    /// A whole-block write-back entry.
+    pub fn block(pid: Pid, addr: WordAddr, words: u32, ready_at: u64) -> Self {
+        WbEntry {
+            pid,
+            start: addr.value(),
+            span: words,
+            payload: WbPayload::Block { words },
+            ready_at,
+        }
+    }
+
+    /// A single-word write entry (region-aligned so later words can
+    /// coalesce into it).
+    pub fn word(pid: Pid, addr: WordAddr, ready_at: u64) -> Self {
+        let start = addr.value() & !(WORD_ENTRY_SPAN - 1);
+        WbEntry {
+            pid,
+            start,
+            span: WORD_ENTRY_SPAN as u32,
+            payload: WbPayload::Words {
+                mask: 1u64 << (addr.value() - start),
+            },
+            ready_at,
+        }
+    }
+
+    /// Words this entry transfers when it drains.
+    pub fn words(&self) -> u32 {
+        match self.payload {
+            WbPayload::Block { words } => words,
+            WbPayload::Words { mask } => mask.count_ones(),
+        }
+    }
+
+    /// Whether the entry holds pending data inside `[start, start + words)`
+    /// of the same process. For word entries only the actually written
+    /// words match — the surrounding coalescing region is not stale data.
+    pub fn overlaps(&self, pid: Pid, start: u64, words: u32) -> bool {
+        if self.pid != pid
+            || self.start >= start + words as u64
+            || start >= self.start + self.span as u64
+        {
+            return false;
+        }
+        match self.payload {
+            WbPayload::Block { .. } => true,
+            WbPayload::Words { mask } => {
+                let lo = start.saturating_sub(self.start).min(self.span as u64) as u32;
+                let hi = (start + words as u64 - self.start).min(self.span as u64) as u32;
+                (lo..hi).any(|bit| mask & (1u64 << bit) != 0)
+            }
+        }
+    }
+}
+
+/// A bounded FIFO of pending downstream writes.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    entries: VecDeque<WbEntry>,
+    capacity: usize,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer of `depth` entries; depth 0 means unbuffered.
+    pub fn new(depth: u32) -> Self {
+        WriteBuffer {
+            entries: VecDeque::with_capacity(depth as usize),
+            capacity: depth as usize,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push would overflow.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Configured depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full; the owner must drain first (stalling
+    /// the CPU for the drain time).
+    pub fn push(&mut self, entry: WbEntry) {
+        assert!(!self.is_full(), "write buffer overflow: owner must drain");
+        self.entries.push_back(entry);
+    }
+
+    /// Returns the oldest entry without removing it.
+    pub fn front(&self) -> Option<&WbEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<WbEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Index of the youngest entry overlapping the read region, if any. The
+    /// read must wait for that entry (and, FIFO, everything ahead of it).
+    pub fn find_overlap(&self, pid: Pid, start: WordAddr, words: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .rposition(|e| e.overlaps(pid, start.value(), words))
+    }
+
+    /// Tries to merge a word write into the *tail* entry (only the tail:
+    /// merging into older entries would reorder writes to the same
+    /// address). Returns `true` on success.
+    pub fn try_coalesce(&mut self, pid: Pid, addr: WordAddr) -> bool {
+        let Some(tail) = self.entries.back_mut() else {
+            return false;
+        };
+        if tail.pid != pid {
+            return false;
+        }
+        let a = addr.value();
+        if a < tail.start || a >= tail.start + tail.span as u64 {
+            return false;
+        }
+        match &mut tail.payload {
+            // The block is transferred whole anyway; the word is absorbed.
+            WbPayload::Block { .. } => true,
+            WbPayload::Words { mask } => {
+                *mask |= 1u64 << (a - tail.start);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(addr: u64) -> WordAddr {
+        WordAddr::new(addr)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(WbEntry::word(Pid(0), w(0), 0));
+        wb.push(WbEntry::word(Pid(0), w(100), 1));
+        assert_eq!(wb.len(), 2);
+        assert_eq!(wb.pop_front().unwrap().start, 0);
+        assert_eq!(wb.pop_front().unwrap().start, 96); // region-aligned
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(WbEntry::word(Pid(0), w(0), 0));
+        assert!(!wb.is_full());
+        wb.push(WbEntry::word(Pid(0), w(100), 0));
+        assert!(wb.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut wb = WriteBuffer::new(1);
+        wb.push(WbEntry::word(Pid(0), w(0), 0));
+        wb.push(WbEntry::word(Pid(0), w(100), 0));
+    }
+
+    #[test]
+    fn zero_depth_always_full() {
+        let wb = WriteBuffer::new(0);
+        assert!(wb.is_full());
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn block_entry_words_and_overlap() {
+        let e = WbEntry::block(Pid(1), w(64), 8, 5);
+        assert_eq!(e.words(), 8);
+        assert!(e.overlaps(Pid(1), 64, 4));
+        assert!(e.overlaps(Pid(1), 71, 1));
+        assert!(!e.overlaps(Pid(1), 72, 4));
+        assert!(!e.overlaps(Pid(1), 60, 4));
+        assert!(!e.overlaps(Pid(2), 64, 4), "different pid never matches");
+    }
+
+    #[test]
+    fn find_overlap_returns_youngest() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(WbEntry::block(Pid(0), w(0), 4, 0));
+        wb.push(WbEntry::block(Pid(0), w(64), 4, 0));
+        wb.push(WbEntry::block(Pid(0), w(0), 4, 0));
+        assert_eq!(wb.find_overlap(Pid(0), w(2), 1), Some(2));
+        assert_eq!(wb.find_overlap(Pid(0), w(64), 4), Some(1));
+        assert_eq!(wb.find_overlap(Pid(0), w(128), 4), None);
+    }
+
+    #[test]
+    fn word_entry_masks_accumulate() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(WbEntry::word(Pid(0), w(33), 0));
+        assert!(wb.try_coalesce(Pid(0), w(34)));
+        assert!(wb.try_coalesce(Pid(0), w(33)), "re-writing a word is free");
+        assert_eq!(wb.front().unwrap().words(), 2);
+        // Outside the aligned 16-word region: no merge.
+        assert!(!wb.try_coalesce(Pid(0), w(48)));
+        // Different process: no merge.
+        assert!(!wb.try_coalesce(Pid(1), w(35)));
+    }
+
+    #[test]
+    fn coalesce_into_block_absorbs() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(WbEntry::block(Pid(0), w(64), 8, 0));
+        assert!(wb.try_coalesce(Pid(0), w(70)));
+        assert_eq!(wb.front().unwrap().words(), 8, "block already writes all");
+    }
+
+    #[test]
+    fn coalesce_only_into_tail() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(WbEntry::word(Pid(0), w(0), 0));
+        wb.push(WbEntry::word(Pid(0), w(100), 0));
+        assert!(
+            !wb.try_coalesce(Pid(0), w(1)),
+            "head entry must not accept merges"
+        );
+    }
+
+    #[test]
+    fn empty_buffer_cannot_coalesce_or_match() {
+        let mut wb = WriteBuffer::new(4);
+        assert!(!wb.try_coalesce(Pid(0), w(0)));
+        assert_eq!(wb.find_overlap(Pid(0), w(0), 4), None);
+        assert!(wb.front().is_none());
+        assert!(wb.pop_front().is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the memory-system timing model.
+
+use cachetime_mem::{FillRequest, MemoryConfig, MemorySystem, MemoryTiming, TransferRate};
+use cachetime_types::{CycleTime, Nanos, Pid, WordAddr};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = MemoryConfig> {
+    (
+        1u64..500, // read op ns
+        1u64..500, // write op ns
+        0u64..500, // recovery ns
+        prop_oneof![
+            (1u32..5).prop_map(TransferRate::WordsPerCycle),
+            (1u32..5).prop_map(TransferRate::CyclesPerWord)
+        ],
+        0u32..8,       // wb depth
+        any::<bool>(), // coalesce
+        any::<bool>(), // read priority
+    )
+        .prop_map(|(r, w, rec, tr, depth, co, rp)| {
+            MemoryConfig::builder()
+                .read_op(Nanos(r))
+                .write_op(Nanos(w))
+                .recovery(Nanos(rec))
+                .transfer(tr)
+                .wb_depth(depth)
+                .wb_coalesce(co)
+                .read_priority(rp)
+                .build()
+                .expect("valid config")
+        })
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64, u32)>> {
+    // (op kind, addr, gap to next event)
+    prop::collection::vec((0u8..3, 0u64..256, 0u32..30), 1..200)
+}
+
+proptest! {
+    /// A fill can never complete faster than the pure read time, and the
+    /// returned completion is never before `now`.
+    #[test]
+    fn fill_lower_bound(config in arb_config(), ct in 1u32..100, words_log in 0u32..6, now in 0u64..1000) {
+        let ct = CycleTime::from_ns(ct).unwrap();
+        let words = 1u32 << words_log;
+        let mut mem = MemorySystem::new(&config, ct);
+        let done = mem.fill(now, FillRequest { pid: Pid(0), addr: WordAddr::new(0), words, victim: None });
+        let floor = MemoryTiming::new(&config, ct).read_time(words);
+        prop_assert!(done >= now + floor, "done={done}, now={now}, floor={floor}");
+    }
+
+    /// Time never runs backwards across any interleaving of fills and
+    /// writes, and the buffer never exceeds its depth.
+    #[test]
+    fn monotone_and_bounded(config in arb_config(), ops in arb_ops()) {
+        let mut mem = MemorySystem::new(&config, CycleTime::from_ns(40).unwrap());
+        let mut now = 0u64;
+        for &(kind, addr, gap) in &ops {
+            let a = WordAddr::new(addr);
+            let t = match kind {
+                0 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: None }),
+                1 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: Some((WordAddr::new(addr ^ 0x1000), 4)) }),
+                _ => mem.write_word(now, Pid(0), a),
+            };
+            prop_assert!(t >= now, "completion {t} before request {now}");
+            prop_assert!(mem.pending_writes() <= config.wb_depth() as usize);
+            now = t + gap as u64;
+        }
+        mem.drain_all(now);
+        prop_assert_eq!(mem.pending_writes(), 0);
+    }
+
+    /// Replaying the same op sequence gives identical completion times and
+    /// statistics (full determinism).
+    #[test]
+    fn deterministic(config in arb_config(), ops in arb_ops()) {
+        let run = || {
+            let mut mem = MemorySystem::new(&config, CycleTime::from_ns(40).unwrap());
+            let mut now = 0u64;
+            let mut times = Vec::new();
+            for &(kind, addr, gap) in &ops {
+                let a = WordAddr::new(addr);
+                let t = match kind {
+                    0 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: None }),
+                    1 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: Some((WordAddr::new(addr ^ 0x1000), 4)) }),
+                    _ => mem.write_word(now, Pid(0), a),
+                };
+                times.push(t);
+                now = t + gap as u64;
+            }
+            (times, *mem.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Write-back traffic conservation: every accepted write eventually
+    /// drains, and drained words equal pushed words (when coalescing is
+    /// off).
+    #[test]
+    fn write_conservation(ops in arb_ops()) {
+        let config = MemoryConfig::builder().wb_coalesce(false).build().unwrap();
+        let mut mem = MemorySystem::new(&config, CycleTime::from_ns(40).unwrap());
+        let mut now = 0u64;
+        let mut pushed_words = 0u64;
+        for &(kind, addr, gap) in &ops {
+            let a = WordAddr::new(addr);
+            if kind == 2 {
+                now = mem.write_word(now, Pid(0), a);
+                pushed_words += 1;
+            } else {
+                let victim = (kind == 1).then(|| (WordAddr::new(addr ^ 0x1000), 4u32));
+                if victim.is_some() { pushed_words += 4; }
+                now = mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim });
+            }
+            now += gap as u64;
+        }
+        mem.drain_all(now);
+        prop_assert_eq!(mem.stats().write_words, pushed_words);
+    }
+
+    /// Quantization sanity across cycle times: the read time in *cycles*
+    /// never increases when the cycle time grows (Table 2's monotonicity).
+    #[test]
+    fn read_cycles_monotone_in_cycle_time(config in arb_config(), words_log in 0u32..6) {
+        let words = 1u32 << words_log;
+        let mut prev = u64::MAX;
+        for ns in 1..200u32 {
+            let t = MemoryTiming::new(&config, CycleTime::from_ns(ns).unwrap());
+            let cycles = t.read_time(words);
+            prop_assert!(cycles <= prev);
+            prev = cycles;
+        }
+    }
+
+    /// Elapsed nanoseconds of a read (cycles × cycle time) never falls
+    /// below the asynchronous component: quantization only adds time.
+    #[test]
+    fn quantization_never_loses_time(config in arb_config(), ns in 1u32..200) {
+        let ct = CycleTime::from_ns(ns).unwrap();
+        let t = MemoryTiming::new(&config, ct);
+        let elapsed_ns = t.latency_cycles() * ns as u64;
+        prop_assert!(elapsed_ns >= config.read_op().0);
+        prop_assert!(elapsed_ns < config.read_op().0 + ns as u64);
+    }
+
+    /// Metamorphic: enabling coalescing never increases the number of
+    /// memory write operations (it can only merge them).
+    #[test]
+    fn coalescing_never_adds_write_ops(ops in arb_ops()) {
+        let run = |coalesce: bool| {
+            let config = MemoryConfig::builder().wb_coalesce(coalesce).build().unwrap();
+            let mut mem = MemorySystem::new(&config, CycleTime::from_ns(40).unwrap());
+            let mut now = 0u64;
+            for &(kind, addr, gap) in &ops {
+                let a = WordAddr::new(addr);
+                now = match kind {
+                    0 | 1 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: None }),
+                    _ => mem.write_word(now, Pid(0), a),
+                } + gap as u64;
+            }
+            mem.drain_all(now);
+            mem.stats().writes
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+
+    /// Metamorphic: a longer drain delay never increases write operations
+    /// (a longer aging window only improves merging).
+    #[test]
+    fn longer_drain_delay_never_adds_write_ops(ops in arb_ops(), d1 in 0u64..16, extra in 1u64..64) {
+        let run = |delay: u64| {
+            let config = MemoryConfig::builder().wb_drain_delay(delay).build().unwrap();
+            let mut mem = MemorySystem::new(&config, CycleTime::from_ns(40).unwrap());
+            let mut now = 0u64;
+            for &(kind, addr, gap) in &ops {
+                let a = WordAddr::new(addr);
+                now = match kind {
+                    0 | 1 => mem.fill(now, FillRequest { pid: Pid(0), addr: a, words: 4, victim: None }),
+                    _ => mem.write_word(now, Pid(0), a),
+                } + gap as u64;
+            }
+            mem.drain_all(now);
+            mem.stats().writes
+        };
+        prop_assert!(run(d1 + extra) <= run(d1));
+    }
+}

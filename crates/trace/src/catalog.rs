@@ -1,0 +1,262 @@
+//! The eight synthetic workloads mirroring the paper's Table 1.
+//!
+//! | Name  | Procs | Refs (M) | Unique words (K) | Family |
+//! |-------|-------|----------|------------------|--------|
+//! | mu3   | 7     | 1.439    | 33.1             | VAX/VMS (OS refs) |
+//! | mu6   | 11    | 1.543    | 49.6             | VAX/VMS |
+//! | mu10  | 14    | 1.094    | 49.4             | VAX/VMS |
+//! | savec | 6     | 1.162    | 25.2             | VAX/Ultrix |
+//! | rd1n3 | 3     | 1.489    | 299              | R2000, init prefix |
+//! | rd2n4 | 4     | 1.314    | 241              | R2000, init prefix |
+//! | rd1n5 | 5     | 1.314    | 248              | R2000, egrep start-up |
+//! | rd2n7 | 7     | 1.678    | 448              | R2000, grep start-up |
+//!
+//! Every constructor takes a `scale` factor applied to the reference
+//! counts (1.0 = paper-sized, ~1–1.7 M references; tests and benches use
+//! much smaller scales). Footprints are *not* scaled: the miss-ratio
+//! curves the experiments measure are footprint-determined.
+
+use crate::multiprogram::WorkloadSpec;
+use crate::process::ProcessParams;
+use crate::trace::Trace;
+
+/// The paper's warm-start boundary for the VAX traces, in references.
+const VAX_WARM_UP: usize = 450_000;
+/// Mean context-switch interval in references (matches the VMS-quantum
+/// scale of the ATUM snapshots).
+const MEAN_SWITCH: f64 = 9_000.0;
+
+fn scaled(n: f64, scale: f64) -> usize {
+    ((n * scale) as usize).max(2_000)
+}
+
+/// Splits a total footprint (in Kwords) across `n` processes with a spread
+/// of sizes (real workloads are not uniform), returning per-process
+/// (code, data) word counts.
+fn split_footprint(total_kwords: f64, n: usize, code_frac: f64) -> Vec<(u64, u64)> {
+    let total_words = total_kwords * 1024.0;
+    // Weights 1, 1.35, 1.7, ... normalized.
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + 0.35 * i as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| {
+            let words = total_words * w / wsum;
+            let code = (words * code_frac) as u64;
+            let data = (words * (1.0 - code_frac)) as u64;
+            (code, data)
+        })
+        .collect()
+}
+
+fn vax_spec(
+    name: &str,
+    n_procs: usize,
+    refs_m: f64,
+    unique_kwords: f64,
+    scale: f64,
+    seed: u64,
+) -> WorkloadSpec {
+    let processes = split_footprint(unique_kwords, n_procs, 0.42)
+        .into_iter()
+        .map(|(c, d)| ProcessParams::vax_like(c, d))
+        .collect();
+    WorkloadSpec {
+        name: name.into(),
+        processes,
+        length: scaled(refs_m * 1e6 - VAX_WARM_UP as f64, scale),
+        warm_up: scaled(VAX_WARM_UP as f64, scale),
+        mean_switch: MEAN_SWITCH,
+        os_process: true,
+        init_prefix: false,
+        seed,
+    }
+}
+
+fn risc_spec(
+    name: &str,
+    n_procs: usize,
+    refs_m: f64,
+    unique_kwords: f64,
+    startup_zero: Option<u64>,
+    scale: f64,
+    seed: u64,
+) -> WorkloadSpec {
+    // Table 1's unique-address counts for the R2000 traces include their
+    // initialization prefixes; only part of the footprint stays live in
+    // the traced window. Split ~30% live / ~60% prefix-only cold data.
+    let mut processes: Vec<ProcessParams> = split_footprint(unique_kwords * 0.32, n_procs, 0.18)
+        .into_iter()
+        .map(|(c, d)| {
+            let cold = (unique_kwords * 0.60 * 1024.0 / n_procs as f64) as u64;
+            ProcessParams::risc_like(c, d).with_cold_words(cold)
+        })
+        .collect();
+    if let Some(words) = startup_zero {
+        // The grep/egrep-like process zeroes its data space at start.
+        let last = processes.len() - 1;
+        processes[last] = processes[last].clone().with_startup_zero(words);
+    }
+    WorkloadSpec {
+        name: name.into(),
+        processes,
+        length: scaled(refs_m * 1e6, scale),
+        warm_up: 0,
+        mean_switch: MEAN_SWITCH,
+        os_process: false,
+        init_prefix: true,
+        seed,
+    }
+}
+
+/// `mu3`: Fortran compile, microcode allocator, directory search under VMS.
+pub fn mu3(scale: f64) -> WorkloadSpec {
+    vax_spec("mu3", 7, 1.439, 33.1, scale, 0x3001)
+}
+
+/// `mu6`: `mu3` plus Pascal compile, 4x1x5, spice.
+pub fn mu6(scale: f64) -> WorkloadSpec {
+    vax_spec("mu6", 11, 1.543, 49.6, scale, 0x3002)
+}
+
+/// `mu10`: `mu6` plus jacobian, string search, assembler, octal dump,
+/// linker.
+pub fn mu10(scale: f64) -> WorkloadSpec {
+    vax_spec("mu10", 14, 1.094, 49.4, scale, 0x3003)
+}
+
+/// `savec`: C compile with miscellaneous other activity under Ultrix.
+pub fn savec(scale: f64) -> WorkloadSpec {
+    vax_spec("savec", 6, 1.162, 25.2, scale, 0x3004)
+}
+
+/// `rd1n3`: emacs, switch, rsim.
+pub fn rd1n3(scale: f64) -> WorkloadSpec {
+    risc_spec("rd1n3", 3, 1.489, 299.0, None, scale, 0x4001)
+}
+
+/// `rd2n4`: C compiler front end, emacs, troff, a trace analyzer.
+pub fn rd2n4(scale: f64) -> WorkloadSpec {
+    risc_spec("rd2n4", 4, 1.314, 241.0, None, scale, 0x4002)
+}
+
+/// `rd1n5`: `rd2n4` plus egrep searching 400 KB in 27 files (observed from
+/// start of execution — its data space gets zeroed).
+pub fn rd1n5(scale: f64) -> WorkloadSpec {
+    risc_spec("rd1n5", 5, 1.314, 248.0, Some(50_000), scale, 0x4003)
+}
+
+/// `rd2n7`: `rd2n4` plus rsim, grep doing a constant search, emacs.
+pub fn rd2n7(scale: f64) -> WorkloadSpec {
+    risc_spec("rd2n7", 7, 1.678, 448.0, Some(40_000), scale, 0x4004)
+}
+
+/// All eight workload specs, in the paper's Table 1 order.
+pub fn all(scale: f64) -> Vec<WorkloadSpec> {
+    vec![
+        mu3(scale),
+        mu6(scale),
+        mu10(scale),
+        savec(scale),
+        rd1n3(scale),
+        rd2n4(scale),
+        rd1n5(scale),
+        rd2n7(scale),
+    ]
+}
+
+/// Generates every catalog trace at the given scale.
+pub fn generate_all(scale: f64) -> Vec<Trace> {
+    all(scale).iter().map(WorkloadSpec::generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eight_traces() {
+        let specs = all(0.01);
+        assert_eq!(specs.len(), 8);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["mu3", "mu6", "mu10", "savec", "rd1n3", "rd2n4", "rd1n5", "rd2n7"]
+        );
+    }
+
+    #[test]
+    fn process_counts_match_table_1() {
+        let specs = all(0.01);
+        let procs: Vec<usize> = specs.iter().map(|s| s.processes.len()).collect();
+        assert_eq!(procs, [7, 11, 14, 6, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn vax_traces_have_os_and_no_prefix() {
+        for spec in &all(0.01)[..4] {
+            assert!(spec.os_process, "{}", spec.name);
+            assert!(!spec.init_prefix, "{}", spec.name);
+            assert!(spec.warm_up > 0);
+        }
+    }
+
+    #[test]
+    fn risc_traces_have_prefix_and_no_os() {
+        for spec in &all(0.01)[4..] {
+            assert!(!spec.os_process, "{}", spec.name);
+            assert!(spec.init_prefix, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn grep_traces_zero_their_data_space() {
+        assert!(rd1n5(0.01)
+            .processes
+            .iter()
+            .any(|p| p.startup_zero_words > 0));
+        assert!(rd2n7(0.01)
+            .processes
+            .iter()
+            .any(|p| p.startup_zero_words > 0));
+        assert!(rd1n3(0.01)
+            .processes
+            .iter()
+            .all(|p| p.startup_zero_words == 0));
+    }
+
+    #[test]
+    fn risc_traces_have_larger_footprints() {
+        let vax_total: u64 = mu3(0.01)
+            .processes
+            .iter()
+            .map(|p| p.code_words + p.data_words)
+            .sum();
+        let risc_total: u64 = rd1n3(0.01)
+            .processes
+            .iter()
+            .map(|p| p.code_words + p.data_words + p.cold_words)
+            .sum();
+        assert!(risc_total > 4 * vax_total);
+    }
+
+    #[test]
+    fn scale_changes_length_not_footprint() {
+        let small = mu3(0.01);
+        let big = mu3(0.1);
+        assert!(big.length > small.length);
+        assert_eq!(small.processes, big.processes);
+    }
+
+    #[test]
+    fn generated_trace_footprint_in_table_1_ballpark() {
+        // mu3 targets 33.1K unique words; the generator cannot exceed the
+        // configured footprint and should touch most of it.
+        let t = mu3(0.15).generate();
+        let unique = t.stats().unique_words;
+        assert!(
+            (8_000..=40_000).contains(&unique),
+            "mu3 unique words {unique} far from Table 1's 33.1K"
+        );
+    }
+}

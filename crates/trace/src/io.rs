@@ -1,0 +1,293 @@
+//! Reading and writing traces in the classic `din` (DineroIV) format.
+//!
+//! The synthetic catalog stands in for the paper's unavailable traces, but
+//! the simulator is format-agnostic: any address trace in the widely used
+//! `din` ASCII format can be fed in. Each line is
+//!
+//! ```text
+//! <label> <hex-address> [pid]
+//! ```
+//!
+//! with label `0` = data read, `1` = data write, `2` = instruction fetch,
+//! and the address in (optionally `0x`-prefixed) hexadecimal **bytes**.
+//! The optional third field is a `cachetime` extension carrying the
+//! process id (default 0) so multiprogrammed traces round-trip; `#`-prefix
+//! comment lines and blank lines are ignored.
+
+use crate::trace::Trace;
+use cachetime_types::{AccessKind, MemRef, Pid, WordAddr};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A malformed `din` line.
+#[derive(Debug)]
+pub struct ParseDinError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "din parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDinError {}
+
+impl From<ParseDinError> for io::Error {
+    fn from(e: ParseDinError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Parses a `din` stream into references.
+///
+/// # Errors
+///
+/// Returns [`ParseDinError`] (wrapped in `io::Error` by the `From` impl
+/// where convenient) on unknown labels, bad hex, or trailing junk; plain
+/// `io::Error` on read failures is surfaced as a parse error with the
+/// offending line number.
+pub fn parse_din<R: BufRead>(reader: R) -> Result<Vec<MemRef>, ParseDinError> {
+    DinIter::new(reader).collect()
+}
+
+/// Parses one non-comment, non-blank `din` line.
+fn parse_line(trimmed: &str, lineno: usize) -> Result<MemRef, ParseDinError> {
+    let mut fields = trimmed.split_whitespace();
+    let label = fields.next().expect("nonempty line has a field");
+    let kind = match label {
+        "0" => AccessKind::Load,
+        "1" => AccessKind::Store,
+        "2" => AccessKind::IFetch,
+        other => {
+            return Err(ParseDinError {
+                line: lineno,
+                message: format!("unknown label '{other}' (expected 0, 1, or 2)"),
+            })
+        }
+    };
+    let addr_str = fields.next().ok_or_else(|| ParseDinError {
+        line: lineno,
+        message: "missing address field".into(),
+    })?;
+    let hex = addr_str
+        .strip_prefix("0x")
+        .or_else(|| addr_str.strip_prefix("0X"))
+        .unwrap_or(addr_str);
+    let byte_addr = u64::from_str_radix(hex, 16).map_err(|e| ParseDinError {
+        line: lineno,
+        message: format!("bad hex address '{addr_str}': {e}"),
+    })?;
+    let pid = match fields.next() {
+        None => Pid(0),
+        Some(p) => Pid(p.parse().map_err(|e| ParseDinError {
+            line: lineno,
+            message: format!("bad pid '{p}': {e}"),
+        })?),
+    };
+    if let Some(junk) = fields.next() {
+        return Err(ParseDinError {
+            line: lineno,
+            message: format!("trailing junk '{junk}'"),
+        });
+    }
+    Ok(MemRef::new(WordAddr::from_byte_addr(byte_addr), kind, pid))
+}
+
+/// Writes references as `din` lines (with the pid extension field whenever
+/// a reference carries a nonzero pid).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_din<W: Write>(mut writer: W, refs: &[MemRef]) -> io::Result<()> {
+    for r in refs {
+        let label = match r.kind {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::IFetch => 2,
+        };
+        if r.pid.0 == 0 {
+            writeln!(writer, "{label} {:x}", r.addr.to_byte_addr())?;
+        } else {
+            writeln!(writer, "{label} {:x} {}", r.addr.to_byte_addr(), r.pid.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// A streaming `din` parser: yields one [`MemRef`] per data line without
+/// materializing the file.
+///
+/// Pair with `Simulator::run_refs` to drive arbitrarily large traces at
+/// constant memory. Errors surface as the iterator's `Err` items; parsing
+/// stops at the first error.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_trace::io::DinIter;
+///
+/// let refs: Result<Vec<_>, _> = DinIter::new("2 1000\n0 2004\n".as_bytes()).collect();
+/// assert_eq!(refs.unwrap().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DinIter<R> {
+    lines: io::Lines<R>,
+    lineno: usize,
+}
+
+impl<R: BufRead> DinIter<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        DinIter {
+            lines: reader.lines(),
+            lineno: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for DinIter<R> {
+    type Item = Result<MemRef, ParseDinError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.lineno += 1;
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => {
+                    return Some(Err(ParseDinError {
+                        line: self.lineno,
+                        message: format!("read failed: {e}"),
+                    }))
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(parse_line(trimmed, self.lineno));
+        }
+    }
+}
+
+/// Reads a whole `din` file into a [`Trace`].
+///
+/// # Errors
+///
+/// I/O errors and [`ParseDinError`]s, both as `io::Error`.
+pub fn read_din_trace(path: &std::path::Path, name: &str, warm_start: usize) -> io::Result<Trace> {
+    let file = std::fs::File::open(path)?;
+    let refs = parse_din(io::BufReader::new(file))?;
+    if warm_start > refs.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("warm start {warm_start} beyond trace length {}", refs.len()),
+        ));
+    }
+    Ok(Trace::new(name, refs, warm_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_labels() {
+        let input = "0 1000\n1 0x2004\n2 3fff\n";
+        let refs = parse_din(input.as_bytes()).unwrap();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(
+            refs[0],
+            MemRef::load(WordAddr::from_byte_addr(0x1000), Pid(0))
+        );
+        assert_eq!(
+            refs[1],
+            MemRef::store(WordAddr::from_byte_addr(0x2004), Pid(0))
+        );
+        assert_eq!(
+            refs[2],
+            MemRef::ifetch(WordAddr::from_byte_addr(0x3fff), Pid(0))
+        );
+    }
+
+    #[test]
+    fn pid_extension_and_comments() {
+        let input = "# a comment\n\n0 100 7\n";
+        let refs = parse_din(input.as_bytes()).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].pid, Pid(7));
+    }
+
+    #[test]
+    fn rejects_bad_input_with_line_numbers() {
+        for (input, needle) in [
+            ("3 100\n", "unknown label"),
+            ("0\n", "missing address"),
+            ("0 zzz\n", "bad hex"),
+            ("0 100 1 extra\n", "trailing junk"),
+            ("0 100 notanum\n", "bad pid"),
+        ] {
+            let err = parse_din(format!("0 0\n{input}").as_bytes()).unwrap_err();
+            assert_eq!(err.line, 2, "{input}");
+            assert!(err.to_string().contains(needle), "{input}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let refs = vec![
+            MemRef::load(WordAddr::new(0x40), Pid(0)),
+            MemRef::store(WordAddr::new(0x41), Pid(3)),
+            MemRef::ifetch(WordAddr::new(0x1000), Pid(1)),
+        ];
+        let mut buf = Vec::new();
+        write_din(&mut buf, &refs).unwrap();
+        let back = parse_din(buf.as_slice()).unwrap();
+        assert_eq!(refs, back);
+    }
+
+    #[test]
+    fn sub_word_byte_addresses_truncate_to_words() {
+        let refs = parse_din("0 1001\n0 1002\n".as_bytes()).unwrap();
+        assert_eq!(refs[0].addr, refs[1].addr, "same word");
+    }
+
+    #[test]
+    fn streaming_iterator_matches_batch_parse() {
+        let input = "# c\n2 1000\n\n0 2004 3\n1 abc0\n";
+        let batch = parse_din(input.as_bytes()).unwrap();
+        let streamed: Result<Vec<_>, _> = DinIter::new(input.as_bytes()).collect();
+        assert_eq!(batch, streamed.unwrap());
+    }
+
+    #[test]
+    fn streaming_iterator_reports_error_line() {
+        let mut it = DinIter::new("0 10\n5 20\n".as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn file_round_trip_with_warm_start() {
+        let dir = std::env::temp_dir().join("cachetime-din-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.din");
+        let refs: Vec<MemRef> = (0..10)
+            .map(|i| MemRef::load(WordAddr::new(i), Pid(0)))
+            .collect();
+        let mut buf = Vec::new();
+        write_din(&mut buf, &refs).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        let trace = read_din_trace(&path, "t", 4).unwrap();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.warm_start(), 4);
+        assert!(read_din_trace(&path, "t", 11).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,147 @@
+//! Move-to-front stack with truncated-Pareto distance sampling.
+//!
+//! The classic LRU-stack-distance model of temporal locality: each reuse
+//! targets the item at stack depth `d`, where `d` follows a heavy-tailed
+//! distribution, and the touched item moves to the top. A Pareto tail
+//! (`P(d) ∝ d^-α`) yields miss-ratio-versus-size curves with the gradual
+//! flattening real programs show (paper, Figure 3-1).
+
+use rand::Rng;
+
+/// A move-to-front stack over item ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct MtfStack {
+    /// `items[0]` is the most recently used.
+    items: Vec<u32>,
+}
+
+impl MtfStack {
+    /// Creates a stack over ids `0..n` in arbitrary (identity) initial
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; a locality model needs at least one item.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "MtfStack needs at least one item");
+        MtfStack {
+            items: (0..n).collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Always `false`: the stack is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a stack depth from a Pareto(`alpha`) distribution truncated
+    /// to the stack size, returns the item at that depth, and moves it to
+    /// the front.
+    ///
+    /// Smaller `alpha` means a heavier tail (less locality); `alpha` well
+    /// above 1 concentrates reuse near the top of the stack.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, alpha: f64) -> u32 {
+        let depth = pareto_depth(rng, self.items.len(), alpha);
+        let item = self.items.remove(depth);
+        self.items.insert(0, item);
+        item
+    }
+
+    /// Returns the most recently used item without perturbing the stack.
+    pub fn front(&self) -> u32 {
+        self.items[0]
+    }
+}
+
+/// Samples a 0-based depth in `[0, n)` with `P(depth = d-1) ∝ d^-alpha`
+/// (`d` 1-based), via inverse-CDF of the continuous truncated Pareto.
+fn pareto_depth<R: Rng + ?Sized>(rng: &mut R, n: usize, alpha: f64) -> usize {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    let x = if (alpha - 1.0).abs() < 1e-9 {
+        // alpha == 1: F(x) = ln(x)/ln(n)
+        (n as f64).powf(u)
+    } else {
+        let b = (n as f64).powf(1.0 - alpha);
+        (1.0 - u * (1.0 - b)).powf(1.0 / (1.0 - alpha))
+    };
+    (x.floor() as usize).clamp(1, n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        MtfStack::new(0);
+    }
+
+    #[test]
+    fn singleton_always_returns_it() {
+        let mut s = MtfStack::new(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng, 1.5), 0);
+        }
+    }
+
+    #[test]
+    fn sampled_item_moves_to_front() {
+        let mut s = MtfStack::new(100);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let item = s.sample(&mut rng, 1.3);
+            assert_eq!(s.front(), item);
+        }
+        assert_eq!(s.len(), 100, "items are conserved");
+    }
+
+    #[test]
+    fn depths_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [1usize, 2, 7, 1000] {
+            for alpha in [0.8, 1.0, 1.5, 2.5] {
+                for _ in 0..200 {
+                    let d = pareto_depth(&mut rng, n, alpha);
+                    assert!(d < n, "depth {d} out of range for n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_reuse() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mean = |alpha: f64, rng: &mut SmallRng| {
+            let total: usize = (0..20_000).map(|_| pareto_depth(rng, 10_000, alpha)).sum();
+            total as f64 / 20_000.0
+        };
+        let tight = mean(2.0, &mut rng);
+        let loose = mean(1.1, &mut rng);
+        assert!(
+            tight < loose,
+            "alpha=2.0 mean depth {tight} should be below alpha=1.1 mean {loose}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_reaches_deep_items() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let deep = (0..50_000)
+            .filter(|_| pareto_depth(&mut rng, 10_000, 1.2) > 1_000)
+            .count();
+        assert!(deep > 100, "tail must occasionally reach deep: {deep}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Word-granular virtual addresses.
+
+use std::fmt;
+
+/// Number of bytes in one machine word (the paper defines a word as 32 bits).
+pub const BYTES_PER_WORD: u64 = 4;
+
+/// A virtual address measured in 32-bit words.
+///
+/// The paper's traces are preprocessed so that every reference is a word
+/// reference; the simulator therefore never deals with sub-word addresses.
+/// The zero-cost wrapper keeps word addresses from being confused with byte
+/// addresses or raw counters.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_types::WordAddr;
+///
+/// let a = WordAddr::new(0x1003);
+/// assert_eq!(a.to_byte_addr(), 0x400c);
+/// assert_eq!(WordAddr::from_byte_addr(0x400c), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(u64);
+
+impl WordAddr {
+    /// Creates a word address from a raw word index.
+    #[inline]
+    pub const fn new(words: u64) -> Self {
+        WordAddr(words)
+    }
+
+    /// Creates a word address from a byte address, discarding sub-word bits.
+    #[inline]
+    pub const fn from_byte_addr(bytes: u64) -> Self {
+        WordAddr(bytes / BYTES_PER_WORD)
+    }
+
+    /// Returns the raw word index.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the equivalent byte address of the first byte of the word.
+    #[inline]
+    pub const fn to_byte_addr(self) -> u64 {
+        self.0 * BYTES_PER_WORD
+    }
+
+    /// Returns the address of the block containing this word, for blocks of
+    /// `block_words` words. `block_words` must be a power of two.
+    #[inline]
+    pub const fn block(self, block_words: u32) -> BlockAddr {
+        BlockAddr(self.0 >> block_words.trailing_zeros())
+    }
+
+    /// Returns the word offset of this address within its block.
+    #[inline]
+    pub const fn offset_in_block(self, block_words: u32) -> u32 {
+        (self.0 & (block_words as u64 - 1)) as u32
+    }
+
+    /// Returns the address advanced by `words` words.
+    #[inline]
+    pub const fn add_words(self, words: u64) -> Self {
+        WordAddr(self.0.wrapping_add(words))
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{:#x}", self.0)
+    }
+}
+
+impl From<u64> for WordAddr {
+    fn from(words: u64) -> Self {
+        WordAddr::new(words)
+    }
+}
+
+/// The address of a cache block (a word address shifted right by the block
+/// offset bits).
+///
+/// Two [`WordAddr`]s map to the same `BlockAddr` exactly when they fall in
+/// the same cache block, making block addresses the natural key for tag
+/// comparison and write-buffer address matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block index.
+    #[inline]
+    pub const fn new(blocks: u64) -> Self {
+        BlockAddr(blocks)
+    }
+
+    /// Returns the raw block index.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the word address of the first word of the block.
+    #[inline]
+    pub const fn first_word(self, block_words: u32) -> WordAddr {
+        WordAddr(self.0 << block_words.trailing_zeros())
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_word_round_trip() {
+        for w in [0u64, 1, 7, 0x1000, u64::MAX / 8] {
+            let a = WordAddr::new(w);
+            assert_eq!(WordAddr::from_byte_addr(a.to_byte_addr()), a);
+        }
+    }
+
+    #[test]
+    fn from_byte_addr_truncates_subword_bits() {
+        assert_eq!(WordAddr::from_byte_addr(7), WordAddr::new(1));
+        assert_eq!(WordAddr::from_byte_addr(8), WordAddr::new(2));
+    }
+
+    #[test]
+    fn block_mapping_four_word_blocks() {
+        let a = WordAddr::new(0x13);
+        assert_eq!(a.block(4), BlockAddr::new(0x4));
+        assert_eq!(a.offset_in_block(4), 3);
+        assert_eq!(a.block(4).first_word(4), WordAddr::new(0x10));
+    }
+
+    #[test]
+    fn block_mapping_single_word_blocks() {
+        let a = WordAddr::new(0x13);
+        assert_eq!(a.block(1), BlockAddr::new(0x13));
+        assert_eq!(a.offset_in_block(1), 0);
+    }
+
+    #[test]
+    fn same_block_iff_same_block_addr() {
+        let a = WordAddr::new(32);
+        let b = WordAddr::new(39);
+        let c = WordAddr::new(40);
+        assert_eq!(a.block(8), b.block(8));
+        assert_ne!(a.block(8), c.block(8));
+    }
+
+    #[test]
+    fn add_words_advances() {
+        assert_eq!(WordAddr::new(10).add_words(6), WordAddr::new(16));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", WordAddr::new(0)).is_empty());
+        assert!(!format!("{}", BlockAddr::new(0)).is_empty());
+    }
+}

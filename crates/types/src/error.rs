@@ -1,0 +1,96 @@
+//! Configuration validation errors shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulator configuration parameter.
+///
+/// Every `cachetime` configuration constructor validates its arguments and
+/// reports failures with this type, so a whole `SystemConfig` can be built
+/// with `?` and one error path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A size-like parameter that must be a nonzero power of two was not.
+    NotPowerOfTwo {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The cycle time was zero.
+    ZeroCycleTime,
+    /// Two parameters are individually valid but mutually inconsistent.
+    Inconsistent {
+        /// Human-readable description of the conflict.
+        what: &'static str,
+    },
+    /// A parameter fell outside its supported range.
+    OutOfRange {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Lowest accepted value.
+        min: u64,
+        /// Highest accepted value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a nonzero power of two, got {value}")
+            }
+            ConfigError::ZeroCycleTime => f.write_str("cycle time must be nonzero"),
+            ConfigError::Inconsistent { what } => write!(f, "inconsistent configuration: {what}"),
+            ConfigError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} must be in [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "block size (words)",
+            value: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("block size"));
+        assert!(msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn out_of_range_mentions_bounds() {
+        let e = ConfigError::OutOfRange {
+            what: "write buffer depth",
+            value: 99,
+            min: 0,
+            max: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[0, 64]"));
+        assert!(msg.contains("99"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Memory references: the atoms of a trace.
+
+use crate::addr::WordAddr;
+use std::fmt;
+
+/// A process identifier.
+///
+/// The paper simulates *virtual* caches that concatenate the process
+/// identifier with the high-order address bits in the tag field, so the PID
+/// travels with every reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u16);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The kind of a memory reference.
+///
+/// The paper defines a *read* to be either a load or an instruction fetch;
+/// [`AccessKind::is_read`] captures that grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An instruction fetch (a read serviced by the instruction cache).
+    IFetch,
+    /// A data load (a read serviced by the data cache).
+    Load,
+    /// A data store (serviced by the data cache).
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for loads and instruction fetches.
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        !matches!(self, AccessKind::Store)
+    }
+
+    /// Returns `true` for loads and stores (references to the data cache).
+    #[inline]
+    pub const fn is_data(self) -> bool {
+        !matches!(self, AccessKind::IFetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::IFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory reference of a trace: a word address, an access kind, and the
+/// process that issued it.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_types::{AccessKind, MemRef, Pid, WordAddr};
+///
+/// let r = MemRef::new(WordAddr::new(0x100), AccessKind::Load, Pid(3));
+/// assert!(r.kind.is_read());
+/// assert!(r.kind.is_data());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The referenced word address (virtual).
+    pub addr: WordAddr,
+    /// Whether this is an instruction fetch, load, or store.
+    pub kind: AccessKind,
+    /// The issuing process.
+    pub pid: Pid,
+}
+
+impl MemRef {
+    /// Creates a reference.
+    #[inline]
+    pub const fn new(addr: WordAddr, kind: AccessKind, pid: Pid) -> Self {
+        MemRef { addr, kind, pid }
+    }
+
+    /// Convenience constructor for an instruction fetch.
+    #[inline]
+    pub const fn ifetch(addr: WordAddr, pid: Pid) -> Self {
+        MemRef::new(addr, AccessKind::IFetch, pid)
+    }
+
+    /// Convenience constructor for a load.
+    #[inline]
+    pub const fn load(addr: WordAddr, pid: Pid) -> Self {
+        MemRef::new(addr, AccessKind::Load, pid)
+    }
+
+    /// Convenience constructor for a store.
+    #[inline]
+    pub const fn store(addr: WordAddr, pid: Pid) -> Self {
+        MemRef::new(addr, AccessKind::Store, pid)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.pid, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_loads_and_ifetches() {
+        assert!(AccessKind::IFetch.is_read());
+        assert!(AccessKind::Load.is_read());
+        assert!(!AccessKind::Store.is_read());
+    }
+
+    #[test]
+    fn data_refs_are_loads_and_stores() {
+        assert!(!AccessKind::IFetch.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = WordAddr::new(1);
+        assert_eq!(MemRef::ifetch(a, Pid(0)).kind, AccessKind::IFetch);
+        assert_eq!(MemRef::load(a, Pid(0)).kind, AccessKind::Load);
+        assert_eq!(MemRef::store(a, Pid(0)).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn memref_is_compact() {
+        // The simulator holds millions of these in memory; keep them small.
+        assert!(std::mem::size_of::<MemRef>() <= 16);
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        let r = MemRef::store(WordAddr::new(2), Pid(7));
+        let s = format!("{r}");
+        assert!(s.contains("store"));
+        assert!(s.contains("P7"));
+    }
+}

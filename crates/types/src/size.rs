@@ -1,0 +1,268 @@
+//! Validated cache-organization size parameters.
+
+use crate::addr::BYTES_PER_WORD;
+use crate::error::ConfigError;
+use std::fmt;
+
+/// The capacity of one cache's data portion, in bytes.
+///
+/// Must be a power of two and at least one word. The paper quotes cache
+/// sizes in kilobytes of data store (tags excluded); [`CacheSize::from_kib`]
+/// mirrors that usage.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_types::{BlockWords, CacheSize};
+///
+/// let size = CacheSize::from_kib(64)?;
+/// assert_eq!(size.bytes(), 65_536);
+/// assert_eq!(size.words(), 16_384);
+/// // The paper's default 64KB cache holds 4K four-word blocks.
+/// assert_eq!(size.blocks(BlockWords::new(4)?), 4096);
+/// # Ok::<(), cachetime_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheSize(u64);
+
+impl CacheSize {
+    /// Creates a cache size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotPowerOfTwo`] unless `bytes` is a power of
+    /// two no smaller than one word.
+    pub fn from_bytes(bytes: u64) -> Result<Self, ConfigError> {
+        if bytes.is_power_of_two() && bytes >= BYTES_PER_WORD {
+            Ok(CacheSize(bytes))
+        } else {
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size (bytes)",
+                value: bytes,
+            })
+        }
+    }
+
+    /// Creates a cache size from a kibibyte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotPowerOfTwo`] unless `kib * 1024` is a power
+    /// of two.
+    pub fn from_kib(kib: u64) -> Result<Self, ConfigError> {
+        Self::from_bytes(kib.saturating_mul(1024))
+    }
+
+    /// Returns the capacity in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the capacity in 32-bit words.
+    #[inline]
+    pub const fn words(self) -> u64 {
+        self.0 / BYTES_PER_WORD
+    }
+
+    /// Returns the capacity in kibibytes (rounding down below 1 KiB).
+    #[inline]
+    pub const fn kib(self) -> u64 {
+        self.0 / 1024
+    }
+
+    /// Returns the number of blocks of `block` words that fit.
+    #[inline]
+    pub const fn blocks(self, block: BlockWords) -> u64 {
+        self.words() / block.words() as u64
+    }
+
+    /// Returns the size doubled (useful for size sweeps).
+    #[inline]
+    pub const fn doubled(self) -> CacheSize {
+        CacheSize(self.0 * 2)
+    }
+}
+
+impl fmt::Display for CacheSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1 << 20 && self.0.is_multiple_of(1 << 20) {
+            write!(f, "{}MB", self.0 >> 20)
+        } else if self.0 >= 1024 && self.0.is_multiple_of(1024) {
+            write!(f, "{}KB", self.0 >> 10)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A cache block (line) size in words.
+///
+/// Must be a power of two. The paper's default is four words (16 bytes);
+/// its block-size study sweeps 1 through 256 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockWords(u32);
+
+impl BlockWords {
+    /// Creates a block size of `words` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotPowerOfTwo`] unless `words` is a nonzero
+    /// power of two.
+    pub fn new(words: u32) -> Result<Self, ConfigError> {
+        if words.is_power_of_two() {
+            Ok(BlockWords(words))
+        } else {
+            Err(ConfigError::NotPowerOfTwo {
+                what: "block size (words)",
+                value: words as u64,
+            })
+        }
+    }
+
+    /// Returns the block size in words.
+    #[inline]
+    pub const fn words(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the block size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0 as u64 * BYTES_PER_WORD
+    }
+
+    /// Returns the number of block-offset bits in a word address.
+    #[inline]
+    pub const fn offset_bits(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+}
+
+impl fmt::Display for BlockWords {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}W", self.0)
+    }
+}
+
+/// Degree of set associativity ("set size" in the paper's terminology).
+///
+/// Must be a power of two; 1 means direct mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assoc(u32);
+
+impl Assoc {
+    /// A direct-mapped organization (associativity one).
+    pub const DIRECT: Assoc = Assoc(1);
+
+    /// Creates an associativity of `ways` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotPowerOfTwo`] unless `ways` is a nonzero
+    /// power of two.
+    pub fn new(ways: u32) -> Result<Self, ConfigError> {
+        if ways.is_power_of_two() {
+            Ok(Assoc(ways))
+        } else {
+            Err(ConfigError::NotPowerOfTwo {
+                what: "associativity (ways)",
+                value: ways as u64,
+            })
+        }
+    }
+
+    /// Returns the number of ways.
+    #[inline]
+    pub const fn ways(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` for a direct-mapped (one-way) organization.
+    #[inline]
+    pub const fn is_direct(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Assoc {
+    fn default() -> Self {
+        Assoc::DIRECT
+    }
+}
+
+impl fmt::Display for Assoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_direct() {
+            f.write_str("direct-mapped")
+        } else {
+            write!(f, "{}-way", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_size_accepts_powers_of_two() {
+        assert!(CacheSize::from_bytes(4).is_ok());
+        assert!(CacheSize::from_kib(2).is_ok());
+        assert!(CacheSize::from_kib(2048).is_ok());
+    }
+
+    #[test]
+    fn cache_size_rejects_invalid() {
+        assert!(CacheSize::from_bytes(0).is_err());
+        assert!(CacheSize::from_bytes(3).is_err());
+        assert!(CacheSize::from_bytes(2).is_err()); // below one word
+        assert!(CacheSize::from_kib(3).is_err());
+    }
+
+    #[test]
+    fn default_org_block_count_matches_paper() {
+        // 64KB direct-mapped, 4-word blocks => 4K blocks (paper section 2).
+        let size = CacheSize::from_kib(64).unwrap();
+        let block = BlockWords::new(4).unwrap();
+        assert_eq!(size.blocks(block), 4096);
+    }
+
+    #[test]
+    fn display_uses_natural_units() {
+        assert_eq!(CacheSize::from_kib(64).unwrap().to_string(), "64KB");
+        assert_eq!(CacheSize::from_kib(2048).unwrap().to_string(), "2MB");
+        assert_eq!(CacheSize::from_bytes(512).unwrap().to_string(), "512B");
+    }
+
+    #[test]
+    fn block_words_validation() {
+        assert!(BlockWords::new(1).is_ok());
+        assert!(BlockWords::new(256).is_ok());
+        assert!(BlockWords::new(0).is_err());
+        assert!(BlockWords::new(6).is_err());
+    }
+
+    #[test]
+    fn block_offset_bits() {
+        assert_eq!(BlockWords::new(1).unwrap().offset_bits(), 0);
+        assert_eq!(BlockWords::new(4).unwrap().offset_bits(), 2);
+        assert_eq!(BlockWords::new(64).unwrap().offset_bits(), 6);
+    }
+
+    #[test]
+    fn assoc_validation_and_display() {
+        assert!(Assoc::new(0).is_err());
+        assert!(Assoc::new(3).is_err());
+        assert_eq!(Assoc::new(1).unwrap(), Assoc::DIRECT);
+        assert_eq!(Assoc::DIRECT.to_string(), "direct-mapped");
+        assert_eq!(Assoc::new(4).unwrap().to_string(), "4-way");
+    }
+
+    #[test]
+    fn doubled_doubles() {
+        let s = CacheSize::from_kib(8).unwrap();
+        assert_eq!(s.doubled().kib(), 16);
+    }
+}

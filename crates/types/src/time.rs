@@ -1,0 +1,228 @@
+//! Time quantities: cycle times, cycle counts, and nanoseconds.
+
+use crate::error::ConfigError;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration in nanoseconds.
+///
+/// Used for the asynchronous, technology-determined delays of the modeled
+/// system: DRAM access time, recovery time, and total execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero nanoseconds.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Returns the value as `f64` nanoseconds (for ratio computations).
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        Nanos(iter.map(|n| n.0).sum())
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// A count of clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the value as `f64` (for per-reference averages).
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// The CPU/cache clock period in nanoseconds.
+///
+/// The paper uniformly assumes the system cycle time is determined by the
+/// cache, and sweeps it from 20 ns to 80 ns. The memory system is synchronous
+/// to this clock, so nanosecond latencies quantize upward to whole cycles —
+/// the mechanism behind the paper's 56 ns anomaly, where shrinking the cycle
+/// time *increases* execution time because the miss penalty jumps from 8 to
+/// 9 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use cachetime_types::CycleTime;
+///
+/// let ct = CycleTime::from_ns(40)?;
+/// assert_eq!(ct.cycles_for(180), 5);   // 180ns DRAM latency
+/// assert_eq!(ct.cycles_for(120), 3);   // recovery
+/// // 56ns: 180/56 = 3.21 -> 4 cycles; at 60ns it is back down to 3.
+/// assert_eq!(CycleTime::from_ns(56)?.cycles_for(180), 4);
+/// assert_eq!(CycleTime::from_ns(60)?.cycles_for(180), 3);
+/// # Ok::<(), cachetime_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CycleTime(u32);
+
+impl CycleTime {
+    /// Creates a cycle time of `ns` nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroCycleTime`] if `ns` is zero.
+    pub fn from_ns(ns: u32) -> Result<Self, ConfigError> {
+        if ns == 0 {
+            Err(ConfigError::ZeroCycleTime)
+        } else {
+            Ok(CycleTime(ns))
+        }
+    }
+
+    /// Returns the clock period in nanoseconds.
+    #[inline]
+    pub const fn ns(self) -> u32 {
+        self.0
+    }
+
+    /// Quantizes an asynchronous delay of `ns` nanoseconds to whole cycles,
+    /// rounding up (a synchronous interface cannot sample early).
+    #[inline]
+    pub const fn cycles_for(self, ns: u64) -> u64 {
+        ns.div_ceil(self.0 as u64)
+    }
+
+    /// Converts a cycle count to elapsed nanoseconds.
+    #[inline]
+    pub const fn elapsed(self, cycles: Cycles) -> Nanos {
+        Nanos(cycles.0 * self.0 as u64)
+    }
+}
+
+impl fmt::Display for CycleTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns/cycle", self.0)
+    }
+}
+
+impl Mul<CycleTime> for Cycles {
+    type Output = Nanos;
+    fn mul(self, ct: CycleTime) -> Nanos {
+        ct.elapsed(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cycle_time_rejected() {
+        assert!(CycleTime::from_ns(0).is_err());
+        assert!(CycleTime::from_ns(1).is_ok());
+    }
+
+    #[test]
+    fn quantization_rounds_up() {
+        let ct = CycleTime::from_ns(40).unwrap();
+        assert_eq!(ct.cycles_for(0), 0);
+        assert_eq!(ct.cycles_for(1), 1);
+        assert_eq!(ct.cycles_for(40), 1);
+        assert_eq!(ct.cycles_for(41), 2);
+        assert_eq!(ct.cycles_for(180), 5);
+    }
+
+    #[test]
+    fn elapsed_multiplies() {
+        let ct = CycleTime::from_ns(40).unwrap();
+        assert_eq!(ct.elapsed(Cycles(10)), Nanos(400));
+        assert_eq!(Cycles(10) * ct, Nanos(400));
+    }
+
+    #[test]
+    fn fifty_six_ns_anomaly_mechanism() {
+        // Decreasing the cycle time from 60 to 56ns raises the read latency
+        // from 3 to 4 cycles (paper section 3).
+        assert_eq!(CycleTime::from_ns(60).unwrap().cycles_for(180), 3);
+        assert_eq!(CycleTime::from_ns(56).unwrap().cycles_for(180), 4);
+    }
+
+    #[test]
+    fn arithmetic_and_sums() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Nanos(10) - Nanos(4), Nanos(6));
+        let total: Cycles = [Cycles(1), Cycles(2)].into_iter().sum();
+        assert_eq!(total, Cycles(3));
+        let total: Nanos = [Nanos(5), Nanos(6)].into_iter().sum();
+        assert_eq!(total, Nanos(11));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Nanos(5).to_string(), "5ns");
+        assert_eq!(Cycles(5).to_string(), "5 cycles");
+        assert_eq!(CycleTime::from_ns(40).unwrap().to_string(), "40ns/cycle");
+    }
+}

@@ -1,0 +1,45 @@
+//! Section 4's question: you can add 2-way set associativity, but the
+//! select path costs you nanoseconds of cycle time. How many can you
+//! afford before it stops paying?
+//!
+//! The paper's answer for discrete TTL: almost never more than 6 ns (the
+//! worst-case data-in to data-out of an Advanced-Schottky multiplexor),
+//! and only small caches even reach that.
+//!
+//! ```text
+//! cargo run --release -p cachetime-experiments --example associativity_breakeven
+//! ```
+
+use cachetime_experiments::fig4_2;
+use cachetime_experiments::fig4_345;
+use cachetime_experiments::runner::TraceSet;
+
+fn main() {
+    println!("generating workloads and sweeping the design space...");
+    let traces = TraceSet::generate(0.15);
+    let grids = fig4_2::run_over(
+        &traces,
+        &[1, 2],
+        &[2, 8, 32, 128],
+        &[20, 28, 36, 44, 52, 60, 68, 76],
+    );
+    let map = fig4_345::run(&grids, 2);
+
+    println!("\nbreak-even cycle-time degradation for 2-way associativity (ns):");
+    println!("{}", fig4_345::render(&map));
+
+    const AS_MUX_NS: f64 = 6.0; // TI Advanced-Schottky multiplexor, data-in to data-out
+    let affordable = map
+        .break_even
+        .iter()
+        .flatten()
+        .flatten()
+        .filter(|&&b| b > AS_MUX_NS)
+        .count();
+    let total = map.break_even.iter().flatten().flatten().count();
+    println!("design points where 2-way survives a {AS_MUX_NS}ns mux: {affordable} of {total}");
+    println!(
+        "the paper: \"it is unlikely that set associativity ever makes sense from a \
+         performance perspective for caches made of discrete TTL parts\""
+    );
+}

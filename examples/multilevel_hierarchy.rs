@@ -1,0 +1,40 @@
+//! Section 6's conclusion, demonstrated: for a fast CPU, a second-level
+//! cache shrinks the L1 miss penalty, which shrinks the optimal L1 size
+//! and recovers the fast cycle time.
+//!
+//! ```text
+//! cargo run --release -p cachetime-experiments --example multilevel_hierarchy
+//! ```
+
+use cachetime_experiments::runner::TraceSet;
+use cachetime_experiments::sec6;
+
+fn main() {
+    println!("generating workloads...");
+    let traces = TraceSet::generate(0.15);
+
+    for ct in [20u32, 40] {
+        let (without, with) = sec6::run(&traces, ct, &[2, 4, 8, 16, 32, 64, 128]);
+        println!("\n{}", sec6::render(&without, &with));
+        let best_without = without
+            .time_per_ref_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let best_with = with
+            .time_per_ref_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "best achievable at {ct}ns: {best_without:.2} ns/ref alone, \
+             {best_with:.2} ns/ref with the L2 ({:+.1}%)",
+            100.0 * (best_with / best_without - 1.0)
+        );
+    }
+    println!(
+        "\n\"as the disparity between main memory times and CPU cycle time continues \
+         to grow, the only way to deliver a consistent proportion of the peak CPU \
+         performance is through the use of a multilevel cache hierarchy\""
+    );
+}

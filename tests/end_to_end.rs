@@ -1,0 +1,226 @@
+//! End-to-end integration: the full pipeline (catalog trace → simulator →
+//! metrics) on realistic configurations, with cross-component invariants.
+
+use cachetime::{simulate, LevelTwoConfig, Simulator, SystemConfig};
+use cachetime_cache::CacheConfig;
+use cachetime_trace::catalog;
+use cachetime_types::{Assoc, BlockWords, CacheSize, CycleTime};
+
+const SCALE: f64 = 0.03;
+
+/// Invariants every simulation result must satisfy.
+fn check_invariants(r: &cachetime::SimResult) {
+    assert!(r.refs > 0);
+    assert!(r.couplets > 0);
+    assert!(r.couplets <= r.refs, "pairing can only shrink issue slots");
+    assert!(
+        r.cycles.0 >= r.couplets,
+        "every couplet costs at least a cycle"
+    );
+    for ratio in [
+        r.read_miss_ratio(),
+        r.ifetch_miss_ratio(),
+        r.load_miss_ratio(),
+    ] {
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} out of range");
+    }
+    assert!(r.read_traffic_ratio() >= 0.0);
+    assert!(r.write_traffic_ratio_block() >= r.write_traffic_ratio_dirty());
+    assert!(
+        r.stall_cycles <= r.cycles,
+        "stalls cannot exceed total cycles"
+    );
+    assert!((0.0..=1.0).contains(&r.stall_fraction()));
+    // Fill accounting: words fetched from memory+L2 at least cover L1
+    // fills when there is no L2 (with an L2 most L1 fills hit there).
+    if r.l2.is_none() {
+        assert_eq!(
+            r.mem.read_words,
+            r.l1i.fill_words + r.l1d.fill_words,
+            "every L1 fill word must come from memory"
+        );
+    }
+    // Write conservation: memory write words cannot exceed what the caches
+    // sent down (write-backs + word writes), but can be less only through
+    // still-buffered writes (bounded by buffer capacity x block size).
+    let sent = r.l1d.write_back_words
+        + r.l1i.write_back_words
+        + r.l1d.word_writes_downstream
+        + r.l1i.word_writes_downstream;
+    if r.l2.is_none() {
+        // Writes buffered before the warm-start boundary may drain after
+        // it; allow one buffer's worth of carryover (4 entries of at most
+        // 16 words each).
+        assert!(
+            r.mem.write_words <= sent + 64,
+            "memory cannot invent writes: {} > {sent} + carryover",
+            r.mem.write_words
+        );
+    }
+}
+
+#[test]
+fn default_machine_on_every_catalog_trace() {
+    let config = SystemConfig::paper_default().expect("valid config");
+    for spec in catalog::all(SCALE) {
+        let trace = spec.generate();
+        let r = simulate(&config, &trace);
+        check_invariants(&r);
+        // A 64KB-per-side machine on these workloads lands in a sane band.
+        assert!(
+            (0.8..3.5).contains(&r.cycles_per_ref()),
+            "{}: cycles/ref {} implausible",
+            trace.name(),
+            r.cycles_per_ref()
+        );
+    }
+}
+
+#[test]
+fn extreme_configurations_hold_invariants() {
+    let trace = catalog::savec(SCALE).generate();
+    let tiny = CacheConfig::builder(CacheSize::from_bytes(256).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    let huge = CacheConfig::builder(CacheSize::from_kib(2048).expect("pow2"))
+        .block(BlockWords::new(128).expect("pow2"))
+        .assoc(Assoc::new(8).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    for l1 in [tiny, huge] {
+        for ct in [20u32, 80] {
+            let config = SystemConfig::builder()
+                .cycle_time(CycleTime::from_ns(ct).expect("nonzero"))
+                .l1_both(l1)
+                .build()
+                .expect("valid system");
+            let r = simulate(&config, &trace);
+            check_invariants(&r);
+        }
+    }
+}
+
+#[test]
+fn two_level_machine_end_to_end() {
+    let trace = catalog::rd2n4(SCALE).generate();
+    let l1 = CacheConfig::builder(CacheSize::from_kib(4).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    let l2cache = CacheConfig::builder(CacheSize::from_kib(256).expect("pow2"))
+        .block(BlockWords::new(16).expect("pow2"))
+        .build()
+        .expect("valid L2");
+    let with_l2 = SystemConfig::builder()
+        .l1_both(l1)
+        .l2(LevelTwoConfig::new(l2cache))
+        .build()
+        .expect("valid system");
+    let without = SystemConfig::builder()
+        .l1_both(l1)
+        .build()
+        .expect("valid system");
+
+    let r2 = simulate(&with_l2, &trace);
+    let r1 = simulate(&without, &trace);
+    check_invariants(&r2);
+    check_invariants(&r1);
+
+    let l2 = r2.l2.expect("L2 stats");
+    assert!(l2.reads > 0, "L1 misses must reach the L2");
+    assert!(
+        l2.read_misses < l2.reads,
+        "a 256KB L2 behind a 4KB L1 must catch something"
+    );
+    // The L2 filters memory traffic.
+    assert!(r2.mem.reads < r1.mem.reads);
+    // And improves execution time for this small L1.
+    assert!(r2.exec_time() < r1.exec_time());
+}
+
+#[test]
+fn unified_never_beats_split_of_same_total_size() {
+    let trace = catalog::mu3(SCALE).generate();
+    let split8 = CacheConfig::builder(CacheSize::from_kib(8).expect("pow2"))
+        .build()
+        .expect("valid");
+    let unified16 = CacheConfig::builder(CacheSize::from_kib(16).expect("pow2"))
+        .build()
+        .expect("valid");
+    let split = SystemConfig::builder()
+        .l1_both(split8)
+        .build()
+        .expect("valid system");
+    let unified = SystemConfig::builder()
+        .l1_both(unified16)
+        .unified(true)
+        .build()
+        .expect("valid system");
+    let rs = simulate(&split, &trace);
+    let ru = simulate(&unified, &trace);
+    check_invariants(&rs);
+    check_invariants(&ru);
+    // The unified cache has a better miss ratio (dynamic partitioning) but
+    // loses dual issue; the Harvard machine wins on time — the paper's
+    // premise for modeling a Harvard organization.
+    assert!(
+        rs.exec_time() < ru.exec_time(),
+        "split {} vs unified {}",
+        rs.exec_time(),
+        ru.exec_time()
+    );
+}
+
+#[test]
+fn simulator_reuse_matches_fresh_instance() {
+    let config = SystemConfig::paper_default().expect("valid config");
+    let a = catalog::mu3(SCALE).generate();
+    let b = catalog::rd1n3(SCALE).generate();
+    let mut reused = Simulator::new(&config);
+    reused.run(&a);
+    let reused_b = reused.run(&b);
+    let fresh_b = Simulator::new(&config).run(&b);
+    assert_eq!(reused_b, fresh_b, "run() must fully reset the machine");
+}
+
+#[test]
+fn write_buffer_earns_its_keep() {
+    let mk = |kb: u64, depth: u32| {
+        let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+            .build()
+            .expect("valid");
+        SystemConfig::builder()
+            .l1_both(l1)
+            .memory(
+                cachetime_mem::MemoryConfig::builder()
+                    .wb_depth(depth)
+                    .build()
+                    .expect("valid memory"),
+            )
+            .build()
+            .expect("valid system")
+    };
+    // A store-heavy workload (rd2n7's grep zeroes its data space): write
+    // bursts saturate an unbuffered memory, while the buffer coalesces
+    // them. Here buffering must win outright.
+    let storm = catalog::rd2n7(SCALE).generate();
+    let rb = simulate(&mk(16, 4), &storm);
+    let ru = simulate(&mk(16, 0), &storm);
+    assert!(
+        ru.cycles > rb.cycles,
+        "an unbuffered memory must lose under a write storm: {} vs {}",
+        ru.cycles,
+        rb.cycles
+    );
+    // On a read-dominated workload the paper's no-forwarding buffer
+    // (reads stall on matches) is roughly neutral; it must never be much
+    // worse than no buffer at all.
+    let mixed = catalog::savec(SCALE).generate();
+    let rb = simulate(&mk(4, 4), &mixed);
+    let ru = simulate(&mk(4, 0), &mixed);
+    let ratio = rb.cycles.0 as f64 / ru.cycles.0 as f64;
+    assert!(
+        ratio < 1.02,
+        "buffered run {:.3}x the unbuffered one",
+        ratio
+    );
+}

@@ -1,0 +1,221 @@
+//! Two-level-hierarchy integration tests: the section-6 mechanisms.
+
+use cachetime::{simulate, LevelTwoConfig, SystemConfig};
+use cachetime_cache::{CacheConfig, WriteAllocate};
+use cachetime_trace::catalog;
+use cachetime_types::{BlockWords, CacheSize, CycleTime};
+
+const SCALE: f64 = 0.03;
+
+fn l1(kb: u64) -> CacheConfig {
+    CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+        .build()
+        .expect("valid cache")
+}
+
+fn l2(kb: u64, block_words: u32) -> LevelTwoConfig {
+    LevelTwoConfig::new(
+        CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+            .block(BlockWords::new(block_words).expect("pow2"))
+            .build()
+            .expect("valid L2"),
+    )
+}
+
+#[test]
+fn l2_reduces_the_effective_miss_penalty() {
+    let trace = catalog::savec(SCALE).generate();
+    let alone = SystemConfig::builder()
+        .l1_both(l1(4))
+        .build()
+        .expect("valid");
+    let backed = SystemConfig::builder()
+        .l1_both(l1(4))
+        .l2(l2(512, 16))
+        .build()
+        .expect("valid");
+    let ra = simulate(&alone, &trace);
+    let rb = simulate(&backed, &trace);
+    // Identical L1 organization => identical L1 miss behaviour...
+    assert_eq!(ra.l1d.read_misses, rb.l1d.read_misses);
+    assert_eq!(ra.l1i.read_misses, rb.l1i.read_misses);
+    // ...but a much cheaper average miss.
+    assert!(rb.cycles < ra.cycles);
+}
+
+#[test]
+fn bigger_l2_filters_more_memory_traffic() {
+    let trace = catalog::rd2n7(SCALE).generate();
+    let mut reads = Vec::new();
+    for kb in [128u64, 512, 2048] {
+        let config = SystemConfig::builder()
+            .l1_both(l1(4))
+            .l2(l2(kb, 16))
+            .build()
+            .expect("valid");
+        reads.push(simulate(&config, &trace).mem.reads);
+    }
+    assert!(
+        reads[0] >= reads[1] && reads[1] >= reads[2],
+        "memory reads must fall with L2 size: {reads:?}"
+    );
+}
+
+#[test]
+fn l2_latency_matters() {
+    let trace = catalog::mu3(SCALE).generate();
+    let mut times = Vec::new();
+    for read_cycles in [2u64, 6, 12] {
+        let mut cfg = l2(512, 16);
+        cfg.read_cycles = read_cycles;
+        let config = SystemConfig::builder()
+            .l1_both(l1(4))
+            .l2(cfg)
+            .build()
+            .expect("valid");
+        times.push(simulate(&config, &trace).cycles.0);
+    }
+    assert!(
+        times[0] < times[1] && times[1] < times[2],
+        "slower L2 must cost cycles: {times:?}"
+    );
+}
+
+#[test]
+fn fast_clock_small_l1_plus_l2_beats_slow_clock_big_l1() {
+    // The punchline of section 6: with a short miss penalty, the small
+    // fast machine wins again.
+    let trace = catalog::mu6(SCALE).generate();
+    let small_fast = SystemConfig::builder()
+        .cycle_time(CycleTime::from_ns(24).expect("nonzero"))
+        .l1_both(l1(8))
+        .l2(l2(512, 16))
+        .build()
+        .expect("valid");
+    let big_slow = SystemConfig::builder()
+        .cycle_time(CycleTime::from_ns(48).expect("nonzero"))
+        .l1_both(l1(64))
+        .build()
+        .expect("valid");
+    let rf = simulate(&small_fast, &trace);
+    let rs = simulate(&big_slow, &trace);
+    assert!(
+        rf.exec_time() < rs.exec_time(),
+        "24ns/8KB+L2 ({}) must beat 48ns/64KB ({})",
+        rf.exec_time(),
+        rs.exec_time()
+    );
+}
+
+#[test]
+fn three_level_hierarchy_filters_progressively() {
+    // rd2n4's working set overwhelms a 16KB L2 but fits a 512KB L3; with a
+    // slow (420ns) memory the filtered misses are expensive enough that
+    // the L3 detour pays.
+    let trace = catalog::rd2n4(0.1).generate();
+    let slow_memory = cachetime_mem::MemoryConfig::builder()
+        .read_op(cachetime_types::Nanos(420))
+        .build()
+        .expect("valid memory");
+    let fast_l2 = {
+        let mut c = l2(16, 16);
+        c.read_cycles = 2;
+        c
+    };
+    let two = SystemConfig::builder()
+        .l1_both(l1(2))
+        .l2(fast_l2)
+        .memory(slow_memory)
+        .build()
+        .expect("valid");
+    let three = SystemConfig::builder()
+        .l1_both(l1(2))
+        .l2(fast_l2)
+        .l3({
+            let mut c = l2(512, 32);
+            c.read_cycles = 5;
+            c
+        })
+        .memory(slow_memory)
+        .build()
+        .expect("valid");
+    let r2 = simulate(&two, &trace);
+    let r3 = simulate(&three, &trace);
+    let l3s = r3.l3.expect("L3 stats");
+    assert!(r3.l2.is_some());
+    assert!(l3s.reads > 0, "L2 misses must reach the L3");
+    assert!(
+        l3s.read_misses < l3s.reads,
+        "a 2MB L3 must catch something: {l3s:?}"
+    );
+    // The L3 filters memory reads relative to the two-level machine.
+    assert!(
+        r3.mem.reads < r2.mem.reads,
+        "L3 must reduce memory traffic: {} vs {}",
+        r3.mem.reads,
+        r2.mem.reads
+    );
+    // And with a small L2 behind a small L1, the big L3 buys time overall.
+    assert!(
+        r3.exec_time() < r2.exec_time(),
+        "three-level {} vs two-level {}",
+        r3.exec_time(),
+        r2.exec_time()
+    );
+}
+
+#[test]
+fn single_issue_costs_cycles() {
+    let trace = catalog::mu3(SCALE).generate();
+    let dual = SystemConfig::builder().build().expect("valid");
+    let single = SystemConfig::builder()
+        .dual_issue(false)
+        .build()
+        .expect("valid");
+    let rd = simulate(&dual, &trace);
+    let rs = simulate(&single, &trace);
+    assert!(
+        rs.cycles > rd.cycles,
+        "serializing couplet halves must cost cycles: {} vs {}",
+        rs.cycles,
+        rd.cycles
+    );
+    // Same organization, same misses.
+    assert_eq!(rd.l1d.read_misses, rs.l1d.read_misses);
+}
+
+#[test]
+fn latency_histogram_tracks_couplets() {
+    let trace = catalog::savec(SCALE).generate();
+    let r = simulate(&SystemConfig::builder().build().expect("valid"), &trace);
+    assert_eq!(r.latency.count(), r.couplets);
+    // On a 64KB machine most couplets are 1-3 cycle hits.
+    assert!(
+        r.latency.fraction_within(4) > 0.7,
+        "hit-dominated: {}",
+        r.latency
+    );
+    // But misses exist: something lands at 8+ cycles.
+    assert!(r.latency.fraction_within(1024) > r.latency.fraction_within(8));
+}
+
+#[test]
+fn write_allocate_l2_also_works() {
+    // The L2 write path has a second policy variant; exercise it end to
+    // end for basic sanity.
+    let trace = catalog::savec(SCALE).generate();
+    let l2cache = CacheConfig::builder(CacheSize::from_kib(256).expect("pow2"))
+        .block(BlockWords::new(16).expect("pow2"))
+        .write_allocate(WriteAllocate::Allocate)
+        .build()
+        .expect("valid L2");
+    let config = SystemConfig::builder()
+        .l1_both(l1(4))
+        .l2(LevelTwoConfig::new(l2cache))
+        .build()
+        .expect("valid");
+    let r = simulate(&config, &trace);
+    let l2s = r.l2.expect("stats");
+    assert!(l2s.writes > 0, "write-backs and write-arounds reach the L2");
+    assert!(r.cycles.0 > 0);
+}

@@ -1,0 +1,212 @@
+//! Qualitative reproduction tests: every *shape* claim of the paper's
+//! evaluation, asserted against the experiment modules at a moderate trace
+//! scale. (Exact numbers depend on the synthetic traces; see
+//! EXPERIMENTS.md for the full-scale paper-vs-measured comparison.)
+
+use cachetime_experiments::runner::{SpeedSizeGrid, TraceSet};
+use cachetime_experiments::{fig3_1, fig3_4, fig4_1, fig4_2, fig4_345, fig5_1, table3};
+use std::sync::OnceLock;
+
+const SCALE: f64 = 0.1;
+
+fn traces() -> &'static TraceSet {
+    static TRACES: OnceLock<TraceSet> = OnceLock::new();
+    TRACES.get_or_init(|| TraceSet::generate(SCALE))
+}
+
+/// Figure 3-1: "larger caches are better, but beyond a certain size the
+/// incremental improvements are small."
+#[test]
+fn fig3_1_miss_ratio_falls_and_flattens() {
+    let pts = fig3_1::run(traces());
+    let mr: Vec<f64> = pts.iter().map(|p| p.read_miss_ratio).collect();
+    // Monotone non-increasing (tiny jitter tolerated).
+    for w in mr.windows(2) {
+        assert!(w[1] <= w[0] * 1.05, "miss ratio must fall: {mr:?}");
+    }
+    // Early doublings buy much more than late ones.
+    let early_gain = mr[0] / mr[2];
+    let late_gain = mr[mr.len() - 3] / mr[mr.len() - 1];
+    assert!(
+        early_gain > 1.5 && early_gain > late_gain,
+        "flattening: early {early_gain}, late {late_gain}"
+    );
+    // The instruction stream has more locality than the data stream.
+    for p in &pts {
+        assert!(p.ifetch_miss_ratio < p.load_miss_ratio);
+    }
+}
+
+/// Figure 3-3 and the 56 ns aside: quantization makes a 56 ns clock barely
+/// better (or worse) than 60 ns for small caches, while large caches enjoy
+/// the full clock gain.
+#[test]
+fn fig3_3_quantization_flattens_small_cache_gains() {
+    let grid = SpeedSizeGrid::compute_over(traces(), 1, &[2, 128], &[52, 56, 60, 64]);
+    let gain = |row: &Vec<f64>| row[1] / row[2] - 1.0; // 56ns vs 60ns
+    let small = gain(&grid.time_per_ref[0]);
+    let large = gain(&grid.time_per_ref[1]);
+    assert!(
+        small > large + 0.015,
+        "the miss-penalty jump must eat the small cache's clock gain: \
+         small {small:.4} vs large {large:.4}"
+    );
+    assert!(large < -0.02, "large caches get a real gain from 56ns");
+}
+
+/// Figure 3-4: the ns-per-doubling slope falls from >10 ns (small caches)
+/// toward <2.5 ns (large caches), pinning the optimum in the middle.
+#[test]
+fn fig3_4_slopes_decrease_with_size() {
+    let grid = SpeedSizeGrid::compute_over(
+        traces(),
+        1,
+        &[2, 8, 32, 128, 512],
+        &[20, 28, 36, 44, 52, 60, 68, 76],
+    );
+    let e = fig3_4::run(&grid, 16);
+    let slopes: Vec<f64> = e.slopes.iter().flatten().copied().collect();
+    assert!(slopes.len() >= 3, "need slopes at several sizes");
+    assert!(
+        slopes.first().unwrap() > slopes.last().unwrap(),
+        "slope must fall with size: {slopes:?}"
+    );
+    assert!(
+        *slopes.first().unwrap() > 2.0,
+        "doubling a small cache must be worth real nanoseconds: {slopes:?}"
+    );
+    assert!(
+        *slopes.last().unwrap() < 3.0,
+        "doubling a large cache must be nearly worthless: {slopes:?}"
+    );
+}
+
+/// Figure 4-1: direct-mapped to 2-way removes roughly 20% of misses;
+/// further doublings help much less.
+#[test]
+fn fig4_1_dm_to_2way_spread() {
+    let m = fig4_1::run_over(traces(), &[2, 8, 32, 128], &[1, 2, 4]);
+    for j in 0..4 {
+        let spread = m.spread(0, 1, j);
+        assert!(
+            (0.02..0.50).contains(&spread),
+            "DM->2way spread {spread} at size index {j} far from the paper's ~20%"
+        );
+        assert!(
+            m.spread(1, 2, j) < spread,
+            "4-way must add less than 2-way did"
+        );
+    }
+}
+
+/// Figures 4-3…4-5: the break-even cycle-time budget for associativity is
+/// small — single-digit nanoseconds over most of the space — and set size
+/// 4 adds at most a couple of ns over set size 2.
+#[test]
+fn fig4_345_break_even_budgets_are_small() {
+    let grids = fig4_2::run_over(
+        traces(),
+        &[1, 2, 4],
+        &[2, 16, 128],
+        &[20, 32, 44, 56, 68, 80],
+    );
+    let m2 = fig4_345::run(&grids, 2);
+    let m4 = fig4_345::run(&grids, 4);
+    let max2 = m2.max_break_even().expect("some cells interpolate");
+    let max4 = m4.max_break_even().expect("some cells interpolate");
+    assert!(
+        max2 < 15.0,
+        "2-way break-even {max2}ns implausibly generous"
+    );
+    // "The difference in break-even points between set size two and four
+    // is small: at most 2.4ns."
+    assert!(
+        max4 - max2 < 4.0,
+        "4-way adds too much over 2-way: {max4} vs {max2}"
+    );
+    // Bigger caches afford less time for associativity than small ones.
+    let small = m2.break_even[0][2].unwrap_or(0.0);
+    let large = m2.break_even[2][2].unwrap_or(0.0);
+    assert!(
+        small + 0.5 >= large,
+        "break-even should not grow with size: {small} vs {large}"
+    );
+}
+
+/// Figure 5-1: the performance-optimal block size sits below the
+/// miss-ratio-optimal block size.
+#[test]
+fn fig5_1_time_optimum_below_miss_optimum() {
+    let pts = fig5_1::run_over(traces(), &[1, 2, 4, 8, 16, 32, 64, 128]);
+    let perf = fig5_1::argmin_block(&pts, |p| p.time_per_ref_ns);
+    let miss_d = fig5_1::argmin_block(&pts, |p| p.load_miss_ratio);
+    let miss_i = fig5_1::argmin_block(&pts, |p| p.ifetch_miss_ratio);
+    assert!(
+        perf < miss_d,
+        "perf optimum {perf}W !< data miss optimum {miss_d}W"
+    );
+    assert!(
+        perf < miss_i,
+        "perf optimum {perf}W !< ifetch miss optimum {miss_i}W"
+    );
+    assert!(
+        (4..=16).contains(&perf),
+        "performance optimum {perf}W outside the paper's small-block band"
+    );
+    // Execution time is a much weaker function of block size than of
+    // cache size: within 2x across the whole sweep except the extremes.
+    let base = pts
+        .iter()
+        .map(|p| p.time_per_ref_ns)
+        .fold(f64::INFINITY, f64::min);
+    let mid: Vec<&fig5_1::Point> = pts
+        .iter()
+        .filter(|p| (2..=32).contains(&p.block_words))
+        .collect();
+    for p in mid {
+        assert!(p.time_per_ref_ns / base < 1.6, "block {}W", p.block_words);
+    }
+}
+
+/// Table 3: cycles per reference is approximately linear in the miss
+/// penalty, with a slope that grows as the cache shrinks.
+#[test]
+fn table3_cycles_linear_in_penalty() {
+    let grid = SpeedSizeGrid::compute_over(traces(), 1, &[2, 8, 32, 128], &[20, 28, 36, 48, 60]);
+    let rows = table3::run(&grid);
+    assert!(rows.len() >= 4, "need several distinct penalties");
+    // For each size: cycles/ref increases with penalty, near-linearly.
+    for size_idx in 0..4 {
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (r.penalty as f64, r.per_size[size_idx].0))
+            .collect();
+        for w in pts.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "cycles/ref must rise with penalty at size {size_idx}: {pts:?}"
+            );
+        }
+        // Linearity: the mid-point sits near the chord.
+        let (x0, y0) = pts[0];
+        let (x2, y2) = pts[pts.len() - 1];
+        let mid = &pts[pts.len() / 2];
+        let chord = y0 + (y2 - y0) * (mid.0 - x0) / (x2 - x0);
+        assert!(
+            (mid.1 - chord).abs() / mid.1 < 0.08,
+            "nonlinear at size {size_idx}: {} vs chord {chord}",
+            mid.1
+        );
+    }
+    // Slope falls with cache size.
+    let slope = |idx: usize| {
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        (first.per_size[idx].0 - last.per_size[idx].0)
+            / (first.penalty as f64 - last.penalty as f64)
+    };
+    assert!(
+        slope(0) > slope(3),
+        "penalty sensitivity must fall with size"
+    );
+}

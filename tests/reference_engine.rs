@@ -1,0 +1,318 @@
+//! Differential oracle: a deliberately naive cycle-stepping re-implementation
+//! of the default machine's timing, checked cycle-for-cycle against the
+//! event-driven engine.
+//!
+//! The production engine never ticks idle cycles — write-buffer drains are
+//! reconstructed lazily ("catch-up") at the next event. This oracle does
+//! the opposite: it walks every cycle between events and launches drains
+//! greedily the moment the memory is idle and the head entry has aged past
+//! the drain delay. If the lazy reconstruction is correct, the two models
+//! agree exactly on every completion time.
+//!
+//! Scope: the paper's default machine shape — split L1s, write-back,
+//! no-write-allocate, whole-block fetch, wait-whole-block fills, dual
+//! issue, read priority, coalescing on, no mid-levels, no MMU. Sizes,
+//! blocks, cycle times, and buffer depth (≥1) vary.
+
+use cachetime::{Simulator, SystemConfig};
+use cachetime_cache::{Cache, CacheConfig, ReadOutcome, ReplacementPolicy, WriteOutcome};
+use cachetime_mem::{MemoryConfig, MemoryTiming};
+use cachetime_trace::Trace;
+use cachetime_types::{AccessKind, BlockWords, CacheSize, CycleTime, MemRef, Pid, WordAddr};
+use proptest::prelude::*;
+
+const WORD_REGION: u64 = 16; // must match WbEntry::word's coalescing region
+
+#[derive(Debug, Clone)]
+struct RefEntry {
+    pid: Pid,
+    start: u64,
+    span: u64,
+    /// None = whole block of `words`; Some(mask) = word entry.
+    mask: Option<u64>,
+    words: u32,
+    ready_at: u64,
+}
+
+impl RefEntry {
+    fn overlaps(&self, pid: Pid, start: u64, words: u32) -> bool {
+        if self.pid != pid || self.start >= start + words as u64 || start >= self.start + self.span
+        {
+            return false;
+        }
+        match self.mask {
+            None => true,
+            Some(mask) => {
+                let lo = start.saturating_sub(self.start).min(self.span) as u32;
+                let hi = (start + words as u64 - self.start).min(self.span) as u32;
+                (lo..hi).any(|b| mask & (1 << b) != 0)
+            }
+        }
+    }
+}
+
+/// The naive tick-stepping machine.
+struct RefMachine {
+    timing: MemoryTiming,
+    drain_delay: u64,
+    depth: usize,
+    l1i: Cache,
+    l1d: Cache,
+    wb: std::collections::VecDeque<RefEntry>,
+    mem_free: u64,
+    /// All cycles strictly before this have been tick-processed.
+    swept_to: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+}
+
+impl RefMachine {
+    fn new(l1: CacheConfig, memory: &MemoryConfig, ct: CycleTime) -> Self {
+        RefMachine {
+            timing: MemoryTiming::new(memory, ct),
+            drain_delay: memory.wb_drain_delay(),
+            depth: memory.wb_depth() as usize,
+            l1i: Cache::new(l1),
+            l1d: Cache::new(l1),
+            wb: Default::default(),
+            mem_free: 0,
+            swept_to: 0,
+            mem_reads: 0,
+            mem_writes: 0,
+        }
+    }
+
+    /// Launches the head drain at cycle `c` unconditionally.
+    fn launch(&mut self, c: u64) -> u64 {
+        let e = self.wb.pop_front().expect("launch on empty buffer");
+        let start = c.max(e.ready_at).max(self.mem_free);
+        let release = start + self.timing.write_bus_time(e.words);
+        self.mem_free = release + self.timing.write_op_cycles() + self.timing.recovery_cycles();
+        self.mem_writes += 1;
+        release
+    }
+
+    /// Tick-steps every cycle in `[swept_to, upto)`, greedily launching
+    /// eligible drains.
+    fn sweep(&mut self, upto: u64) {
+        let mut c = self.swept_to;
+        while c < upto {
+            let Some(front) = self.wb.front() else { break };
+            let eligible = front.ready_at + self.drain_delay;
+            // Nothing can happen before both the memory frees and the
+            // entry ages; skip ahead (pure optimization of the tick loop).
+            let next = c.max(eligible).max(self.mem_free);
+            if next >= upto {
+                break;
+            }
+            c = next;
+            self.launch(c);
+        }
+        self.swept_to = self.swept_to.max(upto);
+    }
+
+    /// A fill request arriving at cycle `t` (read priority; address
+    /// matches force drain-through).
+    fn fill(
+        &mut self,
+        t: u64,
+        pid: Pid,
+        addr: WordAddr,
+        words: u32,
+        victim: Option<(WordAddr, u32)>,
+    ) -> u64 {
+        self.sweep(t);
+        if let Some(i) = self
+            .wb
+            .iter()
+            .rposition(|e| e.overlaps(pid, addr.value(), words))
+        {
+            for _ in 0..=i {
+                self.launch(t);
+            }
+        }
+        let start = t.max(self.mem_free);
+        let data_start = start + self.timing.config().addr_cycles() + self.timing.latency_cycles();
+        let transfer = self.timing.transfer_cycles(words);
+        self.mem_free = data_start + transfer + self.timing.recovery_cycles();
+        self.mem_reads += 1;
+        let mut gate = data_start;
+        if let Some((vaddr, vwords)) = victim {
+            let move_start = if self.wb.len() == self.depth {
+                self.launch(self.mem_free)
+            } else {
+                start
+            };
+            let move_done = move_start + vwords as u64;
+            self.wb.push_back(RefEntry {
+                pid,
+                start: vaddr.value(),
+                span: vwords as u64,
+                mask: None,
+                words: vwords,
+                ready_at: move_done,
+            });
+            gate = gate.max(move_done);
+        }
+        gate + transfer
+    }
+
+    /// A word write arriving at cycle `t` (coalesce into the tail when the
+    /// word falls in its region).
+    fn write_word(&mut self, t: u64, pid: Pid, addr: WordAddr) -> u64 {
+        self.sweep(t);
+        let a = addr.value();
+        if let Some(tail) = self.wb.back_mut() {
+            if tail.pid == pid && a >= tail.start && a < tail.start + tail.span {
+                match &mut tail.mask {
+                    None => return t, // block entry absorbs the word
+                    Some(mask) => {
+                        let bit = 1u64 << (a - tail.start);
+                        if *mask & bit == 0 {
+                            *mask |= bit;
+                            tail.words += 1;
+                        }
+                        return t;
+                    }
+                }
+            }
+        }
+        let ready = if self.wb.len() == self.depth {
+            self.launch(t)
+        } else {
+            t
+        };
+        let region = a & !(WORD_REGION - 1);
+        self.wb.push_back(RefEntry {
+            pid,
+            start: region,
+            span: WORD_REGION,
+            mask: Some(1u64 << (a - region)),
+            words: 1,
+            ready_at: ready,
+        });
+        ready
+    }
+
+    /// Runs the whole trace; returns (total cycles, mem reads, mem writes).
+    fn run(&mut self, trace: &Trace) -> (u64, u64, u64) {
+        let refs = trace.refs();
+        let mut now = 0u64;
+        let mut i = 0usize;
+        while i < refs.len() {
+            let a = refs[i];
+            let (iref, dref) = if a.kind == AccessKind::IFetch
+                && i + 1 < refs.len()
+                && refs[i + 1].kind.is_data()
+                && refs[i + 1].pid == a.pid
+            {
+                i += 2;
+                (Some(a), Some(refs[i - 1]))
+            } else if a.kind.is_data() {
+                i += 1;
+                (None, Some(a))
+            } else {
+                i += 1;
+                (Some(a), None)
+            };
+            let mut done = now;
+            if let Some(r) = iref {
+                done = done.max(self.service_read(true, r, now));
+            }
+            if let Some(r) = dref {
+                let c = if r.kind == AccessKind::Store {
+                    self.service_write(r, now)
+                } else {
+                    self.service_read(false, r, now)
+                };
+                done = done.max(c);
+            }
+            now = done;
+        }
+        (now, self.mem_reads, self.mem_writes)
+    }
+
+    fn service_read(&mut self, instruction: bool, r: MemRef, now: u64) -> u64 {
+        let cache = if instruction {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        let block_words = cache.config().block().words();
+        match cache.read(r.addr, r.pid) {
+            ReadOutcome::Hit => now + 1,
+            ReadOutcome::Miss { fill_words, victim } => {
+                let fetch_start = WordAddr::new(r.addr.value() & !(fill_words as u64 - 1));
+                let victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
+                self.fill(now + 1, r.pid, fetch_start, fill_words, victim)
+            }
+        }
+    }
+
+    fn service_write(&mut self, r: MemRef, now: u64) -> u64 {
+        match self.l1d.write(r.addr, r.pid) {
+            WriteOutcome::Hit { .. } => now + 2,
+            WriteOutcome::MissNoAllocate => {
+                let accepted = self.write_word(now + 1, r.pid, r.addr);
+                (now + 2).max(accepted + 1)
+            }
+            WriteOutcome::MissAllocate { .. } => unreachable!("no-allocate configs only"),
+        }
+    }
+}
+
+fn arb_refs() -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec(
+        (0u64..1024, 0u8..3, 0u16..2).prop_map(|(addr, kind, pid)| {
+            let a = WordAddr::new(addr);
+            match kind {
+                0 => MemRef::ifetch(a, Pid(pid)),
+                1 => MemRef::load(a, Pid(pid)),
+                _ => MemRef::store(a, Pid(pid)),
+            }
+        }),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lazy event-driven engine and the greedy tick-stepping oracle
+    /// agree exactly on total cycles and memory traffic.
+    #[test]
+    fn event_engine_matches_tick_oracle(
+        refs in arb_refs(),
+        kb_log in 0u32..3,
+        block_log in 0u32..4,
+        ct in 10u32..80,
+        depth in 1u32..6,
+        delay in 0u64..48,
+    ) {
+        let l1 = CacheConfig::builder(CacheSize::from_kib(1 << kb_log).expect("pow2"))
+            .block(BlockWords::new(1 << block_log).expect("pow2"))
+            .replacement(ReplacementPolicy::Lru)
+            .build()
+            .expect("valid cache");
+        let memory = MemoryConfig::builder()
+            .wb_depth(depth)
+            .wb_drain_delay(delay)
+            .build()
+            .expect("valid memory");
+        let ct = CycleTime::from_ns(ct).expect("nonzero");
+        let config = SystemConfig::builder()
+            .cycle_time(ct)
+            .l1_both(l1)
+            .memory(memory)
+            .build()
+            .expect("valid system");
+        let trace = Trace::new("oracle", refs, 0);
+
+        let real = Simulator::new(&config).run(&trace);
+        let (cycles, reads, writes) = RefMachine::new(l1, &memory, ct).run(&trace);
+
+        prop_assert_eq!(real.cycles.0, cycles, "cycle totals diverged");
+        prop_assert_eq!(real.mem.reads, reads, "memory read counts diverged");
+        prop_assert_eq!(real.mem.writes, writes, "memory write counts diverged");
+    }
+}

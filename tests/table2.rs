@@ -1,0 +1,63 @@
+//! Exact regeneration of the paper's Table 2 through the *public* API —
+//! the one table whose absolute numbers must match the paper digit for
+//! digit, because it is pure timing arithmetic.
+
+use cachetime::mem::{MemoryConfig, MemoryTiming};
+use cachetime::types::CycleTime;
+
+/// (cycle time ns, read cycles, write cycles, recovery cycles) — verbatim
+/// from the paper.
+const TABLE_2: [(u32, u64, u64, u64); 9] = [
+    (20, 14, 10, 6),
+    (24, 13, 10, 5),
+    (28, 12, 9, 5),
+    (32, 11, 9, 4),
+    (36, 10, 8, 4),
+    (40, 10, 8, 3),
+    (48, 9, 8, 3),
+    (52, 9, 7, 3),
+    (60, 8, 7, 2),
+];
+
+#[test]
+fn table_2_exact() {
+    let config = MemoryConfig::paper_default();
+    for (ct_ns, read, write, recovery) in TABLE_2 {
+        let t = MemoryTiming::new(&config, CycleTime::from_ns(ct_ns).expect("nonzero"));
+        assert_eq!(t.read_time(4), read, "read time at {ct_ns}ns");
+        assert_eq!(t.write_time(4), write, "write time at {ct_ns}ns");
+        assert_eq!(t.recovery_cycles(), recovery, "recovery at {ct_ns}ns");
+    }
+}
+
+#[test]
+fn table_2_extends_monotonically_to_80ns() {
+    // The paper sweeps to 80ns even though Table 2 stops at 60; the
+    // quantized costs must keep (weakly) falling.
+    let config = MemoryConfig::paper_default();
+    let mut prev = (u64::MAX, u64::MAX, u64::MAX);
+    for ct_ns in (20..=80).step_by(4) {
+        let t = MemoryTiming::new(&config, CycleTime::from_ns(ct_ns).expect("nonzero"));
+        let now = (t.read_time(4), t.write_time(4), t.recovery_cycles());
+        assert!(now.0 <= prev.0 && now.1 <= prev.1 && now.2 <= prev.2);
+        prev = now;
+    }
+    assert_eq!(prev.0, 8, "80ns read still pays the 180ns latency");
+}
+
+#[test]
+fn experiments_module_agrees_with_direct_computation() {
+    let rows = cachetime_experiments::table2::run();
+    assert_eq!(rows.len(), TABLE_2.len());
+    for (row, (ct, r, w, rec)) in rows.iter().zip(TABLE_2) {
+        assert_eq!(
+            (
+                row.ct_ns,
+                row.read_cycles,
+                row.write_cycles,
+                row.recovery_cycles
+            ),
+            (ct, r, w, rec)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the translation layer: physical versus virtual
+//! cache hierarchies.
+
+use cachetime::{simulate, SystemConfig};
+use cachetime_cache::CacheConfig;
+use cachetime_mmu::TranslationConfig;
+use cachetime_trace::catalog;
+use cachetime_types::CacheSize;
+
+const SCALE: f64 = 0.03;
+
+fn virtual_system(kb: u64) -> SystemConfig {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    SystemConfig::builder()
+        .l1_both(l1)
+        .build()
+        .expect("valid system")
+}
+
+fn physical_system(kb: u64, translation: TranslationConfig) -> SystemConfig {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(kb).expect("pow2"))
+        .virtual_tags(false)
+        .build()
+        .expect("valid cache");
+    SystemConfig::builder()
+        .l1_both(l1)
+        .translation(translation)
+        .build()
+        .expect("valid system")
+}
+
+#[test]
+fn translation_produces_tlb_statistics() {
+    let trace = catalog::mu3(SCALE).generate();
+    let r = simulate(&physical_system(64, TranslationConfig::default()), &trace);
+    let mmu = r.mmu.expect("MMU stats present");
+    assert!(mmu.accesses >= r.refs, "every reference translates");
+    assert!(
+        mmu.misses > 0,
+        "multiprogramming must thrash a 64-entry TLB"
+    );
+    assert!(mmu.miss_ratio() < 0.5, "but not pathologically");
+    let rv = simulate(&virtual_system(64), &trace);
+    assert!(rv.mmu.is_none(), "virtual hierarchy has no MMU");
+}
+
+#[test]
+fn tlb_misses_cost_cycles() {
+    let trace = catalog::savec(SCALE).generate();
+    let cheap = TranslationConfig {
+        miss_penalty: 1,
+        ..Default::default()
+    };
+    let dear = TranslationConfig {
+        miss_penalty: 100,
+        ..Default::default()
+    };
+    let r_cheap = simulate(&physical_system(64, cheap), &trace);
+    let r_dear = simulate(&physical_system(64, dear), &trace);
+    assert_eq!(
+        r_cheap.mmu.unwrap().misses,
+        r_dear.mmu.unwrap().misses,
+        "penalty must not change TLB behaviour"
+    );
+    assert!(
+        r_dear.cycles > r_cheap.cycles,
+        "walks must cost time: {} vs {}",
+        r_dear.cycles,
+        r_cheap.cycles
+    );
+}
+
+#[test]
+fn bigger_tlb_misses_less() {
+    let trace = catalog::mu10(SCALE).generate();
+    let small = TranslationConfig {
+        tlb_entries: 8,
+        tlb_assoc: 2,
+        ..Default::default()
+    };
+    let large = TranslationConfig {
+        tlb_entries: 512,
+        tlb_assoc: 2,
+        ..Default::default()
+    };
+    let r_small = simulate(&physical_system(64, small), &trace);
+    let r_large = simulate(&physical_system(64, large), &trace);
+    assert!(
+        r_small.mmu.unwrap().misses > r_large.mmu.unwrap().misses,
+        "TLB capacity must matter"
+    );
+}
+
+#[test]
+fn physical_caches_cut_interprocess_conflicts_at_large_sizes() {
+    // The paper attributes the large-virtual-cache conflict floor to
+    // cross-process aliasing ("the caches are virtual"). First-touch
+    // physical allocation spreads processes across frames, so a large
+    // physical cache should miss no more than the virtual one.
+    let trace = catalog::mu6(0.1).generate();
+    let virt = simulate(&virtual_system(512), &trace);
+    let phys = simulate(
+        &physical_system(
+            512,
+            TranslationConfig {
+                miss_penalty: 0, // isolate the miss-ratio effect
+                ..Default::default()
+            },
+        ),
+        &trace,
+    );
+    assert!(
+        phys.read_miss_ratio() <= virt.read_miss_ratio() * 1.02,
+        "physical {:.4} vs virtual {:.4}",
+        phys.read_miss_ratio(),
+        virt.read_miss_ratio()
+    );
+}
+
+#[test]
+fn translation_is_deterministic() {
+    let trace = catalog::rd2n4(SCALE).generate();
+    let config = physical_system(16, TranslationConfig::default());
+    assert_eq!(simulate(&config, &trace), simulate(&config, &trace));
+}
