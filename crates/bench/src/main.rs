@@ -1,0 +1,130 @@
+//! In-tree throughput harness — no external benchmark framework needed.
+//!
+//! `cargo run -p cachetime-bench --release -- sweep` times a Figure
+//! 3-1-style grid serially and in parallel, prints refs/sec for both,
+//! and writes the numbers to `BENCH_sweep.json` for tracking across
+//! commits. The Criterion benches (`benches/`) remain available behind
+//! the `criterion` feature for statistically rigorous comparisons; this
+//! harness is the one that runs offline with zero dependencies.
+
+use cachetime::{simulate, sweep, SimResult, SystemConfig};
+use cachetime_cache::CacheConfig;
+use cachetime_trace::{catalog, Trace};
+use cachetime_types::{CacheSize, CycleTime};
+use std::time::Duration;
+
+const SCALE: f64 = 0.05;
+
+/// One grid cell: per-cache size × cycle time × trace index.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    size_kib: u64,
+    ct_ns: u32,
+    trace: usize,
+}
+
+fn build_grid(n_traces: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for size_kib in [1u64, 2, 4, 8, 16, 32] {
+        for ct_ns in [30u32, 40, 50, 60] {
+            for trace in 0..n_traces {
+                cells.push(Cell {
+                    size_kib,
+                    ct_ns,
+                    trace,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn simulate_cell(cell: &Cell, traces: &[Trace]) -> SimResult {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(cell.size_kib).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    let config = SystemConfig::builder()
+        .cycle_time(CycleTime::from_ns(cell.ct_ns).expect("nonzero"))
+        .l1_both(l1)
+        .build()
+        .expect("valid system");
+    simulate(&config, &traces[cell.trace])
+}
+
+struct Measurement {
+    jobs: usize,
+    wall: Duration,
+    refs_per_sec: f64,
+}
+
+fn measure(cells: &[Cell], traces: &[Trace], jobs: usize, work_refs: u64) -> Measurement {
+    let run = sweep::run(cells, jobs, |_, c| simulate_cell(c, traces)).expect("sweep succeeds");
+    Measurement {
+        jobs: run.jobs,
+        wall: run.wall_time,
+        refs_per_sec: run.throughput(work_refs),
+    }
+}
+
+fn run_sweep_bench() {
+    let specs = catalog::all(SCALE);
+    eprintln!("[bench] generating {} traces at scale {SCALE}...", specs.len());
+    let traces: Vec<Trace> = specs.iter().map(|s| s.generate()).collect();
+    let cells = build_grid(traces.len());
+    let refs_per_pass: u64 = cells
+        .iter()
+        .map(|c| traces[c.trace].refs().len() as u64)
+        .sum();
+    eprintln!(
+        "[bench] grid: {} cells, {refs_per_pass} refs per pass",
+        cells.len()
+    );
+
+    // Warm-up pass so page faults and lazy allocation don't bias the
+    // serial leg.
+    let _ = measure(&cells, &traces, 1, refs_per_pass);
+
+    let serial = measure(&cells, &traces, 1, refs_per_pass);
+    let parallel = measure(&cells, &traces, 0, refs_per_pass);
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+
+    println!(
+        "serial   (1 job):   {:>10.0} refs/sec  wall {:?}",
+        serial.refs_per_sec, serial.wall
+    );
+    println!(
+        "parallel ({} jobs): {:>10.0} refs/sec  wall {:?}",
+        parallel.jobs, parallel.refs_per_sec, parallel.wall
+    );
+    println!("speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"scale\": {SCALE},\n  \"cells\": {},\n  \
+         \"refs_per_pass\": {refs_per_pass},\n  \"serial\": {{ \"jobs\": 1, \
+         \"wall_secs\": {:.6}, \"refs_per_sec\": {:.0} }},\n  \"parallel\": {{ \
+         \"jobs\": {}, \"wall_secs\": {:.6}, \"refs_per_sec\": {:.0} }},\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        cells.len(),
+        serial.wall.as_secs_f64(),
+        serial.refs_per_sec,
+        parallel.jobs,
+        parallel.wall.as_secs_f64(),
+        parallel.refs_per_sec,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    eprintln!("[bench] wrote BENCH_sweep.json");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("sweep") => run_sweep_bench(),
+        _ => {
+            eprintln!("usage: cachetime-bench sweep");
+            eprintln!();
+            eprintln!("  sweep    time a speed/size grid serially vs in parallel,");
+            eprintln!("           print refs/sec, and write BENCH_sweep.json");
+            std::process::exit(2);
+        }
+    }
+}

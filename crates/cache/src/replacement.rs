@@ -1,7 +1,6 @@
 //! Replacement policies: random (the paper's choice), LRU, FIFO, tree-PLRU.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachetime_testkit::SplitMix64;
 use std::fmt;
 
 /// Which block of a set is evicted on a miss.
@@ -47,7 +46,7 @@ pub(crate) struct Replacer {
     clock: u64,
     /// FIFO: per-set round-robin pointer. Tree-PLRU: per-set decision bits.
     per_set: Vec<u32>,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl Replacer {
@@ -66,7 +65,7 @@ impl Replacer {
             stamps,
             clock: 0,
             per_set,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::from_seed(seed),
         }
     }
 

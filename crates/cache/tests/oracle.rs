@@ -7,8 +7,8 @@
 //! flags a bug in the real implementation's bit-twiddling.
 
 use cachetime_cache::{Cache, CacheConfig, ReadOutcome, ReplacementPolicy, WriteOutcome};
+use cachetime_testkit::{check, prop_assert, prop_assert_eq, SplitMix64};
 use cachetime_types::{Assoc, BlockWords, CacheSize, Pid, WordAddr};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// One resident block in the reference model.
@@ -112,16 +112,64 @@ fn lru_config(size_bytes: u64, block_words: u32, ways: u32) -> Option<CacheConfi
         .ok()
 }
 
-proptest! {
-    /// Outcome-for-outcome agreement between `Cache` (LRU) and the naive
-    /// reference across random configurations and access streams.
-    #[test]
-    fn cache_matches_reference_model(
-        size_log in 6u32..11,     // 64B..1KB
-        block_log in 0u32..4,     // 1..8 words
-        ways_log in 0u32..3,      // 1..4 ways
-        accesses in prop::collection::vec((0u64..512, any::<bool>(), 0u16..3), 1..500),
-    ) {
+/// One random oracle scenario: geometry logs plus an access stream.
+#[derive(Debug, Clone)]
+struct Scenario {
+    size_log: u32,
+    block_log: u32,
+    ways_log: u32,
+    accesses: Vec<(u64, bool, u16)>,
+}
+
+fn gen_scenario(rng: &mut SplitMix64) -> Scenario {
+    let n = rng.gen_range(1usize..500);
+    Scenario {
+        size_log: rng.gen_range(6u32..11),  // 64B..1KB
+        block_log: rng.gen_range(0u32..4),  // 1..8 words
+        ways_log: rng.gen_range(0u32..3),   // 1..4 ways
+        accesses: (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..512),
+                    rng.gen_bool(0.5),
+                    rng.gen_range(0u16..3),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Shrinks only the access stream; the geometry stays fixed.
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    cachetime_testkit::shrink::vec_linear(&s.accesses)
+        .into_iter()
+        .map(|accesses| Scenario {
+            accesses,
+            ..s.clone()
+        })
+        .collect()
+}
+
+/// Outcome-for-outcome agreement between `Cache` (LRU) and the naive
+/// reference across random configurations and access streams.
+#[test]
+fn cache_matches_reference_model() {
+    check(
+        "cache_matches_reference_model",
+        gen_scenario,
+        shrink_scenario,
+        check_against_reference,
+    );
+}
+
+fn check_against_reference(s: &Scenario) -> Result<(), String> {
+    let Scenario {
+        size_log,
+        block_log,
+        ways_log,
+        ref accesses,
+    } = *s;
+    {
         let size = 1u64 << size_log;
         let block_words = 1u32 << block_log;
         let ways = 1u32 << ways_log;
@@ -177,4 +225,5 @@ proptest! {
             .sum();
         prop_assert_eq!(real_dirty, oracle_dirty, "residual dirty words diverged");
     }
+    Ok(())
 }

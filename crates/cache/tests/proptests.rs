@@ -1,187 +1,259 @@
-//! Property-based tests for the cache substrate.
+//! Property-based tests for the cache substrate, on the hermetic
+//! testkit runner (`TESTKIT_SEED=… cargo test -q` reproduces a failure).
 
 use cachetime_cache::{Cache, CacheConfig, ReadOutcome, ReplacementPolicy, WriteOutcome};
+use cachetime_testkit::{check, prop_assert, prop_assert_eq, shrink, SplitMix64};
 use cachetime_types::{Assoc, BlockWords, CacheSize, Pid, WordAddr};
-use proptest::prelude::*;
 
 /// An arbitrary small-but-valid cache configuration.
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (
-        0u32..=6,  // size: 64B..4KB
-        0u32..=4,  // block: 1..16 words
-        0u32..=3,  // assoc: 1..8
-        0usize..4, // replacement policy
-        any::<bool>(),
-    )
-        .prop_filter_map(
-            "cache must hold at least one set",
-            |(size_log, block_log, assoc_log, repl, virtual_tags)| {
-                let size = CacheSize::from_bytes(64u64 << size_log).ok()?;
-                let block = BlockWords::new(1 << block_log).ok()?;
-                let assoc = Assoc::new(1 << assoc_log).ok()?;
-                let repl = [
-                    ReplacementPolicy::Random,
-                    ReplacementPolicy::Lru,
-                    ReplacementPolicy::Fifo,
-                    ReplacementPolicy::TreePlru,
-                ][repl];
-                CacheConfig::builder(size)
-                    .block(block)
-                    .assoc(assoc)
-                    .replacement(repl)
-                    .virtual_tags(virtual_tags)
-                    .build()
-                    .ok()
-            },
-        )
+fn gen_config(rng: &mut SplitMix64) -> CacheConfig {
+    loop {
+        let size = CacheSize::from_bytes(64u64 << rng.gen_range(0u32..7)).expect("pow2");
+        let block = BlockWords::new(1 << rng.gen_range(0u32..5)).expect("pow2");
+        let assoc = Assoc::new(1 << rng.gen_range(0u32..4)).expect("pow2");
+        let repl = [
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::TreePlru,
+        ][rng.gen_range(0usize..4)];
+        // Rejection-sample: the cache must hold at least one set.
+        if let Ok(config) = CacheConfig::builder(size)
+            .block(block)
+            .assoc(assoc)
+            .replacement(repl)
+            .virtual_tags(rng.gen_bool(0.5))
+            .build()
+        {
+            return config;
+        }
+    }
 }
 
 /// A short access pattern within a small address range (to force reuse).
-fn arb_accesses() -> impl Strategy<Value = Vec<(u64, bool, u16)>> {
-    prop::collection::vec((0u64..512, any::<bool>(), 0u16..3), 1..400)
+fn gen_accesses(rng: &mut SplitMix64) -> Vec<(u64, bool, u16)> {
+    let n = rng.gen_range(1usize..400);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u64..512),
+                rng.gen_bool(0.5),
+                rng.gen_range(0u16..3),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// A read immediately after a read of the same word by the same process
-    /// always hits (nothing intervenes to displace it).
-    #[test]
-    fn read_read_same_word_hits(config in arb_config(), addr in 0u64..1024, pid in 0u16..4) {
-        let mut cache = Cache::new(config);
-        let a = WordAddr::new(addr);
-        cache.read(a, Pid(pid));
-        prop_assert!(cache.read(a, Pid(pid)).is_hit());
-    }
-
-    /// Statistics identities hold for arbitrary access sequences.
-    #[test]
-    fn stats_identities(config in arb_config(), accesses in arb_accesses()) {
-        let mut cache = Cache::new(config);
-        for &(addr, is_write, pid) in &accesses {
+/// A read immediately after a read of the same word by the same process
+/// always hits (nothing intervenes to displace it).
+#[test]
+fn read_read_same_word_hits() {
+    check(
+        "read_read_same_word_hits",
+        |rng| {
+            (
+                gen_config(rng),
+                rng.gen_range(0u64..1024),
+                rng.gen_range(0u16..4),
+            )
+        },
+        shrink::none,
+        |&(config, addr, pid)| {
+            let mut cache = Cache::new(config);
             let a = WordAddr::new(addr);
-            if is_write {
-                cache.write(a, Pid(pid));
-            } else {
-                cache.read(a, Pid(pid));
+            cache.read(a, Pid(pid));
+            prop_assert!(cache.read(a, Pid(pid)).is_hit());
+            Ok(())
+        },
+    );
+}
+
+/// Statistics identities hold for arbitrary access sequences.
+#[test]
+fn stats_identities() {
+    check(
+        "stats_identities",
+        |rng| (gen_config(rng), gen_accesses(rng)),
+        shrink::pair_vec,
+        |(config, accesses)| {
+            let config = *config;
+            let mut cache = Cache::new(config);
+            for &(addr, is_write, pid) in accesses {
+                let a = WordAddr::new(addr);
+                if is_write {
+                    cache.write(a, Pid(pid));
+                } else {
+                    cache.read(a, Pid(pid));
+                }
             }
-        }
-        let s = *cache.stats();
-        let n_reads = accesses.iter().filter(|&&(_, w, _)| !w).count() as u64;
-        let n_writes = accesses.len() as u64 - n_reads;
-        prop_assert_eq!(s.reads, n_reads);
-        prop_assert_eq!(s.writes, n_writes);
-        prop_assert!(s.read_misses <= s.reads);
-        prop_assert!(s.write_misses <= s.writes);
-        prop_assert!(s.dirty_evictions <= s.evictions);
-        prop_assert!(s.dirty_words_written_back <= s.write_back_words);
-        // Whole blocks are written back.
-        if config.fetch() == config.block() {
-            prop_assert_eq!(
-                s.write_back_words,
-                s.dirty_evictions * config.block().words() as u64
+            let s = *cache.stats();
+            let n_reads = accesses.iter().filter(|&&(_, w, _)| !w).count() as u64;
+            let n_writes = accesses.len() as u64 - n_reads;
+            prop_assert_eq!(s.reads, n_reads);
+            prop_assert_eq!(s.writes, n_writes);
+            prop_assert!(s.read_misses <= s.reads);
+            prop_assert!(s.write_misses <= s.writes);
+            prop_assert!(s.dirty_evictions <= s.evictions);
+            prop_assert!(s.dirty_words_written_back <= s.write_back_words);
+            // Whole blocks are written back.
+            if config.fetch() == config.block() {
+                prop_assert_eq!(
+                    s.write_back_words,
+                    s.dirty_evictions * config.block().words() as u64
+                );
+            }
+            // Every fill moves exactly the fetch size.
+            prop_assert_eq!(s.fill_words, s.fills * config.fetch().words() as u64);
+            // Occupancy bounded by capacity.
+            prop_assert!(cache.valid_blocks() <= config.blocks());
+            // Ratios live in [0, 1] for miss ratios.
+            prop_assert!((0.0..=1.0).contains(&s.read_miss_ratio()));
+            prop_assert!((0.0..=1.0).contains(&s.write_miss_ratio()));
+            Ok(())
+        },
+    );
+}
+
+/// `probe` never changes observable behaviour: interleaving probes into
+/// an access sequence yields identical statistics.
+#[test]
+fn probe_is_pure() {
+    check(
+        "probe_is_pure",
+        |rng| (gen_config(rng), gen_accesses(rng)),
+        shrink::pair_vec,
+        |(config, accesses)| {
+            let mut plain = Cache::new(*config);
+            let mut probed = Cache::new(*config);
+            for &(addr, is_write, pid) in accesses {
+                let a = WordAddr::new(addr);
+                probed.probe(a, Pid(pid));
+                probed.probe(WordAddr::new(addr ^ 0xff), Pid(pid));
+                if is_write {
+                    plain.write(a, Pid(pid));
+                    probed.write(a, Pid(pid));
+                } else {
+                    plain.read(a, Pid(pid));
+                    probed.read(a, Pid(pid));
+                }
+            }
+            prop_assert_eq!(plain.stats(), probed.stats());
+            Ok(())
+        },
+    );
+}
+
+/// After a miss is filled, a probe of the same word hits; after a
+/// no-allocate write miss, it does not.
+#[test]
+fn outcome_matches_probe() {
+    check(
+        "outcome_matches_probe",
+        |rng| {
+            (
+                gen_config(rng),
+                rng.gen_range(0u64..1024),
+                rng.gen_range(0u16..4),
+            )
+        },
+        shrink::none,
+        |&(config, addr, pid)| {
+            let mut cache = Cache::new(config);
+            let a = WordAddr::new(addr);
+            match cache.read(a, Pid(pid)) {
+                ReadOutcome::Miss { .. } | ReadOutcome::Hit => {
+                    prop_assert!(cache.probe(a, Pid(pid)));
+                }
+            }
+            let mut cache = Cache::new(config);
+            match cache.write(a, Pid(pid)) {
+                WriteOutcome::MissNoAllocate => prop_assert!(!cache.probe(a, Pid(pid))),
+                WriteOutcome::MissAllocate { .. } | WriteOutcome::Hit { .. } => {
+                    prop_assert!(cache.probe(a, Pid(pid)));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Flushing after any sequence leaves no dirty blocks, and the flushed
+/// dirty-word totals never exceed the words written.
+#[test]
+fn flush_bounds() {
+    check(
+        "flush_bounds",
+        |rng| (gen_config(rng), gen_accesses(rng)),
+        shrink::pair_vec,
+        |(config, accesses)| {
+            let mut cache = Cache::new(*config);
+            let mut stores = 0u64;
+            for &(addr, is_write, pid) in accesses {
+                let a = WordAddr::new(addr);
+                if is_write {
+                    cache.write(a, Pid(pid));
+                    stores += 1;
+                } else {
+                    cache.read(a, Pid(pid));
+                }
+            }
+            let flushed = cache.flush_dirty();
+            let flushed_dirty: u64 = flushed.iter().map(|e| e.dirty_words as u64).sum();
+            let prior_dirty = cache.stats().dirty_words_written_back;
+            prop_assert!(
+                flushed_dirty + prior_dirty <= stores,
+                "dirty words ({flushed_dirty} + {prior_dirty}) cannot exceed stores ({stores})"
             );
-        }
-        // Every fill moves exactly the fetch size.
-        prop_assert_eq!(s.fill_words, s.fills * config.fetch().words() as u64);
-        // Occupancy bounded by capacity.
-        prop_assert!(cache.valid_blocks() <= config.blocks());
-        // Ratios live in [0, 1] for miss ratios.
-        prop_assert!((0.0..=1.0).contains(&s.read_miss_ratio()));
-        prop_assert!((0.0..=1.0).contains(&s.write_miss_ratio()));
-    }
+            prop_assert!(cache.flush_dirty().is_empty());
+            Ok(())
+        },
+    );
+}
 
-    /// `probe` never changes observable behaviour: interleaving probes into
-    /// an access sequence yields identical statistics.
-    #[test]
-    fn probe_is_pure(config in arb_config(), accesses in arb_accesses()) {
-        let mut plain = Cache::new(config);
-        let mut probed = Cache::new(config);
-        for &(addr, is_write, pid) in &accesses {
-            let a = WordAddr::new(addr);
-            probed.probe(a, Pid(pid));
-            probed.probe(WordAddr::new(addr ^ 0xff), Pid(pid));
-            if is_write {
-                plain.write(a, Pid(pid));
-                probed.write(a, Pid(pid));
-            } else {
-                plain.read(a, Pid(pid));
-                probed.read(a, Pid(pid));
+/// Two identically configured caches fed the same sequence agree
+/// event-for-event (determinism, including random replacement).
+#[test]
+fn deterministic_replay() {
+    check(
+        "deterministic_replay",
+        |rng| (gen_config(rng), gen_accesses(rng)),
+        shrink::pair_vec,
+        |(config, accesses)| {
+            let mut a = Cache::new(*config);
+            let mut b = Cache::new(*config);
+            for &(addr, is_write, pid) in accesses {
+                let w = WordAddr::new(addr);
+                if is_write {
+                    prop_assert_eq!(a.write(w, Pid(pid)), b.write(w, Pid(pid)));
+                } else {
+                    prop_assert_eq!(a.read(w, Pid(pid)), b.read(w, Pid(pid)));
+                }
             }
-        }
-        prop_assert_eq!(plain.stats(), probed.stats());
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// After a miss is filled, a probe of the same word hits; after a
-    /// no-allocate write miss, it does not.
-    #[test]
-    fn outcome_matches_probe(config in arb_config(), addr in 0u64..1024, pid in 0u16..4) {
-        let mut cache = Cache::new(config);
-        let a = WordAddr::new(addr);
-        match cache.read(a, Pid(pid)) {
-            ReadOutcome::Miss { .. } | ReadOutcome::Hit => {
-                prop_assert!(cache.probe(a, Pid(pid)));
+/// In a virtual cache, relabeling the single process id leaves the
+/// miss sequence unchanged.
+#[test]
+fn pid_relabel_invariance() {
+    check(
+        "pid_relabel_invariance",
+        |rng| (gen_config(rng), gen_accesses(rng)),
+        shrink::pair_vec,
+        |(config, accesses)| {
+            let mut a = Cache::new(*config);
+            let mut b = Cache::new(*config);
+            for &(addr, is_write, _) in accesses {
+                let w = WordAddr::new(addr);
+                if is_write {
+                    prop_assert_eq!(a.write(w, Pid(1)).is_hit(), b.write(w, Pid(9)).is_hit());
+                } else {
+                    prop_assert_eq!(a.read(w, Pid(1)).is_hit(), b.read(w, Pid(9)).is_hit());
+                }
             }
-        }
-        let mut cache = Cache::new(config);
-        match cache.write(a, Pid(pid)) {
-            WriteOutcome::MissNoAllocate => prop_assert!(!cache.probe(a, Pid(pid))),
-            WriteOutcome::MissAllocate { .. } | WriteOutcome::Hit { .. } => {
-                prop_assert!(cache.probe(a, Pid(pid)));
-            }
-        }
-    }
-
-    /// Flushing after any sequence leaves no dirty blocks, and the flushed
-    /// dirty-word totals never exceed the words written.
-    #[test]
-    fn flush_bounds(config in arb_config(), accesses in arb_accesses()) {
-        let mut cache = Cache::new(config);
-        let mut stores = 0u64;
-        for &(addr, is_write, pid) in &accesses {
-            let a = WordAddr::new(addr);
-            if is_write {
-                cache.write(a, Pid(pid));
-                stores += 1;
-            } else {
-                cache.read(a, Pid(pid));
-            }
-        }
-        let flushed = cache.flush_dirty();
-        let flushed_dirty: u64 = flushed.iter().map(|e| e.dirty_words as u64).sum();
-        let prior_dirty = cache.stats().dirty_words_written_back;
-        prop_assert!(flushed_dirty + prior_dirty <= stores,
-            "dirty words ({flushed_dirty} + {prior_dirty}) cannot exceed stores ({stores})");
-        prop_assert!(cache.flush_dirty().is_empty());
-    }
-
-    /// Two identically configured caches fed the same sequence agree
-    /// event-for-event (determinism, including random replacement).
-    #[test]
-    fn deterministic_replay(config in arb_config(), accesses in arb_accesses()) {
-        let mut a = Cache::new(config);
-        let mut b = Cache::new(config);
-        for &(addr, is_write, pid) in &accesses {
-            let w = WordAddr::new(addr);
-            if is_write {
-                prop_assert_eq!(a.write(w, Pid(pid)), b.write(w, Pid(pid)));
-            } else {
-                prop_assert_eq!(a.read(w, Pid(pid)), b.read(w, Pid(pid)));
-            }
-        }
-    }
-
-    /// In a virtual cache, relabeling the single process id leaves the
-    /// miss sequence unchanged.
-    #[test]
-    fn pid_relabel_invariance(config in arb_config(), accesses in arb_accesses()) {
-        let mut a = Cache::new(config);
-        let mut b = Cache::new(config);
-        for &(addr, is_write, _) in &accesses {
-            let w = WordAddr::new(addr);
-            if is_write {
-                prop_assert_eq!(a.write(w, Pid(1)).is_hit(), b.write(w, Pid(9)).is_hit());
-            } else {
-                prop_assert_eq!(a.read(w, Pid(1)).is_hit(), b.read(w, Pid(9)).is_hit());
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }

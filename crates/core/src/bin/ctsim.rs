@@ -1,12 +1,15 @@
-//! `ctsim` — run one machine configuration over one trace and print the
-//! full report, dinero-style.
+//! `ctsim` — run one machine configuration over one or more traces and
+//! print the full report, dinero-style.
 //!
 //! ```text
-//! ctsim [options] (--din FILE | --workload NAME)
+//! ctsim [options] (--din FILE | --workload NAMES)
 //!
 //!   --din FILE          din-format trace (0=read, 1=write, 2=ifetch, hex bytes)
-//!   --workload NAME     synthetic catalog trace (mu3 mu6 mu10 savec rd1n3
-//!                       rd2n4 rd1n5 rd2n7)
+//!   --workload NAMES    synthetic catalog trace(s): one name, a
+//!                       comma-separated list, or `all` (mu3 mu6 mu10 savec
+//!                       rd1n3 rd2n4 rd1n5 rd2n7)
+//!   --jobs N            workers for multi-workload runs (default: all
+//!                       cores; results are identical for every N)
 //!   --scale F           catalog scale factor (default 0.1)
 //!   --warm N            warm-start reference index for --din (default 0)
 //!   --size KB           per-cache L1 size (default 64)
@@ -23,10 +26,10 @@
 //!   --histogram         print the couplet-latency histogram
 //! ```
 
-use cachetime::{simulate, LevelTwoConfig, SimResult, Simulator, SystemConfig};
+use cachetime::{simulate, sweep, LevelTwoConfig, SimResult, Simulator, SystemConfig};
 use cachetime_cache::CacheConfig;
 use cachetime_mem::MemoryConfig;
-use cachetime_trace::{catalog, io::read_din_trace, io::DinIter, Trace};
+use cachetime_trace::{catalog, io::read_din_trace, io::DinIter, Trace, WorkloadSpec};
 use cachetime_types::{Assoc, BlockWords, CacheSize, CycleTime, Nanos};
 use std::process::ExitCode;
 
@@ -34,6 +37,7 @@ use std::process::ExitCode;
 struct Options {
     din: Option<std::path::PathBuf>,
     workload: Option<String>,
+    jobs: usize,
     scale: f64,
     warm: usize,
     size_kb: u64,
@@ -54,6 +58,7 @@ impl Default for Options {
         Options {
             din: None,
             workload: None,
+            jobs: 0,
             scale: 0.1,
             warm: 0,
             size_kb: 64,
@@ -93,6 +98,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
         match a.as_str() {
             "--din" => o.din = Some(value::<String>(&mut args, "--din")?.into()),
             "--workload" => o.workload = Some(value(&mut args, "--workload")?),
+            "--jobs" => o.jobs = value(&mut args, "--jobs")?,
             "--scale" => o.scale = value(&mut args, "--scale")?,
             "--warm" => o.warm = value(&mut args, "--warm")?,
             "--size" => o.size_kb = value(&mut args, "--size")?,
@@ -118,24 +124,58 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
     Ok(o)
 }
 
+/// The catalog workload names, in canonical order (`--workload all`).
+const CATALOG_NAMES: [&str; 8] = [
+    "mu3", "mu6", "mu10", "savec", "rd1n3", "rd2n4", "rd1n5", "rd2n7",
+];
+
+fn workload_spec(name: &str, scale: f64) -> Result<WorkloadSpec, String> {
+    Ok(match name {
+        "mu3" => catalog::mu3(scale),
+        "mu6" => catalog::mu6(scale),
+        "mu10" => catalog::mu10(scale),
+        "savec" => catalog::savec(scale),
+        "rd1n3" => catalog::rd1n3(scale),
+        "rd2n4" => catalog::rd2n4(scale),
+        "rd1n5" => catalog::rd1n5(scale),
+        "rd2n7" => catalog::rd2n7(scale),
+        other => return Err(format!("unknown workload '{other}'")),
+    })
+}
+
+/// Expands the `--workload` argument into catalog specs: a single name,
+/// a comma-separated list, or `all`.
+fn workload_specs(o: &Options) -> Result<Vec<WorkloadSpec>, String> {
+    let raw = o.workload.as_deref().expect("checked by parse_args");
+    if raw == "all" {
+        return CATALOG_NAMES
+            .iter()
+            .map(|n| workload_spec(n, o.scale))
+            .collect();
+    }
+    raw.split(',')
+        .filter(|n| !n.is_empty())
+        .map(|n| workload_spec(n, o.scale))
+        .collect::<Result<Vec<_>, _>>()
+        .and_then(|specs| {
+            if specs.is_empty() {
+                Err("--workload needs at least one name".into())
+            } else {
+                Ok(specs)
+            }
+        })
+}
+
 fn load_trace(o: &Options) -> Result<Trace, String> {
     if let Some(path) = &o.din {
         return read_din_trace(path, &path.display().to_string(), o.warm)
             .map_err(|e| e.to_string());
     }
-    let name = o.workload.as_deref().expect("checked by parse_args");
-    let spec = match name {
-        "mu3" => catalog::mu3(o.scale),
-        "mu6" => catalog::mu6(o.scale),
-        "mu10" => catalog::mu10(o.scale),
-        "savec" => catalog::savec(o.scale),
-        "rd1n3" => catalog::rd1n3(o.scale),
-        "rd2n4" => catalog::rd2n4(o.scale),
-        "rd1n5" => catalog::rd1n5(o.scale),
-        "rd2n7" => catalog::rd2n7(o.scale),
-        other => return Err(format!("unknown workload '{other}'")),
-    };
-    Ok(spec.generate())
+    let specs = workload_specs(o)?;
+    if specs.len() != 1 {
+        return Err("load_trace expects exactly one workload".into());
+    }
+    Ok(specs[0].generate())
 }
 
 fn build_system(o: &Options) -> Result<SystemConfig, String> {
@@ -190,41 +230,7 @@ fn run_streaming(o: &Options, config: &SystemConfig) -> Result<SimResult, String
     }
 }
 
-fn main() -> ExitCode {
-    let o = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let config = match build_system(&o) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("machine:  {config}");
-    let r = if o.stream {
-        match run_streaming(&o, &config) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        let trace = match load_trace(&o) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        println!("trace:    {} ({})", trace.name(), trace.stats());
-        simulate(&config, &trace)
-    };
+fn report(r: &SimResult, histogram: bool) {
     println!();
     println!("cycles            {}", r.cycles.0);
     println!("couplets          {}", r.couplets);
@@ -257,8 +263,93 @@ fn main() -> ExitCode {
         "memory            {} reads, {} writes, {} read-match stalls",
         r.mem.reads, r.mem.writes, r.mem.read_match_stalls
     );
-    if o.histogram {
+    if histogram {
         println!("\n{}", r.latency);
+    }
+}
+
+/// Runs several catalog workloads through one configuration on the sweep
+/// executor and prints a report per workload, in catalog-argument order.
+fn run_workloads(o: &Options, config: &SystemConfig, specs: &[WorkloadSpec]) -> Result<(), String> {
+    let run = sweep::run(specs, o.jobs, |_idx, spec| {
+        let trace = spec.generate();
+        let stats = trace.stats().to_string();
+        (stats, simulate(config, &trace))
+    })
+    .map_err(|e| e.to_string())?;
+    let mut total_refs = 0u64;
+    for ((spec, (stats, r)), task_time) in specs
+        .iter()
+        .zip(&run.results)
+        .zip(&run.task_times)
+    {
+        println!();
+        println!("=== {} [{task_time:.1?}] ===", spec.name);
+        println!("trace:    {} ({stats})", spec.name);
+        total_refs += r.refs;
+        report(r, o.histogram);
+    }
+    eprintln!(
+        "[{} workloads on {} workers in {:.1?}; {:.0} refs/sec simulated]",
+        specs.len(),
+        run.jobs,
+        run.wall_time,
+        run.throughput(total_refs)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match build_system(&o) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("machine:  {config}");
+    if o.stream {
+        match run_streaming(&o, &config) {
+            Ok(r) => report(&r, o.histogram),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if o.din.is_some() {
+        let trace = match load_trace(&o) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("trace:    {} ({})", trace.name(), trace.stats());
+        report(&simulate(&config, &trace), o.histogram);
+    } else {
+        let specs = match workload_specs(&o) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let [spec] = specs.as_slice() {
+            // Single workload: identical output shape to earlier versions.
+            let trace = spec.generate();
+            println!("trace:    {} ({})", trace.name(), trace.stats());
+            report(&simulate(&config, &trace), o.histogram);
+        } else if let Err(e) = run_workloads(&o, &config, &specs) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

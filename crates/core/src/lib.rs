@@ -47,6 +47,7 @@
 
 mod engine;
 mod result;
+pub mod sweep;
 mod system;
 
 pub use engine::Simulator;

@@ -2,14 +2,16 @@
 //! in Cache Design* (ISCA 1988).
 //!
 //! ```text
-//! repro [--scale F] [--quick] <experiment>...
+//! repro [--scale F] [--quick] [--jobs N] <experiment>...
 //! repro list            # the experiment index
 //! repro all             # everything, sharing the big grids
 //! ```
 //!
 //! `--scale` multiplies the trace lengths (1.0 = paper-sized, the default
 //! 0.25 keeps a laptop run in seconds per experiment; footprints never
-//! scale). `--quick` is shorthand for `--scale 0.05`.
+//! scale). `--quick` is shorthand for `--scale 0.05`. `--jobs N` sets the
+//! simulation worker count (default: all available cores; `--jobs 1`
+//! forces serial). Output is bit-identical for every job count.
 
 use cachetime_experiments::runner::{SpeedSizeGrid, TraceSet, SIZES_PER_CACHE_KB};
 use cachetime_experiments::{
@@ -65,6 +67,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 /// Lazily computed shared state: traces and the expensive grids.
 struct Ctx {
     scale: f64,
+    jobs: usize,
     csv_dir: Option<std::path::PathBuf>,
     traces: Option<TraceSet>,
     dm_grid: Option<SpeedSizeGrid>,
@@ -76,7 +79,7 @@ impl Ctx {
     fn traces(&mut self) -> &TraceSet {
         if self.traces.is_none() {
             let t0 = Instant::now();
-            self.traces = Some(TraceSet::generate(self.scale));
+            self.traces = Some(TraceSet::generate_jobs(self.scale, self.jobs));
             eprintln!("[traces generated in {:.1?}]", t0.elapsed());
         }
         self.traces.as_ref().expect("just generated")
@@ -86,7 +89,8 @@ impl Ctx {
         if self.dm_grid.is_none() {
             self.traces();
             let t0 = Instant::now();
-            let grid = SpeedSizeGrid::compute(self.traces.as_ref().expect("generated"), 1);
+            let grid =
+                SpeedSizeGrid::compute_jobs(self.traces.as_ref().expect("generated"), 1, self.jobs);
             eprintln!("[speed-size grid in {:.1?}]", t0.elapsed());
             self.dm_grid = Some(grid);
         }
@@ -97,7 +101,7 @@ impl Ctx {
         if self.assoc_grids.is_none() {
             self.traces();
             let t0 = Instant::now();
-            let grids = fig4_2::run(self.traces.as_ref().expect("generated"));
+            let grids = fig4_2::run_jobs(self.traces.as_ref().expect("generated"), self.jobs);
             eprintln!("[associativity grids in {:.1?}]", t0.elapsed());
             self.assoc_grids = Some(grids);
         }
@@ -108,7 +112,7 @@ impl Ctx {
         if self.fig5_2_curves.is_none() {
             self.traces();
             let t0 = Instant::now();
-            let curves = fig5_2::run(self.traces.as_ref().expect("generated"));
+            let curves = fig5_2::run_jobs(self.traces.as_ref().expect("generated"), self.jobs);
             eprintln!("[block-size curves in {:.1?}]", t0.elapsed());
             self.fig5_2_curves = Some(curves);
         }
@@ -251,7 +255,8 @@ fn run_one(ctx: &mut Ctx, id: &str) -> Result<(), String> {
         }
         "designer" => {
             let catalog = designer::paper_era_catalog().expect("valid catalog");
-            let ranked = designer::best_design(ctx.traces(), &catalog);
+            let jobs = ctx.jobs;
+            let ranked = designer::best_design_jobs(ctx.traces(), &catalog, jobs);
             println!("{}", designer::render(&ranked));
         }
         other => return Err(format!("unknown experiment '{other}' (try 'list')")),
@@ -262,6 +267,7 @@ fn run_one(ctx: &mut Ctx, id: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut scale = 0.25f64;
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
@@ -288,6 +294,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => jobs = v,
+                None => {
+                    eprintln!("--jobs needs a non-negative integer (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--quick" => scale = 0.05,
             "list" => {
                 println!("experiments (run with: repro [--scale F] <id>...):");
@@ -311,13 +324,17 @@ fn main() -> ExitCode {
     }
     let mut ctx = Ctx {
         scale,
+        jobs,
         csv_dir,
         traces: None,
         dm_grid: None,
         assoc_grids: None,
         fig5_2_curves: None,
     };
-    eprintln!("[scale {scale}]");
+    eprintln!(
+        "[scale {scale}, jobs {}]",
+        cachetime_experiments::sweep::resolve_jobs(jobs)
+    );
     // Run in the canonical order regardless of argument order.
     for (id, _) in EXPERIMENTS {
         if wanted.remove(*id) {

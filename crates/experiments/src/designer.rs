@@ -13,6 +13,7 @@
 //! them by execution time, the metric the paper insists on.
 
 use crate::runner::{run_config, TraceSet};
+use crate::sweep;
 use cachetime::SystemConfig;
 use cachetime_analysis::table::Table;
 use cachetime_cache::CacheConfig;
@@ -80,24 +81,46 @@ pub struct RankedDesign {
 /// Panics if `options` is empty or a configuration fails to build (the
 /// options were validated at construction).
 pub fn best_design(traces: &TraceSet, options: &[RamOption]) -> Vec<RankedDesign> {
+    best_design_jobs(traces, options, 1)
+}
+
+/// [`best_design`] with the candidate simulations fanned over `jobs`
+/// workers (`0` = available parallelism). The ranking is identical to
+/// the serial path for every job count: each candidate's aggregate is
+/// computed in canonical trace order and ties keep catalog order.
+///
+/// # Panics
+///
+/// Panics if `options` is empty or a configuration fails to build (the
+/// options were validated at construction).
+pub fn best_design_jobs(
+    traces: &TraceSet,
+    options: &[RamOption],
+    jobs: usize,
+) -> Vec<RankedDesign> {
     assert!(!options.is_empty(), "no design options");
+    let run = sweep::run(options, jobs, |_idx, opt| {
+        let l1 = CacheConfig::builder(opt.per_cache)
+            .build()
+            .expect("validated size");
+        let config = SystemConfig::builder()
+            .cycle_time(opt.cycle_time)
+            .l1_both(l1)
+            .build()
+            .expect("validated option");
+        // Traces stay serial inside each candidate: the outer sweep
+        // already saturates the pool when candidates >= jobs, and
+        // per-candidate order must match `run_config` exactly.
+        run_config(&config, traces)
+    })
+    .expect("simulation does not panic");
     let mut ranked: Vec<RankedDesign> = options
         .iter()
-        .map(|opt| {
-            let l1 = CacheConfig::builder(opt.per_cache)
-                .build()
-                .expect("validated size");
-            let config = SystemConfig::builder()
-                .cycle_time(opt.cycle_time)
-                .l1_both(l1)
-                .build()
-                .expect("validated option");
-            let agg = run_config(&config, traces);
-            RankedDesign {
-                option: opt.clone(),
-                time_per_ref_ns: agg.time_per_ref_ns,
-                read_miss_ratio: agg.read_miss_ratio,
-            }
+        .zip(run.results)
+        .map(|(opt, agg)| RankedDesign {
+            option: opt.clone(),
+            time_per_ref_ns: agg.time_per_ref_ns,
+            read_miss_ratio: agg.read_miss_ratio,
         })
         .collect();
     ranked.sort_by(|a, b| {

@@ -42,6 +42,17 @@ pub fn run(traces: &TraceSet) -> AssocGrids {
     }
 }
 
+/// [`run`] on a worker pool: each per-associativity grid is computed with
+/// [`SpeedSizeGrid::compute_jobs`] (`jobs == 0` = available parallelism).
+pub fn run_jobs(traces: &TraceSet, jobs: usize) -> AssocGrids {
+    AssocGrids {
+        grids: ASSOCS
+            .iter()
+            .map(|&a| SpeedSizeGrid::compute_jobs(traces, a, jobs))
+            .collect(),
+    }
+}
+
 /// Computes grids over explicit axes (tests, quick modes).
 pub fn run_over(
     traces: &TraceSet,

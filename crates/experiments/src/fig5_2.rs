@@ -47,6 +47,11 @@ pub fn run(traces: &TraceSet) -> Vec<Curve> {
     run_over(traces, &MEM_LATENCIES_NS, &TRANSFER_RATES, &BLOCK_WORDS)
 }
 
+/// [`run`] on a worker pool (`jobs == 0` = available parallelism).
+pub fn run_jobs(traces: &TraceSet, jobs: usize) -> Vec<Curve> {
+    run_over_jobs(traces, &MEM_LATENCIES_NS, &TRANSFER_RATES, &BLOCK_WORDS, jobs)
+}
+
 /// Sweeps explicit axes.
 pub fn run_over(
     traces: &TraceSet,
@@ -54,28 +59,64 @@ pub fn run_over(
     transfers: &[TransferRate],
     blocks: &[u32],
 ) -> Vec<Curve> {
+    run_over_jobs(traces, latencies_ns, transfers, blocks, 1)
+}
+
+/// One `(latency, transfer, block size)` unit of work in the sweep.
+#[derive(Debug, Clone, Copy)]
+struct CurveTask {
+    latency_ns: u64,
+    transfer: TransferRate,
+    block_words: u32,
+}
+
+/// [`run_over`] on a worker pool. Tasks fan out one per
+/// `(latency, transfer, block)` triple and reassemble in input order, so
+/// the curves are identical to the serial path for every job count.
+pub fn run_over_jobs(
+    traces: &TraceSet,
+    latencies_ns: &[u64],
+    transfers: &[TransferRate],
+    blocks: &[u32],
+    jobs: usize,
+) -> Vec<Curve> {
+    let mut tasks = Vec::with_capacity(latencies_ns.len() * transfers.len() * blocks.len());
+    for &lat in latencies_ns {
+        for &tr in transfers {
+            for &bw in blocks {
+                tasks.push(CurveTask {
+                    latency_ns: lat,
+                    transfer: tr,
+                    block_words: bw,
+                });
+            }
+        }
+    }
+    let run = crate::sweep::run(&tasks, jobs, |_idx, task| {
+        let memory = MemoryConfig::uniform_latency(Nanos(task.latency_ns), task.transfer)
+            .expect("valid memory");
+        let l1 = CacheConfig::builder(CacheSize::from_kib(64).expect("power of two"))
+            .block(BlockWords::new(task.block_words).expect("power of two"))
+            .build()
+            .expect("valid cache");
+        let config = SystemConfig::builder()
+            .l1_both(l1)
+            .memory(memory)
+            .build()
+            .expect("valid system");
+        run_config(&config, traces).time_per_ref_ns
+    })
+    .expect("simulation does not panic");
+
+    let mut times = run.results.chunks_exact(blocks.len());
     let mut curves = Vec::new();
     for &lat in latencies_ns {
         for &tr in transfers {
-            let memory = MemoryConfig::uniform_latency(Nanos(lat), tr).expect("valid memory");
-            let mut times = Vec::new();
-            for &bw in blocks {
-                let l1 = CacheConfig::builder(CacheSize::from_kib(64).expect("power of two"))
-                    .block(BlockWords::new(bw).expect("power of two"))
-                    .build()
-                    .expect("valid cache");
-                let config = SystemConfig::builder()
-                    .l1_both(l1)
-                    .memory(memory)
-                    .build()
-                    .expect("valid system");
-                times.push(run_config(&config, traces).time_per_ref_ns);
-            }
             curves.push(Curve {
                 latency_ns: lat,
                 transfer: tr,
                 block_words: blocks.to_vec(),
-                time_per_ref_ns: times,
+                time_per_ref_ns: times.next().expect("one chunk per curve").to_vec(),
             });
         }
     }

@@ -29,6 +29,9 @@ pub mod fig5_2;
 pub mod fig5_3;
 pub mod fig5_4;
 pub mod runner;
+/// The parallel sweep executor (re-exported from `cachetime` so
+/// experiment code and external callers share one implementation).
+pub use cachetime::sweep;
 pub mod sec6;
 pub mod table1;
 pub mod table2;

@@ -1,7 +1,7 @@
 //! Shared experiment infrastructure: trace sets, parameter grids, and
 //! geometric-mean aggregation.
 
-use cachetime::{simulate, SimResult, SystemConfig};
+use cachetime::{simulate, sweep, SimResult, SystemConfig};
 use cachetime_analysis::geometric_mean;
 use cachetime_trace::{catalog, Trace};
 
@@ -35,6 +35,20 @@ impl TraceSet {
     /// Generates the full catalog at `scale` (1.0 = paper-sized traces).
     pub fn generate(scale: f64) -> Self {
         Self::generate_with_seed_offset(scale, 0)
+    }
+
+    /// [`TraceSet::generate`] with the eight workloads generated on a
+    /// worker pool (`jobs == 0` = available parallelism). Each workload's
+    /// seed is fixed by the catalog, so the result is identical to the
+    /// serial path for every job count.
+    pub fn generate_jobs(scale: f64, jobs: usize) -> Self {
+        let specs = catalog::all(scale);
+        let run = sweep::run(&specs, jobs, |_idx, spec| spec.generate())
+            .expect("trace generation does not panic");
+        TraceSet {
+            traces: run.results,
+            scale,
+        }
     }
 
     /// Generates the catalog with every workload seed shifted — a fresh
@@ -127,6 +141,29 @@ pub fn run_config(config: &SystemConfig, traces: &TraceSet) -> Agg {
     aggregate(&results)
 }
 
+/// [`run_config`] with the per-trace simulations fanned over `jobs`
+/// workers. Results are aggregated in trace order, so the aggregate is
+/// bit-identical to the serial path for every job count.
+pub fn run_config_jobs(config: &SystemConfig, traces: &TraceSet, jobs: usize) -> Agg {
+    let indices: Vec<usize> = (0..traces.traces().len()).collect();
+    let run = sweep::run(&indices, jobs, |_idx, &t| {
+        simulate(config, &traces.traces()[t])
+    })
+    .expect("simulation does not panic");
+    aggregate(&run.results)
+}
+
+/// One cell×trace unit of work in a [`SpeedSizeGrid`] sweep: the cache
+/// size and cycle time identify the grid cell, `trace` indexes into the
+/// [`TraceSet`]. Carried as the sweep task so a panicking simulation is
+/// reported with its exact coordinates.
+#[derive(Debug, Clone, Copy)]
+struct GridTask {
+    size_per_cache_kb: u64,
+    ct_ns: u32,
+    trace: usize,
+}
+
 /// The speed–size design-space grid shared by Figures 3-2/3-3/3-4,
 /// Figure 4-2 and its break-even maps, and Table 3: one aggregate per
 /// (cache size, cycle time) cell at a fixed associativity.
@@ -155,6 +192,12 @@ impl SpeedSizeGrid {
         Self::compute_over(traces, assoc, &SIZES_PER_CACHE_KB, &CYCLE_TIMES_NS)
     }
 
+    /// [`SpeedSizeGrid::compute`] on a worker pool (`jobs == 0` =
+    /// available parallelism).
+    pub fn compute_jobs(traces: &TraceSet, assoc: u32, jobs: usize) -> Self {
+        Self::compute_over_jobs(traces, assoc, &SIZES_PER_CACHE_KB, &CYCLE_TIMES_NS, jobs)
+    }
+
     /// Computes the grid over explicit axes (tests and quick modes use
     /// smaller ones).
     pub fn compute_over(
@@ -163,27 +206,66 @@ impl SpeedSizeGrid {
         sizes_per_cache_kb: &[u64],
         cts_ns: &[u32],
     ) -> Self {
+        Self::compute_over_jobs(traces, assoc, sizes_per_cache_kb, cts_ns, 1)
+    }
+
+    /// [`SpeedSizeGrid::compute_over`] on a worker pool.
+    ///
+    /// The sweep fans out one task per `(size, cycle time, trace)`
+    /// triple — the finest independent unit — and reassembles per-cell
+    /// aggregates in trace order, so every cell is bit-identical to the
+    /// serial nested-loop computation for any `jobs`.
+    pub fn compute_over_jobs(
+        traces: &TraceSet,
+        assoc: u32,
+        sizes_per_cache_kb: &[u64],
+        cts_ns: &[u32],
+        jobs: usize,
+    ) -> Self {
         let assoc_v = cachetime_types::Assoc::new(assoc).expect("power-of-two assoc");
-        let mut cycles_per_ref = Vec::new();
-        let mut time_per_ref = Vec::new();
-        let mut read_miss_ratio = Vec::new();
+        let n_traces = traces.traces().len();
+        let mut tasks = Vec::with_capacity(sizes_per_cache_kb.len() * cts_ns.len() * n_traces);
         for &kb in sizes_per_cache_kb {
+            for &ct in cts_ns {
+                for trace in 0..n_traces {
+                    tasks.push(GridTask {
+                        size_per_cache_kb: kb,
+                        ct_ns: ct,
+                        trace,
+                    });
+                }
+            }
+        }
+        let run = sweep::run(&tasks, jobs, |_idx, task| {
             let l1 = cachetime_cache::CacheConfig::builder(
-                cachetime_types::CacheSize::from_kib(kb).expect("power of two"),
+                cachetime_types::CacheSize::from_kib(task.size_per_cache_kb)
+                    .expect("power of two"),
             )
             .assoc(assoc_v)
             .build()
             .expect("valid cache");
+            let config = SystemConfig::builder()
+                .cycle_time(cachetime_types::CycleTime::from_ns(task.ct_ns).expect("nonzero"))
+                .l1_both(l1)
+                .build()
+                .expect("valid system");
+            simulate(&config, &traces.traces()[task.trace])
+        })
+        .expect("simulation does not panic");
+
+        // Reassemble: tasks were pushed cell-major, traces innermost, so
+        // each consecutive chunk of `n_traces` results is one grid cell in
+        // canonical trace order.
+        let mut cells = run.results.chunks_exact(n_traces);
+        let mut cycles_per_ref = Vec::new();
+        let mut time_per_ref = Vec::new();
+        let mut read_miss_ratio = Vec::new();
+        for _ in sizes_per_cache_kb {
             let mut row_c = Vec::new();
             let mut row_t = Vec::new();
             let mut row_m = Vec::new();
-            for &ct in cts_ns {
-                let config = SystemConfig::builder()
-                    .cycle_time(cachetime_types::CycleTime::from_ns(ct).expect("nonzero"))
-                    .l1_both(l1)
-                    .build()
-                    .expect("valid system");
-                let agg = run_config(&config, traces);
+            for _ in cts_ns {
+                let agg = aggregate(cells.next().expect("one chunk per cell"));
                 row_c.push(agg.cycles_per_ref);
                 row_t.push(agg.time_per_ref_ns);
                 row_m.push(agg.read_miss_ratio);

@@ -111,7 +111,7 @@ fn risc_spec(
 
 /// `mu3`: Fortran compile, microcode allocator, directory search under VMS.
 pub fn mu3(scale: f64) -> WorkloadSpec {
-    vax_spec("mu3", 7, 1.439, 33.1, scale, 0x3001)
+    vax_spec("mu3", 7, 1.439, 33.1, scale, 0x3301)
 }
 
 /// `mu6`: `mu3` plus Pascal compile, 4x1x5, spice.

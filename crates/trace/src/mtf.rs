@@ -6,7 +6,7 @@
 //! (`P(d) ∝ d^-α`) yields miss-ratio-versus-size curves with the gradual
 //! flattening real programs show (paper, Figure 3-1).
 
-use rand::Rng;
+use cachetime_testkit::SplitMix64;
 
 /// A move-to-front stack over item ids `0..n`.
 #[derive(Debug, Clone)]
@@ -45,7 +45,7 @@ impl MtfStack {
     ///
     /// Smaller `alpha` means a heavier tail (less locality); `alpha` well
     /// above 1 concentrates reuse near the top of the stack.
-    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, alpha: f64) -> u32 {
+    pub fn sample(&mut self, rng: &mut SplitMix64, alpha: f64) -> u32 {
         let depth = pareto_depth(rng, self.items.len(), alpha);
         let item = self.items.remove(depth);
         self.items.insert(0, item);
@@ -60,12 +60,12 @@ impl MtfStack {
 
 /// Samples a 0-based depth in `[0, n)` with `P(depth = d-1) ∝ d^-alpha`
 /// (`d` 1-based), via inverse-CDF of the continuous truncated Pareto.
-fn pareto_depth<R: Rng + ?Sized>(rng: &mut R, n: usize, alpha: f64) -> usize {
+fn pareto_depth(rng: &mut SplitMix64, n: usize, alpha: f64) -> usize {
     debug_assert!(n > 0);
     if n == 1 {
         return 0;
     }
-    let u: f64 = rng.gen();
+    let u = rng.next_f64();
     let x = if (alpha - 1.0).abs() < 1e-9 {
         // alpha == 1: F(x) = ln(x)/ln(n)
         (n as f64).powf(u)
@@ -79,8 +79,6 @@ fn pareto_depth<R: Rng + ?Sized>(rng: &mut R, n: usize, alpha: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     #[should_panic(expected = "at least one item")]
@@ -91,7 +89,7 @@ mod tests {
     #[test]
     fn singleton_always_returns_it() {
         let mut s = MtfStack::new(1);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::from_seed(1);
         for _ in 0..10 {
             assert_eq!(s.sample(&mut rng, 1.5), 0);
         }
@@ -100,7 +98,7 @@ mod tests {
     #[test]
     fn sampled_item_moves_to_front() {
         let mut s = MtfStack::new(100);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SplitMix64::from_seed(2);
         for _ in 0..50 {
             let item = s.sample(&mut rng, 1.3);
             assert_eq!(s.front(), item);
@@ -110,7 +108,7 @@ mod tests {
 
     #[test]
     fn depths_stay_in_range() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SplitMix64::from_seed(3);
         for n in [1usize, 2, 7, 1000] {
             for alpha in [0.8, 1.0, 1.5, 2.5] {
                 for _ in 0..200 {
@@ -123,8 +121,8 @@ mod tests {
 
     #[test]
     fn higher_alpha_concentrates_reuse() {
-        let mut rng = SmallRng::seed_from_u64(4);
-        let mean = |alpha: f64, rng: &mut SmallRng| {
+        let mut rng = SplitMix64::from_seed(4);
+        let mean = |alpha: f64, rng: &mut SplitMix64| {
             let total: usize = (0..20_000).map(|_| pareto_depth(rng, 10_000, alpha)).sum();
             total as f64 / 20_000.0
         };
@@ -138,7 +136,7 @@ mod tests {
 
     #[test]
     fn heavy_tail_reaches_deep_items() {
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SplitMix64::from_seed(5);
         let deep = (0..50_000)
             .filter(|_| pareto_depth(&mut rng, 10_000, 1.2) > 1_000)
             .count();

@@ -4,8 +4,7 @@
 use crate::process::{ProcessParams, SyntheticProcess};
 use crate::trace::Trace;
 use cachetime_types::{AccessKind, MemRef};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachetime_testkit::SplitMix64;
 use std::collections::HashMap;
 
 /// A complete recipe for one synthetic trace.
@@ -51,7 +50,7 @@ impl WorkloadSpec {
     /// Panics if `processes` is empty.
     pub fn generate(&self) -> Trace {
         assert!(!self.processes.is_empty(), "workload needs processes");
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::from_seed(self.seed);
         let mut procs: Vec<SyntheticProcess> = self
             .processes
             .iter()
@@ -101,7 +100,7 @@ impl WorkloadSpec {
         refs: &mut Vec<MemRef>,
         procs: &mut [SyntheticProcess],
         count: usize,
-        rng: &mut SmallRng,
+        rng: &mut SplitMix64,
     ) {
         let target = refs.len() + count;
         let n = procs.len();
@@ -160,7 +159,7 @@ fn interleave_prefixes(
     refs: &mut Vec<MemRef>,
     mut prefixes: Vec<Vec<MemRef>>,
     mean_switch: f64,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
 ) {
     for p in &mut prefixes {
         p.reverse(); // pop from the back = take from the front
@@ -183,12 +182,12 @@ fn interleave_prefixes(
     }
 }
 
-fn geometric(rng: &mut SmallRng, mean: f64) -> usize {
+fn geometric(rng: &mut SplitMix64, mean: f64) -> usize {
     if mean <= 0.0 {
         return 0;
     }
     let p = 1.0 / (mean + 1.0);
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u = rng.gen_range(f64::EPSILON..1.0);
     (u.ln() / (1.0 - p).ln()).floor().min(1e7) as usize
 }
 

@@ -20,8 +20,7 @@ use crate::mtf::MtfStack;
 #[cfg(test)]
 use cachetime_types::AccessKind;
 use cachetime_types::{MemRef, Pid, WordAddr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cachetime_testkit::SplitMix64;
 
 /// First word of the code region. Each process's regions are staggered by
 /// a small pid-dependent, non-power-of-two offset: programs share the same
@@ -180,7 +179,7 @@ impl ProcessParams {
 pub struct SyntheticProcess {
     pid: Pid,
     params: ProcessParams,
-    rng: SmallRng,
+    rng: SplitMix64,
     // --- instruction stream ---
     funcs: MtfStack,
     cur_func: u32,
@@ -218,14 +217,14 @@ impl SyntheticProcess {
         // times the touched footprint for the same reason; real heaps also
         // mix many small allocations with a few large ones, which caps how
         // much of a working-set refill a big cache block can prefetch.
-        let mut obj_rng = SmallRng::seed_from_u64(seed ^ 0x0b1ec7);
+        let mut obj_rng = SplitMix64::from_seed(seed ^ 0x0b1ec7);
         let mut objects_tbl: Vec<(u32, u32)> = Vec::new();
         let object_budget = params.data_words - params.data_words / 4;
         let mut covered = 0u64;
         let mut index = 0u64;
         while covered < object_budget {
             let size = *[4u32, 4, 8, 8, 8, 16, 16, 32, 64]
-                .get(obj_rng.gen_range(0..9))
+                .get(obj_rng.gen_range(0usize..9))
                 .expect("index in range");
             let size = size.min((object_budget - covered) as u32).max(1);
             objects_tbl.push((0, size)); // bases assigned after counting
@@ -242,7 +241,7 @@ impl SyntheticProcess {
         let zero_left = params.startup_zero_words;
         SyntheticProcess {
             pid,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: SplitMix64::from_seed(seed ^ 0x9e37_79b9_7f4a_7c15),
             funcs: MtfStack::new(n_funcs),
             cur_func: 0,
             pc: 0,
@@ -323,7 +322,7 @@ impl SyntheticProcess {
 
     fn branch_event(&mut self) {
         let fw = self.params.func_words;
-        let r: f64 = self.rng.gen();
+        let r = self.rng.next_f64();
         if r < self.params.loop_frac {
             // Loop back to the loop head; occasionally move the head up to
             // the current point so loops terminate.
@@ -367,7 +366,7 @@ impl SyntheticProcess {
         // Object accesses with sequential runs inside the chosen object.
         if self.data_run_left == 0 {
             if self.rng.gen_bool(self.params.sweep_frac) {
-                self.sweep_left = self.rng.gen_range(32..128);
+                self.sweep_left = self.rng.gen_range(32u32..128);
                 return self.next_data();
             }
             self.cur_object = self.objects.sample(&mut self.rng, self.params.data_alpha);
@@ -395,7 +394,7 @@ impl SyntheticProcess {
             return 0;
         }
         let p = 1.0 / (mean + 1.0);
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u = self.rng.gen_range(f64::EPSILON..1.0);
         (u.ln() / (1.0 - p).ln()).floor().min(10_000.0) as u32
     }
 }

@@ -1,0 +1,50 @@
+//! Golden-hash pin for the synthetic trace generator.
+//!
+//! A fixed catalog seed must produce a bit-identical trace on every
+//! platform and in every build — figures, CSVs, and the tier-1 shape
+//! tests all assume this. If an intentional generator change breaks
+//! these constants, regenerate them (and expect every downstream number
+//! to shift).
+
+use cachetime_trace::catalog;
+
+/// FNV-1a over the (kind, addr, pid) stream.
+fn trace_hash(t: &cachetime_trace::Trace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in t.refs() {
+        mix(r.addr.value());
+        mix(r.kind as u64);
+        mix(r.pid.0 as u64);
+    }
+    h
+}
+
+#[test]
+fn catalog_traces_are_golden_stable() {
+    let mu3 = catalog::mu3(0.02).generate();
+    let savec = catalog::savec(0.02).generate();
+    assert_eq!(
+        trace_hash(&mu3),
+        0x8b60_439a_b6ba_161a,
+        "mu3 stream changed — every downstream figure shifts"
+    );
+    assert_eq!(
+        trace_hash(&savec),
+        0xb031_8c29_4700_02c1,
+        "savec stream changed — every downstream figure shifts"
+    );
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = catalog::rd1n3(0.02).generate();
+    let b = catalog::rd1n3(0.02).generate();
+    assert_eq!(a.refs(), b.refs());
+    assert_eq!(trace_hash(&a), trace_hash(&b));
+}

@@ -1,133 +1,166 @@
-//! Property-based tests for the synthetic trace substrate.
+//! Property-based tests for the synthetic trace substrate, on the
+//! hermetic testkit runner.
 
+use cachetime_testkit::{check, prop_assert, prop_assert_eq, shrink, SplitMix64};
 use cachetime_trace::{MtfStack, ProcessParams, SyntheticProcess, Trace, WorkloadSpec};
 use cachetime_types::{AccessKind, Pid};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::collections::HashSet;
 
-fn arb_params() -> impl Strategy<Value = ProcessParams> {
-    (
-        8u64..64,      // code kwords /8
-        8u64..128,     // data kwords /8
-        any::<bool>(), // family
-        0u64..2_000,   // startup zero words
-    )
-        .prop_map(|(c, d, vax, zero)| {
-            let params = if vax {
-                ProcessParams::vax_like(c * 64, d * 64)
-            } else {
-                ProcessParams::risc_like(c * 64, d * 64)
-            };
-            params.with_startup_zero(zero)
-        })
+fn gen_params(rng: &mut SplitMix64) -> ProcessParams {
+    let c = rng.gen_range(8u64..64); // code kwords /8
+    let d = rng.gen_range(8u64..128); // data kwords /8
+    let params = if rng.gen_bool(0.5) {
+        ProcessParams::vax_like(c * 64, d * 64)
+    } else {
+        ProcessParams::risc_like(c * 64, d * 64)
+    };
+    params.with_startup_zero(rng.gen_range(0u64..2_000))
 }
 
-proptest! {
-    /// The MTF stack conserves its items and always returns valid ids.
-    #[test]
-    fn mtf_conserves_items(n in 1u32..2000, alpha in 0.9f64..2.5, seed in 0u64..1000) {
-        let mut stack = MtfStack::new(n);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut seen = HashSet::new();
-        for _ in 0..200 {
-            let item = stack.sample(&mut rng, alpha);
-            prop_assert!(item < n);
-            seen.insert(item);
-        }
-        prop_assert_eq!(stack.len(), n as usize);
-        prop_assert!(seen.len() <= n as usize);
-    }
-
-    /// Process streams are deterministic in the seed, bounded in footprint,
-    /// and type-consistent.
-    #[test]
-    fn process_stream_properties(params in arb_params(), seed in 0u64..1000) {
-        let mut a = SyntheticProcess::new(Pid(3), params.clone(), seed);
-        let mut b = SyntheticProcess::new(Pid(3), params.clone(), seed);
-        let mut code_words = HashSet::new();
-        let mut data_words = HashSet::new();
-        for _ in 0..5_000 {
-            let ra = a.next_ref();
-            let rb = b.next_ref();
-            prop_assert_eq!(ra, rb, "same seed, same stream");
-            prop_assert_eq!(ra.pid, Pid(3));
-            match ra.kind {
-                AccessKind::IFetch => { code_words.insert(ra.addr.value()); }
-                _ => { data_words.insert(ra.addr.value()); }
+/// The MTF stack conserves its items and always returns valid ids.
+#[test]
+fn mtf_conserves_items() {
+    check(
+        "mtf_conserves_items",
+        |rng| {
+            (
+                rng.gen_range(1u32..2000),
+                rng.gen_range(0.9f64..2.5),
+                rng.gen_range(0u64..1000),
+            )
+        },
+        shrink::none,
+        |&(n, alpha, seed)| {
+            let mut stack = MtfStack::new(n);
+            let mut rng = SplitMix64::from_seed(seed);
+            let mut seen = HashSet::new();
+            for _ in 0..200 {
+                let item = stack.sample(&mut rng, alpha);
+                prop_assert!(item < n);
+                seen.insert(item);
             }
-        }
-        // Footprints bounded: touched words cannot exceed the configured
-        // regions (scattered spans hold the same number of live words).
-        prop_assert!(code_words.len() as u64 <= params.code_words);
-        prop_assert!(
-            data_words.len() as u64
-                <= params.data_words + params.stack_words + params.startup_zero_words
-        );
-    }
+            prop_assert_eq!(stack.len(), n as usize);
+            prop_assert!(seen.len() <= n as usize);
+            Ok(())
+        },
+    );
+}
 
-    /// Workload generation respects length/warm-start accounting and only
-    /// emits configured pids.
-    #[test]
-    fn workload_accounting(
-        n_procs in 1usize..5,
-        length in 1_000usize..20_000,
-        warm in 0usize..5_000,
-        prefix in any::<bool>(),
-        seed in 0u64..500,
-    ) {
-        let spec = WorkloadSpec {
-            name: "prop".into(),
-            processes: (0..n_procs)
-                .map(|i| ProcessParams::vax_like(1024 + 256 * i as u64, 2048))
-                .collect(),
-            length,
-            warm_up: warm,
-            mean_switch: 300.0,
-            os_process: n_procs > 1,
-            init_prefix: prefix,
-            seed,
-        };
-        let t: Trace = spec.generate();
-        prop_assert_eq!(t.warm_refs().len(), length);
-        if !prefix {
-            prop_assert_eq!(t.warm_start(), warm);
-        }
-        let pids: HashSet<u16> = t.refs().iter().map(|r| r.pid.0).collect();
-        prop_assert!(pids.iter().all(|&p| p >= 1 && p as usize <= n_procs));
-        // Trace stats agree with a direct scan.
-        let stats = t.stats();
-        prop_assert_eq!(stats.refs as usize, t.len());
-        prop_assert_eq!(
-            stats.reads() + stats.stores,
-            stats.refs
-        );
-    }
+/// Process streams are deterministic in the seed, bounded in footprint,
+/// and type-consistent.
+#[test]
+fn process_stream_properties() {
+    check(
+        "process_stream_properties",
+        |rng| (gen_params(rng), rng.gen_range(0u64..1000)),
+        shrink::none,
+        |(params, seed)| {
+            let mut a = SyntheticProcess::new(Pid(3), params.clone(), *seed);
+            let mut b = SyntheticProcess::new(Pid(3), params.clone(), *seed);
+            let mut code_words = HashSet::new();
+            let mut data_words = HashSet::new();
+            for _ in 0..5_000 {
+                let ra = a.next_ref();
+                let rb = b.next_ref();
+                prop_assert_eq!(ra, rb, "same seed, same stream");
+                prop_assert_eq!(ra.pid, Pid(3));
+                match ra.kind {
+                    AccessKind::IFetch => {
+                        code_words.insert(ra.addr.value());
+                    }
+                    _ => {
+                        data_words.insert(ra.addr.value());
+                    }
+                }
+            }
+            // Footprints bounded: touched words cannot exceed the
+            // configured regions (scattered spans hold the same number of
+            // live words).
+            prop_assert!(code_words.len() as u64 <= params.code_words);
+            prop_assert!(
+                data_words.len() as u64
+                    <= params.data_words + params.stack_words + params.startup_zero_words
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The initialization prefix never contains duplicates or stores, and
-    /// its addresses all reappear... (not necessarily: the body may move
-    /// on) — but every prefix address was genuinely touched by the
-    /// process's own address space.
-    #[test]
-    fn prefix_is_unique_reads(seed in 0u64..200) {
-        let spec = WorkloadSpec {
-            name: "prefix".into(),
-            processes: vec![ProcessParams::risc_like(2048, 8192)],
-            length: 5_000,
-            warm_up: 0,
-            mean_switch: 500.0,
-            os_process: false,
-            init_prefix: true,
-            seed,
-        };
-        let t = spec.generate();
-        let prefix = &t.refs()[..t.warm_start()];
-        prop_assert!(!prefix.is_empty());
-        let mut seen = HashSet::new();
-        for r in prefix {
-            prop_assert!(r.kind != AccessKind::Store);
-            prop_assert!(seen.insert(r.addr), "duplicate {r}");
-        }
-    }
+/// Workload generation respects length/warm-start accounting and only
+/// emits configured pids.
+#[test]
+fn workload_accounting() {
+    check(
+        "workload_accounting",
+        |rng| {
+            (
+                rng.gen_range(1usize..5),
+                rng.gen_range(1_000usize..20_000),
+                rng.gen_range(0usize..5_000),
+                rng.gen_bool(0.5),
+                rng.gen_range(0u64..500),
+            )
+        },
+        shrink::none,
+        |&(n_procs, length, warm, prefix, seed)| {
+            let spec = WorkloadSpec {
+                name: "prop".into(),
+                processes: (0..n_procs)
+                    .map(|i| ProcessParams::vax_like(1024 + 256 * i as u64, 2048))
+                    .collect(),
+                length,
+                warm_up: warm,
+                mean_switch: 300.0,
+                os_process: n_procs > 1,
+                init_prefix: prefix,
+                seed,
+            };
+            let t: Trace = spec.generate();
+            prop_assert_eq!(t.warm_refs().len(), length);
+            if !prefix {
+                prop_assert_eq!(t.warm_start(), warm);
+            }
+            let pids: HashSet<u16> = t.refs().iter().map(|r| r.pid.0).collect();
+            prop_assert!(pids.iter().all(|&p| p >= 1 && p as usize <= n_procs));
+            // Trace stats agree with a direct scan.
+            let stats = t.stats();
+            prop_assert_eq!(stats.refs as usize, t.len());
+            prop_assert_eq!(stats.reads() + stats.stores, stats.refs);
+            Ok(())
+        },
+    );
+}
+
+/// The initialization prefix never contains duplicates or stores, and
+/// its addresses all reappear... (not necessarily: the body may move
+/// on) — but every prefix address was genuinely touched by the
+/// process's own address space.
+#[test]
+fn prefix_is_unique_reads() {
+    check(
+        "prefix_is_unique_reads",
+        |rng| rng.gen_range(0u64..200),
+        shrink::halves,
+        |&seed| {
+            let spec = WorkloadSpec {
+                name: "prefix".into(),
+                processes: vec![ProcessParams::risc_like(2048, 8192)],
+                length: 5_000,
+                warm_up: 0,
+                mean_switch: 500.0,
+                os_process: false,
+                init_prefix: true,
+                seed,
+            };
+            let t = spec.generate();
+            let prefix = &t.refs()[..t.warm_start()];
+            prop_assert!(!prefix.is_empty());
+            let mut seen = HashSet::new();
+            for r in prefix {
+                prop_assert!(r.kind != AccessKind::Store);
+                prop_assert!(seen.insert(r.addr), "duplicate {r}");
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything must pass before merging.
+#
+#   ./scripts/verify.sh
+#
+# 1. Release build of the whole workspace.
+# 2. Full test suite (unit + property + integration).
+# 3. Offline-build guard: the workspace must build with no registry
+#    access at all (zero external dependencies is a hard invariant).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo build --offline --workspace (zero-dependency guard)"
+cargo build --offline --workspace
+
+echo "==> verify OK"

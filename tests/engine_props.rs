@@ -1,67 +1,68 @@
 //! Property-based tests over the whole simulator: arbitrary small traces
-//! against arbitrary machine configurations.
+//! against arbitrary machine configurations, on the hermetic testkit
+//! runner.
 
 use cachetime::{LevelTwoConfig, SimResult, Simulator, SystemConfig};
 use cachetime_cache::CacheConfig;
 use cachetime_mem::MemoryConfig;
+use cachetime_testkit::{check, prop_assert, prop_assert_eq, shrink, CaseResult, SplitMix64};
 use cachetime_trace::Trace;
 use cachetime_types::{
     AccessKind, Assoc, BlockWords, CacheSize, CycleTime, MemRef, Nanos, Pid, WordAddr,
 };
-use proptest::prelude::*;
 
-fn arb_refs() -> impl Strategy<Value = Vec<MemRef>> {
-    prop::collection::vec(
-        (0u64..2048, 0u8..3, 0u16..3).prop_map(|(addr, kind, pid)| {
-            let a = WordAddr::new(addr);
-            match kind {
-                0 => MemRef::ifetch(a, Pid(pid)),
-                1 => MemRef::load(a, Pid(pid)),
-                _ => MemRef::store(a, Pid(pid)),
-            }
-        }),
-        1..300,
-    )
+fn gen_ref(rng: &mut SplitMix64) -> MemRef {
+    let a = WordAddr::new(rng.gen_range(0u64..2048));
+    let pid = Pid(rng.gen_range(0u16..3));
+    match rng.gen_range(0u8..3) {
+        0 => MemRef::ifetch(a, pid),
+        1 => MemRef::load(a, pid),
+        _ => MemRef::store(a, pid),
+    }
 }
 
-fn arb_system() -> impl Strategy<Value = SystemConfig> {
-    (
-        1u32..4,       // l1 size: 2^k KB
-        0u32..4,       // block log
-        0u32..3,       // assoc log
-        5u32..81,      // cycle time
-        any::<bool>(), // l2 present
-        any::<bool>(), // dual issue
-        any::<bool>(), // early continuation
-        0u32..6,       // wb depth
-    )
-        .prop_filter_map(
-            "valid config",
-            |(kb_log, block_log, assoc_log, ct, with_l2, dual, ec, wb)| {
-                let l1 = CacheConfig::builder(CacheSize::from_kib(1 << kb_log).ok()?)
-                    .block(BlockWords::new(1 << block_log).ok()?)
-                    .assoc(Assoc::new(1 << assoc_log).ok()?)
-                    .build()
-                    .ok()?;
-                let mut b = SystemConfig::builder();
-                b.cycle_time(CycleTime::from_ns(ct).ok()?)
-                    .l1_both(l1)
-                    .dual_issue(dual)
-                    .early_continuation(ec)
-                    .memory(MemoryConfig::builder().wb_depth(wb).build().ok()?);
-                if with_l2 {
-                    let l2 = CacheConfig::builder(CacheSize::from_kib(64).ok()?)
-                        .block(BlockWords::new(16).ok()?)
-                        .build()
-                        .ok()?;
-                    b.l2(LevelTwoConfig::new(l2));
-                }
-                b.build().ok()
-            },
-        )
+fn gen_refs(rng: &mut SplitMix64) -> Vec<MemRef> {
+    let n = rng.gen_range(1usize..300);
+    (0..n).map(|_| gen_ref(rng)).collect()
 }
 
-fn check_result(r: &SimResult, refs: &[MemRef]) -> Result<(), TestCaseError> {
+fn try_gen_system(rng: &mut SplitMix64) -> Option<SystemConfig> {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(1 << rng.gen_range(1u32..4)).ok()?)
+        .block(BlockWords::new(1 << rng.gen_range(0u32..4)).ok()?)
+        .assoc(Assoc::new(1 << rng.gen_range(0u32..3)).ok()?)
+        .build()
+        .ok()?;
+    let mut b = SystemConfig::builder();
+    b.cycle_time(CycleTime::from_ns(rng.gen_range(5u32..81)).ok()?)
+        .l1_both(l1)
+        .dual_issue(rng.gen_bool(0.5))
+        .early_continuation(rng.gen_bool(0.5))
+        .memory(
+            MemoryConfig::builder()
+                .wb_depth(rng.gen_range(0u32..6))
+                .build()
+                .ok()?,
+        );
+    if rng.gen_bool(0.5) {
+        let l2 = CacheConfig::builder(CacheSize::from_kib(64).ok()?)
+            .block(BlockWords::new(16).ok()?)
+            .build()
+            .ok()?;
+        b.l2(LevelTwoConfig::new(l2));
+    }
+    b.build().ok()
+}
+
+fn gen_system(rng: &mut SplitMix64) -> SystemConfig {
+    loop {
+        // Rejection-sample the rare invalid combination.
+        if let Some(config) = try_gen_system(rng) {
+            return config;
+        }
+    }
+}
+
+fn check_result(r: &SimResult, refs: &[MemRef]) -> CaseResult {
     let n = refs.len() as u64;
     prop_assert_eq!(r.refs, n);
     prop_assert!(r.couplets >= n.div_ceil(2), "pairing at most halves slots");
@@ -82,119 +83,171 @@ fn check_result(r: &SimResult, refs: &[MemRef]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Structural invariants hold for any machine on any trace.
+#[test]
+fn simulator_invariants() {
+    check(
+        "simulator_invariants",
+        |rng| (gen_system(rng), gen_refs(rng)),
+        shrink::pair_vec,
+        |(config, refs)| {
+            if refs.is_empty() {
+                return Ok(()); // shrunk away; invariants need >= 1 ref
+            }
+            let trace = Trace::new("prop", refs.clone(), 0);
+            let r = Simulator::new(config).run(&trace);
+            check_result(&r, refs)
+        },
+    );
+}
 
-    /// Structural invariants hold for any machine on any trace.
-    #[test]
-    fn simulator_invariants(config in arb_system(), refs in arb_refs()) {
-        let trace = Trace::new("prop", refs.clone(), 0);
-        let r = Simulator::new(&config).run(&trace);
-        check_result(&r, &refs)?;
-    }
+/// Simulation is a pure function of (config, trace).
+#[test]
+fn simulation_is_deterministic() {
+    check(
+        "simulation_is_deterministic",
+        |rng| (gen_system(rng), gen_refs(rng)),
+        shrink::pair_vec,
+        |(config, refs)| {
+            let trace = Trace::new("prop", refs.clone(), 0);
+            let a = Simulator::new(config).run(&trace);
+            let b = Simulator::new(config).run(&trace);
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// Simulation is a pure function of (config, trace).
-    #[test]
-    fn simulation_is_deterministic(config in arb_system(), refs in arb_refs()) {
-        let trace = Trace::new("prop", refs, 0);
-        let a = Simulator::new(&config).run(&trace);
-        let b = Simulator::new(&config).run(&trace);
-        prop_assert_eq!(a, b);
-    }
+/// Appending references never reduces the total cycle count (time is
+/// monotone in work).
+#[test]
+fn cycles_monotone_in_trace_prefix() {
+    check(
+        "cycles_monotone_in_trace_prefix",
+        |rng| (gen_system(rng), gen_refs(rng)),
+        shrink::pair_vec,
+        |(config, refs)| {
+            let half = refs.len() / 2;
+            if half == 0 {
+                return Ok(());
+            }
+            let t_half = Trace::new("half", refs[..half].to_vec(), 0);
+            let t_full = Trace::new("full", refs.clone(), 0);
+            let c_half = Simulator::new(config).run(&t_half).cycles;
+            let c_full = Simulator::new(config).run(&t_full).cycles;
+            prop_assert!(c_full >= c_half, "{c_full} < {c_half}");
+            Ok(())
+        },
+    );
+}
 
-    /// Appending references never reduces the total cycle count (time is
-    /// monotone in work).
-    #[test]
-    fn cycles_monotone_in_trace_prefix(config in arb_system(), refs in arb_refs()) {
-        let half = refs.len() / 2;
-        if half == 0 {
-            return Ok(());
-        }
-        let t_half = Trace::new("half", refs[..half].to_vec(), 0);
-        let t_full = Trace::new("full", refs.clone(), 0);
-        let c_half = Simulator::new(&config).run(&t_half).cycles;
-        let c_full = Simulator::new(&config).run(&t_full).cycles;
-        prop_assert!(c_full >= c_half, "{c_full} < {c_half}");
-    }
+/// A slower clock never increases the cycle count (quantized costs are
+/// non-increasing in cycle time), and never decreases execution time
+/// by more than the pure clock ratio.
+#[test]
+fn slower_clock_needs_no_more_cycles() {
+    check(
+        "slower_clock_needs_no_more_cycles",
+        |rng| {
+            (
+                (rng.gen_range(10u32..40), rng.gen_range(2u32..4)),
+                gen_refs(rng),
+            )
+        },
+        shrink::pair_vec,
+        |((ct_a, mult), refs)| {
+            let ct_b = ct_a * mult;
+            let mk = |ns: u32| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(4).expect("pow2"))
+                    .build()
+                    .expect("valid");
+                SystemConfig::builder()
+                    .cycle_time(CycleTime::from_ns(ns).expect("nonzero"))
+                    .l1_both(l1)
+                    .build()
+                    .expect("valid")
+            };
+            let trace = Trace::new("prop", refs.clone(), 0);
+            let fast = Simulator::new(&mk(*ct_a)).run(&trace);
+            let slow = Simulator::new(&mk(ct_b)).run(&trace);
+            prop_assert!(
+                slow.cycles <= fast.cycles,
+                "slower clock took more cycles: {} vs {}",
+                slow.cycles,
+                fast.cycles
+            );
+            // And execution time cannot shrink when the clock slows by an
+            // integer multiple: every quantized cost in ns is
+            // non-decreasing.
+            prop_assert!(
+                slow.exec_time() >= fast.exec_time(),
+                "slower clock finished sooner: {} vs {}",
+                slow.exec_time(),
+                fast.exec_time()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// A slower clock never increases the cycle count (quantized costs are
-    /// non-increasing in cycle time), and never decreases execution time
-    /// by more than the pure clock ratio.
-    #[test]
-    fn slower_clock_needs_no_more_cycles(refs in arb_refs(), ct_a in 10u32..40, mult in 2u32..4) {
-        let ct_b = ct_a * mult;
-        let mk = |ns: u32| {
-            let l1 = CacheConfig::builder(CacheSize::from_kib(4).expect("pow2"))
-                .build()
-                .expect("valid");
-            SystemConfig::builder()
-                .cycle_time(CycleTime::from_ns(ns).expect("nonzero"))
-                .l1_both(l1)
-                .build()
-                .expect("valid")
-        };
-        let trace = Trace::new("prop", refs, 0);
-        let fast = Simulator::new(&mk(ct_a)).run(&trace);
-        let slow = Simulator::new(&mk(ct_b)).run(&trace);
-        prop_assert!(
-            slow.cycles <= fast.cycles,
-            "slower clock took more cycles: {} vs {}",
-            slow.cycles,
-            fast.cycles
-        );
-        // And execution time cannot shrink when the clock slows by an
-        // integer multiple: every quantized cost in ns is non-decreasing.
-        prop_assert!(
-            slow.exec_time() >= fast.exec_time(),
-            "slower clock finished sooner: {} vs {}",
-            slow.exec_time(),
-            fast.exec_time()
-        );
-    }
+/// Miss behaviour is organizational: cycle time never changes miss
+/// counts (only their cost).
+#[test]
+fn miss_counts_independent_of_clock() {
+    check(
+        "miss_counts_independent_of_clock",
+        |rng| (rng.gen_range(10u32..80), gen_refs(rng)),
+        shrink::pair_vec,
+        |(ct, refs)| {
+            let mk = |ns: u32| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(2).expect("pow2"))
+                    .build()
+                    .expect("valid");
+                SystemConfig::builder()
+                    .cycle_time(CycleTime::from_ns(ns).expect("nonzero"))
+                    .l1_both(l1)
+                    .build()
+                    .expect("valid")
+            };
+            let trace = Trace::new("prop", refs.clone(), 0);
+            let a = Simulator::new(&mk(40)).run(&trace);
+            let b = Simulator::new(&mk(*ct)).run(&trace);
+            prop_assert_eq!(a.l1d.read_misses, b.l1d.read_misses);
+            prop_assert_eq!(a.l1i.read_misses, b.l1i.read_misses);
+            prop_assert_eq!(a.l1d.write_misses, b.l1d.write_misses);
+            Ok(())
+        },
+    );
+}
 
-    /// Miss behaviour is organizational: cycle time never changes miss
-    /// counts (only their cost).
-    #[test]
-    fn miss_counts_independent_of_clock(refs in arb_refs(), ct in 10u32..80) {
-        let mk = |ns: u32| {
-            let l1 = CacheConfig::builder(CacheSize::from_kib(2).expect("pow2"))
-                .build()
-                .expect("valid");
-            SystemConfig::builder()
-                .cycle_time(CycleTime::from_ns(ns).expect("nonzero"))
-                .l1_both(l1)
-                .build()
-                .expect("valid")
-        };
-        let trace = Trace::new("prop", refs, 0);
-        let a = Simulator::new(&mk(40)).run(&trace);
-        let b = Simulator::new(&mk(ct)).run(&trace);
-        prop_assert_eq!(a.l1d.read_misses, b.l1d.read_misses);
-        prop_assert_eq!(a.l1i.read_misses, b.l1i.read_misses);
-        prop_assert_eq!(a.l1d.write_misses, b.l1d.write_misses);
-    }
-
-    /// A slower memory never speeds the machine up.
-    #[test]
-    fn slower_memory_never_helps(refs in arb_refs(), extra in 0u64..400) {
-        let mk = |lat: u64| {
-            let l1 = CacheConfig::builder(CacheSize::from_kib(2).expect("pow2"))
-                .build()
-                .expect("valid");
-            SystemConfig::builder()
-                .l1_both(l1)
-                .memory(
-                    MemoryConfig::builder()
-                        .read_op(Nanos(180 + lat))
-                        .build()
-                        .expect("valid"),
-                )
-                .build()
-                .expect("valid")
-        };
-        let trace = Trace::new("prop", refs, 0);
-        let base = Simulator::new(&mk(0)).run(&trace);
-        let slow = Simulator::new(&mk(extra)).run(&trace);
-        prop_assert!(slow.cycles >= base.cycles);
-    }
+/// A slower memory never speeds the machine up.
+#[test]
+fn slower_memory_never_helps() {
+    check(
+        "slower_memory_never_helps",
+        |rng| (rng.gen_range(0u64..400), gen_refs(rng)),
+        shrink::pair_vec,
+        |(extra, refs)| {
+            let mk = |lat: u64| {
+                let l1 = CacheConfig::builder(CacheSize::from_kib(2).expect("pow2"))
+                    .build()
+                    .expect("valid");
+                SystemConfig::builder()
+                    .l1_both(l1)
+                    .memory(
+                        MemoryConfig::builder()
+                            .read_op(Nanos(180 + lat))
+                            .build()
+                            .expect("valid"),
+                    )
+                    .build()
+                    .expect("valid")
+            };
+            let trace = Trace::new("prop", refs.clone(), 0);
+            let base = Simulator::new(&mk(0)).run(&trace);
+            let slow = Simulator::new(&mk(*extra)).run(&trace);
+            prop_assert!(slow.cycles >= base.cycles);
+            Ok(())
+        },
+    );
 }

@@ -18,8 +18,8 @@ use cachetime::{Simulator, SystemConfig};
 use cachetime_cache::{Cache, CacheConfig, ReadOutcome, ReplacementPolicy, WriteOutcome};
 use cachetime_mem::{MemoryConfig, MemoryTiming};
 use cachetime_trace::Trace;
+use cachetime_testkit::{check_config, prop_assert_eq, CaseResult, Config, SplitMix64};
 use cachetime_types::{AccessKind, BlockWords, CacheSize, CycleTime, MemRef, Pid, WordAddr};
-use proptest::prelude::*;
 
 const WORD_REGION: u64 = 16; // must match WbEntry::word's coalescing region
 
@@ -261,58 +261,116 @@ impl RefMachine {
     }
 }
 
-fn arb_refs() -> impl Strategy<Value = Vec<MemRef>> {
-    prop::collection::vec(
-        (0u64..1024, 0u8..3, 0u16..2).prop_map(|(addr, kind, pid)| {
-            let a = WordAddr::new(addr);
-            match kind {
-                0 => MemRef::ifetch(a, Pid(pid)),
-                1 => MemRef::load(a, Pid(pid)),
-                _ => MemRef::store(a, Pid(pid)),
-            }
-        }),
-        1..400,
-    )
+/// One oracle scenario: machine shape plus a reference stream.
+#[derive(Debug, Clone)]
+struct Scenario {
+    refs: Vec<MemRef>,
+    kb_log: u32,
+    block_log: u32,
+    ct: u32,
+    depth: u32,
+    delay: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The lazy event-driven engine and the greedy tick-stepping oracle
-    /// agree exactly on total cycles and memory traffic.
-    #[test]
-    fn event_engine_matches_tick_oracle(
-        refs in arb_refs(),
-        kb_log in 0u32..3,
-        block_log in 0u32..4,
-        ct in 10u32..80,
-        depth in 1u32..6,
-        delay in 0u64..48,
-    ) {
-        let l1 = CacheConfig::builder(CacheSize::from_kib(1 << kb_log).expect("pow2"))
-            .block(BlockWords::new(1 << block_log).expect("pow2"))
-            .replacement(ReplacementPolicy::Lru)
-            .build()
-            .expect("valid cache");
-        let memory = MemoryConfig::builder()
-            .wb_depth(depth)
-            .wb_drain_delay(delay)
-            .build()
-            .expect("valid memory");
-        let ct = CycleTime::from_ns(ct).expect("nonzero");
-        let config = SystemConfig::builder()
-            .cycle_time(ct)
-            .l1_both(l1)
-            .memory(memory)
-            .build()
-            .expect("valid system");
-        let trace = Trace::new("oracle", refs, 0);
-
-        let real = Simulator::new(&config).run(&trace);
-        let (cycles, reads, writes) = RefMachine::new(l1, &memory, ct).run(&trace);
-
-        prop_assert_eq!(real.cycles.0, cycles, "cycle totals diverged");
-        prop_assert_eq!(real.mem.reads, reads, "memory read counts diverged");
-        prop_assert_eq!(real.mem.writes, writes, "memory write counts diverged");
+fn gen_scenario(rng: &mut SplitMix64) -> Scenario {
+    let n = rng.gen_range(1usize..400);
+    let refs = (0..n)
+        .map(|_| {
+            let a = WordAddr::new(rng.gen_range(0u64..1024));
+            let pid = Pid(rng.gen_range(0u16..2));
+            match rng.gen_range(0u8..3) {
+                0 => MemRef::ifetch(a, pid),
+                1 => MemRef::load(a, pid),
+                _ => MemRef::store(a, pid),
+            }
+        })
+        .collect();
+    Scenario {
+        refs,
+        kb_log: rng.gen_range(0u32..3),
+        block_log: rng.gen_range(0u32..4),
+        ct: rng.gen_range(10u32..80),
+        depth: rng.gen_range(1u32..6),
+        delay: rng.gen_range(0u64..48),
     }
+}
+
+/// Shrinks only the reference stream; the machine shape stays fixed.
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    cachetime_testkit::shrink::vec_linear(&s.refs)
+        .into_iter()
+        .map(|refs| Scenario { refs, ..s.clone() })
+        .collect()
+}
+
+/// The property body, shared with the explicit regression tests.
+fn check_engine_matches_oracle(s: &Scenario) -> CaseResult {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(1 << s.kb_log).expect("pow2"))
+        .block(BlockWords::new(1 << s.block_log).expect("pow2"))
+        .replacement(ReplacementPolicy::Lru)
+        .build()
+        .expect("valid cache");
+    let memory = MemoryConfig::builder()
+        .wb_depth(s.depth)
+        .wb_drain_delay(s.delay)
+        .build()
+        .expect("valid memory");
+    let ct = CycleTime::from_ns(s.ct).expect("nonzero");
+    let config = SystemConfig::builder()
+        .cycle_time(ct)
+        .l1_both(l1)
+        .memory(memory)
+        .build()
+        .expect("valid system");
+    let trace = Trace::new("oracle", s.refs.clone(), 0);
+
+    let real = Simulator::new(&config).run(&trace);
+    let (cycles, reads, writes) = RefMachine::new(l1, &memory, ct).run(&trace);
+
+    prop_assert_eq!(real.cycles.0, cycles, "cycle totals diverged");
+    prop_assert_eq!(real.mem.reads, reads, "memory read counts diverged");
+    prop_assert_eq!(real.mem.writes, writes, "memory write counts diverged");
+    Ok(())
+}
+
+/// The lazy event-driven engine and the greedy tick-stepping oracle
+/// agree exactly on total cycles and memory traffic.
+#[test]
+fn event_engine_matches_tick_oracle() {
+    let config = Config {
+        cases: 96,
+        ..Config::default()
+    };
+    check_config(
+        &config,
+        "event_engine_matches_tick_oracle",
+        gen_scenario,
+        shrink_scenario,
+        check_engine_matches_oracle,
+    );
+}
+
+/// Regression (found by the previous fuzzing setup): a store coalescing
+/// into an aged write-buffer entry around a cross-pid ifetch exercised
+/// the lazy drain reconstruction at delay 32.
+#[test]
+fn regression_coalesce_around_cross_pid_ifetch() {
+    let p0 = Pid(0);
+    let s = Scenario {
+        refs: vec![
+            MemRef::store(WordAddr::new(0), p0),
+            MemRef::ifetch(WordAddr::new(4), p0),
+            MemRef::load(WordAddr::new(4), p0),
+            MemRef::ifetch(WordAddr::new(0), Pid(1)),
+            MemRef::store(WordAddr::new(0), p0),
+            MemRef::store(WordAddr::new(0), p0),
+            MemRef::load(WordAddr::new(21), p0),
+        ],
+        kb_log: 0,
+        block_log: 2,
+        ct: 47,
+        depth: 3,
+        delay: 32,
+    };
+    check_engine_matches_oracle(&s).expect("regression case must pass");
 }
