@@ -1,19 +1,44 @@
 //! In-tree throughput harness — no external benchmark framework needed.
 //!
-//! `cargo run -p cachetime-bench --release -- sweep` times a Figure
-//! 3-1-style grid serially and in parallel, prints refs/sec for both,
-//! and writes the numbers to `BENCH_sweep.json` for tracking across
-//! commits. The Criterion benches (`benches/`) remain available behind
-//! the `criterion` feature for statistically rigorous comparisons; this
-//! harness is the one that runs offline with zero dependencies.
+//! `cargo run -p cachetime-bench --release -- sweep [scale]` times a
+//! Figure 3-1-style speed–size grid three ways — direct single-pass
+//! simulation of every cell, the two-phase record-once/replay-per-cell
+//! pipeline, and the two-phase pipeline on a worker pool — prints
+//! cells/sec for each, and writes the numbers to `BENCH_sweep.json` for
+//! tracking across commits. The Criterion benches (`benches/`) remain
+//! available behind the `criterion` feature for statistically rigorous
+//! comparisons; this harness is the one that runs offline with zero
+//! dependencies.
 
-use cachetime::{simulate, sweep, SimResult, SystemConfig};
+use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, SystemConfig};
 use cachetime_cache::CacheConfig;
 use cachetime_trace::{catalog, Trace};
 use cachetime_types::{CacheSize, CycleTime};
 use std::time::Duration;
 
-const SCALE: f64 = 0.05;
+const DEFAULT_SCALE: f64 = 0.05;
+
+/// The paper's §3 per-cache size axis: 2 KB through 2 MB. With the 16
+/// cycle times below this is exactly the 11×16 speed–size grid the
+/// two-phase pipeline was built for: 176 simulations per trace become 11
+/// behavioral passes plus 176 replays.
+const SIZES_KIB: [u64; 11] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// The paper's full cycle-time axis — the dimension repricing collapses.
+const CYCLE_TIMES_NS: [u32; 16] = [
+    20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 76, 80,
+];
+
+fn build_config(size_kib: u64, ct_ns: u32) -> SystemConfig {
+    let l1 = CacheConfig::builder(CacheSize::from_kib(size_kib).expect("pow2"))
+        .build()
+        .expect("valid cache");
+    SystemConfig::builder()
+        .cycle_time(CycleTime::from_ns(ct_ns).expect("nonzero"))
+        .l1_both(l1)
+        .build()
+        .expect("valid system")
+}
 
 /// One grid cell: per-cache size × cycle time × trace index.
 #[derive(Debug, Clone, Copy)]
@@ -23,10 +48,10 @@ struct Cell {
     trace: usize,
 }
 
-fn build_grid(n_traces: usize) -> Vec<Cell> {
+fn build_cells(n_traces: usize) -> Vec<Cell> {
     let mut cells = Vec::new();
-    for size_kib in [1u64, 2, 4, 8, 16, 32] {
-        for ct_ns in [30u32, 40, 50, 60] {
+    for size_kib in SIZES_KIB {
+        for ct_ns in CYCLE_TIMES_NS {
             for trace in 0..n_traces {
                 cells.push(Cell {
                     size_kib,
@@ -39,91 +64,193 @@ fn build_grid(n_traces: usize) -> Vec<Cell> {
     cells
 }
 
-fn simulate_cell(cell: &Cell, traces: &[Trace]) -> SimResult {
-    let l1 = CacheConfig::builder(CacheSize::from_kib(cell.size_kib).expect("pow2"))
-        .build()
-        .expect("valid cache");
-    let config = SystemConfig::builder()
-        .cycle_time(CycleTime::from_ns(cell.ct_ns).expect("nonzero"))
-        .l1_both(l1)
-        .build()
-        .expect("valid system");
-    simulate(&config, &traces[cell.trace])
+/// One two-phase unit: an organization × trace pairing whose task records
+/// the behavioral events once and replays every cycle time.
+#[derive(Debug, Clone, Copy)]
+struct OrgTask {
+    size_kib: u64,
+    trace: usize,
+}
+
+fn build_org_tasks(n_traces: usize) -> Vec<OrgTask> {
+    let mut tasks = Vec::new();
+    for size_kib in SIZES_KIB {
+        for trace in 0..n_traces {
+            tasks.push(OrgTask { size_kib, trace });
+        }
+    }
+    tasks
 }
 
 struct Measurement {
     jobs: usize,
     wall: Duration,
-    refs_per_sec: f64,
+    cells: usize,
+    results: Vec<SimResult>,
 }
 
-fn measure(cells: &[Cell], traces: &[Trace], jobs: usize, work_refs: u64) -> Measurement {
-    let run = sweep::run(cells, jobs, |_, c| simulate_cell(c, traces)).expect("sweep succeeds");
-    Measurement {
-        jobs: run.jobs,
-        wall: run.wall_time,
-        refs_per_sec: run.throughput(work_refs),
+impl Measurement {
+    fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.wall.as_secs_f64()
     }
 }
 
-fn run_sweep_bench() {
-    let specs = catalog::all(SCALE);
-    eprintln!("[bench] generating {} traces at scale {SCALE}...", specs.len());
+/// Times the pre-refactor path: one full simulation per grid cell.
+fn measure_direct(cells: &[Cell], traces: &[Trace], jobs: usize) -> Measurement {
+    let run = sweep::run(cells, jobs, |_, c| {
+        simulate(&build_config(c.size_kib, c.ct_ns), &traces[c.trace])
+    })
+    .expect("sweep succeeds");
+    Measurement {
+        jobs: run.jobs,
+        wall: run.wall_time,
+        cells: cells.len(),
+        results: run.results,
+    }
+}
+
+/// Times the two-phase path: per organization×trace, one behavioral pass
+/// plus a timing replay per cycle time.
+fn measure_two_phase(tasks: &[OrgTask], traces: &[Trace], jobs: usize) -> Measurement {
+    let run = sweep::run(tasks, jobs, |_, t| {
+        let configs: Vec<SystemConfig> = CYCLE_TIMES_NS
+            .iter()
+            .map(|&ct| build_config(t.size_kib, ct))
+            .collect();
+        let events = BehavioralSim::new(&configs[0].organization()).record(&traces[t.trace]);
+        replay_many(&events, &configs).expect("same organization")
+    })
+    .expect("sweep succeeds");
+    Measurement {
+        jobs: run.jobs,
+        wall: run.wall_time,
+        cells: tasks.len() * CYCLE_TIMES_NS.len(),
+        results: run.results.into_iter().flatten().collect(),
+    }
+}
+
+/// The direct grid is cell-major (sizes × cts × traces); the two-phase
+/// grid is task-major (sizes × traces, cts inside). Reindex and compare —
+/// the bench doubles as a full-grid equivalence check.
+fn assert_equivalent(direct: &Measurement, two_phase: &Measurement, n_traces: usize) {
+    let n_cts = CYCLE_TIMES_NS.len();
+    for (si, _) in SIZES_KIB.iter().enumerate() {
+        for ci in 0..n_cts {
+            for t in 0..n_traces {
+                let d = &direct.results[(si * n_cts + ci) * n_traces + t];
+                let p = &two_phase.results[(si * n_traces + t) * n_cts + ci];
+                assert_eq!(d, p, "divergence at size[{si}] ct[{ci}] trace[{t}]");
+            }
+        }
+    }
+}
+
+fn run_sweep_bench(scale: f64) {
+    let specs = catalog::all(scale);
+    eprintln!("[bench] generating {} traces at scale {scale}...", specs.len());
     let traces: Vec<Trace> = specs.iter().map(|s| s.generate()).collect();
-    let cells = build_grid(traces.len());
+    let cells = build_cells(traces.len());
+    let org_tasks = build_org_tasks(traces.len());
     let refs_per_pass: u64 = cells
         .iter()
         .map(|c| traces[c.trace].refs().len() as u64)
         .sum();
+    let available_jobs = sweep::available_jobs();
     eprintln!(
-        "[bench] grid: {} cells, {refs_per_pass} refs per pass",
-        cells.len()
+        "[bench] grid: {} cells ({} organizations × {} cycle times), \
+         {refs_per_pass} refs per direct pass, {available_jobs} jobs available",
+        cells.len(),
+        org_tasks.len(),
+        CYCLE_TIMES_NS.len()
     );
 
     // Warm-up pass so page faults and lazy allocation don't bias the
-    // serial leg.
-    let _ = measure(&cells, &traces, 1, refs_per_pass);
+    // first timed leg.
+    let _ = measure_two_phase(&org_tasks, &traces, 1);
 
-    let serial = measure(&cells, &traces, 1, refs_per_pass);
-    let parallel = measure(&cells, &traces, 0, refs_per_pass);
-    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+    let direct = measure_direct(&cells, &traces, 1);
+    let two_phase = measure_two_phase(&org_tasks, &traces, 1);
+    let parallel = measure_two_phase(&org_tasks, &traces, 0);
+    assert_equivalent(&direct, &two_phase, traces.len());
 
+    let repricing_speedup = direct.wall.as_secs_f64() / two_phase.wall.as_secs_f64();
     println!(
-        "serial   (1 job):   {:>10.0} refs/sec  wall {:?}",
-        serial.refs_per_sec, serial.wall
+        "direct    (1 job):    {:>8.1} cells/sec  wall {:?}",
+        direct.cells_per_sec(),
+        direct.wall
     );
     println!(
-        "parallel ({} jobs): {:>10.0} refs/sec  wall {:?}",
-        parallel.jobs, parallel.refs_per_sec, parallel.wall
+        "two-phase (1 job):    {:>8.1} cells/sec  wall {:?}",
+        two_phase.cells_per_sec(),
+        two_phase.wall
     );
-    println!("speedup: {speedup:.2}x");
+    println!(
+        "two-phase ({} jobs): {:>8.1} cells/sec  wall {:?}",
+        parallel.jobs,
+        parallel.cells_per_sec(),
+        parallel.wall
+    );
+    println!("repricing speedup (direct → two-phase, serial): {repricing_speedup:.2}x");
+
+    // A 1-core host runs the "parallel" leg with one worker; a speedup of
+    // 1.0x there is a tautology, not a measurement, so record it as null.
+    let parallel_speedup = if parallel.jobs > two_phase.jobs {
+        let s = two_phase.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+        println!("parallel speedup ({} jobs): {s:.2}x", parallel.jobs);
+        format!("{s:.3}")
+    } else {
+        println!(
+            "parallel speedup: not measured (only {} job available)",
+            parallel.jobs
+        );
+        "null".to_string()
+    };
 
     let json = format!(
-        "{{\n  \"bench\": \"sweep\",\n  \"scale\": {SCALE},\n  \"cells\": {},\n  \
-         \"refs_per_pass\": {refs_per_pass},\n  \"serial\": {{ \"jobs\": 1, \
-         \"wall_secs\": {:.6}, \"refs_per_sec\": {:.0} }},\n  \"parallel\": {{ \
-         \"jobs\": {}, \"wall_secs\": {:.6}, \"refs_per_sec\": {:.0} }},\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"bench\": \"sweep\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \
+         \"organizations\": {},\n  \"cycle_times\": {},\n  \
+         \"refs_per_pass\": {refs_per_pass},\n  \"available_jobs\": {available_jobs},\n  \
+         \"direct\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
+         \"two_phase\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
+         \"two_phase_parallel\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
+         \"repricing_speedup\": {repricing_speedup:.3},\n  \
+         \"parallel_speedup\": {parallel_speedup}\n}}\n",
         cells.len(),
-        serial.wall.as_secs_f64(),
-        serial.refs_per_sec,
+        org_tasks.len(),
+        CYCLE_TIMES_NS.len(),
+        direct.jobs,
+        direct.wall.as_secs_f64(),
+        direct.cells_per_sec(),
+        two_phase.jobs,
+        two_phase.wall.as_secs_f64(),
+        two_phase.cells_per_sec(),
         parallel.jobs,
         parallel.wall.as_secs_f64(),
-        parallel.refs_per_sec,
+        parallel.cells_per_sec(),
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     eprintln!("[bench] wrote BENCH_sweep.json");
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        Some("sweep") => run_sweep_bench(),
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("sweep") => {
+            let scale = match args.next() {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid scale {s:?}; expected a float like 0.05");
+                    std::process::exit(2);
+                }),
+                None => DEFAULT_SCALE,
+            };
+            run_sweep_bench(scale);
+        }
         _ => {
-            eprintln!("usage: cachetime-bench sweep");
+            eprintln!("usage: cachetime-bench sweep [scale]");
             eprintln!();
-            eprintln!("  sweep    time a speed/size grid serially vs in parallel,");
-            eprintln!("           print refs/sec, and write BENCH_sweep.json");
+            eprintln!("  sweep    time a speed/size grid: direct per-cell simulation vs");
+            eprintln!("           the two-phase record/replay pipeline (serial and");
+            eprintln!("           parallel), print cells/sec, write BENCH_sweep.json");
             std::process::exit(2);
         }
     }

@@ -1,4 +1,4 @@
-//! The trace-driven timing engine.
+//! The trace-driven timing engine (the *direct*, single-pass path).
 //!
 //! The engine advances a cycle clock per CPU *couplet* (a paired
 //! instruction + data reference; "these couplets are issued at the same
@@ -7,50 +7,27 @@
 //! cost of a reference is one cache access plus a handful of integer
 //! max/add operations — the property that lets full paper-scale sweeps run
 //! on one core.
+//!
+//! Everything below the first level lives in the shared
+//! [`Downstream`](crate::hierarchy::Downstream) hierarchy, which the
+//! two-phase path ([`crate::replay`]) drives with the exact same calls —
+//! that is what makes repriced grids bit-identical to direct simulation.
+//! This direct path remains the reference implementation (and the oracle
+//! the equivalence tests check the two-phase pipeline against).
 
+use crate::hierarchy::Downstream;
 use crate::result::SimResult;
-use crate::system::{FillPolicy, LevelTwoConfig, SystemConfig};
+use crate::system::{FillPolicy, SystemConfig};
 use cachetime_cache::{Cache, ReadOutcome, WriteOutcome};
-use cachetime_mem::{FillGrant, FillRequest, MemorySystem, WbEntry, WbPayload, WriteBuffer};
 use cachetime_mmu::Mmu;
 use cachetime_trace::Trace;
-use cachetime_types::{Cycles, MemRef, Pid, WordAddr};
+use cachetime_types::{Cycles, MemRef, WordAddr};
 
 /// Which first-level cache a reference targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Side {
     Instruction,
     Data,
-}
-
-/// A mid-level cache (L2 or L3) with the write buffer feeding it from
-/// above and its port timing.
-///
-/// Structurally a sibling of [`MemorySystem`], but drains land in a cache
-/// (which may hit, miss-around, or miss-allocate) rather than in DRAM, so
-/// the logic lives here beside the hierarchy that owns it. "Designing a
-/// second cache between the CPU/cache and main memory poses the same set
-/// of questions as the first level of caching" — the engine treats every
-/// mid-level uniformly and recurses downward on misses.
-#[derive(Debug, Clone)]
-struct MidLevel {
-    cache: Cache,
-    read_cycles: u64,
-    write_cycles: u64,
-    wb: WriteBuffer,
-    free_at: u64,
-}
-
-impl MidLevel {
-    fn new(config: &LevelTwoConfig) -> Self {
-        MidLevel {
-            cache: Cache::new(config.cache),
-            read_cycles: config.read_cycles,
-            write_cycles: config.write_cycles,
-            wb: WriteBuffer::new(config.wb_depth),
-            free_at: 0,
-        }
-    }
 }
 
 /// The simulator: a configured machine that can be run over traces.
@@ -63,9 +40,7 @@ pub struct Simulator {
     config: SystemConfig,
     l1i: Cache,
     l1d: Cache,
-    /// Mid-levels from the L1 side down: `levels[0]` = L2, `levels[1]` = L3.
-    levels: Vec<MidLevel>,
-    mem: MemorySystem,
+    down: Downstream,
     mmu: Option<Mmu>,
     now: u64,
     couplets: u64,
@@ -80,13 +55,7 @@ impl Simulator {
             config: *config,
             l1i: Cache::new(*config.l1i()),
             l1d: Cache::new(*config.l1d()),
-            levels: config
-                .l2()
-                .into_iter()
-                .chain(config.l3())
-                .map(MidLevel::new)
-                .collect(),
-            mem: MemorySystem::new(config.memory(), config.cycle_time()),
+            down: Downstream::new(config),
             mmu: config.translation().map(|t| Mmu::new(*t)),
             now: 0,
             couplets: 0,
@@ -159,9 +128,9 @@ impl Simulator {
             couplets: self.couplets - warm_couplets,
             l1i: *self.l1i.stats(),
             l1d: *self.l1d.stats(),
-            l2: self.levels.first().map(|l| *l.cache.stats()),
-            l3: self.levels.get(1).map(|l| *l.cache.stats()),
-            mem: *self.mem.stats(),
+            l2: self.down.l2_stats(),
+            l3: self.down.l3_stats(),
+            mem: *self.down.mem_stats(),
             mmu: self.mmu.as_ref().map(|m| *m.stats()),
             latency: self.latency,
             stall_cycles: Cycles(self.stall_cycles),
@@ -171,10 +140,7 @@ impl Simulator {
     fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
-        for level in &mut self.levels {
-            level.cache.reset_stats();
-        }
-        self.mem.reset_stats();
+        self.down.reset_stats();
         if let Some(mmu) = &mut self.mmu {
             mmu.reset_stats();
         }
@@ -264,18 +230,20 @@ impl Simulator {
                 let victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
                 // The miss is detected during the probe cycle; the fill
                 // request goes downstream the cycle after.
-                let grant = self.fill_l1(now + 1, r.pid, fetch_start, fill_words, victim);
+                let grant = self
+                    .down
+                    .fill_l1(now + 1, r.pid, fetch_start, fill_words, victim);
                 let completion = match self.config.fill_policy() {
                     FillPolicy::WaitWholeBlock => grant.done,
                     FillPolicy::EarlyContinuation => {
                         // Resume when the requested word arrives; the
                         // fetch still starts at the region's first word.
                         let offset = (r.addr.value() - fetch_start.value()) as u32;
-                        grant.ready + self.upstream_transfer_cycles(offset + 1)
+                        grant.ready + self.down.upstream_transfer_cycles(offset + 1)
                     }
                     FillPolicy::LoadForward => {
                         // Wrap-around fill: the requested word comes first.
-                        grant.ready + self.upstream_transfer_cycles(1)
+                        grant.ready + self.down.upstream_transfer_cycles(1)
                     }
                 };
                 completion.clamp(now + 1, grant.done)
@@ -294,14 +262,14 @@ impl Simulator {
             WriteOutcome::Hit { through } => {
                 let mut done = now + whc;
                 if through {
-                    let accepted = self.write_word_down(now + 1, r.pid, r.addr);
+                    let accepted = self.down.write_word_down(now + 1, r.pid, r.addr);
                     done = done.max(accepted + 1);
                 }
                 done
             }
             WriteOutcome::MissNoAllocate => {
                 // The word goes around the cache into the write buffer.
-                let accepted = self.write_word_down(now + 1, r.pid, r.addr);
+                let accepted = self.down.write_word_down(now + 1, r.pid, r.addr);
                 (now + whc).max(accepted + 1)
             }
             WriteOutcome::MissAllocate {
@@ -312,11 +280,12 @@ impl Simulator {
                 let fetch_start = WordAddr::new(r.addr.value() & !(fill_words as u64 - 1));
                 let victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
                 let filled = self
+                    .down
                     .fill_l1(now + 1, r.pid, fetch_start, fill_words, victim)
                     .done;
                 let mut done = filled + 1; // the write itself
                 if through {
-                    let accepted = self.write_word_down(now + 1, r.pid, r.addr);
+                    let accepted = self.down.write_word_down(now + 1, r.pid, r.addr);
                     done = done.max(accepted + 1);
                 }
                 done
@@ -324,269 +293,6 @@ impl Simulator {
         }
     }
 
-    /// Fills an L1 (sub-)block from the next level down; returns the cycle
-    /// the data is fully in the L1.
-    fn fill_l1(
-        &mut self,
-        now: u64,
-        pid: Pid,
-        addr: WordAddr,
-        words: u32,
-        victim: Option<(WordAddr, u32)>,
-    ) -> FillGrant {
-        self.fill_from(0, now, pid, addr, words, victim)
-    }
-
-    /// Cycles to move `words` words into the L1 from whatever services its
-    /// misses: the memory's backplane rate, or one word per cycle from a
-    /// mid-level cache.
-    fn upstream_transfer_cycles(&self, words: u32) -> u64 {
-        if self.levels.is_empty() {
-            self.mem.timing().transfer_cycles(words)
-        } else {
-            words as u64
-        }
-    }
-
-    /// Services a fill request at hierarchy depth `idx` (`levels[idx]`, or
-    /// main memory once the mid-levels are exhausted). Returns the cycle
-    /// the requested words are fully delivered to the level above.
-    fn fill_from(
-        &mut self,
-        idx: usize,
-        now: u64,
-        pid: Pid,
-        addr: WordAddr,
-        words: u32,
-        victim: Option<(WordAddr, u32)>,
-    ) -> FillGrant {
-        if idx >= self.levels.len() {
-            return self.mem.fill_grant(
-                now,
-                FillRequest {
-                    pid,
-                    addr,
-                    words,
-                    victim,
-                },
-            );
-        }
-        self.catch_up_level(idx, now);
-        // Read-address match against pending writes into this level.
-        if let Some(i) = self.levels[idx].wb.find_overlap(pid, addr, words) {
-            for _ in 0..=i {
-                self.drain_one(idx, now);
-            }
-        }
-
-        let level = &mut self.levels[idx];
-        let start = now.max(level.free_at);
-        let probe_done = start + level.read_cycles;
-        let block_words = level.cache.config().block().words();
-        let outcome = level.cache.read(addr, pid);
-
-        // The upstream victim moves into this level's write buffer during
-        // the access, one word per cycle; the refill cannot enter the
-        // upstream array until the move completes.
-        let mut gate = probe_done;
-        let mut victim_pending = victim;
-        if let Some((vaddr, vwords)) = victim_pending {
-            let level = &mut self.levels[idx];
-            if !level.wb.is_full() {
-                let move_done = start + vwords as u64;
-                level.wb.push(WbEntry::block(pid, vaddr, vwords, move_done));
-                gate = gate.max(move_done);
-                victim_pending = None;
-            }
-        }
-
-        let data_ready = match outcome {
-            ReadOutcome::Hit => probe_done,
-            ReadOutcome::Miss {
-                fill_words,
-                victim: level_victim,
-            } => {
-                let fetch_start = WordAddr::new(addr.value() & !(fill_words as u64 - 1));
-                let down_victim =
-                    level_victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
-                // A mid-level array forwards upstream only once its own
-                // block is fully in place.
-                self.fill_from(
-                    idx + 1,
-                    probe_done,
-                    pid,
-                    fetch_start,
-                    fill_words,
-                    down_victim,
-                )
-                .done
-            }
-        };
-
-        // Rare: the buffer was full during a dirty miss; the victim waits
-        // for a forced drain after the data returns.
-        if let Some((vaddr, vwords)) = victim_pending {
-            let release = self.drain_one(idx, data_ready);
-            let move_done = release + vwords as u64;
-            self.levels[idx]
-                .wb
-                .push(WbEntry::block(pid, vaddr, vwords, move_done));
-            gate = gate.max(move_done);
-        }
-
-        // Transfer the requested words upstream at one word per cycle.
-        let ready = data_ready.max(gate);
-        let done = ready + words as u64;
-        self.levels[idx].free_at = done;
-        FillGrant { ready, done }
-    }
-
-    /// Routes a downstream word write (write-around or write-through) into
-    /// the first mid-level's write buffer or, without one, the memory's.
-    fn write_word_down(&mut self, now: u64, pid: Pid, addr: WordAddr) -> u64 {
-        self.write_word_at(0, now, pid, addr)
-    }
-
-    fn write_word_at(&mut self, idx: usize, now: u64, pid: Pid, addr: WordAddr) -> u64 {
-        if idx >= self.levels.len() {
-            return self.mem.write_word(now, pid, addr);
-        }
-        self.catch_up_level(idx, now);
-        let level = &mut self.levels[idx];
-        if level.wb.try_coalesce(pid, addr) {
-            return now;
-        }
-        if level.wb.is_full() {
-            let release = self.drain_one(idx, now);
-            self.levels[idx].wb.push(WbEntry::word(pid, addr, release));
-            return release;
-        }
-        level.wb.push(WbEntry::word(pid, addr, now));
-        now
-    }
-
-    /// Routes a whole-block downstream write (a mid-level victim or a
-    /// forwarded write-around block) to depth `idx`.
-    fn write_block_down(
-        &mut self,
-        idx: usize,
-        now: u64,
-        pid: Pid,
-        addr: WordAddr,
-        words: u32,
-    ) -> u64 {
-        if idx >= self.levels.len() {
-            return self.mem.write_block(now, pid, addr, words);
-        }
-        self.catch_up_level(idx, now);
-        if self.levels[idx].wb.is_full() {
-            let release = self.drain_one(idx, now);
-            self.levels[idx]
-                .wb
-                .push(WbEntry::block(pid, addr, words, release));
-            return release;
-        }
-        self.levels[idx]
-            .wb
-            .push(WbEntry::block(pid, addr, words, now));
-        now
-    }
-
-    /// Retires writes into `levels[idx]` that would have started while its
-    /// port sat idle strictly before `now` (as at the memory level).
-    fn catch_up_level(&mut self, idx: usize, now: u64) {
-        loop {
-            let level = &self.levels[idx];
-            let Some(front) = level.wb.front() else {
-                return;
-            };
-            if front.ready_at.max(level.free_at) < now {
-                // Backdate to the true launch time (see the memory-level
-                // catch-up).
-                let ready = front.ready_at;
-                self.drain_one(idx, ready);
-            } else {
-                return;
-            }
-        }
-    }
-
-    /// Pops one write into `levels[idx]` and absorbs it (forwarding
-    /// downstream on a miss without allocation). Returns the cycle the
-    /// level's port frees up.
-    fn drain_one(&mut self, idx: usize, earliest: u64) -> u64 {
-        let (entry, start, write_cycles) = {
-            let level = &mut self.levels[idx];
-            let entry = level.wb.pop_front().expect("drain_one on empty buffer");
-            let start = earliest.max(entry.ready_at).max(level.free_at);
-            (entry, start, level.write_cycles)
-        };
-        let addr = WordAddr::new(entry.start);
-        let done = match entry.payload {
-            WbPayload::Block { words } => {
-                let outcome = self.levels[idx].cache.write_range(addr, entry.pid, words);
-                self.absorb_outcome(idx, outcome, start, entry.pid, addr, words, write_cycles)
-            }
-            WbPayload::Words { mask } => {
-                // Each buffered word is one write access at this level;
-                // they stream through the port back to back.
-                let mut t = start;
-                for bit in 0..64u32 {
-                    if mask & (1u64 << bit) != 0 {
-                        let waddr = WordAddr::new(entry.start + bit as u64);
-                        let outcome = self.levels[idx].cache.write(waddr, entry.pid);
-                        t = self.absorb_outcome(idx, outcome, t, entry.pid, waddr, 1, write_cycles);
-                    }
-                }
-                t
-            }
-        };
-        self.levels[idx].free_at = done;
-        done
-    }
-
-    /// Applies the timing of one absorbed write outcome at depth `idx`.
-    #[allow(clippy::too_many_arguments)]
-    fn absorb_outcome(
-        &mut self,
-        idx: usize,
-        outcome: WriteOutcome,
-        start: u64,
-        pid: Pid,
-        addr: WordAddr,
-        words: u32,
-        write_cycles: u64,
-    ) -> u64 {
-        match outcome {
-            WriteOutcome::Hit { through } => {
-                if through {
-                    self.write_block_down(idx + 1, start, pid, addr, words);
-                }
-                start + write_cycles
-            }
-            WriteOutcome::MissNoAllocate => {
-                // Write around this level toward the next one down.
-                let accepted = self.write_block_down(idx + 1, start, pid, addr, words);
-                accepted.max(start + write_cycles)
-            }
-            WriteOutcome::MissAllocate {
-                fill_words,
-                victim,
-                through,
-            } => {
-                let block_words = self.levels[idx].cache.config().block().words();
-                let fetch_start = WordAddr::new(addr.value() & !(fill_words as u64 - 1));
-                let down_victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
-                let filled = self
-                    .fill_from(idx + 1, start, pid, fetch_start, fill_words, down_victim)
-                    .done;
-                if through {
-                    self.write_block_down(idx + 1, filled, pid, addr, words);
-                }
-                filled + write_cycles
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -595,7 +301,7 @@ mod tests {
     use crate::system::SystemConfig;
     use cachetime_cache::CacheConfig;
     use cachetime_trace::Trace;
-    use cachetime_types::CacheSize;
+    use cachetime_types::{CacheSize, Pid};
 
     fn trace_of(refs: Vec<MemRef>) -> Trace {
         Trace::new("t", refs, 0)

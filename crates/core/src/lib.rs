@@ -46,13 +46,18 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod hierarchy;
+mod replay;
 mod result;
 pub mod sweep;
 mod system;
 
 pub use engine::Simulator;
+pub use replay::{replay, replay_many, simulate_two_phase, BehavioralSim, EventTrace};
 pub use result::{CoupletHistogram, SimResult};
-pub use system::{FillPolicy, LevelTwoConfig, SystemConfig, SystemConfigBuilder};
+pub use system::{
+    FillPolicy, LevelTwoConfig, OrgConfig, SystemConfig, SystemConfigBuilder, TimingConfig,
+};
 
 // Re-export the vocabulary crates under their natural names.
 pub use cachetime_cache as cache;

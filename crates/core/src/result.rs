@@ -148,9 +148,32 @@ impl CoupletHistogram {
     /// Panics (debug builds) on a zero duration — every couplet costs at
     /// least a cycle.
     pub fn record(&mut self, cycles: u64) {
+        self.record_n(cycles, 1);
+    }
+
+    /// Records `n` couplets of identical `cycles` duration in one step
+    /// (the timing replay collapses runs of all-hit couplets this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on a zero duration.
+    pub fn record_n(&mut self, cycles: u64, n: u64) {
         debug_assert!(cycles > 0, "zero-length couplet");
-        let bucket = (63 - cycles.max(1).leading_zeros() as usize).min(15);
-        self.buckets[bucket] += 1;
+        self.buckets[Self::bucket_of(cycles)] += n;
+    }
+
+    /// The bucket index a couplet of `cycles` duration lands in.
+    #[inline]
+    pub fn bucket_of(cycles: u64) -> usize {
+        (63 - cycles.max(1).leading_zeros() as usize).min(15)
+    }
+
+    /// Adds `n` couplets directly to bucket `index` (see
+    /// [`bucket_of`](Self::bucket_of)) — for callers that have already
+    /// resolved the bucket of a repeated duration.
+    #[inline]
+    pub fn add_to_bucket(&mut self, index: usize, n: u64) {
+        self.buckets[index] += n;
     }
 
     /// Total couplets recorded.

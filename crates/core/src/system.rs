@@ -198,6 +198,131 @@ impl SystemConfig {
             self.l1d.size().bytes()
         }
     }
+
+    /// The timing-free *organization* half of the configuration: everything
+    /// that determines cache and TLB behavior (hits, misses, victims,
+    /// walks) — and therefore an event trace — independent of any clock.
+    pub const fn organization(&self) -> OrgConfig {
+        OrgConfig {
+            l1i: self.l1i,
+            l1d: self.l1d,
+            split: self.split,
+            translation: self.translation,
+        }
+    }
+
+    /// The *timing* half of the configuration: the clock, the memory, the
+    /// mid-level caches with their ports and buffers, the hit costs, and
+    /// the issue/fill policies. An event trace recorded from one
+    /// organization can be repriced under any timing half.
+    pub const fn timing(&self) -> TimingConfig {
+        TimingConfig {
+            cycle_time: self.cycle_time,
+            l2: self.l2,
+            l3: self.l3,
+            memory: self.memory,
+            read_hit_cycles: self.read_hit_cycles,
+            write_hit_cycles: self.write_hit_cycles,
+            dual_issue: self.dual_issue,
+            fill_policy: self.fill_policy,
+        }
+    }
+
+    /// Reassembles a full configuration from an organization and a timing
+    /// half, re-running the cross-field validation.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ConfigError`]s as [`SystemConfigBuilder::build`] (e.g. an
+    /// L2 block smaller than the organization's L1 blocks).
+    pub fn from_parts(org: &OrgConfig, timing: &TimingConfig) -> Result<Self, ConfigError> {
+        let mut b = Self::builder();
+        b.cycle_time(timing.cycle_time)
+            .l1i(org.l1i)
+            .l1d(org.l1d)
+            .unified(!org.split)
+            .memory(timing.memory)
+            .read_hit_cycles(timing.read_hit_cycles)
+            .write_hit_cycles(timing.write_hit_cycles)
+            .dual_issue(timing.dual_issue)
+            .fill_policy(timing.fill_policy);
+        if let Some(t) = org.translation {
+            b.translation(t);
+        }
+        if let Some(l2) = timing.l2 {
+            b.l2(l2);
+        }
+        if let Some(l3) = timing.l3 {
+            b.l3(l3);
+        }
+        b.build()
+    }
+}
+
+/// The timing-free half of a [`SystemConfig`]: the first-level cache
+/// organizations and the (optional) translation layer.
+///
+/// Two systems with equal `OrgConfig`s run the *same behavior* over a
+/// trace — identical hit/miss/victim/walk sequences — no matter how their
+/// clocks, memories, or lower levels differ. This is the key the two-phase
+/// engine sorts by: one behavioral pass per organization, one cheap timing
+/// replay per grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrgConfig {
+    l1i: CacheConfig,
+    l1d: CacheConfig,
+    split: bool,
+    translation: Option<TranslationConfig>,
+}
+
+impl OrgConfig {
+    /// The instruction-cache organization.
+    pub const fn l1i(&self) -> &CacheConfig {
+        &self.l1i
+    }
+
+    /// The data-cache organization.
+    pub const fn l1d(&self) -> &CacheConfig {
+        &self.l1d
+    }
+
+    /// `true` for a Harvard (split I/D) organization.
+    pub const fn is_split(&self) -> bool {
+        self.split
+    }
+
+    /// The translation layer, if the hierarchy is physically addressed.
+    pub const fn translation(&self) -> Option<&TranslationConfig> {
+        self.translation.as_ref()
+    }
+}
+
+/// The timing half of a [`SystemConfig`]: everything the timing replay
+/// prices an event trace under. See [`SystemConfig::timing`].
+///
+/// The mid-level caches live here — not in [`OrgConfig`] — because the
+/// behavioral pass stops at the first level: mid-levels only see miss
+/// traffic, and their state interleaves with write-buffer drain timing, so
+/// the replay re-simulates them per timing point (still cheap: they
+/// process events, not references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// The CPU/cache clock period.
+    pub cycle_time: CycleTime,
+    /// The optional second level (cache + port + buffer).
+    pub l2: Option<LevelTwoConfig>,
+    /// The optional third level.
+    pub l3: Option<LevelTwoConfig>,
+    /// The main-memory configuration.
+    pub memory: MemoryConfig,
+    /// Cycles for a read hit.
+    pub read_hit_cycles: u64,
+    /// Cycles for a write.
+    pub write_hit_cycles: u64,
+    /// Whether couplet halves issue in parallel.
+    pub dual_issue: bool,
+    /// The read-miss resumption policy.
+    pub fill_policy: FillPolicy,
 }
 
 impl fmt::Display for SystemConfig {
@@ -543,6 +668,59 @@ mod tests {
     fn zero_hit_cost_rejected() {
         assert!(SystemConfig::builder().read_hit_cycles(0).build().is_err());
         assert!(SystemConfig::builder().write_hit_cycles(0).build().is_err());
+    }
+
+    #[test]
+    fn halves_round_trip_to_the_same_config() {
+        let l2cache = CacheConfig::builder(CacheSize::from_kib(512).unwrap())
+            .build()
+            .unwrap();
+        let c = SystemConfig::builder()
+            .cycle_time(cachetime_types::CycleTime::from_ns(32).unwrap())
+            .unified(true)
+            .l2(LevelTwoConfig::new(l2cache))
+            .translation(cachetime_mmu::TranslationConfig::default())
+            .dual_issue(false)
+            .fill_policy(FillPolicy::LoadForward)
+            .build()
+            .unwrap();
+        let rebuilt = SystemConfig::from_parts(&c.organization(), &c.timing()).unwrap();
+        assert_eq!(c, rebuilt);
+    }
+
+    #[test]
+    fn organizations_ignore_timing_differences() {
+        let a = SystemConfig::paper_default().unwrap();
+        let b = SystemConfig::builder()
+            .cycle_time(cachetime_types::CycleTime::from_ns(20).unwrap())
+            .dual_issue(false)
+            .build()
+            .unwrap();
+        assert_eq!(a.organization(), b.organization());
+        assert_ne!(a.timing(), b.timing());
+        // A different cache size is a different organization.
+        let l1 = CacheConfig::builder(CacheSize::from_kib(16).unwrap())
+            .build()
+            .unwrap();
+        let c = SystemConfig::builder().l1_both(l1).build().unwrap();
+        assert_ne!(a.organization(), c.organization());
+    }
+
+    #[test]
+    fn from_parts_revalidates() {
+        // Reassembling an L2 whose block is smaller than the L1's fails,
+        // exactly as the builder would.
+        let small_block = CacheConfig::builder(CacheSize::from_kib(256).unwrap())
+            .block(BlockWords::new(2).unwrap())
+            .build()
+            .unwrap();
+        let org = SystemConfig::paper_default().unwrap().organization();
+        let mut timing = SystemConfig::paper_default().unwrap().timing();
+        timing.l2 = Some(LevelTwoConfig::new(small_block));
+        assert!(matches!(
+            SystemConfig::from_parts(&org, &timing),
+            Err(ConfigError::Inconsistent { .. })
+        ));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! four words in one cycle to one word in four cycles" — peak bandwidths
 //! of 400 MB/s down to 25 MB/s.
 
-use crate::runner::{run_config, TraceSet, BLOCK_WORDS, MEM_LATENCIES_NS};
-use cachetime::SystemConfig;
+use crate::runner::{aggregate, TraceSet, BLOCK_WORDS, MEM_LATENCIES_NS};
+use cachetime::{replay_many, BehavioralSim, SimResult, SystemConfig};
 use cachetime_analysis::table::Table;
 use cachetime_cache::CacheConfig;
 use cachetime_mem::{MemoryConfig, TransferRate};
@@ -62,17 +62,22 @@ pub fn run_over(
     run_over_jobs(traces, latencies_ns, transfers, blocks, 1)
 }
 
-/// One `(latency, transfer, block size)` unit of work in the sweep.
+/// One `(block size, trace)` unit of work in the sweep: the block size is
+/// the *organization* axis, so one behavioral pass per task covers every
+/// (latency, transfer) pairing via timing replay.
 #[derive(Debug, Clone, Copy)]
 struct CurveTask {
-    latency_ns: u64,
-    transfer: TransferRate,
     block_words: u32,
+    trace: usize,
 }
 
 /// [`run_over`] on a worker pool. Tasks fan out one per
-/// `(latency, transfer, block)` triple and reassemble in input order, so
-/// the curves are identical to the serial path for every job count.
+/// `(block size, trace)` pair; each records the trace's behavioral events
+/// once and reprices them under every (latency, transfer) memory, so the
+/// memory axes cost a replay per point instead of a full simulation.
+/// Curves are reassembled in input order and replay is bit-identical to
+/// direct simulation, so the output matches the old per-triple path for
+/// every job count.
 pub fn run_over_jobs(
     traces: &TraceSet,
     latencies_ns: &[u64],
@@ -80,45 +85,63 @@ pub fn run_over_jobs(
     blocks: &[u32],
     jobs: usize,
 ) -> Vec<Curve> {
-    let mut tasks = Vec::with_capacity(latencies_ns.len() * transfers.len() * blocks.len());
-    for &lat in latencies_ns {
-        for &tr in transfers {
-            for &bw in blocks {
-                tasks.push(CurveTask {
-                    latency_ns: lat,
-                    transfer: tr,
-                    block_words: bw,
-                });
-            }
+    let n_traces = traces.traces().len();
+    let mut tasks = Vec::with_capacity(blocks.len() * n_traces);
+    for &bw in blocks {
+        for trace in 0..n_traces {
+            tasks.push(CurveTask {
+                block_words: bw,
+                trace,
+            });
         }
     }
     let run = crate::sweep::run(&tasks, jobs, |_idx, task| {
-        let memory = MemoryConfig::uniform_latency(Nanos(task.latency_ns), task.transfer)
-            .expect("valid memory");
         let l1 = CacheConfig::builder(CacheSize::from_kib(64).expect("power of two"))
             .block(BlockWords::new(task.block_words).expect("power of two"))
             .build()
             .expect("valid cache");
-        let config = SystemConfig::builder()
-            .l1_both(l1)
-            .memory(memory)
-            .build()
-            .expect("valid system");
-        run_config(&config, traces).time_per_ref_ns
+        let mk = |lat: u64, tr: TransferRate| {
+            let memory = MemoryConfig::uniform_latency(Nanos(lat), tr).expect("valid memory");
+            SystemConfig::builder()
+                .l1_both(l1)
+                .memory(memory)
+                .build()
+                .expect("valid system")
+        };
+        let mut configs = Vec::with_capacity(latencies_ns.len() * transfers.len());
+        for &lat in latencies_ns {
+            for &tr in transfers {
+                configs.push(mk(lat, tr));
+            }
+        }
+        let events =
+            BehavioralSim::new(&configs[0].organization()).record(&traces.traces()[task.trace]);
+        replay_many(&events, &configs).expect("same organization")
     })
     .expect("simulation does not panic");
 
-    let mut times = run.results.chunks_exact(blocks.len());
     let mut curves = Vec::new();
-    for &lat in latencies_ns {
-        for &tr in transfers {
-            curves.push(Curve {
-                latency_ns: lat,
-                transfer: tr,
-                block_words: blocks.to_vec(),
-                time_per_ref_ns: times.next().expect("one chunk per curve").to_vec(),
-            });
-        }
+    for (p, (&lat, &tr)) in latencies_ns
+        .iter()
+        .flat_map(|lat| transfers.iter().map(move |tr| (lat, tr)))
+        .enumerate()
+    {
+        let time_per_ref_ns = blocks
+            .iter()
+            .enumerate()
+            .map(|(bi, _)| {
+                let cell: Vec<SimResult> = (0..n_traces)
+                    .map(|t| run.results[bi * n_traces + t][p])
+                    .collect();
+                aggregate(&cell).time_per_ref_ns
+            })
+            .collect();
+        curves.push(Curve {
+            latency_ns: lat,
+            transfer: tr,
+            block_words: blocks.to_vec(),
+            time_per_ref_ns,
+        });
     }
     curves
 }

@@ -1,7 +1,7 @@
 //! Shared experiment infrastructure: trace sets, parameter grids, and
 //! geometric-mean aggregation.
 
-use cachetime::{simulate, sweep, SimResult, SystemConfig};
+use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, SystemConfig};
 use cachetime_analysis::geometric_mean;
 use cachetime_trace::{catalog, Trace};
 
@@ -153,14 +153,15 @@ pub fn run_config_jobs(config: &SystemConfig, traces: &TraceSet, jobs: usize) ->
     aggregate(&run.results)
 }
 
-/// One cell×trace unit of work in a [`SpeedSizeGrid`] sweep: the cache
-/// size and cycle time identify the grid cell, `trace` indexes into the
-/// [`TraceSet`]. Carried as the sweep task so a panicking simulation is
-/// reported with its exact coordinates.
+/// One organization×trace unit of work in a [`SpeedSizeGrid`] sweep: the
+/// cache size identifies the organization, `trace` indexes into the
+/// [`TraceSet`]. The whole cycle-time axis rides along inside the task —
+/// one behavioral pass, then one cheap timing replay per cycle time.
+/// Carried as the sweep task so a panicking simulation is reported with
+/// its exact coordinates.
 #[derive(Debug, Clone, Copy)]
 struct GridTask {
     size_per_cache_kb: u64,
-    ct_ns: u32,
     trace: usize,
 }
 
@@ -211,10 +212,14 @@ impl SpeedSizeGrid {
 
     /// [`SpeedSizeGrid::compute_over`] on a worker pool.
     ///
-    /// The sweep fans out one task per `(size, cycle time, trace)`
-    /// triple — the finest independent unit — and reassembles per-cell
-    /// aggregates in trace order, so every cell is bit-identical to the
-    /// serial nested-loop computation for any `jobs`.
+    /// The sweep fans out one task per `(size, trace)` pair. Each task
+    /// runs the trace through the behavioral simulator *once* for that
+    /// organization, then reprices the recorded events under every cycle
+    /// time — the cycle-time axis costs a timing replay per point instead
+    /// of a full simulation. Replay is bit-identical to direct simulation
+    /// (asserted in-tree), and per-cell aggregates are assembled in trace
+    /// order, so the grid matches the old cell-by-cell computation exactly
+    /// for any `jobs`.
     pub fn compute_over_jobs(
         traces: &TraceSet,
         assoc: u32,
@@ -224,16 +229,13 @@ impl SpeedSizeGrid {
     ) -> Self {
         let assoc_v = cachetime_types::Assoc::new(assoc).expect("power-of-two assoc");
         let n_traces = traces.traces().len();
-        let mut tasks = Vec::with_capacity(sizes_per_cache_kb.len() * cts_ns.len() * n_traces);
+        let mut tasks = Vec::with_capacity(sizes_per_cache_kb.len() * n_traces);
         for &kb in sizes_per_cache_kb {
-            for &ct in cts_ns {
-                for trace in 0..n_traces {
-                    tasks.push(GridTask {
-                        size_per_cache_kb: kb,
-                        ct_ns: ct,
-                        trace,
-                    });
-                }
+            for trace in 0..n_traces {
+                tasks.push(GridTask {
+                    size_per_cache_kb: kb,
+                    trace,
+                });
             }
         }
         let run = sweep::run(&tasks, jobs, |_idx, task| {
@@ -244,28 +246,36 @@ impl SpeedSizeGrid {
             .assoc(assoc_v)
             .build()
             .expect("valid cache");
-            let config = SystemConfig::builder()
-                .cycle_time(cachetime_types::CycleTime::from_ns(task.ct_ns).expect("nonzero"))
-                .l1_both(l1)
-                .build()
-                .expect("valid system");
-            simulate(&config, &traces.traces()[task.trace])
+            let mk = |ct: u32| {
+                SystemConfig::builder()
+                    .cycle_time(cachetime_types::CycleTime::from_ns(ct).expect("nonzero"))
+                    .l1_both(l1)
+                    .build()
+                    .expect("valid system")
+            };
+            let configs: Vec<SystemConfig> = cts_ns.iter().map(|&ct| mk(ct)).collect();
+            let events = BehavioralSim::new(&configs[0].organization())
+                .record(&traces.traces()[task.trace]);
+            replay_many(&events, &configs).expect("same organization")
         })
         .expect("simulation does not panic");
 
-        // Reassemble: tasks were pushed cell-major, traces innermost, so
-        // each consecutive chunk of `n_traces` results is one grid cell in
-        // canonical trace order.
-        let mut cells = run.results.chunks_exact(n_traces);
+        // Reassemble: tasks were pushed size-major with traces innermost,
+        // and each result carries the whole cycle-time axis; gather the
+        // `n_traces` results of one (size, ct) cell in canonical trace
+        // order before aggregating.
         let mut cycles_per_ref = Vec::new();
         let mut time_per_ref = Vec::new();
         let mut read_miss_ratio = Vec::new();
-        for _ in sizes_per_cache_kb {
+        for (si, _) in sizes_per_cache_kb.iter().enumerate() {
             let mut row_c = Vec::new();
             let mut row_t = Vec::new();
             let mut row_m = Vec::new();
-            for _ in cts_ns {
-                let agg = aggregate(cells.next().expect("one chunk per cell"));
+            for (ci, _) in cts_ns.iter().enumerate() {
+                let cell: Vec<SimResult> = (0..n_traces)
+                    .map(|t| run.results[si * n_traces + t][ci])
+                    .collect();
+                let agg = aggregate(&cell);
                 row_c.push(agg.cycles_per_ref);
                 row_t.push(agg.time_per_ref_ns);
                 row_m.push(agg.read_miss_ratio);

@@ -119,7 +119,24 @@ impl MemorySystem {
 
     /// Like [`fill`](Self::fill), but exposes both the transfer-start and
     /// completion cycles (see [`FillGrant`]).
+    #[inline]
     pub fn fill_grant(&mut self, now: u64, req: FillRequest) -> FillGrant {
+        // Clean-miss fast path: with nothing buffered and no victim there
+        // is nothing to drain, match, or park — the general path below
+        // reduces to exactly this arithmetic (for any buffer capacity).
+        if req.victim.is_none() && self.wb.is_empty() {
+            let start = now.max(self.free_at);
+            let data_start =
+                start + self.timing.config().addr_cycles() + self.timing.latency_cycles();
+            let transfer = self.timing.transfer_cycles(req.words);
+            self.free_at = data_start + transfer + self.timing.recovery_cycles();
+            self.stats.reads += 1;
+            self.stats.read_words += req.words as u64;
+            return FillGrant {
+                ready: data_start,
+                done: data_start + transfer,
+            };
+        }
         self.catch_up(now);
         if !self.read_priority {
             while !self.wb.is_empty() {
@@ -182,6 +199,7 @@ impl MemorySystem {
     ///
     /// Returns the cycle at which the word is in the buffer and the CPU may
     /// proceed — `now` unless the buffer was full.
+    #[inline]
     pub fn write_word(&mut self, now: u64, pid: Pid, addr: WordAddr) -> u64 {
         self.catch_up(now);
         if self.wb.capacity() == 0 {
@@ -234,6 +252,7 @@ impl MemorySystem {
     /// lets later stores coalesce into it). A read arriving at the same
     /// cycle as a launchable write still wins (read priority), but a write
     /// already in flight is not preempted.
+    #[inline]
     fn catch_up(&mut self, now: u64) {
         while let Some(e) = self.wb.front() {
             let eligible = e.ready_at + self.drain_delay;
@@ -260,6 +279,7 @@ impl MemorySystem {
     }
 
     /// Pops and retires the oldest write; returns its bus-release cycle.
+    #[inline]
     fn drain_one(&mut self, earliest: u64) -> u64 {
         let e = self.wb.pop_front().expect("drain_one on empty buffer");
         let start = earliest.max(e.ready_at).max(self.free_at);

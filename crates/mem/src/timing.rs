@@ -16,17 +16,43 @@ pub struct MemoryTiming {
     latency_cycles: u64,
     write_op_cycles: u64,
     recovery_cycles: u64,
+    transfer: TransferCycles,
+}
+
+/// Division-free [`TransferRate::cycles_for_words`]: the backplane rate is
+/// fixed when the timing is bound, and the quantization sits on the
+/// hot path of every fill and drain, so reduce it to a shift or a multiply
+/// up front (a hardware divide per call is measurable at replay rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferCycles {
+    /// `WordsPerCycle(2^shift)`: ceiling division by add-then-shift.
+    Shift { add: u32, shift: u32 },
+    /// `CyclesPerWord(c)`: a multiply.
+    Mul { c: u32 },
+    /// `WordsPerCycle(n)`, `n` not a power of two: general division.
+    Div { n: u32 },
 }
 
 impl MemoryTiming {
     /// Binds a memory configuration to a cycle time.
     pub fn new(config: &MemoryConfig, cycle_time: CycleTime) -> Self {
+        let transfer = match config.transfer() {
+            crate::TransferRate::WordsPerCycle(n) if n.is_power_of_two() => {
+                TransferCycles::Shift {
+                    add: n - 1,
+                    shift: n.trailing_zeros(),
+                }
+            }
+            crate::TransferRate::WordsPerCycle(n) => TransferCycles::Div { n },
+            crate::TransferRate::CyclesPerWord(c) => TransferCycles::Mul { c },
+        };
         MemoryTiming {
             config: *config,
             cycle_time,
             latency_cycles: cycle_time.cycles_for(config.read_op().0),
             write_op_cycles: cycle_time.cycles_for(config.write_op().0),
             recovery_cycles: cycle_time.cycles_for(config.recovery().0),
+            transfer,
         }
     }
 
@@ -57,8 +83,13 @@ impl MemoryTiming {
     }
 
     /// Cycles to transfer `words` words over the backplane.
+    #[inline]
     pub const fn transfer_cycles(&self, words: u32) -> u64 {
-        self.config.transfer().cycles_for_words(words)
+        match self.transfer {
+            TransferCycles::Shift { add, shift } => ((words + add) >> shift) as u64,
+            TransferCycles::Mul { c } => words as u64 * c as u64,
+            TransferCycles::Div { n } => words.div_ceil(n) as u64,
+        }
     }
 
     /// Total cycles for a read of `words` words: address + latency +

@@ -77,6 +77,7 @@ impl WbEntry {
     }
 
     /// Words this entry transfers when it drains.
+    #[inline]
     pub fn words(&self) -> u32 {
         match self.payload {
             WbPayload::Block { words } => words,
@@ -87,6 +88,7 @@ impl WbEntry {
     /// Whether the entry holds pending data inside `[start, start + words)`
     /// of the same process. For word entries only the actually written
     /// words match — the surrounding coalescing region is not stale data.
+    #[inline]
     pub fn overlaps(&self, pid: Pid, start: u64, words: u32) -> bool {
         if self.pid != pid
             || self.start >= start + words as u64
@@ -122,21 +124,25 @@ impl WriteBuffer {
     }
 
     /// Number of pending entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether no writes are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Whether a push would overflow.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
     }
 
     /// Configured depth.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -147,23 +153,27 @@ impl WriteBuffer {
     ///
     /// Panics if the buffer is full; the owner must drain first (stalling
     /// the CPU for the drain time).
+    #[inline]
     pub fn push(&mut self, entry: WbEntry) {
         assert!(!self.is_full(), "write buffer overflow: owner must drain");
         self.entries.push_back(entry);
     }
 
     /// Returns the oldest entry without removing it.
+    #[inline]
     pub fn front(&self) -> Option<&WbEntry> {
         self.entries.front()
     }
 
     /// Removes and returns the oldest entry.
+    #[inline]
     pub fn pop_front(&mut self) -> Option<WbEntry> {
         self.entries.pop_front()
     }
 
     /// Index of the youngest entry overlapping the read region, if any. The
     /// read must wait for that entry (and, FIFO, everything ahead of it).
+    #[inline]
     pub fn find_overlap(&self, pid: Pid, start: WordAddr, words: u32) -> Option<usize> {
         self.entries
             .iter()
@@ -173,6 +183,7 @@ impl WriteBuffer {
     /// Tries to merge a word write into the *tail* entry (only the tail:
     /// merging into older entries would reorder writes to the same
     /// address). Returns `true` on success.
+    #[inline]
     pub fn try_coalesce(&mut self, pid: Pid, addr: WordAddr) -> bool {
         let Some(tail) = self.entries.back_mut() else {
             return false;

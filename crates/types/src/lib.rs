@@ -35,12 +35,14 @@
 
 mod addr;
 mod error;
+mod events;
 mod refs;
 mod size;
 mod time;
 
 pub use addr::{BlockAddr, WordAddr, BYTES_PER_WORD};
 pub use error::ConfigError;
+pub use events::{AccessEvent, CoupletClass, EventOp, RefEvent, VictimBlock};
 pub use refs::{AccessKind, MemRef, Pid};
 pub use size::{Assoc, BlockWords, CacheSize};
 pub use time::{CycleTime, Cycles, Nanos};

@@ -7,6 +7,11 @@
 # 2. Full test suite (unit + property + integration).
 # 3. Offline-build guard: the workspace must build with no registry
 #    access at all (zero external dependencies is a hard invariant).
+# 4. Two-phase equivalence cross-check: direct simulation vs the
+#    record/replay pipeline must be bit-identical per grid cell.
+# 5. Small-scale `cachetime-bench sweep`: re-asserts equivalence over the
+#    full speed-size grid and refreshes BENCH_sweep.json with the current
+#    grid-repricing numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +23,11 @@ cargo test --workspace -q
 
 echo "==> cargo build --offline --workspace (zero-dependency guard)"
 cargo build --offline --workspace
+
+echo "==> two-phase equivalence cross-check (direct vs record/replay)"
+cargo test --release -q -p cachetime --test two_phase --test two_phase_prop
+
+echo "==> cachetime-bench sweep (small scale; writes BENCH_sweep.json)"
+cargo run --release -q -p cachetime-bench -- sweep "${BENCH_SCALE:-0.05}"
 
 echo "==> verify OK"
