@@ -5,16 +5,28 @@
 //! simulation of every cell, the two-phase record-once/replay-per-cell
 //! pipeline, and the two-phase pipeline on a worker pool — prints
 //! cells/sec for each, and writes the numbers to `BENCH_sweep.json` for
-//! tracking across commits. The Criterion benches (`benches/`) remain
-//! available behind the `criterion` feature for statistically rigorous
-//! comparisons; this harness is the one that runs offline with zero
-//! dependencies.
+//! tracking across commits.
+//!
+//! `cachetime-bench serve [scale]` load-tests the `cachetime-serve` HTTP
+//! server end to end: a cold leg that records each organization once, a
+//! warm leg that re-asks every grid cell (all served by replay from the
+//! store), and a batched `/v1/replay` leg; writes `BENCH_serve.json`.
+//! `cachetime-bench serve-check <addr>` is the non-timing version — a
+//! smoke client that asserts a running server answers simulate/replay
+//! bit-identically to an in-process `Simulator::run` (used by
+//! `scripts/verify.sh`).
+//!
+//! The Criterion benches (`benches/`) remain available behind the
+//! `criterion` feature for statistically rigorous comparisons; this
+//! harness is the one that runs offline with zero dependencies.
 
-use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, SystemConfig};
+use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, Simulator, SystemConfig};
 use cachetime_cache::CacheConfig;
+use cachetime_serve::client::HttpClient;
+use cachetime_serve::{api, serve, ServerConfig};
 use cachetime_trace::{catalog, Trace};
-use cachetime_types::{CacheSize, CycleTime};
-use std::time::Duration;
+use cachetime_types::{json_object, CacheSize, CycleTime, Json};
+use std::time::{Duration, Instant};
 
 const DEFAULT_SCALE: f64 = 0.05;
 
@@ -197,39 +209,331 @@ fn run_sweep_bench(scale: f64) {
     let parallel_speedup = if parallel.jobs > two_phase.jobs {
         let s = two_phase.wall.as_secs_f64() / parallel.wall.as_secs_f64();
         println!("parallel speedup ({} jobs): {s:.2}x", parallel.jobs);
-        format!("{s:.3}")
+        Json::Float(s)
     } else {
         println!(
             "parallel speedup: not measured (only {} job available)",
             parallel.jobs
         );
-        "null".to_string()
+        Json::Null
     };
 
-    let json = format!(
-        "{{\n  \"bench\": \"sweep\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \
-         \"organizations\": {},\n  \"cycle_times\": {},\n  \
-         \"refs_per_pass\": {refs_per_pass},\n  \"available_jobs\": {available_jobs},\n  \
-         \"direct\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
-         \"two_phase\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
-         \"two_phase_parallel\": {{ \"jobs\": {}, \"wall_secs\": {:.6}, \"cells_per_sec\": {:.1} }},\n  \
-         \"repricing_speedup\": {repricing_speedup:.3},\n  \
-         \"parallel_speedup\": {parallel_speedup}\n}}\n",
-        cells.len(),
-        org_tasks.len(),
-        CYCLE_TIMES_NS.len(),
-        direct.jobs,
-        direct.wall.as_secs_f64(),
-        direct.cells_per_sec(),
-        two_phase.jobs,
-        two_phase.wall.as_secs_f64(),
-        two_phase.cells_per_sec(),
-        parallel.jobs,
-        parallel.wall.as_secs_f64(),
-        parallel.cells_per_sec(),
-    );
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    let leg = |m: &Measurement| {
+        json_object([
+            ("jobs", Json::from(m.jobs)),
+            ("wall_secs", Json::Float(m.wall.as_secs_f64())),
+            ("cells_per_sec", Json::Float(m.cells_per_sec())),
+        ])
+    };
+    let json = json_object([
+        ("bench", Json::from("sweep")),
+        ("scale", Json::Float(scale)),
+        ("cells", Json::from(cells.len())),
+        ("organizations", Json::from(org_tasks.len())),
+        ("cycle_times", Json::from(CYCLE_TIMES_NS.len())),
+        ("refs_per_pass", Json::from(refs_per_pass)),
+        ("available_jobs", Json::from(available_jobs)),
+        ("direct", leg(&direct)),
+        ("two_phase", leg(&two_phase)),
+        ("two_phase_parallel", leg(&parallel)),
+        ("repricing_speedup", Json::Float(repricing_speedup)),
+        ("parallel_speedup", parallel_speedup),
+    ]);
+    std::fs::write("BENCH_sweep.json", json.pretty()).expect("write BENCH_sweep.json");
     eprintln!("[bench] wrote BENCH_sweep.json");
+}
+
+/// Client-side latency summary of one bench leg, in microseconds.
+struct Leg {
+    micros: Vec<u64>,
+    wall: Duration,
+}
+
+impl Leg {
+    fn mean_us(&self) -> f64 {
+        self.micros.iter().sum::<u64>() as f64 / self.micros.len() as f64
+    }
+
+    fn percentile_us(&self, q: f64) -> u64 {
+        let mut sorted = self.micros.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    fn to_json(&self) -> Json {
+        json_object([
+            ("requests", Json::from(self.micros.len())),
+            ("wall_secs", Json::Float(self.wall.as_secs_f64())),
+            ("mean_us", Json::Float(self.mean_us())),
+            ("p50_us", Json::from(self.percentile_us(0.5))),
+            ("p99_us", Json::from(self.percentile_us(0.99))),
+        ])
+    }
+}
+
+/// Runs `n` requests through `f`, timing each round trip.
+fn timed_leg(n: usize, mut f: impl FnMut(usize)) -> Leg {
+    let mut micros = Vec::with_capacity(n);
+    let started = Instant::now();
+    for i in 0..n {
+        let t = Instant::now();
+        f(i);
+        micros.push(t.elapsed().as_micros() as u64);
+    }
+    Leg {
+        micros,
+        wall: started.elapsed(),
+    }
+}
+
+fn expect_200(status: u16, body: &str, what: &str) -> Json {
+    if status != 200 {
+        eprintln!("[bench] {what} failed with {status}: {body}");
+        std::process::exit(1);
+    }
+    Json::parse(body).unwrap_or_else(|e| {
+        eprintln!("[bench] {what} returned unparseable JSON ({e}): {body}");
+        std::process::exit(1);
+    })
+}
+
+/// Load-tests an in-process `cachetime-serve` over real sockets: the cold
+/// leg records the paper's 11 organizations once each, the warm leg
+/// re-asks all 11×16 grid cells (every one a store hit answered by
+/// replay), the batch leg prices a whole cycle-time axis per `/v1/replay`
+/// call. Asserts the store's raison d'être: warm ≥ 10× faster than cold.
+fn run_serve_bench(scale: f64) {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = handle.local_addr().to_string();
+    eprintln!("[bench] in-process server on {addr}, trace mu3 at scale {scale}");
+    let mut client = HttpClient::connect(&addr).expect("connect to own server");
+
+    let sim_body = |size_kib: u64, ct_ns: u32| {
+        format!(
+            r#"{{"config": {{"cycle_time_ns": {ct_ns}, "l1": {{"size_kib": {size_kib}}}}}, "trace": {{"name": "mu3", "scale": {scale}}}}}"#
+        )
+    };
+
+    // Cold: one request per organization; each is a store miss that
+    // records the behavioral trace (the expensive, linear-in-refs phase).
+    let mut keys = Vec::with_capacity(SIZES_KIB.len());
+    let cold = timed_leg(SIZES_KIB.len(), |i| {
+        let (status, body) = client
+            .post("/v1/simulate", &sim_body(SIZES_KIB[i], CYCLE_TIMES_NS[0]))
+            .expect("cold simulate");
+        let v = expect_200(status, &body, "cold simulate");
+        assert_eq!(
+            v.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "cold requests must miss"
+        );
+        keys.push(v.get("key").and_then(Json::as_str).unwrap().to_string());
+    });
+
+    // Warm: the full grid; every cell is a hit (the key ignores timing),
+    // so the server answers by replay alone.
+    let grid = build_cells(1);
+    let warm = timed_leg(grid.len(), |i| {
+        let (status, body) = client
+            .post("/v1/simulate", &sim_body(grid[i].size_kib, grid[i].ct_ns))
+            .expect("warm simulate");
+        let v = expect_200(status, &body, "warm simulate");
+        assert_eq!(
+            v.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "warm requests must hit"
+        );
+    });
+
+    // Concurrent: N clients hammer the warm grid at once from their own
+    // connections — store reads coalesce on the shared lock, workers
+    // interleave the keep-alive connections.
+    const CLIENTS: usize = 4;
+    let concurrent_started = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let grid = grid.clone();
+            let sim_body = move |size_kib: u64, ct_ns: u32| {
+                format!(
+                    r#"{{"config": {{"cycle_time_ns": {ct_ns}, "l1": {{"size_kib": {size_kib}}}}}, "trace": {{"name": "mu3", "scale": {scale}}}}}"#
+                )
+            };
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(&addr).expect("concurrent connect");
+                let leg = timed_leg(grid.len(), |i| {
+                    let (status, body) = client
+                        .post("/v1/simulate", &sim_body(grid[i].size_kib, grid[i].ct_ns))
+                        .expect("concurrent simulate");
+                    let v = expect_200(status, &body, "concurrent simulate");
+                    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+                });
+                leg.micros
+            })
+        })
+        .collect();
+    let concurrent = Leg {
+        micros: threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("concurrent client"))
+            .collect(),
+        wall: concurrent_started.elapsed(),
+    };
+
+    // Batch: one /v1/replay per organization prices its whole axis.
+    let cts = CYCLE_TIMES_NS
+        .iter()
+        .map(|ct| ct.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let batch = timed_leg(keys.len(), |i| {
+        let body = format!(r#"{{"key": "{}", "cycle_times_ns": [{cts}]}}"#, keys[i]);
+        let (status, body) = client.post("/v1/replay", &body).expect("batch replay");
+        let v = expect_200(status, &body, "batch replay");
+        assert_eq!(
+            v.get("results").and_then(Json::as_array).map(<[Json]>::len),
+            Some(CYCLE_TIMES_NS.len())
+        );
+    });
+
+    let (_, body) = client.get("/v1/stats").expect("stats");
+    let stats = Json::parse(&body).expect("stats JSON");
+    let (status, _) = client.post("/v1/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join();
+
+    let speedup = cold.mean_us() / warm.mean_us();
+    println!(
+        "cold  (record+replay): {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs)",
+        cold.mean_us(),
+        cold.percentile_us(0.5),
+        cold.percentile_us(0.99),
+        cold.micros.len()
+    );
+    println!(
+        "warm  (replay only):   {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs)",
+        warm.mean_us(),
+        warm.percentile_us(0.5),
+        warm.percentile_us(0.99),
+        warm.micros.len()
+    );
+    println!(
+        "batch (16-pt axis):    {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs)",
+        batch.mean_us(),
+        batch.percentile_us(0.5),
+        batch.percentile_us(0.99),
+        batch.micros.len()
+    );
+    println!(
+        "warm x{CLIENTS} clients:      {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs, {:.0} req/s aggregate)",
+        concurrent.mean_us(),
+        concurrent.percentile_us(0.5),
+        concurrent.percentile_us(0.99),
+        concurrent.micros.len(),
+        concurrent.micros.len() as f64 / concurrent.wall.as_secs_f64()
+    );
+    println!("warm-vs-cold speedup: {speedup:.2}x");
+
+    let json = json_object([
+        ("bench", Json::from("serve")),
+        ("scale", Json::Float(scale)),
+        ("trace", Json::from("mu3")),
+        ("organizations", Json::from(SIZES_KIB.len())),
+        ("grid_cells", Json::from(grid.len())),
+        ("cold", cold.to_json()),
+        ("warm", warm.to_json()),
+        ("replay_batch", batch.to_json()),
+        ("concurrent_clients", Json::from(CLIENTS)),
+        ("warm_concurrent", concurrent.to_json()),
+        ("warm_speedup", Json::Float(speedup)),
+        ("server_stats", stats),
+    ]);
+    std::fs::write("BENCH_serve.json", json.pretty()).expect("write BENCH_serve.json");
+    eprintln!("[bench] wrote BENCH_serve.json");
+
+    assert!(
+        speedup >= 10.0,
+        "store must make warm requests >= 10x faster than cold (got {speedup:.2}x)"
+    );
+}
+
+/// Smoke-checks a running server at `addr`: health, simulate, replay, and
+/// stats — with the simulate/replay answers compared bit-for-bit against
+/// an in-process `Simulator::run` of the same configuration. Exits
+/// nonzero on the first mismatch; `scripts/verify.sh` runs this against a
+/// freshly started `ctserve`.
+fn run_serve_check(addr: &str) {
+    let fail = |what: &str, detail: &str| -> ! {
+        eprintln!("serve-check: FAIL: {what}: {detail}");
+        std::process::exit(1);
+    };
+    let mut client = HttpClient::connect(addr)
+        .unwrap_or_else(|e| fail("connect", &e.to_string()));
+
+    let (status, body) = client.get("/healthz").unwrap_or_else(|e| fail("healthz", &e.to_string()));
+    if status != 200 {
+        fail("healthz", &format!("status {status}: {body}"));
+    }
+
+    // One cheap pairing, simulated both remotely and locally.
+    let scale = 0.005;
+    let sim_body = format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#);
+    let (status, body) = client
+        .post("/v1/simulate", &sim_body)
+        .unwrap_or_else(|e| fail("simulate", &e.to_string()));
+    if status != 200 {
+        fail("simulate", &format!("status {status}: {body}"));
+    }
+    let v = Json::parse(&body).unwrap_or_else(|e| fail("simulate", &e.to_string()));
+    let key = v
+        .get("key")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("simulate", "response has no key"))
+        .to_string();
+
+    let config = SystemConfig::paper_default().expect("paper default");
+    let direct = Simulator::new(&config).run(&catalog::mu3(scale).generate());
+    let expected = api::sim_result_to_json(&direct);
+    if v.get("result") != Some(&expected) {
+        fail(
+            "simulate",
+            "server result differs from a direct Simulator::run",
+        );
+    }
+
+    // Replay at the same 40 ns point must be bit-identical too; a second
+    // point must move the numbers.
+    let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40, 20]}}"#);
+    let (status, body) = client
+        .post("/v1/replay", &replay_body)
+        .unwrap_or_else(|e| fail("replay", &e.to_string()));
+    if status != 200 {
+        fail("replay", &format!("status {status}: {body}"));
+    }
+    let v = Json::parse(&body).unwrap_or_else(|e| fail("replay", &e.to_string()));
+    let results = v
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("replay", "response has no results array"));
+    if results.first() != Some(&expected) {
+        fail("replay", "replayed result differs from Simulator::run");
+    }
+    if results.get(1) == Some(&expected) {
+        fail("replay", "a 20 ns replay cannot equal the 40 ns result");
+    }
+
+    let (status, body) = client.get("/v1/stats").unwrap_or_else(|e| fail("stats", &e.to_string()));
+    let v = Json::parse(&body).unwrap_or_else(|e| fail("stats", &e.to_string()));
+    if status != 200 || v.get("store").is_none() {
+        fail("stats", &format!("status {status}: {body}"));
+    }
+
+    println!("serve-check: OK ({addr}: simulate + replay bit-identical to Simulator::run)");
 }
 
 fn main() {
@@ -245,12 +549,34 @@ fn main() {
             };
             run_sweep_bench(scale);
         }
+        Some("serve") => {
+            let scale = match args.next() {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid scale {s:?}; expected a float like 0.05");
+                    std::process::exit(2);
+                }),
+                None => DEFAULT_SCALE,
+            };
+            run_serve_bench(scale);
+        }
+        Some("serve-check") => {
+            let Some(addr) = args.next() else {
+                eprintln!("usage: cachetime-bench serve-check <host:port>");
+                std::process::exit(2);
+            };
+            run_serve_check(&addr);
+        }
         _ => {
-            eprintln!("usage: cachetime-bench sweep [scale]");
+            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port>");
             eprintln!();
-            eprintln!("  sweep    time a speed/size grid: direct per-cell simulation vs");
-            eprintln!("           the two-phase record/replay pipeline (serial and");
-            eprintln!("           parallel), print cells/sec, write BENCH_sweep.json");
+            eprintln!("  sweep        time a speed/size grid: direct per-cell simulation vs");
+            eprintln!("               the two-phase record/replay pipeline (serial and");
+            eprintln!("               parallel), print cells/sec, write BENCH_sweep.json");
+            eprintln!("  serve        load-test the HTTP server: cold recording vs warm");
+            eprintln!("               store-hit replays over the 11x16 grid, write");
+            eprintln!("               BENCH_serve.json");
+            eprintln!("  serve-check  smoke-test a running ctserve: simulate + replay must");
+            eprintln!("               be bit-identical to an in-process Simulator::run");
             std::process::exit(2);
         }
     }

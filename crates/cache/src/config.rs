@@ -1,7 +1,7 @@
 //! Cache configuration and validation.
 
 use crate::replacement::ReplacementPolicy;
-use cachetime_types::{Assoc, BlockWords, CacheSize, ConfigError};
+use cachetime_types::{Assoc, BlockWords, CacheSize, ConfigError, StableHash, StableHasher};
 use std::fmt;
 
 /// The write strategy of a cache.
@@ -176,6 +176,52 @@ impl CacheConfig {
     /// placement), which requires per-word valid bits.
     pub const fn is_sub_block(&self) -> bool {
         self.fetch.words() < self.block.words()
+    }
+}
+
+impl StableHash for WritePolicy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            WritePolicy::WriteBack => 0,
+            WritePolicy::WriteThrough => 1,
+        });
+    }
+}
+
+impl StableHash for WriteAllocate {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            WriteAllocate::NoAllocate => 0,
+            WriteAllocate::Allocate => 1,
+        });
+    }
+}
+
+impl StableHash for ReplacementPolicy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            ReplacementPolicy::Random => 0,
+            ReplacementPolicy::Lru => 1,
+            ReplacementPolicy::Fifo => 2,
+            ReplacementPolicy::TreePlru => 3,
+        });
+    }
+}
+
+impl StableHash for CacheConfig {
+    /// Every field participates — including `rng_seed`, because random
+    /// replacement makes the victim sequence (and therefore any recorded
+    /// event trace) a function of the seed.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.size.stable_hash(h);
+        self.block.stable_hash(h);
+        self.fetch.stable_hash(h);
+        self.assoc.stable_hash(h);
+        self.replacement.stable_hash(h);
+        self.write_policy.stable_hash(h);
+        self.write_allocate.stable_hash(h);
+        self.virtual_tags.stable_hash(h);
+        self.rng_seed.stable_hash(h);
     }
 }
 

@@ -1,0 +1,156 @@
+//! Hash-keyed record/replay entry points for trace-store services.
+//!
+//! The two-phase engine makes an [`EventTrace`] the expensive artifact and
+//! replay the cheap operation, which invites *caching*: record an
+//! `(organization, workload)` pairing once, answer every timing question
+//! against it forever. A cache needs a key, and these functions define the
+//! canonical one — the [`StableHash`](cachetime_types::StableHash) digest
+//! of the organization and the workload recipe together. Because both
+//! trace generation and behavioral simulation are deterministic in those
+//! inputs, equal keys imply bit-identical event traces; the key is valid
+//! across processes and machines, so a client may remember it and replay
+//! against a long-running server (`cachetime-serve`) without resending the
+//! organization.
+//!
+//! ```
+//! use cachetime::{keyed, SystemConfig};
+//! use cachetime_trace::catalog;
+//! use cachetime_types::CycleTime;
+//!
+//! let config = SystemConfig::paper_default()?;
+//! let workload = catalog::savec(0.01);
+//! let (key, events) = keyed::record(&config.organization(), &workload);
+//! assert_eq!(key, keyed::trace_key(&config.organization(), &workload));
+//!
+//! let mut timing = config.timing();
+//! timing.cycle_time = CycleTime::from_ns(20)?;
+//! let results = keyed::replay_timings(&events, &[config.timing(), timing])?;
+//! assert_eq!(results.len(), 2);
+//! # Ok::<(), cachetime_types::ConfigError>(())
+//! ```
+
+use crate::replay::{BehavioralSim, EventTrace};
+use crate::result::SimResult;
+use crate::system::{OrgConfig, SystemConfig, TimingConfig};
+use cachetime_trace::WorkloadSpec;
+use cachetime_types::{ConfigError, StableHasher};
+
+use cachetime_types::StableHash as _;
+
+/// The content key of an `(organization, workload)` pairing: the one value
+/// a recorded [`EventTrace`] is addressable by.
+pub fn trace_key(org: &OrgConfig, workload: &WorkloadSpec) -> u64 {
+    let mut h = StableHasher::new();
+    org.stable_hash(&mut h);
+    workload.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Generates `workload`'s trace and records its behavioral events under
+/// `org`, returning the pairing's content key alongside the trace.
+///
+/// This is the expensive half of the record/replay pipeline — linear in
+/// the reference count. Callers that may already hold the result should
+/// compute [`trace_key`] first and only fall back to this on a miss.
+pub fn record(org: &OrgConfig, workload: &WorkloadSpec) -> (u64, EventTrace) {
+    let trace = workload.generate();
+    let events = BehavioralSim::new(org).record(&trace);
+    (trace_key(org, workload), events)
+}
+
+/// Reprices a recorded trace under each timing half, reusing the trace's
+/// own organization for the cross-field validation a full
+/// [`SystemConfig`] build performs.
+///
+/// This is the entry point a timing-axis query maps onto: the caller names
+/// an event trace (by key, resolved elsewhere) and supplies only timing
+/// halves; the organization travels with the recording.
+///
+/// # Errors
+///
+/// [`ConfigError`] if a timing half cannot be combined with the recorded
+/// organization (e.g. an L2 block smaller than the recorded L1's).
+pub fn replay_timings(
+    events: &EventTrace,
+    timings: &[TimingConfig],
+) -> Result<Vec<SimResult>, ConfigError> {
+    let configs = timings
+        .iter()
+        .map(|t| SystemConfig::from_parts(events.organization(), t))
+        .collect::<Result<Vec<_>, _>>()?;
+    crate::replay::replay_many(events, &configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachetime_trace::catalog;
+    use cachetime_types::CycleTime;
+
+    #[test]
+    fn keys_are_deterministic_and_org_sensitive() {
+        let base = SystemConfig::paper_default().unwrap();
+        let w = catalog::mu3(0.01);
+        assert_eq!(
+            trace_key(&base.organization(), &w),
+            trace_key(&base.organization(), &w)
+        );
+        // A timing-only change keeps the key; an organization change moves it.
+        let faster = SystemConfig::builder()
+            .cycle_time(CycleTime::from_ns(20).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(
+            trace_key(&base.organization(), &w),
+            trace_key(&faster.organization(), &w)
+        );
+        let small = cachetime_cache::CacheConfig::builder(
+            cachetime_types::CacheSize::from_kib(16).unwrap(),
+        )
+        .build()
+        .unwrap();
+        let other = SystemConfig::builder().l1_both(small).build().unwrap();
+        assert_ne!(
+            trace_key(&base.organization(), &w),
+            trace_key(&other.organization(), &w)
+        );
+        // A different workload (even a different scale) moves it too.
+        assert_ne!(
+            trace_key(&base.organization(), &w),
+            trace_key(&base.organization(), &catalog::mu3(0.02))
+        );
+    }
+
+    #[test]
+    fn record_and_replay_match_direct_simulation() {
+        let config = SystemConfig::paper_default().unwrap();
+        let w = catalog::savec(0.01);
+        let (key, events) = record(&config.organization(), &w);
+        assert_eq!(key, trace_key(&config.organization(), &w));
+        let mut timing = config.timing();
+        timing.cycle_time = CycleTime::from_ns(56).unwrap();
+        let results = replay_timings(&events, &[config.timing(), timing]).unwrap();
+        let trace = w.generate();
+        assert_eq!(results[0], crate::Simulator::new(&config).run(&trace));
+        let direct56 = crate::Simulator::new(
+            &SystemConfig::from_parts(&config.organization(), &timing).unwrap(),
+        )
+        .run(&trace);
+        assert_eq!(results[1], direct56);
+    }
+
+    #[test]
+    fn replay_timings_surfaces_validation_errors() {
+        let config = SystemConfig::paper_default().unwrap();
+        let (_, events) = record(&config.organization(), &catalog::mu3(0.005));
+        let mut bad = config.timing();
+        let small_block = cachetime_cache::CacheConfig::builder(
+            cachetime_types::CacheSize::from_kib(256).unwrap(),
+        )
+        .block(cachetime_types::BlockWords::new(2).unwrap())
+        .build()
+        .unwrap();
+        bad.l2 = Some(crate::system::LevelTwoConfig::new(small_block));
+        assert!(replay_timings(&events, &[bad]).is_err());
+    }
+}

@@ -47,6 +47,7 @@
 
 mod engine;
 mod hierarchy;
+pub mod keyed;
 mod replay;
 mod result;
 pub mod sweep;

@@ -102,6 +102,16 @@ impl EventTrace {
         &self.l1d
     }
 
+    /// Approximate heap-plus-inline size of this trace in bytes.
+    ///
+    /// Counts the op vector's capacity plus the fixed header — the only
+    /// allocations of consequence — so a byte-budgeted store (the
+    /// simulation server's LRU) can account for what eviction would
+    /// actually reclaim.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.ops.capacity() * std::mem::size_of::<EventOp>()
+    }
+
     /// The compression the run-length encoding achieved: recorded ops per
     /// couplet (1.0 = nothing collapsed; paper-like hit ratios give a few
     /// percent).

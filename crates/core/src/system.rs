@@ -3,7 +3,7 @@
 use cachetime_cache::CacheConfig;
 use cachetime_mem::MemoryConfig;
 use cachetime_mmu::TranslationConfig;
-use cachetime_types::{ConfigError, CycleTime};
+use cachetime_types::{stable_hash_of, ConfigError, CycleTime, StableHash, StableHasher};
 use std::fmt;
 
 /// Configuration of an optional second-level cache.
@@ -276,6 +276,14 @@ pub struct OrgConfig {
 }
 
 impl OrgConfig {
+    /// The stable 64-bit content key of this organization — equal keys iff
+    /// equal organizations, across processes and platforms. The simulation
+    /// server addresses recorded event traces by this value (combined with
+    /// the workload's own hash).
+    pub fn stable_key(&self) -> u64 {
+        stable_hash_of(self)
+    }
+
     /// The instruction-cache organization.
     pub const fn l1i(&self) -> &CacheConfig {
         &self.l1i
@@ -323,6 +331,56 @@ pub struct TimingConfig {
     pub dual_issue: bool,
     /// The read-miss resumption policy.
     pub fill_policy: FillPolicy,
+}
+
+impl StableHash for FillPolicy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            FillPolicy::WaitWholeBlock => 0,
+            FillPolicy::EarlyContinuation => 1,
+            FillPolicy::LoadForward => 2,
+        });
+    }
+}
+
+impl StableHash for LevelTwoConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cache.stable_hash(h);
+        self.read_cycles.stable_hash(h);
+        self.write_cycles.stable_hash(h);
+        self.wb_depth.stable_hash(h);
+    }
+}
+
+impl StableHash for OrgConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.l1i.stable_hash(h);
+        self.l1d.stable_hash(h);
+        self.split.stable_hash(h);
+        self.translation.stable_hash(h);
+    }
+}
+
+impl StableHash for TimingConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cycle_time.stable_hash(h);
+        self.l2.stable_hash(h);
+        self.l3.stable_hash(h);
+        self.memory.stable_hash(h);
+        self.read_hit_cycles.stable_hash(h);
+        self.write_hit_cycles.stable_hash(h);
+        self.dual_issue.stable_hash(h);
+        self.fill_policy.stable_hash(h);
+    }
+}
+
+impl StableHash for SystemConfig {
+    /// Hashes as the (organization, timing) pair, so the whole-config hash
+    /// is consistent with the halves the two-phase engine splits it into.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.organization().stable_hash(h);
+        self.timing().stable_hash(h);
+    }
 }
 
 impl fmt::Display for SystemConfig {

@@ -1,6 +1,6 @@
 //! Main-memory and write-buffer configuration.
 
-use cachetime_types::{ConfigError, Nanos};
+use cachetime_types::{ConfigError, Nanos, StableHash, StableHasher};
 use std::fmt;
 
 /// The backplane transfer rate between memory and cache.
@@ -181,6 +181,35 @@ impl MemoryConfig {
 impl Default for MemoryConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+impl StableHash for TransferRate {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            TransferRate::WordsPerCycle(n) => {
+                h.write_u64(0);
+                n.stable_hash(h);
+            }
+            TransferRate::CyclesPerWord(n) => {
+                h.write_u64(1);
+                n.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for MemoryConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.read_op.stable_hash(h);
+        self.write_op.stable_hash(h);
+        self.recovery.stable_hash(h);
+        self.transfer.stable_hash(h);
+        self.addr_cycles.stable_hash(h);
+        self.wb_depth.stable_hash(h);
+        self.wb_coalesce.stable_hash(h);
+        self.wb_drain_delay.stable_hash(h);
+        self.read_priority.stable_hash(h);
     }
 }
 

@@ -35,7 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cachetime_types::{ConfigError, Pid, WordAddr};
+use cachetime_types::{ConfigError, Pid, StableHash, StableHasher, WordAddr};
 use std::collections::HashMap;
 use std::ops::AddAssign;
 
@@ -79,6 +79,15 @@ impl TranslationConfig {
             });
         }
         Ok(())
+    }
+}
+
+impl StableHash for TranslationConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.page_words.stable_hash(h);
+        self.tlb_entries.stable_hash(h);
+        self.tlb_assoc.stable_hash(h);
+        self.miss_penalty.stable_hash(h);
     }
 }
 

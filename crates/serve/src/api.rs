@@ -1,0 +1,447 @@
+//! The server's wire format: JSON ↔ simulator types.
+//!
+//! Requests describe a [`SystemConfig`] and a catalog workload; responses
+//! carry the full [`SimResult`] counter set. Every field of the config
+//! objects is optional and defaults to the paper's machine, so
+//! `{"trace": {"name": "mu3"}}` is a complete simulate request. Content
+//! keys travel as 16-digit hex *strings* — JSON peers are not guaranteed
+//! to keep 64-bit integers exact.
+
+use cachetime::{SimResult, SystemConfig};
+use cachetime_cache::{CacheConfig, ReplacementPolicy, WriteAllocate, WritePolicy};
+use cachetime_mem::{MemoryConfig, TransferRate};
+use cachetime_mmu::TranslationConfig;
+use cachetime_trace::{catalog, WorkloadSpec};
+use cachetime_types::{
+    json_object, Assoc, BlockWords, CacheSize, CycleTime, Json, Nanos,
+};
+use cachetime::{FillPolicy, LevelTwoConfig};
+
+/// A content key rendered for the wire.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses a wire content key.
+///
+/// # Errors
+///
+/// A human-readable message for a non-hex or oversized string.
+pub fn parse_key_hex(s: &str) -> Result<u64, String> {
+    if s.is_empty() || s.len() > 16 {
+        return Err(format!("key must be 1-16 hex digits, got {:?}", s));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| format!("key is not hexadecimal: {:?}", s))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key} must be a non-negative integer")),
+    }
+}
+
+fn field_bool(v: &Json, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("{key} must be a boolean")),
+    }
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("{key} must be a number")),
+    }
+}
+
+fn field_str<'a>(v: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("{key} must be a string")),
+    }
+}
+
+/// Builds one cache organization from a JSON object; absent fields keep
+/// the paper defaults.
+fn cache_config_from_json(v: &Json) -> Result<CacheConfig, String> {
+    let size = CacheSize::from_kib(field_u64(v, "size_kib")?.unwrap_or(64))
+        .map_err(|e| e.to_string())?;
+    let mut b = CacheConfig::builder(size);
+    if let Some(words) = field_u64(v, "block_words")? {
+        b.block(BlockWords::new(words as u32).map_err(|e| e.to_string())?);
+    }
+    if let Some(words) = field_u64(v, "fetch_words")? {
+        b.fetch(BlockWords::new(words as u32).map_err(|e| e.to_string())?);
+    }
+    if let Some(ways) = field_u64(v, "assoc")? {
+        b.assoc(Assoc::new(ways as u32).map_err(|e| e.to_string())?);
+    }
+    if let Some(name) = field_str(v, "replacement")? {
+        b.replacement(match name {
+            "random" => ReplacementPolicy::Random,
+            "lru" => ReplacementPolicy::Lru,
+            "fifo" => ReplacementPolicy::Fifo,
+            "tree-plru" => ReplacementPolicy::TreePlru,
+            other => return Err(format!("unknown replacement policy {other:?}")),
+        });
+    }
+    if let Some(name) = field_str(v, "write_policy")? {
+        b.write_policy(match name {
+            "write-back" => WritePolicy::WriteBack,
+            "write-through" => WritePolicy::WriteThrough,
+            other => return Err(format!("unknown write policy {other:?}")),
+        });
+    }
+    if let Some(allocate) = field_bool(v, "write_allocate")? {
+        b.write_allocate(if allocate {
+            WriteAllocate::Allocate
+        } else {
+            WriteAllocate::NoAllocate
+        });
+    }
+    if let Some(vt) = field_bool(v, "virtual_tags")? {
+        b.virtual_tags(vt);
+    }
+    if let Some(seed) = field_u64(v, "rng_seed")? {
+        b.rng_seed(seed);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn level_config_from_json(v: &Json) -> Result<LevelTwoConfig, String> {
+    let mut level = LevelTwoConfig::new(cache_config_from_json(v)?);
+    if let Some(c) = field_u64(v, "read_cycles")? {
+        level.read_cycles = c;
+    }
+    if let Some(c) = field_u64(v, "write_cycles")? {
+        level.write_cycles = c;
+    }
+    if let Some(d) = field_u64(v, "wb_depth")? {
+        level.wb_depth = d as u32;
+    }
+    Ok(level)
+}
+
+fn memory_config_from_json(v: &Json) -> Result<MemoryConfig, String> {
+    let mut b = MemoryConfig::builder();
+    if let Some(ns) = field_u64(v, "read_ns")? {
+        b.read_op(Nanos(ns));
+    }
+    if let Some(ns) = field_u64(v, "write_ns")? {
+        b.write_op(Nanos(ns));
+    }
+    if let Some(ns) = field_u64(v, "recovery_ns")? {
+        b.recovery(Nanos(ns));
+    }
+    match (
+        field_u64(v, "words_per_cycle")?,
+        field_u64(v, "cycles_per_word")?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err("words_per_cycle and cycles_per_word are mutually exclusive".into())
+        }
+        (Some(n), None) => {
+            b.transfer(TransferRate::WordsPerCycle(n as u32));
+        }
+        (None, Some(n)) => {
+            b.transfer(TransferRate::CyclesPerWord(n as u32));
+        }
+        (None, None) => {}
+    }
+    if let Some(c) = field_u64(v, "addr_cycles")? {
+        b.addr_cycles(c);
+    }
+    if let Some(d) = field_u64(v, "wb_depth")? {
+        b.wb_depth(d as u32);
+    }
+    if let Some(c) = field_bool(v, "wb_coalesce")? {
+        b.wb_coalesce(c);
+    }
+    if let Some(d) = field_u64(v, "wb_drain_delay")? {
+        b.wb_drain_delay(d);
+    }
+    if let Some(p) = field_bool(v, "read_priority")? {
+        b.read_priority(p);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Builds a full [`SystemConfig`] from the request's `config` object (or
+/// the paper default for `null`/absent objects).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field; the server turns
+/// it into a 400 response.
+pub fn system_config_from_json(v: Option<&Json>) -> Result<SystemConfig, String> {
+    let v = match v {
+        None => return SystemConfig::paper_default().map_err(|e| e.to_string()),
+        Some(Json::Null) => return SystemConfig::paper_default().map_err(|e| e.to_string()),
+        Some(v) => v,
+    };
+    if v.as_object().is_none() {
+        return Err("config must be an object".into());
+    }
+    let mut b = SystemConfig::builder();
+    if let Some(ns) = field_u64(v, "cycle_time_ns")? {
+        b.cycle_time(CycleTime::from_ns(ns as u32).map_err(|e| e.to_string())?);
+    }
+    if let Some(l1) = v.get("l1") {
+        b.l1_both(cache_config_from_json(l1)?);
+    }
+    if let Some(l1i) = v.get("l1i") {
+        b.l1i(cache_config_from_json(l1i)?);
+    }
+    if let Some(l1d) = v.get("l1d") {
+        b.l1d(cache_config_from_json(l1d)?);
+    }
+    if let Some(unified) = field_bool(v, "unified")? {
+        b.unified(unified);
+    }
+    if let Some(l2) = v.get("l2") {
+        if !l2.is_null() {
+            b.l2(level_config_from_json(l2)?);
+        }
+    }
+    if let Some(l3) = v.get("l3") {
+        if !l3.is_null() {
+            b.l3(level_config_from_json(l3)?);
+        }
+    }
+    if let Some(m) = v.get("memory") {
+        if !m.is_null() {
+            b.memory(memory_config_from_json(m)?);
+        }
+    }
+    if let Some(t) = v.get("translation") {
+        if !t.is_null() {
+            let mut tc = TranslationConfig::default();
+            if let Some(w) = field_u64(t, "page_words")? {
+                tc.page_words = w as u32;
+            }
+            if let Some(e) = field_u64(t, "tlb_entries")? {
+                tc.tlb_entries = e as u32;
+            }
+            if let Some(a) = field_u64(t, "tlb_assoc")? {
+                tc.tlb_assoc = a as u32;
+            }
+            if let Some(p) = field_u64(t, "miss_penalty")? {
+                tc.miss_penalty = p;
+            }
+            b.translation(tc);
+        }
+    }
+    if let Some(c) = field_u64(v, "read_hit_cycles")? {
+        b.read_hit_cycles(c);
+    }
+    if let Some(c) = field_u64(v, "write_hit_cycles")? {
+        b.write_hit_cycles(c);
+    }
+    if let Some(d) = field_bool(v, "dual_issue")? {
+        b.dual_issue(d);
+    }
+    if let Some(name) = field_str(v, "fill_policy")? {
+        b.fill_policy(match name {
+            "wait" => FillPolicy::WaitWholeBlock,
+            "early" => FillPolicy::EarlyContinuation,
+            "forward" => FillPolicy::LoadForward,
+            other => return Err(format!("unknown fill policy {other:?}")),
+        });
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Default trace scale when the request omits one: small enough that a
+/// cold recording answers interactively, large enough to leave the warm
+/// window non-trivial.
+pub const DEFAULT_SCALE: f64 = 0.01;
+
+/// Resolves the request's `trace` object (`{"name": "mu3", "scale": 0.01}`)
+/// against the Table 1 catalog.
+///
+/// # Errors
+///
+/// A message naming the unknown trace or malformed field.
+pub fn workload_from_json(v: Option<&Json>) -> Result<WorkloadSpec, String> {
+    let v = v.ok_or("request needs a trace object, e.g. {\"name\": \"mu3\"}")?;
+    let name = field_str(v, "name")?.ok_or("trace.name is required")?;
+    let scale = field_f64(v, "scale")?.unwrap_or(DEFAULT_SCALE);
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("trace.scale must be in (0, 1], got {scale}"));
+    }
+    catalog::by_name(name, scale)
+        .ok_or_else(|| format!("unknown trace {name:?}; catalog: mu3 mu6 mu10 savec rd1n3 rd2n4 rd1n5 rd2n7"))
+}
+
+fn cache_stats_json(s: &cachetime_cache::CacheStats) -> Json {
+    json_object([
+        ("reads", Json::from(s.reads)),
+        ("read_misses", Json::from(s.read_misses)),
+        ("writes", Json::from(s.writes)),
+        ("write_misses", Json::from(s.write_misses)),
+        ("fills", Json::from(s.fills)),
+        ("fill_words", Json::from(s.fill_words)),
+        ("evictions", Json::from(s.evictions)),
+        ("dirty_evictions", Json::from(s.dirty_evictions)),
+        ("write_back_words", Json::from(s.write_back_words)),
+        (
+            "dirty_words_written_back",
+            Json::from(s.dirty_words_written_back),
+        ),
+        (
+            "word_writes_downstream",
+            Json::from(s.word_writes_downstream),
+        ),
+    ])
+}
+
+/// Serializes a [`SimResult`] with every counter intact.
+///
+/// Byte-for-byte deterministic for equal results, so clients may compare
+/// serialized results for bit-identity (the verify smoke test does).
+pub fn sim_result_to_json(r: &SimResult) -> Json {
+    let buckets: Vec<Json> = (0..16).map(|i| Json::from(r.latency.bucket(i))).collect();
+    json_object([
+        ("cycle_time_ns", Json::from(r.cycle_time.ns() as u64)),
+        ("cycles", Json::from(r.cycles.0)),
+        ("refs", Json::from(r.refs)),
+        ("couplets", Json::from(r.couplets)),
+        ("exec_time_ns", Json::from(r.exec_time().0)),
+        ("cycles_per_ref", Json::Float(r.cycles_per_ref())),
+        ("time_per_ref_ns", Json::Float(r.time_per_ref_ns())),
+        ("read_miss_ratio", Json::Float(r.read_miss_ratio())),
+        ("stall_cycles", Json::from(r.stall_cycles.0)),
+        ("stall_fraction", Json::Float(r.stall_fraction())),
+        ("l1i", cache_stats_json(&r.l1i)),
+        ("l1d", cache_stats_json(&r.l1d)),
+        (
+            "l2",
+            r.l2.as_ref().map(cache_stats_json).unwrap_or(Json::Null),
+        ),
+        (
+            "l3",
+            r.l3.as_ref().map(cache_stats_json).unwrap_or(Json::Null),
+        ),
+        (
+            "mem",
+            json_object([
+                ("reads", Json::from(r.mem.reads)),
+                ("read_words", Json::from(r.mem.read_words)),
+                ("writes", Json::from(r.mem.writes)),
+                ("write_words", Json::from(r.mem.write_words)),
+                ("read_match_stalls", Json::from(r.mem.read_match_stalls)),
+                ("full_stalls", Json::from(r.mem.full_stalls)),
+                ("coalesced_writes", Json::from(r.mem.coalesced_writes)),
+            ]),
+        ),
+        (
+            "mmu",
+            r.mmu
+                .as_ref()
+                .map(|m| {
+                    json_object([
+                        ("accesses", Json::from(m.accesses)),
+                        ("misses", Json::from(m.misses)),
+                    ])
+                })
+                .unwrap_or(Json::Null),
+        ),
+        ("latency_buckets", Json::Array(buckets)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachetime::Simulator;
+
+    #[test]
+    fn key_hex_round_trips() {
+        for k in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_key_hex(&key_hex(k)).unwrap(), k);
+        }
+        assert!(parse_key_hex("").is_err());
+        assert!(parse_key_hex("xyz").is_err());
+        assert!(parse_key_hex("0123456789abcdef0").is_err());
+    }
+
+    #[test]
+    fn absent_config_is_the_paper_machine() {
+        let c = system_config_from_json(None).unwrap();
+        assert_eq!(c, SystemConfig::paper_default().unwrap());
+        let c = system_config_from_json(Some(&Json::Null)).unwrap();
+        assert_eq!(c, SystemConfig::paper_default().unwrap());
+    }
+
+    #[test]
+    fn config_fields_apply() {
+        let v = Json::parse(
+            r#"{
+                "cycle_time_ns": 24,
+                "l1": {"size_kib": 16, "assoc": 2, "replacement": "lru"},
+                "dual_issue": false,
+                "fill_policy": "early",
+                "l2": {"size_kib": 512, "read_cycles": 5},
+                "memory": {"read_ns": 120, "words_per_cycle": 2}
+            }"#,
+        )
+        .unwrap();
+        let c = system_config_from_json(Some(&v)).unwrap();
+        assert_eq!(c.cycle_time().ns(), 24);
+        assert_eq!(c.l1d().size().kib(), 16);
+        assert_eq!(c.l1d().assoc().ways(), 2);
+        assert!(!c.dual_issue());
+        assert!(c.early_continuation());
+        assert_eq!(c.l2().unwrap().read_cycles, 5);
+        assert_eq!(c.memory().read_op(), Nanos(120));
+    }
+
+    #[test]
+    fn bad_fields_name_themselves() {
+        let v = Json::parse(r#"{"cycle_time_ns": "fast"}"#).unwrap();
+        let err = system_config_from_json(Some(&v)).unwrap_err();
+        assert!(err.contains("cycle_time_ns"), "{err}");
+        let v = Json::parse(r#"{"l1": {"replacement": "psychic"}}"#).unwrap();
+        let err = system_config_from_json(Some(&v)).unwrap_err();
+        assert!(err.contains("psychic"), "{err}");
+    }
+
+    #[test]
+    fn workload_resolves_and_rejects() {
+        let v = Json::parse(r#"{"name": "savec", "scale": 0.02}"#).unwrap();
+        let w = workload_from_json(Some(&v)).unwrap();
+        assert_eq!(w.name, "savec");
+        let v = Json::parse(r#"{"name": "nonesuch"}"#).unwrap();
+        assert!(workload_from_json(Some(&v)).unwrap_err().contains("nonesuch"));
+        let v = Json::parse(r#"{"name": "mu3", "scale": 0}"#).unwrap();
+        assert!(workload_from_json(Some(&v)).is_err());
+        assert!(workload_from_json(None).is_err());
+    }
+
+    #[test]
+    fn result_serialization_is_deterministic_and_parseable() {
+        let config = SystemConfig::paper_default().unwrap();
+        let trace = catalog::mu3(0.005).generate();
+        let r = Simulator::new(&config).run(&trace);
+        let a = sim_result_to_json(&r).to_string();
+        let b = sim_result_to_json(&r).to_string();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).unwrap();
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(r.cycles.0));
+        assert_eq!(parsed.get("refs").and_then(Json::as_u64), Some(r.refs));
+        assert!(parsed.get("mmu").unwrap().is_null());
+    }
+}

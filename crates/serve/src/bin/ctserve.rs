@@ -1,0 +1,87 @@
+//! `ctserve` — the cachetime simulation server.
+//!
+//! ```text
+//! ctserve [--addr 127.0.0.1:8080] [--workers N] [--budget-mb MB] [--port-file PATH]
+//! ```
+//!
+//! `--workers 0` (the default) sizes the pool via
+//! `cachetime::sweep::available_jobs()`. `--port-file` writes the bound
+//! port to a file once listening — scripts binding port 0 read it back.
+//! The process runs until `POST /v1/shutdown` (or the process is killed).
+
+use cachetime_serve::{serve, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".into(),
+        ..Default::default()
+    };
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--budget-mb" => {
+                let mb: usize = parse(&value("--budget-mb"), "--budget-mb");
+                config.store_budget_bytes = mb * 1024 * 1024;
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--help" | "-h" => {
+                println!(
+                    "ctserve — cachetime simulation server\n\n\
+                     USAGE: ctserve [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--port-file PATH]\n\n\
+                     --addr       bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
+                     --workers    worker threads (default 0 = auto-size to the host)\n\
+                     --budget-mb  EventTrace store budget in MiB (default 256)\n\
+                     --port-file  write the bound port to PATH once listening"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = write_port_file(&path, addr.port()) {
+            eprintln!("error: failed to write port file {path}: {e}");
+            handle.shutdown();
+            handle.join();
+            std::process::exit(1);
+        }
+    }
+    println!("ctserve listening on http://{addr}");
+    handle.join();
+    println!("ctserve stopped");
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {text:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn write_port_file(path: &str, port: u16) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{port}")
+}

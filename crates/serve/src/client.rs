@@ -1,0 +1,158 @@
+//! A tiny blocking HTTP/1.1 client for talking to `ctserve` — used by the
+//! bench load generator and the verify smoke test, so neither needs curl
+//! or an HTTP crate. Keep-alive: one [`HttpClient`] holds one connection
+//! and issues requests serially over it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One keep-alive connection to a `ctserve` instance.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from the OS.
+    pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous cap so a hung server fails the caller instead of
+        // wedging it; simulate on a full-scale trace stays well under.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads one response; returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a response the client cannot frame.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ctserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET` with an empty body.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((consumed, status, body)) = frame_response(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok((status, body));
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
+/// Frames one `Content-Length` response at the front of `buf`; returns
+/// `(bytes consumed, status, body)` when complete.
+fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, String)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| invalid("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad Content-Length"))?;
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+        .map_err(|_| invalid("non-UTF-8 response body"))?;
+    Ok(Some((body_start + content_length, status, body)))
+}
+
+fn invalid(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_a_response_with_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}tail";
+        let (consumed, status, body) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+        assert_eq!(&raw[consumed..], b"tail");
+    }
+
+    #[test]
+    fn waits_for_the_full_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nab";
+        assert!(frame_response(raw).unwrap().is_none());
+    }
+
+    #[test]
+    fn error_statuses_come_through() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let (_, status, body) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(status, 404);
+        assert!(body.is_empty());
+    }
+}

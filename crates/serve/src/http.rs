@@ -1,0 +1,449 @@
+//! A hand-rolled HTTP/1.1 server on `std::net` — no async runtime, no
+//! external crates, in keeping with the workspace's offline-build
+//! invariant.
+//!
+//! The shape is a fixed worker pool over a shared *connection* queue, not
+//! a thread-per-connection model: an accepted connection is pushed onto
+//! the queue, a worker pops it, reads **one** request (with a short idle
+//! timeout), responds, and re-queues the connection if it is keep-alive.
+//! Workers therefore interleave many slow keep-alive clients fairly even
+//! when `workers == 1` (the common case on this project's single-core
+//! hosts): an idle connection costs a worker at most
+//! [`IDLE_POLL`] before it moves on, instead of parking the pool.
+//!
+//! Shutdown is cooperative: `POST /v1/shutdown` (or
+//! [`ServerHandle::shutdown`]) flips an atomic flag, wakes the queue, and
+//! unblocks the accept loop with a loopback connect; workers drain and
+//! join.
+
+use crate::{App, Response};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for bytes from an idle keep-alive connection
+/// before re-queuing it and serving someone else.
+const IDLE_POLL: Duration = Duration::from_millis(10);
+
+/// Caps on hostile or confused peers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Tuning for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:8080"`; port 0 picks an ephemeral
+    /// port (read it back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means [`cachetime::sweep::available_jobs`].
+    pub workers: usize,
+    /// Byte budget of the EventTrace store.
+    pub store_budget_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            store_budget_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (`Content-Length`-framed; no chunked support).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// A connection parked between requests, carrying any bytes already read.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`shutdown`](Self::shutdown) + [`join`](Self::join), or let a client
+/// `POST /v1/shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    app: Arc<App>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The application state (store + stats), for in-process callers like
+    /// the bench harness.
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Requests shutdown; returns immediately. Safe to call repeatedly.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the accept loop and every worker have exited.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.ready.notify_all();
+    // Unblock the accept loop; the accepted connection is discarded there.
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns a handle.
+///
+/// # Errors
+///
+/// Any bind failure from the OS.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let app = Arc::new(App::new(config.store_budget_bytes));
+    serve_with_app(config, app)
+}
+
+/// [`serve`] with caller-supplied application state (tests pre-seed the
+/// store through this).
+pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if config.workers == 0 {
+        cachetime::sweep::available_jobs()
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ctserve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop"),
+        );
+    }
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        let app = Arc::clone(&app);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ctserve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &app, addr))
+                .expect("spawn worker"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        app,
+        threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                let mut q = shared.queue.lock().unwrap();
+                q.push_back(Conn {
+                    stream,
+                    buf: Vec::new(),
+                });
+                drop(q);
+                shared.ready.notify_one();
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
+    loop {
+        let mut q = shared.queue.lock().unwrap();
+        let conn = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(c) = q.pop_front() {
+                break c;
+            }
+            q = shared.ready.wait(q).unwrap();
+        };
+        drop(q);
+        let mut conn = conn;
+        match read_request(&mut conn) {
+            Ok(ReadOutcome::Request(req)) => {
+                let started = Instant::now();
+                app.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                let resp = app.handle(&req);
+                app.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                app.stats
+                    .endpoint(&req.method, &req.path)
+                    .record(started.elapsed().as_micros() as u64);
+                if resp.status >= 400 {
+                    app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let keep = req.keep_alive && !resp.shutdown;
+                let ok = write_response(&mut conn.stream, &resp, keep).is_ok();
+                if resp.shutdown {
+                    request_shutdown(shared, addr);
+                    return;
+                }
+                if ok && keep {
+                    requeue(shared, conn);
+                }
+            }
+            Ok(ReadOutcome::Idle) => requeue(shared, conn),
+            Ok(ReadOutcome::Closed) | Err(_) => {} // drop the connection
+        }
+    }
+}
+
+fn requeue(shared: &Shared, conn: Conn) {
+    let mut q = shared.queue.lock().unwrap();
+    q.push_back(conn);
+    drop(q);
+    shared.ready.notify_one();
+}
+
+enum ReadOutcome {
+    /// A complete request was framed and drained from the buffer.
+    Request(Request),
+    /// No complete request yet; the peer is slow or idle. Re-queue.
+    Idle,
+    /// Clean EOF between requests.
+    Closed,
+}
+
+/// Reads until one full request is buffered or the idle poll expires.
+fn read_request(conn: &mut Conn) -> std::io::Result<ReadOutcome> {
+    conn.stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(parsed) = try_parse(&mut conn.buf)? {
+            return Ok(parsed);
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                return if conn.buf.is_empty() {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))
+                };
+            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(ReadOutcome::Idle);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Attempts to frame one request at the front of `buf`; on success the
+/// request's bytes are drained so pipelined successors stay buffered.
+fn try_parse(buf: &mut Vec<u8>) -> std::io::Result<Option<ReadOutcome>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?.to_string();
+    let target = parts.next().ok_or_else(|| bad("missing path"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad("chunked bodies are not supported"));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None); // body still arriving
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    buf.drain(..body_start + content_length);
+    Ok(Some(ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn bad(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &[u8]) -> (Vec<Request>, Vec<u8>) {
+        let mut buf = input.to_vec();
+        let mut out = Vec::new();
+        while let Ok(Some(ReadOutcome::Request(r))) = try_parse(&mut buf) {
+            out.push(r);
+        }
+        (out, buf)
+    }
+
+    #[test]
+    fn frames_a_simple_get() {
+        let (reqs, rest) = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "GET");
+        assert_eq!(reqs[0].path, "/healthz");
+        assert!(reqs[0].keep_alive);
+        assert!(reqs[0].body.is_empty());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn frames_a_post_with_body_and_pipelined_successor() {
+        let (reqs, rest) = parse_all(
+            b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /v1/stats HTTP/1.1\r\n\r\n",
+        );
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].body, b"{}");
+        assert_eq!(reqs[1].path, "/v1/stats");
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn strips_query_strings_and_honors_connection_close() {
+        let (reqs, _) = parse_all(b"GET /v1/stats?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(reqs[0].path, "/v1/stats");
+        assert!(!reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let (reqs, _) = parse_all(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn partial_requests_wait_for_more_bytes() {
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345".to_vec();
+        assert!(matches!(try_parse(&mut buf), Ok(None)));
+        buf.extend_from_slice(b"67890");
+        assert!(matches!(
+            try_parse(&mut buf),
+            Ok(Some(ReadOutcome::Request(_)))
+        ));
+    }
+
+    #[test]
+    fn rejects_chunked_and_oversized() {
+        let mut buf = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        assert!(try_parse(&mut buf).is_err());
+        let mut buf = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .into_bytes();
+        assert!(try_parse(&mut buf).is_err());
+    }
+}

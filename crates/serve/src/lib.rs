@@ -1,0 +1,321 @@
+//! `cachetime-serve` — a long-running simulation server with a
+//! content-addressed [`EventTrace`](cachetime::EventTrace) store.
+//!
+//! The two-phase engine (see `cachetime::replay`) split every simulation
+//! into an expensive, timing-free *recording* and a cheap *replay*. This
+//! crate turns that split into a service: clients name an
+//! `(organization, workload)` pairing, the server records its event trace
+//! **once** — concurrent identical requests coalesce onto the same
+//! recording — and every later question about that pairing (any cycle
+//! time, any memory, any L2) is answered by replay at a small fraction of
+//! the cost. Recorded traces live in an LRU store under a byte budget and
+//! are addressed by the stable 64-bit keys of `cachetime::keyed`, so a
+//! client can hold a key and replay against it for as long as the entry
+//! stays resident.
+//!
+//! Everything is hand-rolled on `std::net` HTTP/1.1 with a fixed worker
+//! pool — the workspace's zero-dependency invariant extends to the server.
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /v1/simulate` | `{"config": {...}, "trace": {"name": "mu3"}}` | full `SimResult` + the pairing's key |
+//! | `POST /v1/replay` | `{"key": "<hex>", "cycle_times_ns": [20, ...]}` | one `SimResult` per timing point |
+//! | `GET /v1/stats` | — | store hits/misses/evictions, in-flight, per-endpoint latency |
+//! | `GET /healthz` | — | `{"status": "ok"}` |
+//! | `POST /v1/shutdown` | — | acknowledges, then stops the server |
+//!
+//! ```no_run
+//! let handle = cachetime_serve::serve(cachetime_serve::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..Default::default()
+//! })?;
+//! println!("listening on {}", handle.local_addr());
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+mod http;
+pub mod stats;
+pub mod store;
+
+pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
+
+use cachetime::keyed;
+use cachetime_types::{json_object, Json};
+use stats::ServerStats;
+use store::TraceStore;
+
+/// One response from the application layer, transport-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Whether the server should stop after sending this response.
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn ok(v: Json) -> Self {
+        Response {
+            status: 200,
+            body: v.to_string(),
+            shutdown: false,
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Self {
+        Response {
+            status,
+            body: json_object([("error", Json::Str(msg.into()))]).to_string(),
+            shutdown: false,
+        }
+    }
+}
+
+/// The application state: the trace store plus observability counters.
+/// Shared by every worker; all methods are `&self` and thread-safe.
+pub struct App {
+    /// The content-addressed EventTrace store.
+    pub store: TraceStore,
+    /// Request counters and latency histograms.
+    pub stats: ServerStats,
+}
+
+impl App {
+    /// Fresh state with the given store budget.
+    pub fn new(store_budget_bytes: usize) -> Self {
+        App {
+            store: TraceStore::new(store_budget_bytes),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Routes one request. Infallible: every failure becomes a JSON error
+    /// response with the appropriate status.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::ok(json_object([("status", "ok")])),
+            ("GET", "/v1/stats") => Response::ok(self.stats.to_json(&self.store)),
+            ("POST", "/v1/simulate") => self.simulate(&req.body),
+            ("POST", "/v1/replay") => self.replay(&req.body),
+            ("POST", "/v1/shutdown") => Response {
+                status: 200,
+                body: json_object([("status", "shutting down")]).to_string(),
+                shutdown: true,
+            },
+            ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    /// `POST /v1/simulate`: full config + workload → one `SimResult`.
+    ///
+    /// The organization/workload pairing is resolved to its content key;
+    /// a store hit skips straight to replay, a miss records (coalescing
+    /// with any concurrent identical request) and then replays.
+    fn simulate(&self, body: &[u8]) -> Response {
+        let v = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let config = match api::system_config_from_json(v.get("config")) {
+            Ok(c) => c,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let workload = match api::workload_from_json(v.get("trace")) {
+            Ok(w) => w,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let org = config.organization();
+        let key = keyed::trace_key(&org, &workload);
+        let (events, cached) = self
+            .store
+            .get_or_record(key, || keyed::record(&org, &workload).1);
+        match cachetime::replay(&events, &config) {
+            Ok(result) => Response::ok(json_object([
+                ("key", Json::Str(api::key_hex(key))),
+                ("cached", Json::Bool(cached)),
+                ("result", api::sim_result_to_json(&result)),
+            ])),
+            // Unreachable unless two pairings collide on the 64-bit key.
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    /// `POST /v1/replay`: a previously recorded key + a cycle-time axis →
+    /// one `SimResult` per point, without resending the organization.
+    fn replay(&self, body: &[u8]) -> Response {
+        let v = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let key = match v.get("key").and_then(Json::as_str) {
+            Some(s) => match api::parse_key_hex(s) {
+                Ok(k) => k,
+                Err(msg) => return Response::error(400, &msg),
+            },
+            None => return Response::error(400, "key (hex string) is required"),
+        };
+        let cts = match v.get("cycle_times_ns").and_then(Json::as_array) {
+            Some(a) if !a.is_empty() => a,
+            _ => return Response::error(400, "cycle_times_ns must be a non-empty array"),
+        };
+        // The timing base the axis perturbs: defaults to the paper's, or
+        // the request's `timing` object (same schema as `config`; its
+        // organization half is ignored — the key names the organization).
+        let base = match api::system_config_from_json(v.get("timing")) {
+            Ok(c) => c.timing(),
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let mut timings = Vec::with_capacity(cts.len());
+        for ct in cts {
+            let Some(ns) = ct.as_u64() else {
+                return Response::error(400, "cycle_times_ns entries must be integers");
+            };
+            let ns = match u32::try_from(ns)
+                .ok()
+                .and_then(|n| cachetime_types::CycleTime::from_ns(n).ok())
+            {
+                Some(ct) => ct,
+                None => return Response::error(400, "cycle time out of range"),
+            };
+            let mut t = base;
+            t.cycle_time = ns;
+            timings.push(t);
+        }
+        let Some(events) = self.store.get(key) else {
+            return Response::error(
+                404,
+                "unknown key: not recorded yet or evicted; POST /v1/simulate first",
+            );
+        };
+        match keyed::replay_timings(&events, &timings) {
+            Ok(results) => Response::ok(json_object([
+                ("key", Json::Str(api::key_hex(key))),
+                (
+                    "results",
+                    Json::Array(results.iter().map(api::sim_result_to_json).collect()),
+                ),
+            ])),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "body must be UTF-8 JSON"))?;
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "body must be a JSON object"));
+    }
+    Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn parse(resp: &Response) -> Json {
+        Json::parse(&resp.body).expect("response bodies are JSON")
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let app = App::new(usize::MAX);
+        let r = app.handle(&req("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(parse(&r).get("status").and_then(Json::as_str), Some("ok"));
+        let r = app.handle(&req("GET", "/v1/stats", ""));
+        assert_eq!(r.status, 200);
+        assert!(parse(&r).get("store").is_some());
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let app = App::new(usize::MAX);
+        assert_eq!(app.handle(&req("GET", "/nope", "")).status, 404);
+        assert_eq!(app.handle(&req("DELETE", "/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn simulate_records_then_hits_and_replay_matches() {
+        let app = App::new(usize::MAX);
+        let body = r#"{"trace": {"name": "mu3", "scale": 0.005}}"#;
+        let first = app.handle(&req("POST", "/v1/simulate", body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let first = parse(&first);
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        let key = first.get("key").and_then(Json::as_str).unwrap().to_string();
+
+        let second = parse(&app.handle(&req("POST", "/v1/simulate", body)));
+        assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(second.get("result"), first.get("result"));
+
+        // Replay at the simulate default (40 ns) must reproduce the
+        // simulate result bit-for-bit.
+        let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40, 20]}}"#);
+        let r = app.handle(&req("POST", "/v1/replay", &replay_body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let r = parse(&r);
+        let results = r.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(Some(&results[0]), first.get("result"));
+        assert_ne!(results[0], results[1], "cycle time must matter");
+    }
+
+    #[test]
+    fn replay_of_an_unknown_key_is_404() {
+        let app = App::new(usize::MAX);
+        let r = app.handle(&req(
+            "POST",
+            "/v1/replay",
+            r#"{"key": "00000000deadbeef", "cycle_times_ns": [40]}"#,
+        ));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn malformed_bodies_are_400s_with_messages() {
+        let app = App::new(usize::MAX);
+        for body in [
+            "",
+            "{",
+            r#"{"trace": {"name": "nonesuch"}}"#,
+            r#"{"trace": {"name": "mu3"}, "config": {"cycle_time_ns": 0}}"#,
+        ] {
+            let r = app.handle(&req("POST", "/v1/simulate", body));
+            assert_eq!(r.status, 400, "body {body:?} -> {}", r.body);
+            assert!(parse(&r).get("error").is_some());
+        }
+        let r = app.handle(&req("POST", "/v1/replay", r#"{"cycle_times_ns": [40]}"#));
+        assert_eq!(r.status, 400);
+        let r = app.handle(&req("POST", "/v1/replay", r#"{"key": "ff"}"#));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn shutdown_flags_the_transport() {
+        let app = App::new(usize::MAX);
+        let r = app.handle(&req("POST", "/v1/shutdown", ""));
+        assert_eq!(r.status, 200);
+        assert!(r.shutdown);
+    }
+}

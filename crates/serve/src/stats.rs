@@ -1,0 +1,163 @@
+//! Server-side observability: request counters, in-flight gauge, and
+//! per-endpoint latency histograms — all lock-free atomics, so the hot
+//! path never serializes on a stats mutex.
+
+use cachetime_types::{json_object, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log₂-bucketed latency histogram in microseconds: bucket `i` counts
+/// requests lasting `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-µs
+/// requests; the top bucket absorbs everything ≥ ~0.5 s).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 20],
+}
+
+impl LatencyHistogram {
+    /// Records one request of `micros` duration.
+    pub fn record(&self, micros: u64) {
+        let b = (63 - micros.max(1).leading_zeros() as usize).min(19);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile request
+    /// (0.5 = p50, 0.99 = p99); 0 when empty. Bucket-granular by design —
+    /// a factor-of-two error bar is fine for spotting regressions.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << self.buckets.len()
+    }
+
+    fn to_json(&self) -> Json {
+        json_object([
+            ("count", Json::UInt(self.count())),
+            ("p50_upper_us", Json::UInt(self.quantile_upper_micros(0.5))),
+            ("p99_upper_us", Json::UInt(self.quantile_upper_micros(0.99))),
+        ])
+    }
+}
+
+/// One server's worth of counters; shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests currently being processed (gauge).
+    pub in_flight: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Latency of `POST /v1/simulate`.
+    pub simulate: LatencyHistogram,
+    /// Latency of `POST /v1/replay`.
+    pub replay: LatencyHistogram,
+    /// Latency of `GET /v1/stats`.
+    pub stats: LatencyHistogram,
+    /// Latency of everything else (healthz, 404s, shutdown).
+    pub other: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// The histogram a request path belongs to.
+    pub fn endpoint(&self, method: &str, path: &str) -> &LatencyHistogram {
+        match (method, path) {
+            ("POST", "/v1/simulate") => &self.simulate,
+            ("POST", "/v1/replay") => &self.replay,
+            ("GET", "/v1/stats") => &self.stats,
+            _ => &self.other,
+        }
+    }
+
+    /// The `/v1/stats` payload: server counters plus the store's.
+    pub fn to_json(&self, store: &crate::store::TraceStore) -> Json {
+        let s = store.stats();
+        json_object([
+            (
+                "store",
+                json_object([
+                    ("hits", Json::UInt(s.hits)),
+                    ("misses", Json::UInt(s.misses)),
+                    ("coalesced", Json::UInt(s.coalesced)),
+                    ("evictions", Json::UInt(s.evictions)),
+                    ("entries", Json::UInt(s.entries as u64)),
+                    ("bytes", Json::UInt(s.bytes as u64)),
+                    ("budget_bytes", Json::UInt(store.budget_bytes() as u64)),
+                    ("recordings_in_flight", Json::UInt(s.in_flight as u64)),
+                ]),
+            ),
+            (
+                "server",
+                json_object([
+                    (
+                        "in_flight",
+                        Json::UInt(self.in_flight.load(Ordering::Relaxed)),
+                    ),
+                    ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "latency",
+                json_object([
+                    ("simulate", self.simulate.to_json()),
+                    ("replay", self.replay.to_json()),
+                    ("stats", self.stats.to_json()),
+                    ("other", self.other.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_micros(0.5), 0);
+        for _ in 0..99 {
+            h.record(3); // bucket 1: [2, 4)
+        }
+        h.record(1000); // bucket 9: [512, 1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_upper_micros(0.5), 4);
+        assert_eq!(h.quantile_upper_micros(0.99), 4);
+        assert_eq!(h.quantile_upper_micros(1.0), 1024);
+    }
+
+    #[test]
+    fn zero_micros_round_up_to_the_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_upper_micros(0.5), 2);
+    }
+
+    #[test]
+    fn endpoints_map_to_their_histograms() {
+        let s = ServerStats::default();
+        s.endpoint("POST", "/v1/simulate").record(5);
+        s.endpoint("POST", "/v1/replay").record(5);
+        s.endpoint("GET", "/v1/stats").record(5);
+        s.endpoint("GET", "/healthz").record(5);
+        s.endpoint("POST", "/nonsense").record(5);
+        assert_eq!(s.simulate.count(), 1);
+        assert_eq!(s.replay.count(), 1);
+        assert_eq!(s.stats.count(), 1);
+        assert_eq!(s.other.count(), 2);
+    }
+}

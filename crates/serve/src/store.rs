@@ -1,0 +1,320 @@
+//! The content-addressed [`EventTrace`] store: record once, replay forever.
+//!
+//! Keys are the stable [`cachetime::keyed::trace_key`] digests of
+//! `(organization, workload)` pairings, so the same logical request always
+//! lands on the same entry — across connections, clients, and server
+//! restarts. Three properties the server depends on:
+//!
+//! * **Single-flight recording.** The first request for a missing key
+//!   inserts an in-flight marker and records *outside* the store lock;
+//!   concurrent requests for the same key block on a condition variable
+//!   and share the one recording instead of redoing the linear-in-trace
+//!   work. Distinct keys never wait on each other.
+//! * **Byte-budgeted LRU.** Entries are charged their
+//!   [`EventTrace::approx_bytes`]; when an insertion pushes the total over
+//!   budget, least-recently-used entries are evicted until it fits (the
+//!   entry being inserted is exempt, so a single oversized trace still
+//!   serves its own request).
+//! * **Panic safety.** If a recording panics, its in-flight marker is
+//!   removed and waiters are woken to retry, rather than hanging forever.
+
+use cachetime::EventTrace;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A point-in-time snapshot of the store's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to record (first request for a key).
+    pub misses: u64,
+    /// Lookups that joined another request's in-flight recording.
+    pub coalesced: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Resident entries right now.
+    pub entries: usize,
+    /// Bytes charged against the budget right now.
+    pub bytes: usize,
+    /// Recordings in flight right now.
+    pub in_flight: usize,
+}
+
+enum Slot {
+    /// A recording is running on some thread; wait on the store condvar.
+    InFlight,
+    Ready {
+        events: Arc<EventTrace>,
+        bytes: usize,
+        last_used: u64,
+    },
+}
+
+struct Inner {
+    map: HashMap<u64, Slot>,
+    /// Monotonic use counter driving LRU order.
+    clock: u64,
+    bytes: usize,
+    stats: StoreStats,
+}
+
+/// See the [module docs](self).
+pub struct TraceStore {
+    inner: Mutex<Inner>,
+    /// Signaled whenever an in-flight recording completes (or aborts).
+    done: Condvar,
+    budget: usize,
+}
+
+/// Removes the in-flight marker and wakes waiters if the recording
+/// unwinds; disarmed on success.
+struct InFlightGuard<'a> {
+    store: &'a TraceStore,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.store.inner.lock().unwrap();
+            if matches!(inner.map.get(&self.key), Some(Slot::InFlight)) {
+                inner.map.remove(&self.key);
+            }
+            inner.stats.in_flight = inner.stats.in_flight.saturating_sub(1);
+            self.store.done.notify_all();
+        }
+    }
+}
+
+impl TraceStore {
+    /// An empty store that will keep at most `budget_bytes` of recorded
+    /// traces resident (approximate, see [`EventTrace::approx_bytes`]).
+    pub fn new(budget_bytes: usize) -> Self {
+        TraceStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                stats: StoreStats::default(),
+            }),
+            done: Condvar::new(),
+            budget: budget_bytes,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Returns the entry for `key`, recording it via `record` exactly once
+    /// if absent. The bool is `true` when the entry was already resident
+    /// (or its recording was joined) — i.e. `record` was *not* run by this
+    /// call.
+    pub fn get_or_record<F>(&self, key: u64, record: F) -> (Arc<EventTrace>, bool)
+    where
+        F: FnOnce() -> EventTrace,
+    {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.map.get(&key) {
+                Some(Slot::Ready { .. }) => {
+                    return (Self::touch(&mut inner, key), true);
+                }
+                Some(Slot::InFlight) => {
+                    inner.stats.coalesced += 1;
+                    // Wait for whichever thread owns the recording; the
+                    // loop re-examines the slot (it may be Ready, absent
+                    // after a panic, or even evicted — then we record).
+                    inner = self.done.wait(inner).unwrap();
+                }
+                None => {
+                    inner.map.insert(key, Slot::InFlight);
+                    inner.stats.misses += 1;
+                    inner.stats.in_flight += 1;
+                    drop(inner);
+
+                    let mut guard = InFlightGuard {
+                        store: self,
+                        key,
+                        armed: true,
+                    };
+                    let events = Arc::new(record());
+                    guard.armed = false;
+                    drop(guard);
+
+                    let bytes = events.approx_bytes();
+                    let mut inner = self.inner.lock().unwrap();
+                    inner.clock += 1;
+                    let clock = inner.clock;
+                    inner.map.insert(
+                        key,
+                        Slot::Ready {
+                            events: Arc::clone(&events),
+                            bytes,
+                            last_used: clock,
+                        },
+                    );
+                    inner.bytes += bytes;
+                    inner.stats.in_flight -= 1;
+                    Self::evict_over_budget(&mut inner, self.budget, key);
+                    drop(inner);
+                    self.done.notify_all();
+                    return (events, false);
+                }
+            }
+        }
+    }
+
+    /// Returns the entry for `key` if it is resident (joining an in-flight
+    /// recording first, if one is running); `None` if the store has never
+    /// recorded it or has evicted it.
+    pub fn get(&self, key: u64) -> Option<Arc<EventTrace>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.map.get(&key) {
+                Some(Slot::Ready { .. }) => return Some(Self::touch(&mut inner, key)),
+                Some(Slot::InFlight) => {
+                    inner.stats.coalesced += 1;
+                    inner = self.done.wait(inner).unwrap();
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Marks a Ready entry used now and returns its trace. Callers must
+    /// have just observed the slot as Ready under the same lock.
+    fn touch(inner: &mut Inner, key: u64) -> Arc<EventTrace> {
+        inner.clock += 1;
+        inner.stats.hits += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(Slot::Ready {
+                events, last_used, ..
+            }) => {
+                *last_used = clock;
+                Arc::clone(events)
+            }
+            _ => unreachable!("slot vanished under the lock"),
+        }
+    }
+
+    /// Evicts least-recently-used Ready entries (never `keep`, never
+    /// in-flight markers) until the charged bytes fit the budget.
+    fn evict_over_budget(inner: &mut Inner, budget: usize, keep: u64) {
+        while inner.bytes > budget {
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(&k, slot)| match slot {
+                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k)),
+                    _ => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            let Some(k) = victim else { break };
+            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&k) {
+                inner.bytes -= bytes;
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap();
+        StoreStats {
+            entries: inner
+                .map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count(),
+            bytes: inner.bytes,
+            ..inner.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachetime::{BehavioralSim, SystemConfig};
+    use cachetime_trace::Trace;
+    use cachetime_types::{MemRef, Pid, WordAddr};
+
+    fn tiny_trace(salt: u64) -> EventTrace {
+        let config = SystemConfig::paper_default().unwrap();
+        let refs: Vec<MemRef> = (0..64)
+            .map(|i| MemRef::load(WordAddr::new(salt * 4096 + i * 97), Pid(1)))
+            .collect();
+        BehavioralSim::new(&config.organization()).record(&Trace::new("t", refs, 0))
+    }
+
+    #[test]
+    fn records_once_then_hits() {
+        let store = TraceStore::new(usize::MAX);
+        let (a, hit_a) = store.get_or_record(7, || tiny_trace(1));
+        let (b, hit_b) = store.get_or_record(7, || panic!("must not re-record"));
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn get_misses_on_unknown_key() {
+        let store = TraceStore::new(usize::MAX);
+        assert!(store.get(42).is_none());
+        store.get_or_record(42, || tiny_trace(1));
+        assert!(store.get(42).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget() {
+        let one = tiny_trace(1).approx_bytes();
+        // Room for two entries, not three.
+        let store = TraceStore::new(one * 2 + one / 2);
+        store.get_or_record(1, || tiny_trace(1));
+        store.get_or_record(2, || tiny_trace(2));
+        // Touch 1 so 2 becomes the LRU.
+        store.get(1).unwrap();
+        store.get_or_record(3, || tiny_trace(3));
+        let s = store.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(store.get(2).is_none(), "LRU entry should be gone");
+        assert!(store.get(1).is_some());
+        assert!(store.get(3).is_some());
+        assert!(s.bytes <= store.budget_bytes());
+    }
+
+    #[test]
+    fn an_oversized_entry_still_serves_its_request() {
+        let store = TraceStore::new(1); // everything is over budget
+        let (a, _) = store.get_or_record(9, || tiny_trace(9));
+        assert!(a.ops().len() > 0 || a.couplets() > 0);
+        // It stays resident (nothing else to evict below it).
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn panicking_recorder_unblocks_future_requests() {
+        let store = Arc::new(TraceStore::new(usize::MAX));
+        let s2 = Arc::clone(&store);
+        let t = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                s2.get_or_record(5, || panic!("recorder died"));
+            }));
+        });
+        t.join().unwrap();
+        // The key is clean again: a fresh recording succeeds.
+        let (_, hit) = store.get_or_record(5, || tiny_trace(5));
+        assert!(!hit);
+        assert_eq!(store.stats().in_flight, 0);
+    }
+}

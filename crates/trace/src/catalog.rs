@@ -151,6 +151,25 @@ pub fn rd2n7(scale: f64) -> WorkloadSpec {
     risc_spec("rd2n7", 7, 1.678, 448.0, Some(40_000), scale, 0x4004)
 }
 
+/// Looks up one catalog workload by its Table 1 name (`"mu3"` … `"rd2n7"`).
+///
+/// `None` for names outside the catalog — callers resolving external input
+/// (the simulation server's `trace.name` field) get a checkable miss
+/// instead of a panic.
+pub fn by_name(name: &str, scale: f64) -> Option<WorkloadSpec> {
+    match name {
+        "mu3" => Some(mu3(scale)),
+        "mu6" => Some(mu6(scale)),
+        "mu10" => Some(mu10(scale)),
+        "savec" => Some(savec(scale)),
+        "rd1n3" => Some(rd1n3(scale)),
+        "rd2n4" => Some(rd2n4(scale)),
+        "rd1n5" => Some(rd1n5(scale)),
+        "rd2n7" => Some(rd2n7(scale)),
+        _ => None,
+    }
+}
+
 /// All eight workload specs, in the paper's Table 1 order.
 pub fn all(scale: f64) -> Vec<WorkloadSpec> {
     vec![
@@ -183,6 +202,16 @@ mod tests {
             names,
             ["mu3", "mu6", "mu10", "savec", "rd1n3", "rd2n4", "rd1n5", "rd2n7"]
         );
+    }
+
+    #[test]
+    fn by_name_resolves_the_whole_catalog() {
+        for spec in all(0.01) {
+            let found = by_name(&spec.name, 0.01).expect("catalog name resolves");
+            assert_eq!(found.seed, spec.seed);
+            assert_eq!(found.length, spec.length);
+        }
+        assert!(by_name("nonesuch", 0.01).is_none());
     }
 
     #[test]

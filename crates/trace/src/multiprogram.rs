@@ -3,7 +3,7 @@
 
 use crate::process::{ProcessParams, SyntheticProcess};
 use crate::trace::Trace;
-use cachetime_types::{AccessKind, MemRef};
+use cachetime_types::{AccessKind, MemRef, StableHash, StableHasher};
 use cachetime_testkit::SplitMix64;
 use std::collections::HashMap;
 
@@ -40,6 +40,23 @@ pub struct WorkloadSpec {
     pub init_prefix: bool,
     /// Master seed; every derived stream is deterministic in it.
     pub seed: u64,
+}
+
+impl StableHash for WorkloadSpec {
+    /// Hashes the full recipe. Trace generation is deterministic in these
+    /// fields, so equal spec hashes imply bit-identical generated traces —
+    /// the property the simulation server's content-addressed store keys
+    /// on.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.processes.stable_hash(h);
+        self.length.stable_hash(h);
+        self.warm_up.stable_hash(h);
+        self.mean_switch.stable_hash(h);
+        self.os_process.stable_hash(h);
+        self.init_prefix.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
 }
 
 impl WorkloadSpec {

@@ -19,7 +19,7 @@
 use crate::mtf::MtfStack;
 #[cfg(test)]
 use cachetime_types::AccessKind;
-use cachetime_types::{MemRef, Pid, WordAddr};
+use cachetime_types::{MemRef, Pid, StableHash, StableHasher, WordAddr};
 use cachetime_testkit::SplitMix64;
 
 /// First word of the code region. Each process's regions are staggered by
@@ -105,6 +105,29 @@ pub struct ProcessParams {
     /// initialization prefix — and in the trace's unique-address count, as
     /// in the paper's Table 1 — but are never referenced again.
     pub cold_words: u64,
+}
+
+impl StableHash for ProcessParams {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.code_words.stable_hash(h);
+        self.data_words.stable_hash(h);
+        self.stack_words.stable_hash(h);
+        self.ifetch_frac.stable_hash(h);
+        self.store_frac.stable_hash(h);
+        self.stack_frac.stable_hash(h);
+        self.sweep_frac.stable_hash(h);
+        self.sweep_words.stable_hash(h);
+        self.mean_code_run.stable_hash(h);
+        self.mean_data_run.stable_hash(h);
+        self.scatter_frac.stable_hash(h);
+        self.loop_frac.stable_hash(h);
+        self.code_alpha.stable_hash(h);
+        self.data_alpha.stable_hash(h);
+        self.func_words.stable_hash(h);
+        self.object_words.stable_hash(h);
+        self.startup_zero_words.stable_hash(h);
+        self.cold_words.stable_hash(h);
+    }
 }
 
 impl ProcessParams {

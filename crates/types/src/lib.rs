@@ -36,6 +36,8 @@
 mod addr;
 mod error;
 mod events;
+mod hash;
+mod json;
 mod refs;
 mod size;
 mod time;
@@ -43,6 +45,8 @@ mod time;
 pub use addr::{BlockAddr, WordAddr, BYTES_PER_WORD};
 pub use error::ConfigError;
 pub use events::{AccessEvent, CoupletClass, EventOp, RefEvent, VictimBlock};
+pub use hash::{stable_hash_of, StableHash, StableHasher};
+pub use json::{json_object, Json, JsonError};
 pub use refs::{AccessKind, MemRef, Pid};
 pub use size::{Assoc, BlockWords, CacheSize};
 pub use time::{CycleTime, Cycles, Nanos};

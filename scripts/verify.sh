@@ -12,6 +12,10 @@
 # 5. Small-scale `cachetime-bench sweep`: re-asserts equivalence over the
 #    full speed-size grid and refreshes BENCH_sweep.json with the current
 #    grid-repricing numbers.
+# 6. Server smoke test: start `ctserve` on an ephemeral port, drive
+#    simulate + replay + stats through `cachetime-bench serve-check`
+#    (which asserts the responses are bit-identical to a direct
+#    Simulator::run), then shut it down cleanly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,5 +33,31 @@ cargo test --release -q -p cachetime --test two_phase --test two_phase_prop
 
 echo "==> cachetime-bench sweep (small scale; writes BENCH_sweep.json)"
 cargo run --release -q -p cachetime-bench -- sweep "${BENCH_SCALE:-0.05}"
+
+echo "==> ctserve smoke test (ephemeral port; replay bit-identity)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE" # ctserve recreates it; its presence means "listening"
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+cleanup_serve() {
+  kill "$SERVE_PID" 2>/dev/null || true
+  rm -f "$PORT_FILE"
+}
+trap cleanup_serve EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "ctserve died on startup"; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ctserve never wrote its port file"; exit 1; }
+SERVE_PORT="$(cat "$PORT_FILE")"
+./target/release/cachetime-bench serve-check "127.0.0.1:$SERVE_PORT"
+# Ask the server to stop and require a clean, prompt exit.
+printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+  > "/dev/tcp/127.0.0.1/$SERVE_PORT"
+wait "$SERVE_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+echo "ctserve shut down cleanly"
 
 echo "==> verify OK"
