@@ -23,7 +23,8 @@
 use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, Simulator, SystemConfig};
 use cachetime_cache::CacheConfig;
 use cachetime_serve::client::HttpClient;
-use cachetime_serve::{api, serve, ServerConfig};
+use cachetime_serve::{api, fault, serve, ServerConfig};
+use cachetime_testkit::derive_seed;
 use cachetime_trace::{catalog, Trace};
 use cachetime_types::{json_object, CacheSize, CycleTime, Json};
 use std::time::{Duration, Instant};
@@ -439,6 +440,11 @@ fn run_serve_bench(scale: f64) {
     );
     println!("warm-vs-cold speedup: {speedup:.2}x");
 
+    // Overload storm: its own server with a single recording slot, driven
+    // past the admission limit — measures what degradation costs the warm
+    // path and how much cold load gets shed.
+    let overload = run_overload_storm(scale);
+
     let json = json_object([
         ("bench", Json::from("serve")),
         ("scale", Json::Float(scale)),
@@ -451,6 +457,7 @@ fn run_serve_bench(scale: f64) {
         ("concurrent_clients", Json::from(CLIENTS)),
         ("warm_concurrent", concurrent.to_json()),
         ("warm_speedup", Json::Float(speedup)),
+        ("overload", overload),
         ("server_stats", stats),
     ]);
     std::fs::write("BENCH_serve.json", json.pretty()).expect("write BENCH_serve.json");
@@ -460,6 +467,136 @@ fn run_serve_bench(scale: f64) {
         speedup >= 10.0,
         "store must make warm requests >= 10x faster than cold (got {speedup:.2}x)"
     );
+}
+
+/// Storms a deliberately tiny server (one recording slot, two workers)
+/// with two warm-replay clients and two cold-simulate clients: warm
+/// replays must all answer `200` even while cold simulates are being shed
+/// with `503 + Retry-After`. Returns the leg's numbers — shed rate and
+/// warm p99 under overload — for `BENCH_serve.json`.
+fn run_overload_storm(scale: f64) -> Json {
+    const STORM_CLIENTS: usize = 4;
+    const ROUNDS: usize = 30;
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_inflight_recordings: 1,
+        ..Default::default()
+    })
+    .expect("bind the overload server");
+    let addr = handle.local_addr().to_string();
+
+    // Warm exactly one key while the slot is idle.
+    let mut client = HttpClient::connect(&addr).expect("connect to overload server");
+    let warm_body =
+        format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#);
+    let (status, body) = client.post("/v1/simulate", &warm_body).expect("warm the key");
+    let v = expect_200(status, &body, "overload warm-up");
+    let key = v.get("key").and_then(Json::as_str).unwrap().to_string();
+
+    // Half the clients replay the warm key, half pour cold simulates (a
+    // distinct workload each, so every one wants the single slot).
+    let started = Instant::now();
+    let threads: Vec<_> = (0..STORM_CLIENTS)
+        .map(|t| {
+            let addr = addr.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(&addr).expect("storm connect");
+                let mut warm_micros = Vec::new();
+                let (mut cold_ok, mut cold_shed) = (0u64, 0u64);
+                for round in 0..ROUNDS {
+                    if t % 2 == 0 {
+                        let body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40]}}"#);
+                        let at = Instant::now();
+                        let (status, resp) =
+                            c.post("/v1/replay", &body).expect("warm replay I/O");
+                        assert_eq!(
+                            status, 200,
+                            "warm replay must survive overload: {resp}"
+                        );
+                        warm_micros.push(at.elapsed().as_micros() as u64);
+                    } else {
+                        // Unique scale per request → unique key → cold.
+                        let s = scale * (1.0 + 0.001 * (t * ROUNDS + round + 1) as f64);
+                        let body = format!(r#"{{"trace": {{"name": "mu3", "scale": {s}}}}}"#);
+                        let (status, resp) =
+                            c.post("/v1/simulate", &body).expect("cold simulate I/O");
+                        match status {
+                            200 => cold_ok += 1,
+                            503 => {
+                                assert!(
+                                    resp.contains("error"),
+                                    "shed responses must explain themselves: {resp}"
+                                );
+                                cold_shed += 1;
+                            }
+                            other => panic!("cold simulate answered {other}: {resp}"),
+                        }
+                    }
+                }
+                (warm_micros, cold_ok, cold_shed)
+            })
+        })
+        .collect();
+    let mut warm = Leg {
+        micros: Vec::new(),
+        wall: Duration::ZERO,
+    };
+    let (mut cold_ok, mut cold_shed) = (0u64, 0u64);
+    for t in threads {
+        let (micros, ok, shed) = t.join().expect("storm client");
+        warm.micros.extend(micros);
+        cold_ok += ok;
+        cold_shed += shed;
+    }
+    warm.wall = started.elapsed();
+
+    // The storm must actually have overloaded the server, and it must
+    // recover to "ok" once the pressure stops.
+    assert!(
+        cold_shed >= 1,
+        "storm never tripped the admission limit (cold_ok {cold_ok}); raise ROUNDS"
+    );
+    let recovered_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = client.get("/healthz").expect("post-storm healthz");
+        assert_eq!(status, 200, "{body}");
+        if Json::parse(&body)
+            .expect("healthz JSON")
+            .get("status")
+            .and_then(Json::as_str)
+            == Some("ok")
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < recovered_by,
+            "server still degraded 10 s after the storm: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    handle.join();
+
+    let shed_rate = cold_shed as f64 / (cold_ok + cold_shed) as f64;
+    println!(
+        "overload storm:        {:>9.1} us/warm  p99 {:>7} us  (shed {}/{} cold, {:.0}% shed rate)",
+        warm.mean_us(),
+        warm.percentile_us(0.99),
+        cold_shed,
+        cold_ok + cold_shed,
+        shed_rate * 100.0
+    );
+    json_object([
+        ("clients", Json::from(STORM_CLIENTS)),
+        ("rounds_per_client", Json::from(ROUNDS)),
+        ("max_inflight_recordings", Json::from(1usize)),
+        ("warm_under_overload", warm.to_json()),
+        ("cold_ok", Json::from(cold_ok)),
+        ("cold_shed", Json::from(cold_shed)),
+        ("shed_rate", Json::Float(shed_rate)),
+    ])
 }
 
 /// Smoke-checks a running server at `addr`: health, simulate, replay, and
@@ -536,6 +673,95 @@ fn run_serve_check(addr: &str) {
     println!("serve-check: OK ({addr}: simulate + replay bit-identical to Simulator::run)");
 }
 
+/// Seeded fault-injection run against a *running* `ctserve` at `addr`
+/// (`scripts/verify.sh` boots one with tight robustness limits first):
+/// four chaos clients walk the 11×16 grid misbehaving on schedule —
+/// half-written heads, mid-body disconnects, torn reads, garbage — then
+/// the server must report healthy and still answer bit-identically to an
+/// in-process `Simulator::run`. Deterministic in `seed`.
+fn run_serve_chaos(addr: &str, seed: u64) {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 50;
+    let scale = 0.005;
+    let fail = |what: &str, detail: &str| -> ! {
+        eprintln!("serve-chaos: FAIL: {what}: {detail}");
+        std::process::exit(1);
+    };
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                fault::run_chaos_client(&addr, derive_seed(seed, i as u64), scale, ROUNDS)
+            })
+        })
+        .collect();
+    let mut total = fault::ChaosReport::default();
+    for t in threads {
+        match t.join().expect("chaos client thread") {
+            Ok(r) => total.merge(&r),
+            Err(e) => fail("protocol", &e),
+        }
+    }
+    if total.ok == 0 {
+        fail("traffic", "no chaos round succeeded — server shedding everything?");
+    }
+    if total.faulted == 0 {
+        fail("schedule", "the seeded plan never misbehaved; seed/rounds too small");
+    }
+
+    // Post-chaos: health must return to "ok" (no stranded recordings)...
+    let mut client = HttpClient::connect(addr)
+        .unwrap_or_else(|e| fail("post-chaos connect", &e.to_string()));
+    let recovered_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = client
+            .get("/healthz")
+            .unwrap_or_else(|e| fail("post-chaos healthz", &e.to_string()));
+        if status == 200
+            && Json::parse(&body)
+                .ok()
+                .and_then(|v| v.get("status").and_then(Json::as_str).map(String::from))
+                .as_deref()
+                == Some("ok")
+        {
+            break;
+        }
+        if Instant::now() >= recovered_by {
+            fail("recovery", &format!("healthz still not ok: {status} {body}"));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // ...and the store must be uncorrupted: a grid cell simulated through
+    // the chaos-scarred store is bit-identical to a direct run.
+    let size_kib = fault::GRID_SIZES_KIB[4];
+    let ct_ns = fault::GRID_CYCLE_TIMES_NS[5];
+    let body = fault::grid_body(size_kib, ct_ns, scale);
+    let (status, resp) = client
+        .post("/v1/simulate", &body)
+        .unwrap_or_else(|e| fail("post-chaos simulate", &e.to_string()));
+    if status != 200 {
+        fail("post-chaos simulate", &format!("status {status}: {resp}"));
+    }
+    let served = Json::parse(&resp).unwrap_or_else(|e| fail("post-chaos simulate", &e.to_string()));
+    let config_json = Json::parse(&body).expect("own request body");
+    let config = api::system_config_from_json(config_json.get("config"))
+        .unwrap_or_else(|e| fail("config", &e));
+    let direct = Simulator::new(&config).run(&catalog::mu3(scale).generate());
+    if served.get("result") != Some(&api::sim_result_to_json(&direct)) {
+        fail(
+            "bit-identity",
+            "post-chaos server result differs from a direct Simulator::run",
+        );
+    }
+
+    println!(
+        "serve-chaos: OK ({addr}: {} rounds, {} ok, {} shed, {} rejected, {} faulted; healthy and bit-identical after)",
+        total.rounds, total.ok, total.shed, total.rejected, total.faulted
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -566,17 +792,34 @@ fn main() {
             };
             run_serve_check(&addr);
         }
+        Some("serve-chaos") => {
+            let Some(addr) = args.next() else {
+                eprintln!("usage: cachetime-bench serve-chaos <host:port> [seed]");
+                std::process::exit(2);
+            };
+            let seed = match args.next() {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid seed {s:?}; expected a u64");
+                    std::process::exit(2);
+                }),
+                None => 0xC5A0_5EED,
+            };
+            run_serve_chaos(&addr, seed);
+        }
         _ => {
-            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port>");
+            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | serve-chaos <host:port> [seed]");
             eprintln!();
             eprintln!("  sweep        time a speed/size grid: direct per-cell simulation vs");
             eprintln!("               the two-phase record/replay pipeline (serial and");
             eprintln!("               parallel), print cells/sec, write BENCH_sweep.json");
             eprintln!("  serve        load-test the HTTP server: cold recording vs warm");
-            eprintln!("               store-hit replays over the 11x16 grid, write");
+            eprintln!("               store-hit replays over the 11x16 grid plus an");
+            eprintln!("               overload storm past the admission limit, write");
             eprintln!("               BENCH_serve.json");
             eprintln!("  serve-check  smoke-test a running ctserve: simulate + replay must");
             eprintln!("               be bit-identical to an in-process Simulator::run");
+            eprintln!("  serve-chaos  seeded fault-injection clients against a running");
+            eprintln!("               ctserve; asserts recovery and zero store corruption");
             std::process::exit(2);
         }
     }

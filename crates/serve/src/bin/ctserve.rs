@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! ctserve [--addr 127.0.0.1:8080] [--workers N] [--budget-mb MB] [--port-file PATH]
+//!         [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]
 //! ```
 //!
 //! `--workers 0` (the default) sizes the pool via
 //! `cachetime::sweep::available_jobs()`. `--port-file` writes the bound
 //! port to a file once listening — scripts binding port 0 read it back.
 //! The process runs until `POST /v1/shutdown` (or the process is killed).
+//!
+//! The three robustness knobs map onto the failure model in DESIGN.md §7:
+//! `--max-queue` bounds the connection queue (past it, `503` at accept),
+//! `--max-inflight-recordings` bounds concurrent cold simulates (past it,
+//! cold simulates get `503 + Retry-After` while warm replays keep
+//! serving), and `--request-deadline-ms` is the per-request wall-clock
+//! budget (clients lower it via `X-Deadline-Ms`).
 
 use cachetime_serve::{serve, ServerConfig};
 use std::io::Write;
@@ -35,14 +43,29 @@ fn main() {
                 config.store_budget_bytes = mb * 1024 * 1024;
             }
             "--port-file" => port_file = Some(value("--port-file")),
+            "--max-queue" => config.max_queue = parse(&value("--max-queue"), "--max-queue"),
+            "--max-inflight-recordings" => {
+                config.max_inflight_recordings = parse(
+                    &value("--max-inflight-recordings"),
+                    "--max-inflight-recordings",
+                );
+            }
+            "--request-deadline-ms" => {
+                config.request_deadline_ms =
+                    parse(&value("--request-deadline-ms"), "--request-deadline-ms");
+            }
             "--help" | "-h" => {
                 println!(
                     "ctserve — cachetime simulation server\n\n\
-                     USAGE: ctserve [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--port-file PATH]\n\n\
-                     --addr       bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
-                     --workers    worker threads (default 0 = auto-size to the host)\n\
-                     --budget-mb  EventTrace store budget in MiB (default 256)\n\
-                     --port-file  write the bound port to PATH once listening"
+                     USAGE: ctserve [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--port-file PATH]\n\
+                     \x20              [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]\n\n\
+                     --addr                     bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
+                     --workers                  worker threads (default 0 = auto-size to the host)\n\
+                     --budget-mb                EventTrace store budget in MiB (default 256)\n\
+                     --port-file                write the bound port to PATH once listening\n\
+                     --max-queue                connection queue bound; past it, shed with 503 (default 1024)\n\
+                     --max-inflight-recordings  cold simulates in flight before shedding (default 0 = 2x workers)\n\
+                     --request-deadline-ms      per-request wall-clock budget (default 10000)"
                 );
                 return;
             }

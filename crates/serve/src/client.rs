@@ -2,54 +2,146 @@
 //! bench load generator and the verify smoke test, so neither needs curl
 //! or an HTTP crate. Keep-alive: one [`HttpClient`] holds one connection
 //! and issues requests serially over it.
+//!
+//! The client is deliberately retry-aware but conservative about it:
+//! only **idempotent** requests (`GET`s, and `POST /v1/replay`, which is
+//! a pure read of the content-addressed store) are retried. A `POST
+//! /v1/simulate` is never resent automatically — a shed simulate is the
+//! server telling the caller to back off, and the caller decides.
+//! Backoff is exponential with seeded jitter ([`ClientConfig::retry_seed`]),
+//! and a server-sent `Retry-After` overrides the computed delay (capped
+//! by [`ClientConfig::backoff_cap`]).
 
+use cachetime_testkit::SplitMix64;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Tuning for [`HttpClient`]; the [`Default`] matches the pre-config
+/// behavior (120 s read timeout, no retries).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-read socket timeout. A hung server fails the caller instead of
+    /// wedging it; simulate on a full-scale trace stays well under 120 s.
+    pub read_timeout: Duration,
+    /// Retry attempts *after* the first try, for idempotent requests only.
+    pub retries: u32,
+    /// First backoff delay; doubles each retry.
+    pub backoff_base: Duration,
+    /// Ceiling on any single delay, including server-sent `Retry-After`.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream, so retry schedules are reproducible in
+    /// tests and benches.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(120),
+            retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            retry_seed: 0,
+        }
+    }
+}
+
 /// One keep-alive connection to a `ctserve` instance.
 pub struct HttpClient {
+    addr: String,
     stream: TcpStream,
     buf: Vec<u8>,
+    config: ClientConfig,
+    rng: SplitMix64,
 }
 
 impl HttpClient {
-    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:8080"`) with the default
+    /// [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Connection failures from the OS.
     pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        // Generous cap so a hung server fails the caller instead of
-        // wedging it; simulate on a full-scale trace stays well under.
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from the OS.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> std::io::Result<HttpClient> {
+        let stream = open_stream(addr, &config)?;
+        let rng = SplitMix64::from_seed(config.retry_seed);
         Ok(HttpClient {
+            addr: addr.to_string(),
             stream,
             buf: Vec::new(),
+            config,
+            rng,
         })
     }
 
     /// Sends one request and reads one response; returns `(status, body)`.
     ///
+    /// Idempotent requests (`GET`, `POST /v1/replay`) are retried up to
+    /// [`ClientConfig::retries`] times on I/O failure or a `503`, with
+    /// exponential backoff + jitter; a `503`'s `Retry-After` (capped)
+    /// overrides the computed delay. Anything else gets exactly one try.
+    ///
     /// # Errors
     ///
-    /// I/O failures, or a response the client cannot frame.
+    /// I/O failures, or a response the client cannot frame, after retries
+    /// (if any) are exhausted.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: &str,
     ) -> std::io::Result<(u16, String)> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: ctserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
-            body.len(),
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body.as_bytes())?;
-        self.stream.flush()?;
-        self.read_response()
+        let idempotent = method == "GET" || (method == "POST" && path == "/v1/replay");
+        let tries = if idempotent { self.config.retries + 1 } else { 1 };
+        let mut delay = self.config.backoff_base;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..tries {
+            if attempt > 0 {
+                std::thread::sleep(self.jittered(delay));
+                delay = (delay * 2).min(self.config.backoff_cap);
+            }
+            match self.try_once(method, path, body) {
+                Ok((status, retry_after, resp_body)) => {
+                    if status == 503 && attempt + 1 < tries {
+                        // The server told us to come back; honor its
+                        // Retry-After (capped) over our own schedule.
+                        if let Some(secs) = retry_after {
+                            delay = Duration::from_secs(u64::from(secs))
+                                .min(self.config.backoff_cap);
+                        }
+                        continue;
+                    }
+                    return Ok((status, resp_body));
+                }
+                Err(e) => {
+                    // The connection is in an unknown state (torn response,
+                    // reset): reconnect before any further attempt, even if
+                    // this request is out of retries, so the next call on
+                    // this client starts clean.
+                    self.buf.clear();
+                    match open_stream(&self.addr, &self.config) {
+                        Ok(s) => self.stream = s,
+                        Err(conn_err) => last_err = Some(conn_err),
+                    }
+                    if last_err.is_none() {
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::Other, "request failed")
+        }))
     }
 
     /// `POST` with a JSON body.
@@ -70,12 +162,34 @@ impl HttpClient {
         self.request("GET", path, "")
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn try_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Option<u32>, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ctserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Backoff jitter: uniform in `[0.5, 1.5) × delay`, from the seeded
+    /// stream so schedules replay identically for a given seed.
+    fn jittered(&mut self, delay: Duration) -> Duration {
+        delay.mul_f64(0.5 + self.rng.next_f64())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, Option<u32>, String)> {
         let mut chunk = [0u8; 4096];
         loop {
-            if let Some((consumed, status, body)) = frame_response(&self.buf)? {
+            if let Some((consumed, status, retry_after, body)) = frame_response(&self.buf)? {
                 self.buf.drain(..consumed);
-                return Ok((status, body));
+                return Ok((status, retry_after, body));
             }
             match self.stream.read(&mut chunk)? {
                 0 => {
@@ -90,9 +204,16 @@ impl HttpClient {
     }
 }
 
+fn open_stream(addr: &str, config: &ClientConfig) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    Ok(stream)
+}
+
 /// Frames one `Content-Length` response at the front of `buf`; returns
-/// `(bytes consumed, status, body)` when complete.
-fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, String)>> {
+/// `(bytes consumed, status, Retry-After secs, body)` when complete.
+fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>, String)>> {
     let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
     };
@@ -106,6 +227,7 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, String)>> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| invalid("bad status line"))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -113,6 +235,8 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, String)>> {
                     .trim()
                     .parse()
                     .map_err(|_| invalid("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -122,7 +246,7 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, String)>> {
     }
     let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
         .map_err(|_| invalid("non-UTF-8 response body"))?;
-    Ok(Some((body_start + content_length, status, body)))
+    Ok(Some((body_start + content_length, status, retry_after, body)))
 }
 
 fn invalid(msg: &'static str) -> std::io::Error {
@@ -136,9 +260,10 @@ mod tests {
     #[test]
     fn frames_a_response_with_body() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}tail";
-        let (consumed, status, body) = frame_response(raw).unwrap().unwrap();
+        let (consumed, status, retry_after, body) = frame_response(raw).unwrap().unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "{}");
+        assert!(retry_after.is_none());
         assert_eq!(&raw[consumed..], b"tail");
     }
 
@@ -151,8 +276,32 @@ mod tests {
     #[test]
     fn error_statuses_come_through() {
         let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
-        let (_, status, body) = frame_response(raw).unwrap().unwrap();
+        let (_, status, _, body) = frame_response(raw).unwrap().unwrap();
         assert_eq!(status, 404);
         assert!(body.is_empty());
+    }
+
+    #[test]
+    fn retry_after_is_parsed() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+        let (_, status, retry_after, _) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(retry_after, Some(1));
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_and_bounded() {
+        let cfg = ClientConfig {
+            retry_seed: 42,
+            ..ClientConfig::default()
+        };
+        let mut a = SplitMix64::from_seed(cfg.retry_seed);
+        let mut b = SplitMix64::from_seed(cfg.retry_seed);
+        for _ in 0..100 {
+            let fa = 0.5 + a.next_f64();
+            let fb = 0.5 + b.next_f64();
+            assert!((0.5..1.5).contains(&fa));
+            assert_eq!(fa.to_bits(), fb.to_bits());
+        }
     }
 }

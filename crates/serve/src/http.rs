@@ -11,12 +11,32 @@
 //! hosts): an idle connection costs a worker at most
 //! [`IDLE_POLL`] before it moves on, instead of parking the pool.
 //!
+//! # Robustness (see DESIGN.md §7 for the full failure model)
+//!
+//! * **Deadlines.** A connection that has *started* a request (sent at
+//!   least one byte of it) must finish sending within the request
+//!   deadline ([`crate::Limits::request_deadline`], lowered per request by
+//!   `X-Deadline-Ms`) or it is answered `408` and closed — a slowloris
+//!   peer costs at most one deadline, never a parked worker. The handler
+//!   and the response write run under the same budget (the write gets a
+//!   bounded `set_write_timeout`).
+//! * **Bounded queue.** The accept loop sheds connections past
+//!   [`ServerConfig::max_queue`] with an immediate `503 + Retry-After`
+//!   instead of queueing unboundedly.
+//! * **Panic isolation.** The handler runs under `catch_unwind`; a panic
+//!   becomes a `500` and the worker keeps serving (the store's in-flight
+//!   markers are panic-safe on their own, so no state is stranded).
+//! * **Parse errors answer before closing.** Malformed requests get their
+//!   proper status (`400`/`413`/`431`) rather than a silent hangup; an
+//!   oversized `Content-Length` is refused at head-parse time, before any
+//!   body byte is read or buffered.
+//!
 //! Shutdown is cooperative: `POST /v1/shutdown` (or
 //! [`ServerHandle::shutdown`]) flips an atomic flag, wakes the queue, and
 //! unblocks the accept loop with a loopback connect; workers drain and
 //! join.
 
-use crate::{App, Response};
+use crate::{App, Limits, Response};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,9 +48,11 @@ use std::time::{Duration, Instant};
 /// before re-queuing it and serving someone else.
 const IDLE_POLL: Duration = Duration::from_millis(10);
 
-/// Caps on hostile or confused peers.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Cap on a request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body; a larger `Content-Length` claim is refused
+/// with `413` before any body byte is read.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// Tuning for [`serve`].
 #[derive(Debug, Clone)]
@@ -42,6 +64,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Byte budget of the EventTrace store.
     pub store_budget_bytes: usize,
+    /// Connections the queue holds before the accept loop sheds new ones
+    /// with `503 + Retry-After`.
+    pub max_queue: usize,
+    /// Per-request wall-clock budget in milliseconds (the `--request-deadline-ms`
+    /// flag); clients lower it per request via `X-Deadline-Ms`.
+    pub request_deadline_ms: u64,
+    /// Recordings in flight before cold simulates shed; 0 = auto
+    /// (twice the worker count, at least 2).
+    pub max_inflight_recordings: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +81,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             store_budget_bytes: 256 * 1024 * 1024,
+            max_queue: 1024,
+            request_deadline_ms: 10_000,
+            max_inflight_recordings: 0,
         }
     }
 }
@@ -65,12 +99,41 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// The client's `X-Deadline-Ms` request budget, if sent. The server
+    /// honors it only downward from its own cap.
+    pub deadline_ms: Option<u64>,
 }
 
-/// A connection parked between requests, carrying any bytes already read.
+/// A framing/parse failure, carrying the HTTP status the server answers
+/// before closing the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// `400`, `413`, or `431`.
+    pub status: u16,
+    /// Human-readable cause, sent as the JSON error body.
+    pub msg: &'static str,
+}
+
+fn bad(msg: &'static str) -> ParseError {
+    ParseError { status: 400, msg }
+}
+
+/// Outcome of [`parse_request`] when the bytes so far are not an error.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request was framed and drained from the buffer.
+    Request(Request),
+    /// No complete request yet; feed more bytes.
+    Incomplete,
+}
+
+/// A connection parked between requests, carrying any bytes already read
+/// and, once the first byte of a request has arrived, the instant the
+/// request's deadline clock started.
 struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
+    started: Option<Instant>,
 }
 
 struct Shared {
@@ -127,20 +190,36 @@ fn request_shutdown(shared: &Shared, addr: SocketAddr) {
 ///
 /// Any bind failure from the OS.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let app = Arc::new(App::new(config.store_budget_bytes));
+    let workers = resolve_workers(config.workers);
+    let limits = Limits {
+        request_deadline: Duration::from_millis(config.request_deadline_ms.max(1)),
+        max_inflight_recordings: if config.max_inflight_recordings == 0 {
+            (workers * 2).max(2)
+        } else {
+            config.max_inflight_recordings
+        },
+    };
+    let app = Arc::new(App::new(config.store_budget_bytes).with_limits(limits));
     serve_with_app(config, app)
 }
 
+fn resolve_workers(configured: usize) -> usize {
+    if configured == 0 {
+        cachetime::sweep::available_jobs()
+    } else {
+        configured
+    }
+}
+
 /// [`serve`] with caller-supplied application state (tests pre-seed the
-/// store through this).
+/// store or arm fault plans through this). The app's [`Limits`] govern
+/// deadlines and admission; only `addr`/`workers`/`max_queue` are taken
+/// from `config`.
 pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let workers = if config.workers == 0 {
-        cachetime::sweep::available_jobs()
-    } else {
-        config.workers
-    };
+    let workers = resolve_workers(config.workers);
+    let max_queue = config.max_queue.max(1);
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
@@ -150,10 +229,11 @@ pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<Se
     let mut threads = Vec::with_capacity(workers + 1);
     {
         let shared = Arc::clone(&shared);
+        let app = Arc::clone(&app);
         threads.push(
             std::thread::Builder::new()
                 .name("ctserve-accept".into())
-                .spawn(move || accept_loop(listener, &shared))
+                .spawn(move || accept_loop(listener, &shared, &app, max_queue))
                 .expect("spawn accept loop"),
         );
     }
@@ -175,18 +255,33 @@ pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<Se
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: &Shared) {
+/// The canned response the accept loop sheds over-queue connections with
+/// (no allocation, no handler, bounded write).
+const QUEUE_FULL_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 29\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{\"error\":\"connection shed\"}\r\n";
+
+fn accept_loop(listener: TcpListener, shared: &Shared, app: &App, max_queue: usize) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let _ = stream.set_nodelay(true);
                 let mut q = shared.queue.lock().unwrap();
+                if q.len() >= max_queue {
+                    drop(q);
+                    // Shed: answer fast and hang up. The write is bounded
+                    // so a hostile peer cannot park the accept loop either.
+                    app.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                    let _ = stream.write_all(QUEUE_FULL_RESPONSE);
+                    continue;
+                }
                 q.push_back(Conn {
                     stream,
                     buf: Vec::new(),
+                    started: None,
                 });
                 drop(q);
                 shared.ready.notify_one();
@@ -214,11 +309,24 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
         };
         drop(q);
         let mut conn = conn;
-        match read_request(&mut conn) {
+        let read_budget = app.limits().request_deadline;
+        match read_request(&mut conn, read_budget) {
             Ok(ReadOutcome::Request(req)) => {
                 let started = Instant::now();
+                let deadline = app.deadline_for(&req);
                 app.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-                let resp = app.handle(&req);
+                let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    app.handle(&req)
+                })) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        // The handler unwound. The store's in-flight guards
+                        // have already cleaned up; the worker survives and
+                        // the client learns it was the server's fault.
+                        app.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        Response::error(500, "internal panic; worker recovered")
+                    }
+                };
                 app.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 app.stats
                     .endpoint(&req.method, &req.path)
@@ -226,8 +334,19 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
                 if resp.status >= 400 {
                     app.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                let keep = req.keep_alive && !resp.shutdown;
-                let ok = write_response(&mut conn.stream, &resp, keep).is_ok();
+                let keep = req.keep_alive && !resp.shutdown && resp.status != 500;
+                // The write phase is panic-isolated too (the serve.write
+                // fault point lives here): a panic drops the connection —
+                // possibly mid-response, which clients see as a torn read —
+                // but never kills the worker.
+                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    app.faults().inject("serve.write");
+                    write_response(&mut conn.stream, &resp, keep, Some(deadline)).is_ok()
+                }))
+                .unwrap_or_else(|_| {
+                    app.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    false
+                });
                 if resp.shutdown {
                     request_shutdown(shared, addr);
                     return;
@@ -237,6 +356,20 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
                 }
             }
             Ok(ReadOutcome::Idle) => requeue(shared, conn),
+            Ok(ReadOutcome::Deadline) => {
+                // The peer started a request and never finished it within
+                // budget (slowloris or a stalled sender).
+                app.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error(408, "request not received within the deadline");
+                let _ = write_response(&mut conn.stream, &resp, false, None);
+            }
+            Ok(ReadOutcome::Bad(e)) => {
+                // Malformed request: answer its proper status, then close.
+                app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error(e.status, e.msg);
+                let _ = write_response(&mut conn.stream, &resp, false, None);
+            }
             Ok(ReadOutcome::Closed) | Err(_) => {} // drop the connection
         }
     }
@@ -256,15 +389,37 @@ enum ReadOutcome {
     Idle,
     /// Clean EOF between requests.
     Closed,
+    /// A partial request overstayed the request deadline — answer `408`.
+    Deadline,
+    /// The bytes cannot be a valid request — answer `e.status`.
+    Bad(ParseError),
 }
 
-/// Reads until one full request is buffered or the idle poll expires.
-fn read_request(conn: &mut Conn) -> std::io::Result<ReadOutcome> {
+/// Reads until one full request is buffered, the idle poll expires, or a
+/// partial request overstays `budget` (measured from its first byte, even
+/// across re-queues).
+fn read_request(conn: &mut Conn, budget: Duration) -> std::io::Result<ReadOutcome> {
     conn.stream.set_read_timeout(Some(IDLE_POLL))?;
     let mut chunk = [0u8; 4096];
     loop {
-        if let Some(parsed) = try_parse(&mut conn.buf)? {
-            return Ok(parsed);
+        match parse_request(&mut conn.buf) {
+            Err(e) => return Ok(ReadOutcome::Bad(e)),
+            Ok(Parsed::Request(req)) => {
+                conn.started = if conn.buf.is_empty() {
+                    None
+                } else {
+                    // A pipelined successor is already buffered; its clock
+                    // starts now.
+                    Some(Instant::now())
+                };
+                return Ok(ReadOutcome::Request(req));
+            }
+            Ok(Parsed::Incomplete) => {}
+        }
+        if let Some(started) = conn.started {
+            if started.elapsed() > budget {
+                return Ok(ReadOutcome::Deadline);
+            }
         }
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
@@ -277,7 +432,12 @@ fn read_request(conn: &mut Conn) -> std::io::Result<ReadOutcome> {
                     ))
                 };
             }
-            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                if conn.buf.is_empty() && conn.started.is_none() {
+                    conn.started = Some(Instant::now());
+                }
+                conn.buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -291,12 +451,25 @@ fn read_request(conn: &mut Conn) -> std::io::Result<ReadOutcome> {
 
 /// Attempts to frame one request at the front of `buf`; on success the
 /// request's bytes are drained so pipelined successors stay buffered.
-fn try_parse(buf: &mut Vec<u8>) -> std::io::Result<Option<ReadOutcome>> {
+///
+/// This is the full head parser the server runs on untrusted bytes, public
+/// so the property tests can feed it garbage directly.
+///
+/// # Errors
+///
+/// A [`ParseError`] carrying the `4xx` the server answers: `431` for a
+/// head that exceeds [`MAX_HEAD_BYTES`] without terminating, `413` for a
+/// `Content-Length` above [`MAX_BODY_BYTES`] (refused before any body
+/// byte is read), `400` for everything structurally wrong.
+pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
-            return Err(bad("request head too large"));
+            return Err(ParseError {
+                status: 431,
+                msg: "request head too large",
+            });
         }
-        return Ok(None);
+        return Ok(Parsed::Incomplete);
     };
     let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
     let mut lines = head.split("\r\n");
@@ -308,6 +481,7 @@ fn try_parse(buf: &mut Vec<u8>) -> std::io::Result<Option<ReadOutcome>> {
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     for line in lines {
@@ -325,50 +499,70 @@ fn try_parse(buf: &mut Vec<u8>) -> std::io::Result<Option<ReadOutcome>> {
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(bad("chunked bodies are not supported"));
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            deadline_ms = Some(value.parse().map_err(|_| bad("bad X-Deadline-Ms"))?);
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(bad("body too large"));
+        return Err(ParseError {
+            status: 413,
+            msg: "body larger than the server accepts",
+        });
     }
     let body_start = head_end + 4;
     if buf.len() < body_start + content_length {
-        return Ok(None); // body still arriving
+        return Ok(Parsed::Incomplete); // body still arriving
     }
     let body = buf[body_start..body_start + content_length].to_vec();
     buf.drain(..body_start + content_length);
-    Ok(Some(ReadOutcome::Request(Request {
+    Ok(Parsed::Request(Request {
         method,
         path,
         body,
         keep_alive,
-    })))
+        deadline_ms,
+    }))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn bad(msg: &'static str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
-}
-
 fn write_response(
     stream: &mut TcpStream,
     resp: &Response,
     keep_alive: bool,
+    deadline: Option<Instant>,
 ) -> std::io::Result<()> {
+    // Bound the write so a peer that stops reading cannot park the worker:
+    // whatever deadline budget remains, floored so an already-late error
+    // response still gets a brief chance to reach the peer.
+    let budget = deadline
+        .map(|dl| dl.saturating_duration_since(Instant::now()))
+        .unwrap_or(Duration::from_secs(5))
+        .clamp(Duration::from_millis(250), Duration::from_secs(10));
+    stream.set_write_timeout(Some(budget))?;
     let reason = match resp.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let retry_after = match resp.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         resp.status,
         reason,
         resp.body.len(),
+        retry_after,
         if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;
@@ -383,7 +577,7 @@ mod tests {
     fn parse_all(input: &[u8]) -> (Vec<Request>, Vec<u8>) {
         let mut buf = input.to_vec();
         let mut out = Vec::new();
-        while let Ok(Some(ReadOutcome::Request(r))) = try_parse(&mut buf) {
+        while let Ok(Parsed::Request(r)) = parse_request(&mut buf) {
             out.push(r);
         }
         (out, buf)
@@ -397,6 +591,7 @@ mod tests {
         assert_eq!(reqs[0].path, "/healthz");
         assert!(reqs[0].keep_alive);
         assert!(reqs[0].body.is_empty());
+        assert!(reqs[0].deadline_ms.is_none());
         assert!(rest.is_empty());
     }
 
@@ -427,23 +622,33 @@ mod tests {
     #[test]
     fn partial_requests_wait_for_more_bytes() {
         let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345".to_vec();
-        assert!(matches!(try_parse(&mut buf), Ok(None)));
+        assert!(matches!(parse_request(&mut buf), Ok(Parsed::Incomplete)));
         buf.extend_from_slice(b"67890");
-        assert!(matches!(
-            try_parse(&mut buf),
-            Ok(Some(ReadOutcome::Request(_)))
-        ));
+        assert!(matches!(parse_request(&mut buf), Ok(Parsed::Request(_))));
     }
 
     #[test]
-    fn rejects_chunked_and_oversized() {
+    fn deadline_header_is_parsed_and_validated() {
+        let (reqs, _) = parse_all(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n");
+        assert_eq!(reqs[0].deadline_ms, Some(250));
+        let mut buf = b"GET / HTTP/1.1\r\nX-Deadline-Ms: soonish\r\n\r\n".to_vec();
+        assert_eq!(parse_request(&mut buf).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn rejects_chunked_and_oversized_with_their_statuses() {
         let mut buf = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
-        assert!(try_parse(&mut buf).is_err());
+        assert_eq!(parse_request(&mut buf).unwrap_err().status, 400);
+        // Oversized Content-Length: refused at head-parse time with 413,
+        // even though zero body bytes have arrived.
         let mut buf = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         )
         .into_bytes();
-        assert!(try_parse(&mut buf).is_err());
+        assert_eq!(parse_request(&mut buf).unwrap_err().status, 413);
+        // A runaway head with no terminator: 431 once past the cap.
+        let mut buf = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert_eq!(parse_request(&mut buf).unwrap_err().status, 431);
     }
 }

@@ -41,7 +41,8 @@
 
 pub mod api;
 pub mod client;
-mod http;
+pub mod fault;
+pub mod http;
 pub mod stats;
 pub mod store;
 
@@ -49,8 +50,16 @@ pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
 
 use cachetime::keyed;
 use cachetime_types::{json_object, Json};
+use fault::FaultPlan;
 use stats::ServerStats;
-use store::TraceStore;
+use store::{Fetch, TraceStore};
+use std::sync::atomic;
+use std::time::{Duration, Instant};
+
+/// What a `503 Retry-After` tells shed clients to wait, in seconds.
+/// Recordings are sub-second at interactive scales, so one second is a
+/// full drain on the happy path (the client jitters around it anyway).
+pub const RETRY_AFTER_SECS: u32 = 1;
 
 /// One response from the application layer, transport-agnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +70,8 @@ pub struct Response {
     pub body: String,
     /// Whether the server should stop after sending this response.
     pub shutdown: bool,
+    /// `Retry-After` header value in seconds, for `503`s.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -69,14 +80,46 @@ impl Response {
             status: 200,
             body: v.to_string(),
             shutdown: false,
+            retry_after: None,
         }
     }
 
-    fn error(status: u16, msg: &str) -> Self {
+    /// An error response with a JSON `{"error": msg}` body.
+    pub fn error(status: u16, msg: &str) -> Self {
         Response {
             status,
             body: json_object([("error", Json::Str(msg.into()))]).to_string(),
             shutdown: false,
+            retry_after: None,
+        }
+    }
+
+    /// A `503` carrying `Retry-After` — the load-shedding answer.
+    pub fn unavailable(msg: &str) -> Self {
+        Response {
+            retry_after: Some(RETRY_AFTER_SECS),
+            ..Response::error(503, msg)
+        }
+    }
+}
+
+/// Robustness knobs enforced by [`App`] and the HTTP transport.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Per-request wall-clock budget, covering the head/body read, the
+    /// handler (recording included), and the response write. Clients may
+    /// lower (never raise) it per request via `X-Deadline-Ms`.
+    pub request_deadline: Duration,
+    /// Recordings allowed in flight at once; cold requests past the limit
+    /// are shed with `503 + Retry-After` while warm traffic keeps flowing.
+    pub max_inflight_recordings: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            request_deadline: Duration::from_secs(10),
+            max_inflight_recordings: 4,
         }
     }
 }
@@ -88,29 +131,88 @@ pub struct App {
     pub store: TraceStore,
     /// Request counters and latency histograms.
     pub stats: ServerStats,
+    limits: Limits,
+    faults: FaultPlan,
 }
 
 impl App {
-    /// Fresh state with the given store budget.
+    /// Fresh state with the given store budget and default [`Limits`].
     pub fn new(store_budget_bytes: usize) -> Self {
         App {
             store: TraceStore::new(store_budget_bytes),
             stats: ServerStats::default(),
+            limits: Limits::default(),
+            faults: FaultPlan::inert(),
         }
+    }
+
+    /// Replaces the robustness limits (builder-style).
+    #[must_use]
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Installs a fault-injection plan (builder-style; tests only — the
+    /// default plan is inert).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The active robustness limits.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// The fault plan (inert unless a test armed one).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether the server is currently shedding cold load: the recording
+    /// admission limit is saturated. Warm replays still serve; `/healthz`
+    /// reports `"degraded"` until the gauge drops.
+    pub fn is_degraded(&self) -> bool {
+        self.store.stats().in_flight >= self.limits.max_inflight_recordings
+    }
+
+    /// The wall-clock deadline for a request arriving now: the server cap,
+    /// lowered (never raised) by the request's `X-Deadline-Ms`.
+    pub fn deadline_for(&self, req: &Request) -> Instant {
+        let budget = match req.deadline_ms {
+            Some(ms) => Duration::from_millis(ms).min(self.limits.request_deadline),
+            None => self.limits.request_deadline,
+        };
+        Instant::now() + budget
     }
 
     /// Routes one request. Infallible: every failure becomes a JSON error
     /// response with the appropriate status.
+    ///
+    /// # Panics
+    ///
+    /// Only via an armed fault plan (the transport's `catch_unwind` turns
+    /// that into a `500`); production plans are inert.
     pub fn handle(&self, req: &Request) -> Response {
+        let deadline = self.deadline_for(req);
+        self.faults.inject("serve.handle");
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => Response::ok(json_object([("status", "ok")])),
-            ("GET", "/v1/stats") => Response::ok(self.stats.to_json(&self.store)),
-            ("POST", "/v1/simulate") => self.simulate(&req.body),
-            ("POST", "/v1/replay") => self.replay(&req.body),
+            ("GET", "/healthz") => Response::ok(json_object([(
+                "status",
+                if self.is_degraded() { "degraded" } else { "ok" },
+            )])),
+            ("GET", "/v1/stats") => {
+                Response::ok(self.stats.to_json(&self.store, self.is_degraded()))
+            }
+            ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
+            ("POST", "/v1/replay") => self.replay(&req.body, deadline),
             ("POST", "/v1/shutdown") => Response {
                 status: 200,
                 body: json_object([("status", "shutting down")]).to_string(),
                 shutdown: true,
+                retry_after: None,
             },
             ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(405, "method not allowed"),
@@ -121,8 +223,14 @@ impl App {
     ///
     /// The organization/workload pairing is resolved to its content key;
     /// a store hit skips straight to replay, a miss records (coalescing
-    /// with any concurrent identical request) and then replays.
-    fn simulate(&self, body: &[u8]) -> Response {
+    /// with any concurrent identical request) and then replays. Cold
+    /// requests are admission-controlled: past
+    /// [`Limits::max_inflight_recordings`] they shed with `503 +
+    /// Retry-After` instead of queueing unbounded recording work, and a
+    /// request whose deadline lapses waiting on (or performing) a
+    /// recording answers `503` — the recording still lands, so the retry
+    /// is warm.
+    fn simulate(&self, body: &[u8], deadline: Instant) -> Response {
         let v = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -137,9 +245,39 @@ impl App {
         };
         let org = config.organization();
         let key = keyed::trace_key(&org, &workload);
-        let (events, cached) = self
-            .store
-            .get_or_record(key, || keyed::record(&org, &workload).1);
+        let fetched = self.store.fetch_or_record(
+            key,
+            self.limits.max_inflight_recordings,
+            Some(deadline),
+            || {
+                self.faults.inject("serve.record");
+                keyed::record(&org, &workload).1
+            },
+        );
+        let (events, cached) = match fetched {
+            Fetch::Ready(events, cached) => (events, cached),
+            Fetch::Shed => {
+                self.stats.shed.fetch_add(1, atomic::Ordering::Relaxed);
+                return Response::unavailable(
+                    "recording capacity exhausted; retry shortly or replay a warm key",
+                );
+            }
+            Fetch::TimedOut => {
+                self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+                return Response::unavailable(
+                    "deadline exceeded waiting for this pairing's recording; retry shortly",
+                );
+            }
+        };
+        if !cached && Instant::now() > deadline {
+            // The recording ran past the request's budget. It is stored —
+            // the client's retry will hit — but this answer is already
+            // late, so say so instead of pretending it was on time.
+            self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+            return Response::unavailable(
+                "deadline exceeded while recording; the trace is now warm — retry",
+            );
+        }
         match cachetime::replay(&events, &config) {
             Ok(result) => Response::ok(json_object([
                 ("key", Json::Str(api::key_hex(key))),
@@ -153,7 +291,11 @@ impl App {
 
     /// `POST /v1/replay`: a previously recorded key + a cycle-time axis →
     /// one `SimResult` per point, without resending the organization.
-    fn replay(&self, body: &[u8]) -> Response {
+    ///
+    /// Replay never records, so it is exempt from the recording admission
+    /// limit — the warm path that keeps serving while the server sheds
+    /// cold load. Only joining an in-flight recording is deadline-bounded.
+    fn replay(&self, body: &[u8], deadline: Instant) -> Response {
         let v = match parse_body(body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -192,11 +334,20 @@ impl App {
             t.cycle_time = ns;
             timings.push(t);
         }
-        let Some(events) = self.store.get(key) else {
-            return Response::error(
-                404,
-                "unknown key: not recorded yet or evicted; POST /v1/simulate first",
-            );
+        let events = match self.store.get_within(key, Some(deadline)) {
+            Ok(Some(events)) => events,
+            Ok(None) => {
+                return Response::error(
+                    404,
+                    "unknown key: not recorded yet or evicted; POST /v1/simulate first",
+                )
+            }
+            Err(store::DeadlineExceeded) => {
+                self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+                return Response::unavailable(
+                    "deadline exceeded waiting for this key's recording; retry shortly",
+                );
+            }
         };
         match keyed::replay_timings(&events, &timings) {
             Ok(results) => Response::ok(json_object([
@@ -230,6 +381,7 @@ mod tests {
             path: path.into(),
             body: body.as_bytes().to_vec(),
             keep_alive: true,
+            deadline_ms: None,
         }
     }
 

@@ -60,6 +60,14 @@ pub struct ServerStats {
     pub in_flight: AtomicU64,
     /// Responses with a 4xx/5xx status.
     pub errors: AtomicU64,
+    /// Requests shed by backpressure: `503 + Retry-After` from the
+    /// recording admission limit or a full connection queue.
+    pub shed: AtomicU64,
+    /// Deadline expiries: slow-read `408`s plus handler-side deadline
+    /// `503`s (waiting on a recording, or work finishing past budget).
+    pub timeouts: AtomicU64,
+    /// Handler panics caught and converted to `500`s (worker survived).
+    pub panics: AtomicU64,
     /// Latency of `POST /v1/simulate`.
     pub simulate: LatencyHistogram,
     /// Latency of `POST /v1/replay`.
@@ -82,7 +90,9 @@ impl ServerStats {
     }
 
     /// The `/v1/stats` payload: server counters plus the store's.
-    pub fn to_json(&self, store: &crate::store::TraceStore) -> Json {
+    /// `degraded` is the live load-shedding gauge (see
+    /// [`App::is_degraded`](crate::App::is_degraded)).
+    pub fn to_json(&self, store: &crate::store::TraceStore, degraded: bool) -> Json {
         let s = store.stats();
         json_object([
             (
@@ -106,6 +116,13 @@ impl ServerStats {
                         Json::UInt(self.in_flight.load(Ordering::Relaxed)),
                     ),
                     ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
+                    ("shed", Json::UInt(self.shed.load(Ordering::Relaxed))),
+                    (
+                        "timeouts",
+                        Json::UInt(self.timeouts.load(Ordering::Relaxed)),
+                    ),
+                    ("panics", Json::UInt(self.panics.load(Ordering::Relaxed))),
+                    ("degraded", Json::Bool(degraded)),
                 ]),
             ),
             (

@@ -21,6 +21,29 @@
 use cachetime::EventTrace;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of an admission-controlled, deadline-bounded lookup
+/// ([`TraceStore::fetch_or_record`]).
+#[derive(Debug)]
+pub enum Fetch {
+    /// The trace; the bool is `true` when it was served without running
+    /// `record` in this call (resident hit or joined recording).
+    Ready(Arc<EventTrace>, bool),
+    /// Admission control refused to start a new recording: the number of
+    /// recordings already in flight is at the caller's limit. Nothing was
+    /// recorded; the caller should shed the request (`503 + Retry-After`).
+    Shed,
+    /// The deadline passed while waiting for another thread's in-flight
+    /// recording of this key. The recording itself keeps running — a
+    /// retry after it lands is a plain hit.
+    TimedOut,
+}
+
+/// Marker error from [`TraceStore::get_within`]: the deadline passed
+/// while an in-flight recording of the key was still running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
 
 /// A point-in-time snapshot of the store's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,25 +135,69 @@ impl TraceStore {
     /// Returns the entry for `key`, recording it via `record` exactly once
     /// if absent. The bool is `true` when the entry was already resident
     /// (or its recording was joined) — i.e. `record` was *not* run by this
-    /// call.
+    /// call. Unbounded: no admission limit, no deadline (see
+    /// [`fetch_or_record`](Self::fetch_or_record) for both).
     pub fn get_or_record<F>(&self, key: u64, record: F) -> (Arc<EventTrace>, bool)
     where
         F: FnOnce() -> EventTrace,
     {
+        match self.fetch_or_record(key, usize::MAX, None, record) {
+            Fetch::Ready(events, cached) => (events, cached),
+            Fetch::Shed | Fetch::TimedOut => {
+                unreachable!("unbounded fetch cannot shed or time out")
+            }
+        }
+    }
+
+    /// [`get_or_record`](Self::get_or_record) with admission control and a
+    /// deadline.
+    ///
+    /// * If the key is absent and `max_inflight` recordings are already
+    ///   running, returns [`Fetch::Shed`] without recording — the caller's
+    ///   load-shedding path. A resident key is always served, whatever the
+    ///   recording pressure.
+    /// * If the key is in flight on another thread and `deadline` passes
+    ///   before the recording lands, returns [`Fetch::TimedOut`]; the
+    ///   recording keeps running and later requests hit it.
+    ///
+    /// The recording this call *itself* performs is never aborted: once
+    /// admitted, the work completes and the entry is stored even if the
+    /// deadline lapses meanwhile (the caller decides what to answer; a
+    /// deadline-blown retry finds the entry warm).
+    pub fn fetch_or_record<F>(
+        &self,
+        key: u64,
+        max_inflight: usize,
+        deadline: Option<Instant>,
+        record: F,
+    ) -> Fetch
+    where
+        F: FnOnce() -> EventTrace,
+    {
         let mut inner = self.inner.lock().unwrap();
+        let mut counted_coalesce = false;
         loop {
             match inner.map.get(&key) {
                 Some(Slot::Ready { .. }) => {
-                    return (Self::touch(&mut inner, key), true);
+                    return Fetch::Ready(Self::touch(&mut inner, key), true);
                 }
                 Some(Slot::InFlight) => {
-                    inner.stats.coalesced += 1;
+                    if !counted_coalesce {
+                        inner.stats.coalesced += 1;
+                        counted_coalesce = true;
+                    }
                     // Wait for whichever thread owns the recording; the
                     // loop re-examines the slot (it may be Ready, absent
                     // after a panic, or even evicted — then we record).
-                    inner = self.done.wait(inner).unwrap();
+                    match Self::wait_done(&self.done, inner, deadline) {
+                        Ok(g) => inner = g,
+                        Err(()) => return Fetch::TimedOut,
+                    }
                 }
                 None => {
+                    if inner.stats.in_flight >= max_inflight {
+                        return Fetch::Shed;
+                    }
                     inner.map.insert(key, Slot::InFlight);
                     inner.stats.misses += 1;
                     inner.stats.in_flight += 1;
@@ -162,8 +229,29 @@ impl TraceStore {
                     Self::evict_over_budget(&mut inner, self.budget, key);
                     drop(inner);
                     self.done.notify_all();
-                    return (events, false);
+                    return Fetch::Ready(events, false);
                 }
+            }
+        }
+    }
+
+    /// Waits on the completion condvar, bounded by `deadline`; `Err(())`
+    /// means the deadline passed first.
+    fn wait_done<'a>(
+        done: &Condvar,
+        inner: std::sync::MutexGuard<'a, Inner>,
+        deadline: Option<Instant>,
+    ) -> Result<std::sync::MutexGuard<'a, Inner>, ()> {
+        match deadline {
+            None => Ok(done.wait(inner).unwrap()),
+            Some(dl) => {
+                let now = Instant::now();
+                if now >= dl {
+                    return Err(());
+                }
+                // Spurious wakeups and completions of *other* keys re-enter
+                // the caller's loop, which re-checks the slot and the clock.
+                Ok(done.wait_timeout(inner, dl - now).unwrap().0)
             }
         }
     }
@@ -172,15 +260,38 @@ impl TraceStore {
     /// recording first, if one is running); `None` if the store has never
     /// recorded it or has evicted it.
     pub fn get(&self, key: u64) -> Option<Arc<EventTrace>> {
+        self.get_within(key, None)
+            .expect("unbounded get cannot time out")
+    }
+
+    /// [`get`](Self::get) with a deadline on the join-an-in-flight-recording
+    /// wait.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExceeded`] when the key's recording was still in flight at
+    /// the deadline.
+    pub fn get_within(
+        &self,
+        key: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Arc<EventTrace>>, DeadlineExceeded> {
         let mut inner = self.inner.lock().unwrap();
+        let mut counted_coalesce = false;
         loop {
             match inner.map.get(&key) {
-                Some(Slot::Ready { .. }) => return Some(Self::touch(&mut inner, key)),
+                Some(Slot::Ready { .. }) => return Ok(Some(Self::touch(&mut inner, key))),
                 Some(Slot::InFlight) => {
-                    inner.stats.coalesced += 1;
-                    inner = self.done.wait(inner).unwrap();
+                    if !counted_coalesce {
+                        inner.stats.coalesced += 1;
+                        counted_coalesce = true;
+                    }
+                    match Self::wait_done(&self.done, inner, deadline) {
+                        Ok(g) => inner = g,
+                        Err(()) => return Err(DeadlineExceeded),
+                    }
                 }
-                None => return None,
+                None => return Ok(None),
             }
         }
     }
@@ -264,6 +375,74 @@ mod tests {
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn fetch_sheds_at_the_inflight_limit_but_serves_warm_keys() {
+        let store = Arc::new(TraceStore::new(usize::MAX));
+        // Warm one key, then occupy the single admission slot with a
+        // recording that blocks until told to finish.
+        store.get_or_record(1, || tiny_trace(1));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let blocker = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.fetch_or_record(2, 1, None, move || {
+                    rx.recv().unwrap();
+                    tiny_trace(2)
+                })
+            })
+        };
+        while store.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        // A cold key past the limit sheds; the warm key still serves.
+        assert!(matches!(
+            store.fetch_or_record(3, 1, None, || unreachable!("must shed")),
+            Fetch::Shed
+        ));
+        assert!(matches!(
+            store.fetch_or_record(1, 1, None, || unreachable!("warm")),
+            Fetch::Ready(_, true)
+        ));
+        tx.send(()).unwrap();
+        assert!(matches!(blocker.join().unwrap(), Fetch::Ready(_, false)));
+        assert_eq!(store.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn fetch_times_out_waiting_on_a_slow_recording() {
+        let store = Arc::new(TraceStore::new(usize::MAX));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let blocker = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.fetch_or_record(9, usize::MAX, None, move || {
+                    rx.recv().unwrap();
+                    tiny_trace(9)
+                })
+            })
+        };
+        while store.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        // A coalescing waiter with an already-lapsed deadline gives up
+        // instead of parking forever...
+        let deadline = Some(Instant::now());
+        assert!(matches!(
+            store.fetch_or_record(9, usize::MAX, deadline, || unreachable!("coalesces")),
+            Fetch::TimedOut
+        ));
+        assert!(matches!(
+            store.get_within(9, deadline),
+            Err(DeadlineExceeded)
+        ));
+        // ...and the recording itself is unharmed: it completes and the
+        // entry lands for future callers.
+        tx.send(()).unwrap();
+        assert!(matches!(blocker.join().unwrap(), Fetch::Ready(_, false)));
+        assert!(store.get(9).is_some());
+        assert!(store.stats().coalesced >= 1);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Deterministic fault-injection storm: 8 chaos clients hammer one server
+//! over the paper's 11×16 grid while a seeded [`FaultPlan`] injects delays
+//! and panics inside the handlers. Afterwards the server must be fully
+//! healthy — no deadlock (the test finishing *is* the assertion), no
+//! stranded in-flight markers, `/healthz` back to `"ok"`, and every
+//! surviving store entry still replaying bit-identically to a direct
+//! `Simulator::run`.
+
+use cachetime::Simulator;
+use cachetime_serve::client::HttpClient;
+use cachetime_serve::fault::{self, FaultPlan};
+use cachetime_serve::{api, serve_with_app, App, Limits, ServerConfig};
+use cachetime_testkit::derive_seed;
+use cachetime_trace::catalog;
+use cachetime_types::Json;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROOT_SEED: u64 = 0xC5A0_5EED;
+const THREADS: usize = 8;
+const ROUNDS_PER_THREAD: usize = 44; // 8 × 44 = 352 rounds ≈ 2 grid passes
+const SCALE: f64 = 0.002; // tiny workloads; chaos is about paths, not cycles
+
+/// Silences the default panic message for *injected* panics only, so the
+/// storm's deliberate unwinds don't bury real failures in the test log.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+#[test]
+fn seeded_chaos_storm_leaves_the_server_healthy() {
+    quiet_injected_panics();
+    // Arm faults on every named point: short delays are common, panics
+    // rare but guaranteed to occur at these budgets over 352 rounds.
+    // serve.handle and serve.record mix delays with a budgeted ration of
+    // panics (the transport converts those to recognizable 500s, which the
+    // chaos client tolerates and counts). serve.write gets delays only: a
+    // write-phase panic drops the connection with no response at all,
+    // which would be indistinguishable from a server bug here — that path
+    // has its own targeted test in robustness.rs.
+    let faults = FaultPlan::seeded(ROOT_SEED)
+        .arm_delay("serve.write", 0.05, Duration::from_millis(5), None)
+        .arm_panic("serve.handle", 0.02, Some(4))
+        .arm_panic("serve.record", 0.05, Some(4));
+    let app = Arc::new(
+        App::new(8 * 1024 * 1024) // tight budget: eviction churn under fire
+            .with_limits(Limits {
+                request_deadline: Duration::from_secs(30),
+                max_inflight_recordings: 4,
+            })
+            .with_faults(faults),
+    );
+    let handle = serve_with_app(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            ..Default::default()
+        },
+        Arc::clone(&app),
+    )
+    .expect("bind an ephemeral port");
+    let addr = handle.local_addr().to_string();
+
+    let threads: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                fault::run_chaos_client(
+                    &addr,
+                    derive_seed(ROOT_SEED, i as u64),
+                    SCALE,
+                    ROUNDS_PER_THREAD,
+                )
+            })
+        })
+        .collect();
+    let mut total = fault::ChaosReport::default();
+    for t in threads {
+        let report = t.join().expect("chaos thread must not panic");
+        match report {
+            Ok(r) => total.merge(&r),
+            Err(e) => panic!("protocol violation under chaos: {e}"),
+        }
+    }
+    assert_eq!(total.rounds as usize, THREADS * ROUNDS_PER_THREAD);
+    assert!(total.ok > 0, "some traffic must succeed: {total:?}");
+    assert!(total.faulted > 0, "the clients must actually misbehave: {total:?}");
+    assert!(
+        total.panicked >= 1,
+        "the armed panics never surfaced as 500s — the run proved nothing: {total:?}"
+    );
+    assert!(
+        app.faults().injected() >= 1,
+        "fault plan never fired — the chaos run proved nothing"
+    );
+
+    // Recovery: health back to "ok" (no recordings stuck in flight) and
+    // the request in-flight gauge drained.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let health = Json::parse(&body).unwrap();
+        if health.get("status").and_then(Json::as_str) == Some("ok") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "healthz stuck degraded after chaos: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_, body) = client.get("/v1/stats").unwrap();
+    let stats = Json::parse(&body).unwrap();
+    let store = stats.get("store").unwrap();
+    assert_eq!(
+        store.get("recordings_in_flight").and_then(Json::as_u64),
+        Some(0),
+        "stranded in-flight marker after chaos: {body}"
+    );
+
+    // No corruption: a grid cell simulated through the chaos-scarred
+    // store must still be bit-identical to a direct in-process run.
+    let size_kib = fault::GRID_SIZES_KIB[3];
+    let ct_ns = fault::GRID_CYCLE_TIMES_NS[5];
+    let (status, body) = client
+        .post("/v1/simulate", &fault::grid_body(size_kib, ct_ns, SCALE))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let served = Json::parse(&body).unwrap();
+    let config_json = Json::parse(&fault::grid_body(size_kib, ct_ns, SCALE)).unwrap();
+    let config = api::system_config_from_json(config_json.get("config")).unwrap();
+    let direct = Simulator::new(&config).run(&catalog::mu3(SCALE).generate());
+    assert_eq!(
+        served.get("result"),
+        Some(&api::sim_result_to_json(&direct)),
+        "store corrupted: served result diverges from Simulator::run"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn grid_bodies_parse_into_the_cells_they_name() {
+    // The chaos client and the bit-identity check both trust grid_body to
+    // describe the cell it names; pin that mapping here.
+    for (i, &size_kib) in fault::GRID_SIZES_KIB.iter().enumerate() {
+        let ct_ns = fault::GRID_CYCLE_TIMES_NS[i % fault::GRID_CYCLE_TIMES_NS.len()];
+        let v = Json::parse(&fault::grid_body(size_kib, ct_ns, SCALE)).unwrap();
+        let c = api::system_config_from_json(v.get("config")).unwrap();
+        assert_eq!(u64::from(c.cycle_time().ns()), u64::from(ct_ns));
+        assert_eq!(c.l1d().size().kib(), size_kib);
+    }
+}

@@ -16,6 +16,12 @@
 #    simulate + replay + stats through `cachetime-bench serve-check`
 #    (which asserts the responses are bit-identical to a direct
 #    Simulator::run), then shut it down cleanly.
+# 7. Server chaos test: start `ctserve` with tight robustness limits and
+#    run the seeded fault-injection clients (`cachetime-bench
+#    serve-chaos`, fixed seed): half-written heads, mid-body disconnects,
+#    torn reads, garbage. The server must stay correct under fire,
+#    recover to a healthy state, and shut down cleanly with zero store
+#    corruption.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,5 +65,28 @@ wait "$SERVE_PID"
 trap - EXIT
 rm -f "$PORT_FILE"
 echo "ctserve shut down cleanly"
+
+echo "==> ctserve chaos test (seeded fault injection; recovery + zero corruption)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+  --max-queue 64 --max-inflight-recordings 2 --request-deadline-ms 5000 &
+SERVE_PID=$!
+trap cleanup_serve EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "ctserve died on startup"; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ctserve never wrote its port file"; exit 1; }
+SERVE_PORT="$(cat "$PORT_FILE")"
+# 3315621613 == 0xC5A05EED, the same fixed seed the chaos tests use.
+./target/release/cachetime-bench serve-chaos "127.0.0.1:$SERVE_PORT" "${CHAOS_SEED:-3315621613}"
+printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+  > "/dev/tcp/127.0.0.1/$SERVE_PORT"
+wait "$SERVE_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+echo "ctserve survived chaos and shut down cleanly"
 
 echo "==> verify OK"
