@@ -186,6 +186,21 @@ fn run_sweep_bench(scale: f64) {
     let parallel = measure_two_phase(&org_tasks, &traces, 0);
     assert_equivalent(&direct, &two_phase, traces.len());
 
+    // Observability leg: the instrumented engine (spans + counters on
+    // the global registry) must cost under 2% against the same grid with
+    // span timing switched off. Interleaved min-of-3, so machine drift
+    // lands on both sides equally.
+    let obs = cachetime_obs::global();
+    let mut spans_off = Duration::MAX;
+    let mut spans_on = Duration::MAX;
+    for _ in 0..3 {
+        obs.set_spans_enabled(false);
+        spans_off = spans_off.min(measure_two_phase(&org_tasks, &traces, 1).wall);
+        obs.set_spans_enabled(true);
+        spans_on = spans_on.min(measure_two_phase(&org_tasks, &traces, 1).wall);
+    }
+    let obs_overhead = spans_on.as_secs_f64() / spans_off.as_secs_f64() - 1.0;
+
     let repricing_speedup = direct.wall.as_secs_f64() / two_phase.wall.as_secs_f64();
     println!(
         "direct    (1 job):    {:>8.1} cells/sec  wall {:?}",
@@ -204,6 +219,12 @@ fn run_sweep_bench(scale: f64) {
         parallel.wall
     );
     println!("repricing speedup (direct → two-phase, serial): {repricing_speedup:.2}x");
+    println!(
+        "observability overhead (spans on vs off, min of 3): {:+.2}%  ({:?} vs {:?})",
+        obs_overhead * 100.0,
+        spans_on,
+        spans_off
+    );
 
     // A 1-core host runs the "parallel" leg with one worker; a speedup of
     // 1.0x there is a tautology, not a measurement, so record it as null.
@@ -239,9 +260,24 @@ fn run_sweep_bench(scale: f64) {
         ("two_phase_parallel", leg(&parallel)),
         ("repricing_speedup", Json::Float(repricing_speedup)),
         ("parallel_speedup", parallel_speedup),
+        (
+            "obs",
+            json_object([
+                ("spans_on_min_secs", Json::Float(spans_on.as_secs_f64())),
+                ("spans_off_min_secs", Json::Float(spans_off.as_secs_f64())),
+                ("overhead_fraction", Json::Float(obs_overhead)),
+            ]),
+        ),
     ]);
     std::fs::write("BENCH_sweep.json", json.pretty()).expect("write BENCH_sweep.json");
     eprintln!("[bench] wrote BENCH_sweep.json");
+
+    assert!(
+        obs_overhead < 0.02,
+        "instrumentation must stay under 2% of two-phase wall time \
+         (measured {:+.2}%)",
+        obs_overhead * 100.0
+    );
 }
 
 /// Client-side latency summary of one bench leg, in microseconds.

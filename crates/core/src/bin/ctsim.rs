@@ -24,6 +24,8 @@
 //!   --stream            stream a --din file through the simulator without
 //!                       materializing it (skips the trace summary line)
 //!   --histogram         print the couplet-latency histogram
+//!   --profile PATH      append span timings (record/replay/sweep phases)
+//!                       as JSONL trace records to PATH
 //! ```
 
 use cachetime::{simulate, sweep, LevelTwoConfig, SimResult, Simulator, SystemConfig};
@@ -51,6 +53,7 @@ struct Options {
     early_continuation: bool,
     stream: bool,
     histogram: bool,
+    profile: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -72,6 +75,7 @@ impl Default for Options {
             early_continuation: false,
             stream: false,
             histogram: false,
+            profile: None,
         }
     }
 }
@@ -112,6 +116,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
             "--early-continuation" => o.early_continuation = true,
             "--stream" => o.stream = true,
             "--histogram" => o.histogram = true,
+            "--profile" => o.profile = Some(value::<String>(&mut args, "--profile")?.into()),
             "--help" | "-h" => {
                 return Err("see the doc comment at the top of ctsim.rs or README".into())
             }
@@ -314,6 +319,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &o.profile {
+        match cachetime_obs::JsonlSink::create(path) {
+            Ok(sink) => cachetime_obs::global().set_sink(Some(std::sync::Arc::new(sink))),
+            Err(e) => {
+                eprintln!("cannot open profile file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!("machine:  {config}");
     if o.stream {
         match run_streaming(&o, &config) {
@@ -393,6 +407,8 @@ mod tests {
             "--histogram",
             "--warm",
             "100",
+            "--profile",
+            "spans.jsonl",
         ])
         .unwrap();
         assert_eq!(o.size_kb, 16);
@@ -403,6 +419,7 @@ mod tests {
         assert_eq!(o.mem_latency_ns, 260);
         assert!(o.single_issue && o.early_continuation && o.stream && o.histogram);
         assert_eq!(o.warm, 100);
+        assert_eq!(o.profile.as_deref(), Some(std::path::Path::new("spans.jsonl")));
     }
 
     #[test]

@@ -84,6 +84,8 @@ impl Simulator {
         refs: impl IntoIterator<Item = MemRef>,
         warm_start: usize,
     ) -> SimResult {
+        let obs = cachetime_obs::global();
+        let mut span = obs.span("core_simulate");
         *self = Simulator::new(&self.config);
         let split = self.config.is_split();
         let mut refs = refs.into_iter().peekable();
@@ -121,6 +123,8 @@ impl Simulator {
             }
         }
 
+        span.set_work(i as u64);
+        obs.counter("cachetime_simulate_refs_total", &[]).add(i as u64);
         SimResult {
             cycle_time: self.config.cycle_time(),
             cycles: Cycles(self.now - warm_cycle),

@@ -164,6 +164,8 @@ impl BehavioralSim {
         refs: impl IntoIterator<Item = MemRef>,
         warm_start: usize,
     ) -> EventTrace {
+        let obs = cachetime_obs::global();
+        let mut span = obs.span("core_record");
         *self = BehavioralSim::new(&self.org);
         let split = self.org.is_split();
         let mut refs = refs.into_iter().peekable();
@@ -212,6 +214,13 @@ impl BehavioralSim {
             couplets += 1;
         }
         Self::flush_hits(&mut ops, &mut pending);
+
+        // Phase accounting: the span's duration histogram plus raw
+        // totals give events/sec without touching the record hot loop
+        // (one lookup + a few atomic adds per *call*, not per ref).
+        span.set_work(i as u64);
+        obs.counter("cachetime_record_refs_total", &[]).add(i as u64);
+        obs.counter("cachetime_record_ops_total", &[]).add(ops.len() as u64);
 
         EventTrace {
             org: self.org,
@@ -417,6 +426,13 @@ pub fn replay_many(
             });
         }
     }
+    let obs = cachetime_obs::global();
+    let mut span = obs.span("core_replay");
+    span.set_work(events.refs * configs.len() as u64);
+    obs.counter("cachetime_replay_refs_total", &[])
+        .add(events.refs * configs.len() as u64);
+    obs.counter("cachetime_replay_configs_total", &[])
+        .add(configs.len() as u64);
     let mut rs: Vec<Replayer> = configs.iter().map(Replayer::new).collect();
     // On the sweeps this call exists for, only the *memory* quantization
     // varies between configs — cache hits cost processor cycles, so every

@@ -153,6 +153,13 @@ where
     let slots = Mutex::new(slots);
     let failures: Mutex<Vec<SweepFailure>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
+    // Registry export of per-task timing (the handles are resolved once
+    // here so workers only touch atomics, never the registry lock).
+    let obs = cachetime_obs::global();
+    let mut sweep_span = obs.span("sweep_run");
+    sweep_span.set_work(tasks.len() as u64);
+    let task_hist = obs.histogram("cachetime_sweep_task_duration_us", &[]);
+    let tasks_total = obs.counter("cachetime_sweep_tasks_total", &[]);
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -164,6 +171,8 @@ where
                 match catch_unwind(AssertUnwindSafe(|| task_fn(index, task))) {
                     Ok(result) => {
                         let elapsed = t0.elapsed();
+                        task_hist.record(elapsed.as_micros() as u64);
+                        tasks_total.inc();
                         slots.lock().unwrap()[index] = Some((result, elapsed));
                     }
                     Err(payload) => failures.lock().unwrap().push(SweepFailure {

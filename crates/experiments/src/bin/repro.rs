@@ -12,6 +12,8 @@
 //! scale). `--quick` is shorthand for `--scale 0.05`. `--jobs N` sets the
 //! simulation worker count (default: all available cores; `--jobs 1`
 //! forces serial). Output is bit-identical for every job count.
+//! `--profile PATH` appends engine span timings (record/replay/sweep) as
+//! JSONL trace records to PATH while the experiments run.
 
 use cachetime_experiments::runner::{SpeedSizeGrid, TraceSet, SIZES_PER_CACHE_KB};
 use cachetime_experiments::{
@@ -302,6 +304,21 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => scale = 0.05,
+            "--profile" => match args.next() {
+                Some(path) => match cachetime_obs::JsonlSink::create(path.as_ref()) {
+                    Ok(sink) => {
+                        cachetime_obs::global().set_sink(Some(std::sync::Arc::new(sink)));
+                    }
+                    Err(e) => {
+                        eprintln!("cannot open profile file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--profile needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "list" => {
                 println!("experiments (run with: repro [--scale F] <id>...):");
                 for (id, desc) in EXPERIMENTS {

@@ -1,0 +1,296 @@
+//! The metric registry: named families of counters, gauges, and
+//! histograms, plus the Prometheus text renderer.
+//!
+//! Registration is get-or-create: the first `counter("x", ...)` call
+//! creates the series, later calls hand back the same `Arc`. The mutex
+//! guards only the name → handle map; recording on a handle is pure
+//! atomics and never takes the registry lock. Callers on hot paths
+//! should therefore look a handle up once and keep the `Arc`.
+
+use crate::metric::{Counter, Gauge, Histogram, BUCKETS};
+use crate::span::{Span, SpanSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a metric family holds. A family's kind is fixed by its first
+/// registration; re-registering under a different kind panics (it is a
+/// programmer error, not a runtime condition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: Kind,
+    /// Rendered label set (`key="value",...`, possibly empty) → series.
+    series: BTreeMap<String, Handle>,
+}
+
+/// A process- or component-scoped collection of metrics.
+///
+/// The server gives every `App` its own registry so tests stay
+/// isolated; binaries share [`global()`](crate::global) so one scrape
+/// sees the whole process.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+    sink: Mutex<Option<Arc<dyn SpanSink>>>,
+    spans_enabled: AtomicBool,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with span timing enabled and no sink.
+    pub fn new() -> Self {
+        Self {
+            families: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+            spans_enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Get or register a counter. `labels` distinguish series within
+    /// the family; label order does not matter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.handle(name, labels, Kind::Counter) {
+            Handle::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.handle(name, labels, Kind::Gauge) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.handle(name, labels, Kind::Histogram) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn handle(&self, name: &str, labels: &[(&str, &str)], kind: Kind) -> Handle {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let key = label_key(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} and again as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .series
+            .entry(key)
+            .or_insert_with(|| match kind {
+                Kind::Counter => Handle::Counter(Arc::new(Counter::new())),
+                Kind::Gauge => Handle::Gauge(Arc::new(Gauge::new())),
+                Kind::Histogram => Handle::Histogram(Arc::new(Histogram::new())),
+            })
+            .clone()
+    }
+
+    /// Start a span. Its duration lands in the
+    /// `cachetime_span_duration_us{span="<name>"}` histogram when the
+    /// guard drops, and — if a sink is installed — one trace record is
+    /// emitted. When spans are disabled the guard is inert and costs a
+    /// single atomic load.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span::start(self, name, self.spans_enabled.load(Ordering::Relaxed))
+    }
+
+    /// Enable or disable span timing (counters and direct histogram
+    /// recording are unaffected). Used by the bench harness to measure
+    /// instrumentation overhead.
+    pub fn set_spans_enabled(&self, enabled: bool) {
+        self.spans_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Install (or clear) the span trace sink.
+    pub fn set_sink(&self, sink: Option<Arc<dyn SpanSink>>) {
+        *self.sink.lock().unwrap() = sink;
+    }
+
+    pub(crate) fn current_sink(&self) -> Option<Arc<dyn SpanSink>> {
+        self.sink.lock().unwrap().clone()
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` lines, `_total`-style sample lines,
+    /// and cumulative `_bucket{le="..."}` series for histograms. All
+    /// values are integers — the format can never contain `NaN`.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, handle) in family.series.iter() {
+                match handle {
+                    Handle::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), c.get());
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), g.get());
+                    }
+                    Handle::Histogram(h) => render_histogram(&mut out, name, labels, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let snap = h.snapshot();
+    let mut cumulative = 0u64;
+    for (i, n) in snap.iter().enumerate() {
+        cumulative += n;
+        let le = Histogram::bucket_upper(i);
+        let series = join_labels(labels, &format!("le=\"{le}\""));
+        let _ = writeln!(out, "{name}_bucket{{{series}}} {cumulative}");
+    }
+    let series = join_labels(labels, "le=\"+Inf\"");
+    let _ = writeln!(out, "{name}_bucket{{{series}}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum{} {}", braced(labels), h.sum());
+    let _ = writeln!(out, "{name}_count{} {}", braced(labels), h.count());
+    debug_assert_eq!(snap.len(), BUCKETS);
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join_labels(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+/// Canonical label rendering: sorted by key, `key="value"` with the
+/// value's `"` and `\` escaped.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<_> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        debug_assert!(valid_name(k), "invalid label name {k:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The process-wide registry shared by the core engine, the sweep
+/// executor, and the binaries.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[]);
+        let b = r.counter("x_total", &[]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same name must alias the same counter");
+        let with = r.counter("x_total", &[("kind", "warm")]);
+        with.add(5);
+        assert_eq!(a.get(), 1, "labelled series are distinct");
+        assert_eq!(with.get(), 5);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        a.set(7);
+        assert_eq!(b.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("twice", &[]);
+        r.gauge("twice", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let r = Registry::new();
+        r.counter("hits_total", &[]).add(3);
+        r.gauge("depth", &[("pool", "a")]).set(-2);
+        let h = r.histogram("lat_us", &[]);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hits_total counter\nhits_total 3\n"), "{text}");
+        assert!(text.contains("# TYPE depth gauge\ndepth{pool=\"a\"} -2\n"), "{text}");
+        // Bucket for 3 is [2,4) → le="4" cumulative 2; 1000 lands under
+        // le="1024" making the cumulative 3; +Inf equals the count.
+        assert!(text.contains("lat_us_bucket{le=\"4\"} 2\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1024\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_sum 1006\n"), "{text}");
+        assert!(text.contains("lat_us_count 3\n"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+}

@@ -17,8 +17,10 @@
 //! serving), and `--request-deadline-ms` is the per-request wall-clock
 //! budget (clients lower it via `X-Deadline-Ms`).
 
-use cachetime_serve::{serve, ServerConfig};
+use cachetime_serve::http::limits_for;
+use cachetime_serve::{serve_with_app, App, ServerConfig};
 use std::io::Write;
+use std::sync::Arc;
 
 fn main() {
     let mut config = ServerConfig {
@@ -76,7 +78,17 @@ fn main() {
         }
     }
 
-    let handle = match serve(config) {
+    // The process-wide registry, not a private one: `GET /v1/metrics`
+    // then exposes the core engine's record/replay spans and the sweep
+    // executor's counters alongside the server's own families.
+    let app = Arc::new(
+        App::with_registry(
+            config.store_budget_bytes,
+            Arc::clone(cachetime_obs::global()),
+        )
+        .with_limits(limits_for(&config)),
+    );
+    let handle = match serve_with_app(config, app) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: failed to start server: {e}");

@@ -190,17 +190,23 @@ fn request_shutdown(shared: &Shared, addr: SocketAddr) {
 ///
 /// Any bind failure from the OS.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let app = Arc::new(App::new(config.store_budget_bytes).with_limits(limits_for(&config)));
+    serve_with_app(config, app)
+}
+
+/// The [`Limits`] that [`serve`] derives from a config — public so
+/// binaries that build their own [`App`] (e.g. to share a metric
+/// registry) and call [`serve_with_app`] apply the same policy.
+pub fn limits_for(config: &ServerConfig) -> Limits {
     let workers = resolve_workers(config.workers);
-    let limits = Limits {
+    Limits {
         request_deadline: Duration::from_millis(config.request_deadline_ms.max(1)),
         max_inflight_recordings: if config.max_inflight_recordings == 0 {
             (workers * 2).max(2)
         } else {
             config.max_inflight_recordings
         },
-    };
-    let app = Arc::new(App::new(config.store_budget_bytes).with_limits(limits));
-    serve_with_app(config, app)
+    }
 }
 
 fn resolve_workers(configured: usize) -> usize {
@@ -272,8 +278,8 @@ fn accept_loop(listener: TcpListener, shared: &Shared, app: &App, max_queue: usi
                     drop(q);
                     // Shed: answer fast and hang up. The write is bounded
                     // so a hostile peer cannot park the accept loop either.
-                    app.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    app.stats.shed.inc();
+                    app.stats.errors.inc();
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
                     let _ = stream.write_all(QUEUE_FULL_RESPONSE);
                     continue;
@@ -314,7 +320,7 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
             Ok(ReadOutcome::Request(req)) => {
                 let started = Instant::now();
                 let deadline = app.deadline_for(&req);
-                app.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                app.stats.in_flight.add(1);
                 let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     app.handle(&req)
                 })) {
@@ -323,16 +329,16 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
                         // The handler unwound. The store's in-flight guards
                         // have already cleaned up; the worker survives and
                         // the client learns it was the server's fault.
-                        app.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        app.stats.panics.inc();
                         Response::error(500, "internal panic; worker recovered")
                     }
                 };
-                app.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                app.stats.in_flight.add(-1);
                 app.stats
                     .endpoint(&req.method, &req.path)
                     .record(started.elapsed().as_micros() as u64);
                 if resp.status >= 400 {
-                    app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    app.stats.errors.inc();
                 }
                 let keep = req.keep_alive && !resp.shutdown && resp.status != 500;
                 // The write phase is panic-isolated too (the serve.write
@@ -344,7 +350,7 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
                     write_response(&mut conn.stream, &resp, keep, Some(deadline)).is_ok()
                 }))
                 .unwrap_or_else(|_| {
-                    app.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    app.stats.panics.inc();
                     false
                 });
                 if resp.shutdown {
@@ -359,14 +365,14 @@ fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
             Ok(ReadOutcome::Deadline) => {
                 // The peer started a request and never finished it within
                 // budget (slowloris or a stalled sender).
-                app.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                app.stats.timeouts.inc();
+                app.stats.errors.inc();
                 let resp = Response::error(408, "request not received within the deadline");
                 let _ = write_response(&mut conn.stream, &resp, false, None);
             }
             Ok(ReadOutcome::Bad(e)) => {
                 // Malformed request: answer its proper status, then close.
-                app.stats.errors.fetch_add(1, Ordering::Relaxed);
+                app.stats.errors.inc();
                 let resp = Response::error(e.status, e.msg);
                 let _ = write_response(&mut conn.stream, &resp, false, None);
             }
@@ -405,6 +411,21 @@ fn read_request(conn: &mut Conn, budget: Duration) -> std::io::Result<ReadOutcom
         match parse_request(&mut conn.buf) {
             Err(e) => return Ok(ReadOutcome::Bad(e)),
             Ok(Parsed::Request(req)) => {
+                // A request whose own X-Deadline-Ms budget is already
+                // gone by the time it framed — zero, or smaller than the
+                // time its bytes took to arrive — is dead on arrival:
+                // answer 408 now instead of starting handler work whose
+                // result could never be delivered in time.
+                let parse_elapsed = conn
+                    .started
+                    .map(|s| s.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                if req
+                    .deadline_ms
+                    .is_some_and(|ms| Duration::from_millis(ms) <= parse_elapsed)
+                {
+                    return Ok(ReadOutcome::Deadline);
+                }
                 conn.started = if conn.buf.is_empty() {
                     None
                 } else {
@@ -480,7 +501,7 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     let version = parts.next().unwrap_or("HTTP/1.1");
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut deadline_ms = None;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
@@ -490,7 +511,14 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            // Repeated Content-Length headers are a request-smuggling
+            // vector (RFC 9112 §6.3): two framings of the same stream.
+            // Reject duplicates outright — even agreeing ones — rather
+            // than letting the last value win.
+            let parsed = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            if content_length.replace(parsed).is_some() {
+                return Err(bad("duplicate Content-Length"));
+            }
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -503,6 +531,7 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
             deadline_ms = Some(value.parse().map_err(|_| bad("bad X-Deadline-Ms"))?);
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError {
             status: 413,
@@ -558,9 +587,10 @@ fn write_response(
         None => String::new(),
     };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         resp.status,
         reason,
+        resp.content_type,
         resp.body.len(),
         retry_after,
         if keep_alive { "keep-alive" } else { "close" },
@@ -633,6 +663,29 @@ mod tests {
         assert_eq!(reqs[0].deadline_ms, Some(250));
         let mut buf = b"GET / HTTP/1.1\r\nX-Deadline-Ms: soonish\r\n\r\n".to_vec();
         assert_eq!(parse_request(&mut buf).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected_not_last_wins() {
+        // Regression (request smuggling): two Content-Length headers used
+        // to silently let the last one win, so a front proxy and this
+        // server could frame the stream differently. Any repeat — even
+        // two agreeing values — must be a 400.
+        for head in [
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}xyz",
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}",
+            "POST /x HTTP/1.1\r\ncontent-length: 2\r\nCONTENT-LENGTH: 5\r\n\r\n{}xyz",
+        ] {
+            let mut buf = head.as_bytes().to_vec();
+            let err = parse_request(&mut buf).unwrap_err();
+            assert_eq!(err.status, 400, "{head:?}");
+            assert_eq!(err.msg, "duplicate Content-Length", "{head:?}");
+        }
+        // A single Content-Length still frames normally.
+        let (reqs, rest) = parse_all(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}");
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].body, b"{}");
+        assert!(rest.is_empty());
     }
 
     #[test]

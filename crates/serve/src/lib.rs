@@ -23,6 +23,7 @@
 //! | `POST /v1/simulate` | `{"config": {...}, "trace": {"name": "mu3"}}` | full `SimResult` + the pairing's key |
 //! | `POST /v1/replay` | `{"key": "<hex>", "cycle_times_ns": [20, ...]}` | one `SimResult` per timing point |
 //! | `GET /v1/stats` | — | store hits/misses/evictions, in-flight, per-endpoint latency |
+//! | `GET /v1/metrics` | — | the same counters as Prometheus text exposition |
 //! | `GET /healthz` | — | `{"status": "ok"}` |
 //! | `POST /v1/shutdown` | — | acknowledges, then stops the server |
 //!
@@ -49,11 +50,12 @@ pub mod store;
 pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
 
 use cachetime::keyed;
+use cachetime_obs::Registry;
 use cachetime_types::{json_object, Json};
 use fault::FaultPlan;
 use stats::ServerStats;
-use store::{Fetch, TraceStore};
-use std::sync::atomic;
+use store::{Fetch, StoreMetrics, TraceStore};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a `503 Retry-After` tells shed clients to wait, in seconds.
@@ -61,13 +63,20 @@ use std::time::{Duration, Instant};
 /// full drain on the happy path (the client jitters around it anyway).
 pub const RETRY_AFTER_SECS: u32 = 1;
 
+/// The `Content-Type` of every JSON response.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The `Content-Type` of the Prometheus text exposition.
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 /// One response from the application layer, transport-agnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body (JSON everywhere except `/v1/metrics`).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Whether the server should stop after sending this response.
     pub shutdown: bool,
     /// `Retry-After` header value in seconds, for `503`s.
@@ -79,6 +88,18 @@ impl Response {
         Response {
             status: 200,
             body: v.to_string(),
+            content_type: CONTENT_TYPE_JSON,
+            shutdown: false,
+            retry_after: None,
+        }
+    }
+
+    /// A `200` with a plain-text body (the metrics exposition).
+    fn ok_text(body: String) -> Self {
+        Response {
+            status: 200,
+            body,
+            content_type: CONTENT_TYPE_PROMETHEUS,
             shutdown: false,
             retry_after: None,
         }
@@ -89,6 +110,7 @@ impl Response {
         Response {
             status,
             body: json_object([("error", Json::Str(msg.into()))]).to_string(),
+            content_type: CONTENT_TYPE_JSON,
             shutdown: false,
             retry_after: None,
         }
@@ -131,19 +153,43 @@ pub struct App {
     pub store: TraceStore,
     /// Request counters and latency histograms.
     pub stats: ServerStats,
+    registry: Arc<Registry>,
     limits: Limits,
     faults: FaultPlan,
 }
 
 impl App {
     /// Fresh state with the given store budget and default [`Limits`].
+    ///
+    /// Each `App` gets its *own* metric registry so servers sharing a
+    /// process (tests, mostly) never share counters. A binary that wants
+    /// one process-wide scrape passes [`cachetime_obs::global`] to
+    /// [`with_registry`](Self::with_registry) instead.
     pub fn new(store_budget_bytes: usize) -> Self {
+        Self::with_registry(store_budget_bytes, Arc::new(Registry::new()))
+    }
+
+    /// [`new`](Self::new), but registering every store and server metric
+    /// in `registry` — which is also what `GET /v1/metrics` renders, so
+    /// handing in a shared registry widens the scrape to everything else
+    /// recorded there (core phase spans, sweep timings, ...).
+    pub fn with_registry(store_budget_bytes: usize, registry: Arc<Registry>) -> Self {
         App {
-            store: TraceStore::new(store_budget_bytes),
-            stats: ServerStats::default(),
+            store: TraceStore::with_metrics(
+                store_budget_bytes,
+                StoreMetrics::in_registry(&registry),
+            ),
+            stats: ServerStats::in_registry(&registry),
+            registry,
             limits: Limits::default(),
             faults: FaultPlan::inert(),
         }
+    }
+
+    /// The registry backing this app's metrics (rendered by
+    /// `GET /v1/metrics`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Replaces the robustness limits (builder-style).
@@ -204,15 +250,19 @@ impl App {
                 if self.is_degraded() { "degraded" } else { "ok" },
             )])),
             ("GET", "/v1/stats") => {
-                Response::ok(self.stats.to_json(&self.store, self.is_degraded()))
+                let degraded = self.is_degraded();
+                self.stats.degraded.set(degraded as i64);
+                Response::ok(self.stats.to_json(&self.store, degraded))
+            }
+            ("GET", "/v1/metrics") => {
+                self.stats.degraded.set(self.is_degraded() as i64);
+                Response::ok_text(self.registry.render_prometheus())
             }
             ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
             ("POST", "/v1/replay") => self.replay(&req.body, deadline),
             ("POST", "/v1/shutdown") => Response {
-                status: 200,
-                body: json_object([("status", "shutting down")]).to_string(),
                 shutdown: true,
-                retry_after: None,
+                ..Response::ok(json_object([("status", "shutting down")]))
             },
             ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(405, "method not allowed"),
@@ -257,13 +307,13 @@ impl App {
         let (events, cached) = match fetched {
             Fetch::Ready(events, cached) => (events, cached),
             Fetch::Shed => {
-                self.stats.shed.fetch_add(1, atomic::Ordering::Relaxed);
+                self.stats.shed.inc();
                 return Response::unavailable(
                     "recording capacity exhausted; retry shortly or replay a warm key",
                 );
             }
             Fetch::TimedOut => {
-                self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+                self.stats.timeouts.inc();
                 return Response::unavailable(
                     "deadline exceeded waiting for this pairing's recording; retry shortly",
                 );
@@ -273,7 +323,7 @@ impl App {
             // The recording ran past the request's budget. It is stored —
             // the client's retry will hit — but this answer is already
             // late, so say so instead of pretending it was on time.
-            self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+            self.stats.timeouts.inc();
             return Response::unavailable(
                 "deadline exceeded while recording; the trace is now warm — retry",
             );
@@ -343,7 +393,7 @@ impl App {
                 )
             }
             Err(store::DeadlineExceeded) => {
-                self.stats.timeouts.fetch_add(1, atomic::Ordering::Relaxed);
+                self.stats.timeouts.inc();
                 return Response::unavailable(
                     "deadline exceeded waiting for this key's recording; retry shortly",
                 );

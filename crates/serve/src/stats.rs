@@ -1,90 +1,79 @@
 //! Server-side observability: request counters, in-flight gauge, and
-//! per-endpoint latency histograms — all lock-free atomics, so the hot
-//! path never serializes on a stats mutex.
+//! per-endpoint latency histograms.
+//!
+//! Everything here is a [`cachetime_obs`] handle registered in the
+//! `App`'s [`Registry`], so `GET /v1/metrics` (Prometheus exposition)
+//! and `GET /v1/stats` (this module's JSON report) read the *same
+//! atomics* — the two can never drift apart. The log₂ latency
+//! histogram that used to live here is now `cachetime_obs::Histogram`;
+//! it also fixed the `quantile(0.0)` empty-bucket bug (the rank is
+//! clamped to ≥ 1 so only occupied buckets are ever reported).
 
+use cachetime_obs::{Counter, Gauge, Histogram, Registry};
 use cachetime_types::{json_object, Json};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Log₂-bucketed latency histogram in microseconds: bucket `i` counts
-/// requests lasting `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-µs
-/// requests; the top bucket absorbs everything ≥ ~0.5 s).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; 20],
-}
-
-impl LatencyHistogram {
-    /// Records one request of `micros` duration.
-    pub fn record(&self, micros: u64) {
-        let b = (63 - micros.max(1).leading_zeros() as usize).min(19);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total requests recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile request
-    /// (0.5 = p50, 0.99 = p99); 0 when empty. Bucket-granular by design —
-    /// a factor-of-two error bar is fine for spotting regressions.
-    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << self.buckets.len()
-    }
-
-    fn to_json(&self) -> Json {
-        json_object([
-            ("count", Json::UInt(self.count())),
-            ("p50_upper_us", Json::UInt(self.quantile_upper_micros(0.5))),
-            ("p99_upper_us", Json::UInt(self.quantile_upper_micros(0.99))),
-        ])
-    }
-}
+use std::sync::Arc;
 
 /// One server's worth of counters; shared by every worker thread.
-#[derive(Debug, Default)]
 pub struct ServerStats {
     /// Requests currently being processed (gauge).
-    pub in_flight: AtomicU64,
+    pub in_flight: Arc<Gauge>,
     /// Responses with a 4xx/5xx status.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Requests shed by backpressure: `503 + Retry-After` from the
     /// recording admission limit or a full connection queue.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Deadline expiries: slow-read `408`s plus handler-side deadline
     /// `503`s (waiting on a recording, or work finishing past budget).
-    pub timeouts: AtomicU64,
+    pub timeouts: Arc<Counter>,
     /// Handler panics caught and converted to `500`s (worker survived).
-    pub panics: AtomicU64,
-    /// Latency of `POST /v1/simulate`.
-    pub simulate: LatencyHistogram,
-    /// Latency of `POST /v1/replay`.
-    pub replay: LatencyHistogram,
-    /// Latency of `GET /v1/stats`.
-    pub stats: LatencyHistogram,
-    /// Latency of everything else (healthz, 404s, shutdown).
-    pub other: LatencyHistogram,
+    pub panics: Arc<Counter>,
+    /// Load-shedding state at the last scrape (1 = degraded). Refreshed
+    /// by the stats/metrics handlers, not on the request path.
+    pub degraded: Arc<Gauge>,
+    /// Latency of `POST /v1/simulate` (µs).
+    pub simulate: Arc<Histogram>,
+    /// Latency of `POST /v1/replay` (µs).
+    pub replay: Arc<Histogram>,
+    /// Latency of `GET /v1/stats` and `GET /v1/metrics` (µs).
+    pub stats: Arc<Histogram>,
+    /// Latency of everything else (healthz, 404s, shutdown) (µs).
+    pub other: Arc<Histogram>,
+}
+
+impl ServerStats {
+    /// Handles registered in `registry` under the `cachetime_server_*`
+    /// and `cachetime_request_duration_us` families.
+    pub fn in_registry(registry: &Registry) -> Self {
+        let duration =
+            |endpoint| registry.histogram("cachetime_request_duration_us", &[("endpoint", endpoint)]);
+        ServerStats {
+            in_flight: registry.gauge("cachetime_server_in_flight", &[]),
+            errors: registry.counter("cachetime_server_errors_total", &[]),
+            shed: registry.counter("cachetime_server_shed_total", &[]),
+            timeouts: registry.counter("cachetime_server_timeouts_total", &[]),
+            panics: registry.counter("cachetime_server_panics_total", &[]),
+            degraded: registry.gauge("cachetime_server_degraded", &[]),
+            simulate: duration("simulate"),
+            replay: duration("replay"),
+            stats: duration("stats"),
+            other: duration("other"),
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
 }
 
 impl ServerStats {
     /// The histogram a request path belongs to.
-    pub fn endpoint(&self, method: &str, path: &str) -> &LatencyHistogram {
+    pub fn endpoint(&self, method: &str, path: &str) -> &Histogram {
         match (method, path) {
             ("POST", "/v1/simulate") => &self.simulate,
             ("POST", "/v1/replay") => &self.replay,
-            ("GET", "/v1/stats") => &self.stats,
+            ("GET", "/v1/stats") | ("GET", "/v1/metrics") => &self.stats,
             _ => &self.other,
         }
     }
@@ -94,6 +83,13 @@ impl ServerStats {
     /// [`App::is_degraded`](crate::App::is_degraded)).
     pub fn to_json(&self, store: &crate::store::TraceStore, degraded: bool) -> Json {
         let s = store.stats();
+        let latency = |h: &Histogram| {
+            json_object([
+                ("count", Json::UInt(h.count())),
+                ("p50_upper_us", Json::UInt(h.quantile_upper(0.5))),
+                ("p99_upper_us", Json::UInt(h.quantile_upper(0.99))),
+            ])
+        };
         json_object([
             (
                 "store",
@@ -111,27 +107,21 @@ impl ServerStats {
             (
                 "server",
                 json_object([
-                    (
-                        "in_flight",
-                        Json::UInt(self.in_flight.load(Ordering::Relaxed)),
-                    ),
-                    ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
-                    ("shed", Json::UInt(self.shed.load(Ordering::Relaxed))),
-                    (
-                        "timeouts",
-                        Json::UInt(self.timeouts.load(Ordering::Relaxed)),
-                    ),
-                    ("panics", Json::UInt(self.panics.load(Ordering::Relaxed))),
+                    ("in_flight", Json::UInt(self.in_flight.get_unsigned())),
+                    ("errors", Json::UInt(self.errors.get())),
+                    ("shed", Json::UInt(self.shed.get())),
+                    ("timeouts", Json::UInt(self.timeouts.get())),
+                    ("panics", Json::UInt(self.panics.get())),
                     ("degraded", Json::Bool(degraded)),
                 ]),
             ),
             (
                 "latency",
                 json_object([
-                    ("simulate", self.simulate.to_json()),
-                    ("replay", self.replay.to_json()),
-                    ("stats", self.stats.to_json()),
-                    ("other", self.other.to_json()),
+                    ("simulate", latency(&self.simulate)),
+                    ("replay", latency(&self.replay)),
+                    ("stats", latency(&self.stats)),
+                    ("other", latency(&self.other)),
                 ]),
             ),
         ])
@@ -144,24 +134,33 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_are_bucket_upper_bounds() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_upper_micros(0.5), 0);
+        let h = Histogram::new();
+        assert_eq!(h.quantile_upper(0.5), 0);
         for _ in 0..99 {
             h.record(3); // bucket 1: [2, 4)
         }
         h.record(1000); // bucket 9: [512, 1024)
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_upper_micros(0.5), 4);
-        assert_eq!(h.quantile_upper_micros(0.99), 4);
-        assert_eq!(h.quantile_upper_micros(1.0), 1024);
+        assert_eq!(h.quantile_upper(0.5), 4);
+        assert_eq!(h.quantile_upper(0.99), 4);
+        assert_eq!(h.quantile_upper(1.0), 1024);
     }
 
     #[test]
     fn zero_micros_round_up_to_the_first_bucket() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_upper_micros(0.5), 2);
+        assert_eq!(h.quantile_upper(0.5), 2);
+    }
+
+    #[test]
+    fn zero_quantile_skips_empty_low_buckets() {
+        // Regression: a histogram whose only observation sits in a high
+        // bucket must not report bucket 0's upper bound for q = 0.0.
+        let h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile_upper(0.0), 1024);
     }
 
     #[test]
@@ -170,11 +169,12 @@ mod tests {
         s.endpoint("POST", "/v1/simulate").record(5);
         s.endpoint("POST", "/v1/replay").record(5);
         s.endpoint("GET", "/v1/stats").record(5);
+        s.endpoint("GET", "/v1/metrics").record(5);
         s.endpoint("GET", "/healthz").record(5);
         s.endpoint("POST", "/nonsense").record(5);
         assert_eq!(s.simulate.count(), 1);
         assert_eq!(s.replay.count(), 1);
-        assert_eq!(s.stats.count(), 1);
+        assert_eq!(s.stats.count(), 2);
         assert_eq!(s.other.count(), 2);
     }
 }

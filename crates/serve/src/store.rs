@@ -14,12 +14,19 @@
 //!   [`EventTrace::approx_bytes`]; when an insertion pushes the total over
 //!   budget, least-recently-used entries are evicted until it fits (the
 //!   entry being inserted is exempt, so a single oversized trace still
-//!   serves its own request).
+//!   serves its own request). Recency lives in an ordered `clock → key`
+//!   index, so each eviction is O(log n) instead of a full map rescan.
 //! * **Panic safety.** If a recording panics, its in-flight marker is
 //!   removed and waiters are woken to retry, rather than hanging forever.
+//!
+//! All counters are [`cachetime_obs`] metrics. A bare
+//! [`TraceStore::new`] keeps them private; [`TraceStore::with_metrics`]
+//! shares them with a registry so `/v1/metrics` and `/v1/stats` read the
+//! very same atomics.
 
 use cachetime::EventTrace;
-use std::collections::HashMap;
+use cachetime_obs::{Counter, Gauge, Registry};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -48,7 +55,9 @@ pub struct DeadlineExceeded;
 /// A point-in-time snapshot of the store's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Lookups answered from a resident entry.
+    /// Lookups answered from an already-resident entry. Disjoint from
+    /// `coalesced`: a lookup counts exactly once, whichever way it was
+    /// served.
     pub hits: u64,
     /// Lookups that had to record (first request for a key).
     pub misses: u64,
@@ -64,6 +73,49 @@ pub struct StoreStats {
     pub in_flight: usize,
 }
 
+/// The store's counters and gauges, as shared metric handles. Mutations
+/// happen under the store lock (so snapshots are coherent); reads are
+/// lock-free from anywhere, including a registry scrape.
+#[derive(Clone)]
+pub struct StoreMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries: Arc<Gauge>,
+    bytes: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    /// Handles registered in `registry` under the `cachetime_store_*`
+    /// families — what `GET /v1/metrics` exposes.
+    pub fn in_registry(registry: &Registry) -> Self {
+        StoreMetrics {
+            hits: registry.counter("cachetime_store_hits_total", &[]),
+            misses: registry.counter("cachetime_store_misses_total", &[]),
+            coalesced: registry.counter("cachetime_store_coalesced_total", &[]),
+            evictions: registry.counter("cachetime_store_evictions_total", &[]),
+            entries: registry.gauge("cachetime_store_entries", &[]),
+            bytes: registry.gauge("cachetime_store_bytes", &[]),
+            in_flight: registry.gauge("cachetime_store_recordings_in_flight", &[]),
+        }
+    }
+
+    /// Private handles for a store that is not exposed via a registry.
+    fn standalone() -> Self {
+        StoreMetrics {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            coalesced: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+            entries: Arc::new(Gauge::new()),
+            bytes: Arc::new(Gauge::new()),
+            in_flight: Arc::new(Gauge::new()),
+        }
+    }
+}
+
 enum Slot {
     /// A recording is running on some thread; wait on the store condvar.
     InFlight,
@@ -76,10 +128,13 @@ enum Slot {
 
 struct Inner {
     map: HashMap<u64, Slot>,
+    /// Recency index: `last_used clock → key`, one entry per Ready slot.
+    /// The clock is monotonic and bumped on every touch, so clocks are
+    /// unique and the first entry is always the least recently used.
+    lru: BTreeMap<u64, u64>,
     /// Monotonic use counter driving LRU order.
     clock: u64,
     bytes: usize,
-    stats: StoreStats,
 }
 
 /// See the [module docs](self).
@@ -88,6 +143,7 @@ pub struct TraceStore {
     /// Signaled whenever an in-flight recording completes (or aborts).
     done: Condvar,
     budget: usize,
+    metrics: StoreMetrics,
 }
 
 /// Removes the in-flight marker and wakes waiters if the recording
@@ -105,7 +161,8 @@ impl Drop for InFlightGuard<'_> {
             if matches!(inner.map.get(&self.key), Some(Slot::InFlight)) {
                 inner.map.remove(&self.key);
             }
-            inner.stats.in_flight = inner.stats.in_flight.saturating_sub(1);
+            drop(inner);
+            self.store.metrics.in_flight.add(-1);
             self.store.done.notify_all();
         }
     }
@@ -115,15 +172,22 @@ impl TraceStore {
     /// An empty store that will keep at most `budget_bytes` of recorded
     /// traces resident (approximate, see [`EventTrace::approx_bytes`]).
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_metrics(budget_bytes, StoreMetrics::standalone())
+    }
+
+    /// [`new`](Self::new), but counting into the caller's metric handles
+    /// (typically [`StoreMetrics::in_registry`]).
+    pub fn with_metrics(budget_bytes: usize, metrics: StoreMetrics) -> Self {
         TraceStore {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                lru: BTreeMap::new(),
                 clock: 0,
                 bytes: 0,
-                stats: StoreStats::default(),
             }),
             done: Condvar::new(),
             budget: budget_bytes,
+            metrics,
         }
     }
 
@@ -179,11 +243,17 @@ impl TraceStore {
         loop {
             match inner.map.get(&key) {
                 Some(Slot::Ready { .. }) => {
-                    return Fetch::Ready(Self::touch(&mut inner, key), true);
+                    // A lookup counts exactly once: a waiter that already
+                    // counted as coalesced must not also count as a hit
+                    // when it wakes to the finished entry.
+                    if !counted_coalesce {
+                        self.metrics.hits.inc();
+                    }
+                    return Fetch::Ready(self.touch(&mut inner, key), true);
                 }
                 Some(Slot::InFlight) => {
                     if !counted_coalesce {
-                        inner.stats.coalesced += 1;
+                        self.metrics.coalesced.inc();
                         counted_coalesce = true;
                     }
                     // Wait for whichever thread owns the recording; the
@@ -195,12 +265,12 @@ impl TraceStore {
                     }
                 }
                 None => {
-                    if inner.stats.in_flight >= max_inflight {
+                    if self.metrics.in_flight.get_unsigned() >= max_inflight as u64 {
                         return Fetch::Shed;
                     }
                     inner.map.insert(key, Slot::InFlight);
-                    inner.stats.misses += 1;
-                    inner.stats.in_flight += 1;
+                    self.metrics.misses.inc();
+                    self.metrics.in_flight.add(1);
                     drop(inner);
 
                     let mut guard = InFlightGuard {
@@ -224,9 +294,12 @@ impl TraceStore {
                             last_used: clock,
                         },
                     );
+                    inner.lru.insert(clock, key);
                     inner.bytes += bytes;
-                    inner.stats.in_flight -= 1;
-                    Self::evict_over_budget(&mut inner, self.budget, key);
+                    self.metrics.in_flight.add(-1);
+                    self.evict_over_budget(&mut inner, key);
+                    self.metrics.entries.set(inner.lru.len() as i64);
+                    self.metrics.bytes.set(inner.bytes as i64);
                     drop(inner);
                     self.done.notify_all();
                     return Fetch::Ready(events, false);
@@ -280,10 +353,15 @@ impl TraceStore {
         let mut counted_coalesce = false;
         loop {
             match inner.map.get(&key) {
-                Some(Slot::Ready { .. }) => return Ok(Some(Self::touch(&mut inner, key))),
+                Some(Slot::Ready { .. }) => {
+                    if !counted_coalesce {
+                        self.metrics.hits.inc();
+                    }
+                    return Ok(Some(self.touch(&mut inner, key)));
+                }
                 Some(Slot::InFlight) => {
                     if !counted_coalesce {
-                        inner.stats.coalesced += 1;
+                        self.metrics.coalesced.inc();
                         counted_coalesce = true;
                     }
                     match Self::wait_done(&self.done, inner, deadline) {
@@ -297,17 +375,23 @@ impl TraceStore {
     }
 
     /// Marks a Ready entry used now and returns its trace. Callers must
-    /// have just observed the slot as Ready under the same lock.
-    fn touch(inner: &mut Inner, key: u64) -> Arc<EventTrace> {
+    /// have just observed the slot as Ready under the same lock, and are
+    /// responsible for counting the lookup (hit vs. coalesce) — the old
+    /// count-a-hit-here behavior double-counted waiters that had already
+    /// counted as coalesced, which is what made
+    /// `same_key_storm_records_exactly_once` flaky.
+    fn touch(&self, inner: &mut Inner, key: u64) -> Arc<EventTrace> {
         inner.clock += 1;
-        inner.stats.hits += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&key) {
             Some(Slot::Ready {
                 events, last_used, ..
             }) => {
-                *last_used = clock;
-                Arc::clone(events)
+                let events = Arc::clone(events);
+                let previous = std::mem::replace(last_used, clock);
+                inner.lru.remove(&previous);
+                inner.lru.insert(clock, key);
+                events
             }
             _ => unreachable!("slot vanished under the lock"),
         }
@@ -315,36 +399,40 @@ impl TraceStore {
 
     /// Evicts least-recently-used Ready entries (never `keep`, never
     /// in-flight markers) until the charged bytes fit the budget.
-    fn evict_over_budget(inner: &mut Inner, budget: usize, keep: u64) {
-        while inner.bytes > budget {
+    ///
+    /// Victim selection walks the ordered recency index from its oldest
+    /// end — O(log n) per victim — instead of rescanning the whole map,
+    /// which made heavy churn O(n²) inside the global lock.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: u64) {
+        while inner.bytes > self.budget {
+            // The only entry ever skipped is `keep` itself, so this scan
+            // inspects at most two index entries.
             let victim = inner
-                .map
+                .lru
                 .iter()
-                .filter_map(|(&k, slot)| match slot {
-                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k)),
-                    _ => None,
-                })
-                .min()
-                .map(|(_, k)| k);
-            let Some(k) = victim else { break };
+                .find(|&(_, &k)| k != keep)
+                .map(|(&clock, &k)| (clock, k));
+            let Some((clock, k)) = victim else { break };
+            inner.lru.remove(&clock);
             if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&k) {
                 inner.bytes -= bytes;
-                inner.stats.evictions += 1;
+                self.metrics.evictions.inc();
             }
         }
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters. Lock-free: reads the same atomics the
+    /// metric registry exposes.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().unwrap();
+        let m = &self.metrics;
         StoreStats {
-            entries: inner
-                .map
-                .values()
-                .filter(|s| matches!(s, Slot::Ready { .. }))
-                .count(),
-            bytes: inner.bytes,
-            ..inner.stats
+            hits: m.hits.get(),
+            misses: m.misses.get(),
+            coalesced: m.coalesced.get(),
+            evictions: m.evictions.get(),
+            entries: m.entries.get_unsigned() as usize,
+            bytes: m.bytes.get_unsigned() as usize,
+            in_flight: m.in_flight.get_unsigned() as usize,
         }
     }
 }
@@ -479,6 +567,94 @@ mod tests {
         assert!(a.ops().len() > 0 || a.couplets() > 0);
         // It stays resident (nothing else to evict below it).
         assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn churn_evicts_exactly_what_a_reference_lru_would() {
+        // Regression for the O(n²) evictor: drive a long, deterministic
+        // mixed workload of inserts and touches against a reference LRU
+        // model and require identical eviction counts and residency at
+        // every step. The indexed evictor must be a pure speedup, never
+        // a policy change.
+        let one = tiny_trace(0).approx_bytes();
+        const CAPACITY: usize = 8; // entries the budget can hold
+        let store = TraceStore::new(one * CAPACITY + one / 2);
+        let mut model: Vec<u64> = Vec::new(); // LRU order, oldest first
+        let mut model_evictions = 0u64;
+        let mut rng = cachetime_testkit::SplitMix64::from_seed(0xb51d);
+
+        for step in 0..600 {
+            let key = rng.next_u64() % 48;
+            if let Some(pos) = model.iter().position(|&k| k == key) {
+                // Warm: a get must refresh recency, not evict.
+                assert!(store.get(key).is_some(), "step {step}: key {key} must be resident");
+                model.remove(pos);
+                model.push(key);
+            } else {
+                let (_, cached) = store.get_or_record(key, || tiny_trace(key));
+                assert!(!cached, "step {step}: key {key} must record");
+                model.push(key);
+                if model.len() > CAPACITY {
+                    model.remove(0);
+                    model_evictions += 1;
+                }
+            }
+            let s = store.stats();
+            assert_eq!(
+                s.evictions, model_evictions,
+                "step {step}: eviction counts diverged"
+            );
+            assert_eq!(s.entries, model.len(), "step {step}: residency diverged");
+            assert!(s.bytes <= store.budget_bytes(), "step {step}: over budget");
+        }
+        // Final residency matches the model exactly, newest to oldest.
+        for &key in &model {
+            assert!(store.get(key).is_some(), "key {key} wrongly evicted");
+        }
+        assert!(model_evictions > 100, "the workload must actually churn");
+    }
+
+    #[test]
+    fn a_coalescing_waiter_counts_once_not_as_a_hit_too() {
+        // Regression: a waiter that joined an in-flight recording used to
+        // count as coalesced *and then again* as a hit when it woke to
+        // the finished entry, so `hits + coalesced` overcounted requests
+        // whenever anyone actually waited (a scheduling-dependent flake
+        // in the same-key storm test).
+        let store = Arc::new(TraceStore::new(usize::MAX));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let blocker = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.get_or_record(5, move || {
+                    rx.recv().unwrap();
+                    tiny_trace(5)
+                })
+            })
+        };
+        while store.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        let waiter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.get_or_record(5, || unreachable!("must coalesce"))
+            })
+        };
+        // The waiter is guaranteed parked once it has counted.
+        while store.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        tx.send(()).unwrap();
+        let (a, recorded_hit) = blocker.join().unwrap();
+        let (b, joined_hit) = waiter.join().unwrap();
+        assert!(!recorded_hit);
+        assert!(joined_hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = store.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.hits, 0, "a coalesced join must not also count as a hit");
     }
 
     #[test]

@@ -197,6 +197,45 @@ fn size_limits_map_to_their_statuses() {
 }
 
 #[test]
+fn duplicate_content_length_is_always_400() {
+    // Request-smuggling guard (RFC 9112 §6.3): a head carrying more than
+    // one Content-Length is rejected outright — even when the copies
+    // agree — never resolved by picking one of the values.
+    check(
+        "duplicate_content_length_is_400",
+        |rng| {
+            let req = gen_valid(rng);
+            // Second claim: sometimes agreeing, sometimes conflicting,
+            // with randomized header-name casing.
+            let second = if rng.gen_bool(0.5) {
+                req.body.len() as u64
+            } else {
+                rng.gen_range(0u64..MAX_BODY_BYTES as u64)
+            };
+            let name = ["Content-Length", "content-length", "CONTENT-LENGTH"]
+                [rng.gen_range(0usize..3)];
+            (req, second, name)
+        },
+        shrink::none,
+        |(req, second, name)| {
+            let wire = serialize(req);
+            // Splice the duplicate header in just before the blank line.
+            let head_end = wire
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .ok_or("serialized request has no head terminator")?;
+            let mut buf = wire[..head_end + 2].to_vec();
+            buf.extend_from_slice(format!("{name}: {second}\r\n\r\n").as_bytes());
+            buf.extend_from_slice(&req.body);
+            match parse_caught(&mut buf)? {
+                Err(400) => Ok(()),
+                other => Err(format!("duplicate Content-Length parsed: {other:?}")),
+            }
+        },
+    );
+}
+
+#[test]
 fn pipelined_requests_parse_in_order() {
     check(
         "pipelined_requests_parse_in_order",

@@ -1,0 +1,170 @@
+//! `/v1/metrics` ⇄ `/v1/stats` consistency over real sockets.
+//!
+//! Both endpoints render the *same atomics* (the `App`'s registry hands
+//! the identical `Arc`s to `ServerStats`/`StoreMetrics` and to the
+//! Prometheus renderer), so after any workload — including errors,
+//! panics, and coalesced recordings — the two scrapes must bit-match.
+
+use cachetime_serve::client::HttpClient;
+use cachetime_serve::fault::FaultPlan;
+use cachetime_serve::{serve_with_app, App, ServerConfig};
+use cachetime_types::Json;
+use std::sync::{Arc, Barrier};
+
+/// The value of one sample line (`<series> <value>`) in a Prometheus
+/// text exposition. Panics if the series is missing — a scrape that
+/// silently drops a family must fail the test, not skip it.
+fn prom(text: &str, series: &str) -> i64 {
+    for line in text.lines() {
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if name == series {
+                return value
+                    .parse()
+                    .unwrap_or_else(|e| panic!("series {series} not an integer ({e}): {line}"));
+            }
+        }
+    }
+    panic!("series {series} missing from exposition:\n{text}");
+}
+
+#[test]
+fn metrics_and_stats_bit_match_after_a_mixed_workload() {
+    let app = Arc::new(
+        App::new(64 * 1024 * 1024).with_faults(FaultPlan::inert().panic_once("serve.handle")),
+    );
+    let handle = serve_with_app(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..Default::default()
+        },
+        Arc::clone(&app),
+    )
+    .expect("bind an ephemeral port");
+    let addr = handle.local_addr().to_string();
+
+    // The armed fault: the first request panics in the handler → 500,
+    // so the panic counter has something to disagree about.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 500, "{body}");
+
+    // Cold + warm simulate, a replay hit, an unknown-key replay (404),
+    // and a malformed body (400).
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let sim_body = r#"{"trace": {"name": "mu3", "scale": 0.004}}"#;
+    let (status, body) = client.post("/v1/simulate", sim_body).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let key = Json::parse(&body).unwrap().get("key").and_then(Json::as_str).unwrap().to_string();
+    let (status, _) = client.post("/v1/simulate", sim_body).unwrap();
+    assert_eq!(status, 200);
+    let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40, 80]}}"#);
+    let (status, body) = client.post("/v1/replay", &replay_body).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = client
+        .post("/v1/replay", r#"{"key": "ffffffffffffffff", "cycle_times_ns": [40]}"#)
+        .unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.post("/v1/simulate", "{not json").unwrap();
+    assert_eq!(status, 400);
+
+    // Concurrent cold simulates on one fresh trace so the single-flight
+    // path (coalesced waits, in-flight recording gauge) contributes.
+    const CLIENTS: usize = 3;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(&addr).unwrap();
+                barrier.wait();
+                let (status, body) = c
+                    .post("/v1/simulate", r#"{"trace": {"name": "savec", "scale": 0.003}}"#)
+                    .unwrap();
+                assert_eq!(status, 200, "{body}");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Back-to-back scrapes. Nothing between them touches the store or
+    // the error counters, so every compared family is scrape-stable.
+    // (Both scrapes self-count in the in-flight gauge: each sees 1.)
+    let (status, stats_body) = client.get("/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let (status, metrics_body) = client.get("/v1/metrics").unwrap();
+    assert_eq!(status, 200, "{metrics_body}");
+
+    let stats = Json::parse(&stats_body).unwrap();
+    let store = stats.get("store").unwrap();
+    let server = stats.get("server").unwrap();
+    let field = |j: &Json, k: &str| j.get(k).and_then(Json::as_u64).unwrap() as i64;
+
+    for (json_value, series) in [
+        (field(store, "hits"), "cachetime_store_hits_total"),
+        (field(store, "misses"), "cachetime_store_misses_total"),
+        (field(store, "coalesced"), "cachetime_store_coalesced_total"),
+        (field(store, "evictions"), "cachetime_store_evictions_total"),
+        (field(store, "entries"), "cachetime_store_entries"),
+        (field(store, "bytes"), "cachetime_store_bytes"),
+        (field(store, "recordings_in_flight"), "cachetime_store_recordings_in_flight"),
+        (field(server, "errors"), "cachetime_server_errors_total"),
+        (field(server, "shed"), "cachetime_server_shed_total"),
+        (field(server, "timeouts"), "cachetime_server_timeouts_total"),
+        (field(server, "panics"), "cachetime_server_panics_total"),
+        (field(server, "in_flight"), "cachetime_server_in_flight"),
+    ] {
+        assert_eq!(
+            prom(&metrics_body, series),
+            json_value,
+            "{series} drifted between /v1/metrics and /v1/stats"
+        );
+    }
+    let degraded = server.get("degraded").and_then(Json::as_bool).unwrap();
+    assert_eq!(prom(&metrics_body, "cachetime_server_degraded"), degraded as i64);
+
+    // Absolute spot checks: the workload above fixes these exactly.
+    assert_eq!(field(store, "misses"), 2, "mu3 and savec each recorded once");
+    assert_eq!(field(server, "panics"), 1);
+    assert_eq!(field(server, "errors"), 3, "500 + 404 + 400");
+    assert_eq!(field(server, "shed"), 0);
+    assert_eq!(field(server, "timeouts"), 0);
+
+    // Latency histograms: per-endpoint counts agree between the JSON
+    // report and the Prometheus `_count` samples, and the `+Inf` bucket
+    // equals the count (cumulative rendering is complete).
+    let latency = stats.get("latency").unwrap();
+    for endpoint in ["simulate", "replay"] {
+        let json_count = field(latency.get(endpoint).unwrap(), "count");
+        let count = prom(
+            &metrics_body,
+            &format!("cachetime_request_duration_us_count{{endpoint=\"{endpoint}\"}}"),
+        );
+        let inf = prom(
+            &metrics_body,
+            &format!("cachetime_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}}"),
+        );
+        assert_eq!(count, json_count, "{endpoint} count drifted");
+        assert_eq!(inf, count, "{endpoint} +Inf bucket must equal the count");
+    }
+    assert!(
+        prom(&metrics_body, "cachetime_request_duration_us_count{endpoint=\"simulate\"}") >= 6,
+        "3 sequential + 3 concurrent simulate requests"
+    );
+
+    // Exposition hygiene: typed families, integer samples, no NaN.
+    for ty in [
+        "# TYPE cachetime_store_hits_total counter",
+        "# TYPE cachetime_server_in_flight gauge",
+        "# TYPE cachetime_request_duration_us histogram",
+    ] {
+        assert!(metrics_body.contains(ty), "missing {ty:?} in:\n{metrics_body}");
+    }
+    assert!(!metrics_body.contains("NaN"), "{metrics_body}");
+
+    handle.shutdown();
+    handle.join();
+}

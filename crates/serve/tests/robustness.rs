@@ -93,6 +93,51 @@ fn slowloris_gets_408_not_a_parked_worker() {
 }
 
 #[test]
+fn zero_deadline_is_408_before_any_handler_work() {
+    // Regression: `X-Deadline-Ms: 0` (or any budget smaller than the
+    // time the request took to arrive) used to start the handler with an
+    // already-expired deadline — burning a recording slot for an answer
+    // that could never be delivered in time. It must be refused with 408
+    // at frame time, before any handler work.
+    let (handle, app, addr) = tight_server(FaultPlan::inert());
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let body = r#"{"trace": {"name": "mu3", "scale": 0.002}}"#;
+    let req = format!(
+        "POST /v1/simulate HTTP/1.1\r\nX-Deadline-Ms: 0\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let started = std::time::Instant::now();
+    let (status, text) = read_to_close(&mut s);
+    assert_eq!(status, 408, "{text}");
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "the 408 must be immediate, not a recording later: {:?}",
+        started.elapsed()
+    );
+    // No handler work happened: nothing was recorded, nothing was shed.
+    let store = app.store.stats();
+    assert_eq!(store.misses, 0, "the simulate handler must not have run");
+    assert_eq!(app.stats.shed.get(), 0);
+    assert!(app.stats.timeouts.get() >= 1, "the 408 is a timeout");
+
+    // A deadline smaller than the arrival time of a dribbled request
+    // trips the same check even though the value is nonzero.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: 20\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    s.write_all(b"\r\n").unwrap();
+    let (status, text) = read_to_close(&mut s);
+    assert_eq!(status, 408, "{text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn oversized_content_length_is_413_before_the_body_arrives() {
     let (handle, _app, addr) = tight_server(FaultPlan::inert());
     let mut s = TcpStream::connect(&addr).unwrap();
@@ -235,7 +280,7 @@ fn write_phase_panic_drops_the_connection_but_not_the_worker() {
     let mut client = HttpClient::connect(&addr).unwrap();
     let (status, _) = client.get("/healthz").unwrap();
     assert_eq!(status, 200, "the worker pool must survive a write-phase panic");
-    assert_eq!(app.stats.panics.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(app.stats.panics.get(), 1);
 
     handle.shutdown();
     handle.join();

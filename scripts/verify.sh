@@ -16,7 +16,11 @@
 #    simulate + replay + stats through `cachetime-bench serve-check`
 #    (which asserts the responses are bit-identical to a direct
 #    Simulator::run), then shut it down cleanly.
-# 7. Server chaos test: start `ctserve` with tight robustness limits and
+# 7. Observability scrape: while the smoke-test server is still up and
+#    has served real traffic, curl `/v1/metrics` and require every core
+#    metric family (store, server, engine, span) to be present in the
+#    Prometheus text output, with no NaN samples.
+# 8. Server chaos test: start `ctserve` with tight robustness limits and
 #    run the seeded fault-injection clients (`cachetime-bench
 #    serve-chaos`, fixed seed): half-written heads, mid-body disconnects,
 #    torn reads, garbage. The server must stay correct under fire,
@@ -58,6 +62,29 @@ done
 [ -s "$PORT_FILE" ] || { echo "ctserve never wrote its port file"; exit 1; }
 SERVE_PORT="$(cat "$PORT_FILE")"
 ./target/release/cachetime-bench serve-check "127.0.0.1:$SERVE_PORT"
+
+echo "==> /v1/metrics scrape (required families present, no NaN samples)"
+METRICS="$(curl -fsS "http://127.0.0.1:$SERVE_PORT/v1/metrics")"
+for family in \
+  cachetime_store_hits_total \
+  cachetime_store_misses_total \
+  cachetime_store_entries \
+  cachetime_store_bytes \
+  cachetime_server_in_flight \
+  cachetime_server_shed_total \
+  cachetime_server_timeouts_total \
+  cachetime_request_duration_us \
+  cachetime_record_refs_total \
+  cachetime_replay_refs_total \
+  cachetime_span_duration_us; do
+  grep -q "^$family" <<<"$METRICS" \
+    || { echo "missing metric family: $family"; exit 1; }
+done
+if grep -qi 'nan' <<<"$METRICS"; then
+  echo "NaN sample in /v1/metrics output"; exit 1
+fi
+echo "all required metric families present"
+
 # Ask the server to stop and require a clean, prompt exit.
 printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
   > "/dev/tcp/127.0.0.1/$SERVE_PORT"
