@@ -438,6 +438,9 @@ fn run_serve_bench(scale: f64) {
         );
     });
 
+    // Concurrency sweep: the flatness curve the event loop exists for.
+    let concurrency_sweep = run_concurrency_sweep(&addr);
+
     let (_, body) = client.get("/v1/stats").expect("stats");
     let stats = Json::parse(&body).expect("stats JSON");
     let (status, _) = client.post("/v1/shutdown", "").expect("shutdown");
@@ -492,6 +495,7 @@ fn run_serve_bench(scale: f64) {
         ("replay_batch", batch.to_json()),
         ("concurrent_clients", Json::from(CLIENTS)),
         ("warm_concurrent", concurrent.to_json()),
+        ("concurrency_sweep", concurrency_sweep),
         ("warm_speedup", Json::Float(speedup)),
         ("overload", overload),
         ("server_stats", stats),
@@ -503,6 +507,114 @@ fn run_serve_bench(scale: f64) {
         speedup >= 10.0,
         "store must make warm requests >= 10x faster than cold (got {speedup:.2}x)"
     );
+}
+
+/// Client counts for the warm-replay concurrency sweep.
+const SWEEP_CLIENT_COUNTS: [usize; 5] = [1, 4, 16, 64, 256];
+/// Per-client think time between requests: the sweep is open-loop-shaped
+/// (clients mostly idle, arrivals staggered), because the question it asks
+/// is "what does a *parked* crowd cost the active request", not "what is
+/// the saturation throughput of one core".
+const SWEEP_THINK_MS: u64 = 100;
+/// The sweep replays a small dedicated key at this fixed scale no matter
+/// what scale the rest of the bench runs at: it measures the transport's
+/// concurrency behavior, so the per-request work is pinned light.
+const SWEEP_SCALE: f64 = 0.005;
+/// Solo p50 floor for the flatness ratio, so a once-in-a-run scheduler
+/// blip on a microsecond-fast solo baseline cannot fail the bound.
+const SWEEP_NOISE_FLOOR_US: u64 = 100;
+/// The headline bound: warm p50 under the largest client count must stay
+/// within this factor of solo. The old worker-pool transport failed this
+/// by orders of magnitude (idle keep-alive connections each taxed the
+/// pool a 10 ms poll); the event loop is what makes it hold.
+const SWEEP_P50_BOUND: f64 = 3.0;
+
+/// Sweeps 1→256 warm-replay clients against the running server and
+/// asserts the concurrency cliff stays flat: p50 at the top of the sweep
+/// within [`SWEEP_P50_BOUND`]× of solo. Returns the whole curve for
+/// `BENCH_serve.json`.
+fn run_concurrency_sweep(addr: &str) -> Json {
+    // One small dedicated warm key for the whole sweep.
+    let mut client = HttpClient::connect(addr).expect("sweep connect");
+    let warm_body = format!(r#"{{"trace": {{"name": "mu3", "scale": {SWEEP_SCALE}}}}}"#);
+    let (status, resp) = client.post("/v1/simulate", &warm_body).expect("sweep warm-up");
+    let v = expect_200(status, &resp, "sweep warm-up");
+    let key = v.get("key").and_then(Json::as_str).unwrap().to_string();
+    let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40]}}"#);
+
+    let mut levels = Vec::new();
+    let mut p50s = Vec::new();
+    for &clients in &SWEEP_CLIENT_COUNTS {
+        // Fewer requests per client as the crowd grows; the solo level
+        // takes extra samples so its p50 (the baseline) is stable.
+        let reqs = (48 / clients).max(6);
+        let started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|i| {
+                let addr = addr.to_string();
+                let body = replay_body.clone();
+                std::thread::spawn(move || {
+                    // Stagger starts across one think period so arrivals
+                    // spread instead of marching in lockstep.
+                    std::thread::sleep(Duration::from_millis(
+                        i as u64 * SWEEP_THINK_MS / clients as u64,
+                    ));
+                    let mut c = HttpClient::connect(&addr).expect("sweep client connect");
+                    let mut micros = Vec::with_capacity(reqs);
+                    for _ in 0..reqs {
+                        let at = Instant::now();
+                        let (status, resp) = c.post("/v1/replay", &body).expect("sweep replay");
+                        assert_eq!(status, 200, "sweep replay must stay warm: {resp}");
+                        micros.push(at.elapsed().as_micros() as u64);
+                        std::thread::sleep(Duration::from_millis(SWEEP_THINK_MS));
+                    }
+                    micros
+                })
+            })
+            .collect();
+        let leg = Leg {
+            micros: threads
+                .into_iter()
+                .flat_map(|t| t.join().expect("sweep client"))
+                .collect(),
+            wall: started.elapsed(),
+        };
+        println!(
+            "warm x{clients:>3} clients:     {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs)",
+            leg.mean_us(),
+            leg.percentile_us(0.5),
+            leg.percentile_us(0.99),
+            leg.micros.len()
+        );
+        p50s.push(leg.percentile_us(0.5));
+        levels.push(json_object([
+            ("clients", Json::from(clients)),
+            ("latency", leg.to_json()),
+        ]));
+    }
+
+    let solo_p50 = p50s[0].max(SWEEP_NOISE_FLOOR_US);
+    let loaded_p50 = *p50s.last().expect("at least one level");
+    let ratio = loaded_p50 as f64 / solo_p50 as f64;
+    println!(
+        "concurrency flatness: p50 x{} clients / p50 solo = {ratio:.2} (bound {SWEEP_P50_BOUND}x)",
+        SWEEP_CLIENT_COUNTS.last().unwrap()
+    );
+    assert!(
+        ratio <= SWEEP_P50_BOUND,
+        "concurrency cliff: warm p50 at {} clients is {loaded_p50} us vs {solo_p50} us solo \
+         ({ratio:.1}x > {SWEEP_P50_BOUND}x) — parked connections are taxing active requests again",
+        SWEEP_CLIENT_COUNTS.last().unwrap()
+    );
+
+    json_object([
+        ("scale", Json::Float(SWEEP_SCALE)),
+        ("think_ms", Json::from(SWEEP_THINK_MS)),
+        ("noise_floor_us", Json::from(SWEEP_NOISE_FLOOR_US)),
+        ("levels", Json::Array(levels)),
+        ("p50_ratio_max_vs_solo", Json::Float(ratio)),
+        ("p50_bound", Json::Float(SWEEP_P50_BOUND)),
+    ])
 }
 
 /// Storms a deliberately tiny server (one recording slot, two workers)
@@ -798,6 +910,115 @@ fn run_serve_chaos(addr: &str, seed: u64) {
     );
 }
 
+/// Which way a guarded metric is allowed to move.
+#[derive(Debug, Clone, Copy)]
+enum Better {
+    Higher,
+    Lower,
+}
+
+/// The headline metrics `bench-diff` guards: snapshot file, dot-path into
+/// its JSON, and the good direction. Kept deliberately short — these are
+/// the numbers the README quotes and a regression in any of them is the
+/// kind a reviewer must see before merge.
+const BENCH_GUARDS: &[(&str, &str, Better)] = &[
+    ("BENCH_sweep.json", "repricing_speedup", Better::Higher),
+    ("BENCH_sweep.json", "two_phase.cells_per_sec", Better::Higher),
+    ("BENCH_serve.json", "warm_speedup", Better::Higher),
+    ("BENCH_serve.json", "warm.p50_us", Better::Lower),
+    (
+        "BENCH_serve.json",
+        "concurrency_sweep.p50_ratio_max_vs_solo",
+        Better::Lower,
+    ),
+];
+
+/// Follows a dot-path (`"warm.p50_us"`) into a JSON object tree.
+fn lookup_metric(v: &Json, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// Compares the working tree's `BENCH_*.json` snapshots against the ones
+/// committed at `HEAD` and exits nonzero if any guarded headline metric
+/// regressed by more than `threshold`. Skips — with a note, not a failure
+/// — files or metrics that are missing on either side, so the check is
+/// safe on fresh clones and across snapshot-schema changes.
+fn run_bench_diff(threshold: f64) {
+    let mut regressions = Vec::new();
+    let mut checked = 0usize;
+    for file in ["BENCH_sweep.json", "BENCH_serve.json"] {
+        let Ok(current_text) = std::fs::read_to_string(file) else {
+            println!("bench-diff: {file}: not in the working tree (bench not run); skipping");
+            continue;
+        };
+        let baseline_out = std::process::Command::new("git")
+            .args(["show", &format!("HEAD:{file}")])
+            .output();
+        let baseline_text = match baseline_out {
+            Ok(out) if out.status.success() => String::from_utf8_lossy(&out.stdout).into_owned(),
+            _ => {
+                println!("bench-diff: {file}: no committed baseline at HEAD; skipping");
+                continue;
+            }
+        };
+        let current = Json::parse(&current_text).unwrap_or_else(|e| {
+            eprintln!("bench-diff: {file}: working-tree snapshot is not JSON: {e}");
+            std::process::exit(1);
+        });
+        let baseline = Json::parse(&baseline_text).unwrap_or_else(|e| {
+            eprintln!("bench-diff: {file}: committed baseline is not JSON: {e}");
+            std::process::exit(1);
+        });
+        for &(guard_file, path, better) in BENCH_GUARDS {
+            if guard_file != file {
+                continue;
+            }
+            let (Some(base), Some(cur)) = (
+                lookup_metric(&baseline, path),
+                lookup_metric(&current, path),
+            ) else {
+                println!("bench-diff: {file}: {path}: missing on one side; skipping");
+                continue;
+            };
+            if base <= 0.0 {
+                println!("bench-diff: {file}: {path}: non-positive baseline {base}; skipping");
+                continue;
+            }
+            // Positive = got worse, as a fraction of the baseline.
+            let regression = match better {
+                Better::Higher => (base - cur) / base,
+                Better::Lower => (cur - base) / base,
+            };
+            checked += 1;
+            let verdict = if regression > threshold { "REGRESSED" } else { "ok" };
+            println!(
+                "bench-diff: {file}: {path}: {base:.3} -> {cur:.3} ({:+.1}%) {verdict}",
+                regression * 100.0
+            );
+            if regression > threshold {
+                regressions.push(format!("{file}: {path}"));
+            }
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench-diff: FAIL: {} metric(s) regressed past {:.0}%: {}",
+            regressions.len(),
+            threshold * 100.0,
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench-diff: OK ({checked} headline metrics within {:.0}% of the committed baselines)",
+        threshold * 100.0
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -842,8 +1063,18 @@ fn main() {
             };
             run_serve_chaos(&addr, seed);
         }
+        Some("bench-diff") => {
+            let threshold = match args.next() {
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid threshold {s:?}; expected a fraction like 0.15");
+                    std::process::exit(2);
+                }),
+                None => 0.15,
+            };
+            run_bench_diff(threshold);
+        }
         _ => {
-            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | serve-chaos <host:port> [seed]");
+            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | serve-chaos <host:port> [seed] | bench-diff [threshold]");
             eprintln!();
             eprintln!("  sweep        time a speed/size grid: direct per-cell simulation vs");
             eprintln!("               the two-phase record/replay pipeline (serial and");
@@ -856,6 +1087,9 @@ fn main() {
             eprintln!("               be bit-identical to an in-process Simulator::run");
             eprintln!("  serve-chaos  seeded fault-injection clients against a running");
             eprintln!("               ctserve; asserts recovery and zero store corruption");
+            eprintln!("  bench-diff   compare working-tree BENCH_*.json snapshots against");
+            eprintln!("               the ones committed at HEAD; exit nonzero if a headline");
+            eprintln!("               metric regressed past the threshold (default 15%)");
             std::process::exit(2);
         }
     }

@@ -2,14 +2,19 @@
 //! external crates, in keeping with the workspace's offline-build
 //! invariant.
 //!
-//! The shape is a fixed worker pool over a shared *connection* queue, not
-//! a thread-per-connection model: an accepted connection is pushed onto
-//! the queue, a worker pops it, reads **one** request (with a short idle
-//! timeout), responds, and re-queues the connection if it is keep-alive.
-//! Workers therefore interleave many slow keep-alive clients fairly even
-//! when `workers == 1` (the common case on this project's single-core
-//! hosts): an idle connection costs a worker at most
-//! [`IDLE_POLL`] before it moves on, instead of parking the pool.
+//! The transport is a **readiness-driven event loop** (see DESIGN.md §9):
+//! one loop thread owns every socket non-blockingly through the raw
+//! `epoll` shim in [`crate::poll`], driving a per-connection state
+//! machine ([`crate::conn`]) that tolerates partial reads and writes. An
+//! idle keep-alive connection costs *nothing* — it sits in the epoll set
+//! until bytes arrive — which is what flattens the old worker-pool
+//! design's concurrency cliff, where every parked connection taxed the
+//! pool a 10ms idle poll per rotation. Requests the loop can answer
+//! without blocking (warm replays, stats, errors) are served inline;
+//! anything that may block on the store — cold recordings and joins of
+//! in-flight recordings — is handed to a small handler pool
+//! ([`ServerConfig::workers`] threads) and the response is written when
+//! the loop is woken by a self-pipe.
 //!
 //! # Robustness (see DESIGN.md §7 for the full failure model)
 //!
@@ -17,36 +22,38 @@
 //!   least one byte of it) must finish sending within the request
 //!   deadline ([`crate::Limits::request_deadline`], lowered per request by
 //!   `X-Deadline-Ms`) or it is answered `408` and closed — a slowloris
-//!   peer costs at most one deadline, never a parked worker. The handler
-//!   and the response write run under the same budget (the write gets a
-//!   bounded `set_write_timeout`).
-//! * **Bounded queue.** The accept loop sheds connections past
-//!   [`ServerConfig::max_queue`] with an immediate `503 + Retry-After`
-//!   instead of queueing unboundedly.
-//! * **Panic isolation.** The handler runs under `catch_unwind`; a panic
-//!   becomes a `500` and the worker keeps serving (the store's in-flight
-//!   markers are panic-safe on their own, so no state is stranded).
+//!   peer costs one epoll registration and a timer, never a thread. A
+//!   response write that the peer refuses to drain is killed at a bounded
+//!   write deadline.
+//! * **Bounded connections.** Past [`ServerConfig::max_queue`] concurrent
+//!   connections, new arrivals are shed at accept with an immediate
+//!   canned `503 + Retry-After`.
+//! * **Panic isolation.** Handlers run under `catch_unwind` (inline on
+//!   the loop, and per job in the pool); a panic becomes a `500` and
+//!   serving continues. A `serve.write` fault panic drops the connection
+//!   without a response, exactly like the old write-phase isolation.
 //! * **Parse errors answer before closing.** Malformed requests get their
 //!   proper status (`400`/`413`/`431`) rather than a silent hangup; an
 //!   oversized `Content-Length` is refused at head-parse time, before any
 //!   body byte is read or buffered.
 //!
 //! Shutdown is cooperative: `POST /v1/shutdown` (or
-//! [`ServerHandle::shutdown`]) flips an atomic flag, wakes the queue, and
-//! unblocks the accept loop with a loopback connect; workers drain and
-//! join.
+//! [`ServerHandle::shutdown`]) flips an atomic flag and wakes the loop;
+//! the shutdown response is flushed first, then sockets close and the
+//! handler pool drains and joins.
 
+use crate::conn::{Connection, ReadEvent, WriteEvent};
+use crate::fault::FaultAction;
+use crate::poll::{Interest, Poller};
 use crate::{App, Limits, Response};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-
-/// How long a worker waits for bytes from an idle keep-alive connection
-/// before re-queuing it and serving someone else.
-const IDLE_POLL: Duration = Duration::from_millis(10);
 
 /// Cap on a request head (request line + headers), bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -54,18 +61,39 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// with `413` before any body byte is read.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
+/// The epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// The epoll token of the self-pipe the handler pool wakes the loop with.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection; tokens are never reused,
+/// so a stale completion can never reach a newer connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// The loop never sleeps longer than this, as a backstop against a lost
+/// wakeup; all real wakeups (I/O, completions, shutdown) arrive earlier
+/// via epoll or the self-pipe.
+const MAX_POLL: Duration = Duration::from_millis(250);
+
+/// Write budget when no request deadline applies (error responses to
+/// peers that never framed a request).
+const DEFAULT_WRITE_BUDGET: Duration = Duration::from_secs(5);
+
 /// Tuning for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `"127.0.0.1:8080"`; port 0 picks an ephemeral
     /// port (read it back from [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Worker threads; 0 means [`cachetime::sweep::available_jobs`].
+    /// Handler-pool threads for work that may block on the store (cold
+    /// recordings and joins); 0 means
+    /// [`cachetime::sweep::available_jobs`]. All socket I/O and warm
+    /// replays run on the event-loop thread regardless.
     pub workers: usize,
     /// Byte budget of the EventTrace store.
     pub store_budget_bytes: usize,
-    /// Connections the queue holds before the accept loop sheds new ones
-    /// with `503 + Retry-After`.
+    /// Concurrent connections held before new arrivals are shed at accept
+    /// with `503 + Retry-After` (the name predates the event loop, when
+    /// this bounded a literal connection queue).
     pub max_queue: usize,
     /// Per-request wall-clock budget in milliseconds (the `--request-deadline-ms`
     /// flag); clients lower it per request via `X-Deadline-Ms`.
@@ -127,19 +155,39 @@ pub enum Parsed {
     Incomplete,
 }
 
-/// A connection parked between requests, carrying any bytes already read
-/// and, once the first byte of a request has arrived, the instant the
-/// request's deadline clock started.
-struct Conn {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    started: Option<Instant>,
+/// A blocking job handed to the handler pool.
+struct Job {
+    token: u64,
+    req: Request,
+    deadline: Instant,
+}
+
+/// A finished job on its way back to the loop.
+struct Completion {
+    token: u64,
+    response: Response,
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Conn>>,
-    ready: Condvar,
     shutdown: AtomicBool,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the loop's self-pipe; one byte = one wakeup.
+    waker: UnixStream,
+}
+
+impl Shared {
+    fn wake(&self) {
+        // Non-blocking: if the pipe is full the loop is already awake.
+        let _ = (&self.waker).write(&[1]);
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.jobs_ready.notify_all();
+        self.wake();
+    }
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -166,10 +214,10 @@ impl ServerHandle {
 
     /// Requests shutdown; returns immediately. Safe to call repeatedly.
     pub fn shutdown(&self) {
-        request_shutdown(&self.shared, self.addr);
+        self.shared.request_shutdown();
     }
 
-    /// Blocks until the accept loop and every worker have exited.
+    /// Blocks until the event loop and every handler thread have exited.
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -177,18 +225,11 @@ impl ServerHandle {
     }
 }
 
-fn request_shutdown(shared: &Shared, addr: SocketAddr) {
-    shared.shutdown.store(true, Ordering::SeqCst);
-    shared.ready.notify_all();
-    // Unblock the accept loop; the accepted connection is discarded there.
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
-}
-
-/// Binds, spawns the accept loop and worker pool, and returns a handle.
+/// Binds, spawns the event loop and handler pool, and returns a handle.
 ///
 /// # Errors
 ///
-/// Any bind failure from the OS.
+/// Any bind failure from the OS, or epoll/self-pipe creation failure.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let app = Arc::new(App::new(config.store_budget_bytes).with_limits(limits_for(&config)));
     serve_with_app(config, app)
@@ -223,14 +264,25 @@ fn resolve_workers(configured: usize) -> usize {
 /// from `config`.
 pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = resolve_workers(config.workers);
-    let max_queue = config.max_queue.max(1);
+    let max_conns = config.max_queue.max(1);
+
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
-        ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        jobs: Mutex::new(VecDeque::new()),
+        jobs_ready: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        waker: wake_tx,
     });
+
+    let poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+    poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
 
     let mut threads = Vec::with_capacity(workers + 1);
     {
@@ -238,9 +290,22 @@ pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<Se
         let app = Arc::clone(&app);
         threads.push(
             std::thread::Builder::new()
-                .name("ctserve-accept".into())
-                .spawn(move || accept_loop(listener, &shared, &app, max_queue))
-                .expect("spawn accept loop"),
+                .name("ctserve-loop".into())
+                .spawn(move || {
+                    EventLoop {
+                        poller,
+                        listener,
+                        wake_rx,
+                        app,
+                        shared,
+                        conns: HashMap::new(),
+                        next_token: TOKEN_FIRST_CONN,
+                        max_conns,
+                        draining: false,
+                    }
+                    .run()
+                })
+                .expect("spawn event loop"),
         );
     }
     for i in 0..workers {
@@ -249,7 +314,7 @@ pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<Se
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ctserve-worker-{i}"))
-                .spawn(move || worker_loop(&shared, &app, addr))
+                .spawn(move || worker_loop(&shared, &app))
                 .expect("spawn worker"),
         );
     }
@@ -261,213 +326,507 @@ pub fn serve_with_app(config: ServerConfig, app: Arc<App>) -> std::io::Result<Se
     })
 }
 
-/// The canned response the accept loop sheds over-queue connections with
+/// The canned response the accept path sheds over-limit connections with
 /// (no allocation, no handler, bounded write).
 const QUEUE_FULL_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 29\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{\"error\":\"connection shed\"}\r\n";
 
-fn accept_loop(listener: TcpListener, shared: &Shared, app: &App, max_queue: usize) {
+/// A handler-pool thread: pops blocking jobs, runs them panic-isolated,
+/// posts completions, and wakes the loop.
+fn worker_loop(shared: &Shared, app: &App) {
     loop {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
+        let job = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let _ = stream.set_nodelay(true);
-                let mut q = shared.queue.lock().unwrap();
-                if q.len() >= max_queue {
-                    drop(q);
-                    // Shed: answer fast and hang up. The write is bounded
-                    // so a hostile peer cannot park the accept loop either.
-                    app.stats.shed.inc();
-                    app.stats.errors.inc();
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-                    let _ = stream.write_all(QUEUE_FULL_RESPONSE);
-                    continue;
-                }
-                q.push_back(Conn {
-                    stream,
-                    buf: Vec::new(),
-                    started: None,
-                });
-                drop(q);
-                shared.ready.notify_one();
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared, app: &App, addr: SocketAddr) {
-    loop {
-        let mut q = shared.queue.lock().unwrap();
-        let conn = loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            if let Some(c) = q.pop_front() {
-                break c;
-            }
-            q = shared.ready.wait(q).unwrap();
-        };
-        drop(q);
-        let mut conn = conn;
-        let read_budget = app.limits().request_deadline;
-        match read_request(&mut conn, read_budget) {
-            Ok(ReadOutcome::Request(req)) => {
-                let started = Instant::now();
-                let deadline = app.deadline_for(&req);
-                app.stats.in_flight.add(1);
-                let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    app.handle(&req)
-                })) {
-                    Ok(resp) => resp,
-                    Err(_) => {
-                        // The handler unwound. The store's in-flight guards
-                        // have already cleaned up; the worker survives and
-                        // the client learns it was the server's fault.
-                        app.stats.panics.inc();
-                        Response::error(500, "internal panic; worker recovered")
-                    }
-                };
-                app.stats.in_flight.add(-1);
-                app.stats
-                    .endpoint(&req.method, &req.path)
-                    .record(started.elapsed().as_micros() as u64);
-                if resp.status >= 400 {
-                    app.stats.errors.inc();
-                }
-                let keep = req.keep_alive && !resp.shutdown && resp.status != 500;
-                // The write phase is panic-isolated too (the serve.write
-                // fault point lives here): a panic drops the connection —
-                // possibly mid-response, which clients see as a torn read —
-                // but never kills the worker.
-                let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    app.faults().inject("serve.write");
-                    write_response(&mut conn.stream, &resp, keep, Some(deadline)).is_ok()
-                }))
-                .unwrap_or_else(|_| {
-                    app.stats.panics.inc();
-                    false
-                });
-                if resp.shutdown {
-                    request_shutdown(shared, addr);
                     return;
                 }
-                if ok && keep {
-                    requeue(shared, conn);
+                if let Some(j) = jobs.pop_front() {
+                    break j;
+                }
+                jobs = shared.jobs_ready.wait(jobs).unwrap();
+            }
+        };
+        app.stats.in_flight.add(1);
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            app.handle_blocking(&job.req, job.deadline)
+        }))
+        .unwrap_or_else(|_| {
+            // The handler unwound. The store's in-flight guards have
+            // already cleaned up; the pool survives and the client learns
+            // it was the server's fault.
+            app.stats.panics.inc();
+            Response::error(500, "internal panic; worker recovered")
+        });
+        app.stats.in_flight.add(-1);
+        shared.completions.lock().unwrap().push(Completion {
+            token: job.token,
+            response,
+        });
+        shared.wake();
+    }
+}
+
+/// Loop-side metadata for a request between dispatch and response write.
+struct ReqMeta {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    dispatched_at: Instant,
+    deadline: Instant,
+}
+
+/// One connection as the loop tracks it: the state machine plus the
+/// loop-side bookkeeping (registration, timers, offload metadata).
+struct ConnState {
+    conn: Connection<TcpStream>,
+    /// What is currently registered in epoll; `None` = unregistered
+    /// (dispatched or delay-parked connections sit outside the interest
+    /// set entirely, so a dead peer cannot spin the level-triggered loop).
+    registered: Option<Interest>,
+    /// Set while a job for this connection is in the handler pool.
+    pending: Option<ReqMeta>,
+    /// Kill the write if not flushed by then.
+    write_deadline: Option<Instant>,
+    /// Injected write delay: hold the response until then.
+    delay_until: Option<Instant>,
+    /// Flush, then stop the server (a `/v1/shutdown` response).
+    shutdown_after_write: bool,
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    app: Arc<App>,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+    max_conns: usize,
+    /// A shutdown response is being flushed; stop accepting, close
+    /// keep-alive connections as their writes finish.
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let next_timer = self.sweep_timers();
+            let timeout = next_timer
+                .map(|t| t.saturating_duration_since(Instant::now()))
+                .unwrap_or(MAX_POLL)
+                .min(MAX_POLL);
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => self.pump(token),
                 }
             }
-            Ok(ReadOutcome::Idle) => requeue(shared, conn),
-            Ok(ReadOutcome::Deadline) => {
-                // The peer started a request and never finished it within
-                // budget (slowloris or a stalled sender).
-                app.stats.timeouts.inc();
-                app.stats.errors.inc();
-                let resp = Response::error(408, "request not received within the deadline");
-                let _ = write_response(&mut conn.stream, &resp, false, None);
+            self.drain_completions();
+        }
+        // Teardown: wake the pool so every worker sees the flag, then drop
+        // the poller/listener/conns (closing all sockets).
+        self.shared.request_shutdown();
+    }
+
+    /// Fires expired read/write deadlines and due write delays; returns
+    /// the earliest future instant the loop must wake for.
+    fn sweep_timers(&mut self) -> Option<Instant> {
+        let now = Instant::now();
+        let read_budget = self.app.limits().request_deadline;
+        let mut next: Option<Instant> = None;
+        let mut expired_reads = Vec::new();
+        let mut expired_writes = Vec::new();
+        let mut due_delays = Vec::new();
+        for (&token, cs) in &self.conns {
+            let mut candidates: [Option<Instant>; 2] = [None, None];
+            if cs.conn.is_reading() {
+                if let Some(started) = cs.conn.started() {
+                    let expiry = started + read_budget;
+                    if expiry <= now {
+                        expired_reads.push(token);
+                        continue;
+                    }
+                    candidates[0] = Some(expiry);
+                }
+            } else if cs.conn.is_writing() {
+                if let Some(due) = cs.delay_until {
+                    if due <= now {
+                        due_delays.push(token);
+                        continue;
+                    }
+                    candidates[0] = Some(due);
+                }
+                if let Some(wd) = cs.write_deadline {
+                    if wd <= now {
+                        expired_writes.push(token);
+                        continue;
+                    }
+                    candidates[1] = Some(wd);
+                }
             }
-            Ok(ReadOutcome::Bad(e)) => {
-                // Malformed request: answer its proper status, then close.
-                app.stats.errors.inc();
-                let resp = Response::error(e.status, e.msg);
-                let _ = write_response(&mut conn.stream, &resp, false, None);
+            for t in candidates.into_iter().flatten() {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
+                }
             }
-            Ok(ReadOutcome::Closed) | Err(_) => {} // drop the connection
+        }
+        for token in expired_reads {
+            // The peer started a request and never finished it within
+            // budget (slowloris or a stalled sender).
+            self.app.stats.timeouts.inc();
+            self.app.stats.errors.inc();
+            self.respond_raw(
+                token,
+                &Response::error(408, "request not received within the deadline"),
+                false,
+            );
+            self.pump(token);
+        }
+        for token in expired_writes {
+            self.close_conn(token);
+        }
+        for token in due_delays {
+            if let Some(cs) = self.conns.get_mut(&token) {
+                cs.delay_until = None;
+            }
+            self.pump(token);
+        }
+        next
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    if self.draining || self.shared.shutdown.load(Ordering::SeqCst) {
+                        continue; // drop it; the server is going away
+                    }
+                    if self.conns.len() >= self.max_conns {
+                        // Shed: answer fast and hang up. The socket is
+                        // still blocking here, so bound the write to keep
+                        // a hostile peer from parking the loop.
+                        self.app.stats.shed.inc();
+                        self.app.stats.errors.inc();
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                        let _ = stream.write_all(QUEUE_FULL_RESPONSE);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        ConnState {
+                            conn: Connection::new(stream),
+                            registered: Some(Interest::READABLE),
+                            pending: None,
+                            write_deadline: None,
+                            delay_until: None,
+                            shutdown_after_write: false,
+                        },
+                    );
+                    // The request may already be in the socket buffer.
+                    self.pump(token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for c in done {
+            let Some(cs) = self.conns.get_mut(&c.token) else {
+                continue; // the connection died while its job ran
+            };
+            let Some(meta) = cs.pending.take() else {
+                continue;
+            };
+            self.finish_request(c.token, &meta, c.response);
+            self.pump(c.token);
+        }
+    }
+
+    /// Drives one connection forward — reads, parses, dispatches, writes —
+    /// until it parks (needs readiness, a timer, or a handler), closes, or
+    /// the buffer runs dry. Iterative, so a pipelined burst cannot recurse.
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(cs) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if cs.conn.is_closed() {
+                self.close_conn(token);
+                return;
+            }
+            if cs.conn.is_dispatched() {
+                return; // a handler owns it; the completion resumes us
+            }
+            if cs.conn.is_writing() {
+                let ev = cs.conn.on_writable(Instant::now());
+                let shutting = cs.shutdown_after_write;
+                match ev {
+                    WriteEvent::Flushed { keep } => {
+                        cs.write_deadline = None;
+                        cs.delay_until = None;
+                        if shutting {
+                            self.shared.request_shutdown();
+                            self.close_conn(token);
+                            return;
+                        }
+                        if !keep || self.draining {
+                            self.close_conn(token);
+                            return;
+                        }
+                        continue; // back to Reading; residual bytes may pipeline
+                    }
+                    WriteEvent::NeedWritable => {
+                        self.set_interest(token, Some(Interest::WRITABLE));
+                        return;
+                    }
+                    WriteEvent::Delayed(until) => {
+                        cs.delay_until = Some(until);
+                        // Nothing to wait on but time; leave epoll so a
+                        // dead peer cannot spin the level-triggered loop.
+                        self.set_interest(token, None);
+                        return;
+                    }
+                    WriteEvent::Disconnected => {
+                        if shutting {
+                            // The shutdown requester hung up early; the
+                            // order still stands.
+                            self.shared.request_shutdown();
+                        }
+                        self.close_conn(token);
+                        return;
+                    }
+                    WriteEvent::NotWriting => return,
+                }
+            }
+            // Reading.
+            match cs.conn.on_readable() {
+                ReadEvent::Request(req) => {
+                    self.handle_request(token, req);
+                    continue;
+                }
+                ReadEvent::NeedMore => {
+                    self.set_interest(token, Some(Interest::READABLE));
+                    return;
+                }
+                ReadEvent::Bad(e) => {
+                    // Malformed request: answer its proper status, then close.
+                    self.app.stats.errors.inc();
+                    self.respond_raw(token, &Response::error(e.status, e.msg), false);
+                    continue;
+                }
+                ReadEvent::Doa => {
+                    // The request's own X-Deadline-Ms was spent before it
+                    // finished arriving: 408 without touching the handler.
+                    self.app.stats.timeouts.inc();
+                    self.app.stats.errors.inc();
+                    self.respond_raw(
+                        token,
+                        &Response::error(408, "request not received within the deadline"),
+                        false,
+                    );
+                    continue;
+                }
+                ReadEvent::Disconnected => {
+                    self.close_conn(token);
+                    return;
+                }
+                ReadEvent::NotReading => return,
+            }
+        }
+    }
+
+    /// Routes a freshly parsed request: inline if the app can answer
+    /// without blocking, otherwise off to the handler pool.
+    fn handle_request(&mut self, token: u64, req: Request) {
+        let dispatched_at = Instant::now();
+        let deadline = self.app.deadline_for(&req);
+        let meta = ReqMeta {
+            method: req.method.clone(),
+            path: req.path.clone(),
+            keep_alive: req.keep_alive,
+            dispatched_at,
+            deadline,
+        };
+        self.app.stats.in_flight.add(1);
+        let inline = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.app.try_handle(&req, deadline)
+        }));
+        self.app.stats.in_flight.add(-1);
+        match inline {
+            Err(_) => {
+                self.app.stats.panics.inc();
+                let resp = Response::error(500, "internal panic; worker recovered");
+                self.finish_request(token, &meta, resp);
+            }
+            Ok(Some(resp)) => self.finish_request(token, &meta, resp),
+            Ok(None) => {
+                // Blocking work (a recording, or a join of one): hand it
+                // to the pool and deregister until the completion arrives.
+                if let Some(cs) = self.conns.get_mut(&token) {
+                    cs.pending = Some(meta);
+                }
+                self.set_interest(token, None);
+                self.shared.jobs.lock().unwrap().push_back(Job {
+                    token,
+                    req,
+                    deadline,
+                });
+                self.shared.jobs_ready.notify_one();
+            }
+        }
+    }
+
+    /// Accounts a handled request and queues its response on the
+    /// connection (the caller pumps afterwards).
+    fn finish_request(&mut self, token: u64, meta: &ReqMeta, resp: Response) {
+        self.app
+            .stats
+            .endpoint(&meta.method, &meta.path)
+            .record(meta.dispatched_at.elapsed().as_micros() as u64);
+        if resp.status >= 400 {
+            self.app.stats.errors.inc();
+        }
+        let keep = meta.keep_alive && !resp.shutdown && resp.status != 500;
+        // The serve.write fault point: a panic drops the connection —
+        // clients see a torn read — and a delay holds the response back
+        // via a timer instead of parking a thread.
+        let not_before = match self.app.faults().decide("serve.write") {
+            FaultAction::Proceed => None,
+            FaultAction::Delay(d) => Some(Instant::now() + d),
+            FaultAction::Panic => {
+                self.app.stats.panics.inc();
+                if resp.shutdown {
+                    self.shared.request_shutdown();
+                }
+                self.close_conn(token);
+                return;
+            }
+        };
+        let Some(cs) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let budget = meta
+            .deadline
+            .saturating_duration_since(Instant::now())
+            .clamp(Duration::from_millis(250), Duration::from_secs(10));
+        cs.write_deadline = Some(Instant::now() + budget);
+        cs.delay_until = not_before;
+        cs.shutdown_after_write = resp.shutdown;
+        if resp.shutdown {
+            self.draining = true;
+        }
+        cs.conn
+            .begin_response(encode_response(&resp, keep), keep, not_before);
+    }
+
+    /// Queues a transport-level response (408/4xx) outside any handled
+    /// request: no endpoint histogram, bounded default write budget.
+    fn respond_raw(&mut self, token: u64, resp: &Response, keep: bool) {
+        let Some(cs) = self.conns.get_mut(&token) else {
+            return;
+        };
+        cs.write_deadline = Some(Instant::now() + DEFAULT_WRITE_BUDGET);
+        cs.delay_until = None;
+        cs.conn.begin_response(encode_response(resp, keep), keep, None);
+    }
+
+    /// Reconciles the connection's epoll registration with `want`
+    /// (`None` = out of the set entirely).
+    fn set_interest(&mut self, token: u64, want: Option<Interest>) {
+        let Some(cs) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if cs.registered == want {
+            return;
+        }
+        let fd = cs.conn.transport().as_raw_fd();
+        let ok = match want {
+            Some(interest) => {
+                if cs.registered.is_some() {
+                    self.poller.modify(fd, token, interest)
+                } else {
+                    self.poller.add(fd, token, interest)
+                }
+            }
+            None => self.poller.remove(fd),
+        };
+        if ok.is_ok() {
+            cs.registered = want;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(cs) = self.conns.remove(&token) {
+            if cs.registered.is_some() {
+                let _ = self.poller.remove(cs.conn.transport().as_raw_fd());
+            }
+            // Dropping cs closes the socket.
         }
     }
 }
 
-fn requeue(shared: &Shared, conn: Conn) {
-    let mut q = shared.queue.lock().unwrap();
-    q.push_back(conn);
-    drop(q);
-    shared.ready.notify_one();
-}
-
-enum ReadOutcome {
-    /// A complete request was framed and drained from the buffer.
-    Request(Request),
-    /// No complete request yet; the peer is slow or idle. Re-queue.
-    Idle,
-    /// Clean EOF between requests.
-    Closed,
-    /// A partial request overstayed the request deadline — answer `408`.
-    Deadline,
-    /// The bytes cannot be a valid request — answer `e.status`.
-    Bad(ParseError),
-}
-
-/// Reads until one full request is buffered, the idle poll expires, or a
-/// partial request overstays `budget` (measured from its first byte, even
-/// across re-queues).
-fn read_request(conn: &mut Conn, budget: Duration) -> std::io::Result<ReadOutcome> {
-    conn.stream.set_read_timeout(Some(IDLE_POLL))?;
-    let mut chunk = [0u8; 4096];
-    loop {
-        match parse_request(&mut conn.buf) {
-            Err(e) => return Ok(ReadOutcome::Bad(e)),
-            Ok(Parsed::Request(req)) => {
-                // A request whose own X-Deadline-Ms budget is already
-                // gone by the time it framed — zero, or smaller than the
-                // time its bytes took to arrive — is dead on arrival:
-                // answer 408 now instead of starting handler work whose
-                // result could never be delivered in time.
-                let parse_elapsed = conn
-                    .started
-                    .map(|s| s.elapsed())
-                    .unwrap_or(Duration::ZERO);
-                if req
-                    .deadline_ms
-                    .is_some_and(|ms| Duration::from_millis(ms) <= parse_elapsed)
-                {
-                    return Ok(ReadOutcome::Deadline);
-                }
-                conn.started = if conn.buf.is_empty() {
-                    None
-                } else {
-                    // A pipelined successor is already buffered; its clock
-                    // starts now.
-                    Some(Instant::now())
-                };
-                return Ok(ReadOutcome::Request(req));
-            }
-            Ok(Parsed::Incomplete) => {}
-        }
-        if let Some(started) = conn.started {
-            if started.elapsed() > budget {
-                return Ok(ReadOutcome::Deadline);
-            }
-        }
-        match conn.stream.read(&mut chunk) {
-            Ok(0) => {
-                return if conn.buf.is_empty() {
-                    Ok(ReadOutcome::Closed)
-                } else {
-                    Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-request",
-                    ))
-                };
-            }
-            Ok(n) => {
-                if conn.buf.is_empty() && conn.started.is_none() {
-                    conn.started = Some(Instant::now());
-                }
-                conn.buf.extend_from_slice(&chunk[..n]);
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Ok(ReadOutcome::Idle);
-            }
-            Err(e) => return Err(e),
-        }
-    }
+/// Serializes a [`Response`] into the full HTTP/1.1 byte stream the state
+/// machine writes.
+fn encode_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let retry_after = match resp.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len(),
+        retry_after,
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + resp.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(resp.body.as_bytes());
+    out
 }
 
 /// Attempts to frame one request at the front of `buf`; on success the
@@ -555,49 +914,6 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    resp: &Response,
-    keep_alive: bool,
-    deadline: Option<Instant>,
-) -> std::io::Result<()> {
-    // Bound the write so a peer that stops reading cannot park the worker:
-    // whatever deadline budget remains, floored so an already-late error
-    // response still gets a brief chance to reach the peer.
-    let budget = deadline
-        .map(|dl| dl.saturating_duration_since(Instant::now()))
-        .unwrap_or(Duration::from_secs(5))
-        .clamp(Duration::from_millis(250), Duration::from_secs(10));
-    stream.set_write_timeout(Some(budget))?;
-    let reason = match resp.status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        408 => "Request Timeout",
-        413 => "Payload Too Large",
-        431 => "Request Header Fields Too Large",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
-    let retry_after = match resp.retry_after {
-        Some(secs) => format!("Retry-After: {secs}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
-        resp.status,
-        reason,
-        resp.content_type,
-        resp.body.len(),
-        retry_after,
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
@@ -703,5 +1019,19 @@ mod tests {
         // A runaway head with no terminator: 431 once past the cap.
         let mut buf = vec![b'A'; MAX_HEAD_BYTES + 1];
         assert_eq!(parse_request(&mut buf).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn encodes_responses_with_retry_after_and_connection_headers() {
+        let shed = Response::unavailable("busy");
+        let bytes = encode_response(&shed, false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let ok = Response::error(404, "nope");
+        let text = String::from_utf8(encode_response(&ok, true)).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"), "{text}");
     }
 }

@@ -13,8 +13,14 @@
 //! client can hold a key and replay against it for as long as the entry
 //! stays resident.
 //!
-//! Everything is hand-rolled on `std::net` HTTP/1.1 with a fixed worker
-//! pool — the workspace's zero-dependency invariant extends to the server.
+//! Everything is hand-rolled on `std::net` HTTP/1.1 — the workspace's
+//! zero-dependency invariant extends to the server, down to the raw
+//! `epoll` syscalls in [`poll`]. The transport is a readiness-driven
+//! event loop (one thread owns every socket; see [`http`] and DESIGN.md
+//! §9): warm replays and everything else non-blocking are answered inline
+//! by [`App::try_handle`], and only work that may block on the store —
+//! cold recordings and joins of in-flight ones — is handed to a small
+//! handler pool via [`App::handle_blocking`].
 //!
 //! # Endpoints
 //!
@@ -37,13 +43,17 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll shim in `poll` is the one module
+// allowed to opt back in, with per-block SAFETY comments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
+pub mod conn;
 pub mod fault;
 pub mod http;
+pub mod poll;
 pub mod stats;
 pub mod store;
 
@@ -54,7 +64,7 @@ use cachetime_obs::Registry;
 use cachetime_types::{json_object, Json};
 use fault::FaultPlan;
 use stats::ServerStats;
-use store::{Fetch, StoreMetrics, TraceStore};
+use store::{Fetch, StoreMetrics, TraceStore, TryGet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -146,6 +156,11 @@ impl Default for Limits {
     }
 }
 
+/// Lock domains in the server's trace store: warm replays of different
+/// keys proceed in parallel instead of serializing on one store mutex.
+/// Eight shards is plenty for the handler pool sizes `ctserve` runs.
+const STORE_SHARDS: usize = 8;
+
 /// The application state: the trace store plus observability counters.
 /// Shared by every worker; all methods are `&self` and thread-safe.
 pub struct App {
@@ -175,8 +190,9 @@ impl App {
     /// recorded there (core phase spans, sweep timings, ...).
     pub fn with_registry(store_budget_bytes: usize, registry: Arc<Registry>) -> Self {
         App {
-            store: TraceStore::with_metrics(
+            store: TraceStore::sharded_with_metrics(
                 store_budget_bytes,
+                STORE_SHARDS,
                 StoreMetrics::in_registry(&registry),
             ),
             stats: ServerStats::in_registry(&registry),
@@ -237,14 +253,44 @@ impl App {
     /// Routes one request. Infallible: every failure becomes a JSON error
     /// response with the appropriate status.
     ///
+    /// Equivalent to [`try_handle`](Self::try_handle) followed by
+    /// [`handle_blocking`](Self::handle_blocking) on `None` — which is
+    /// exactly how the event loop splits it across threads; in-process
+    /// callers (tests, the bench harness) just call this.
+    ///
     /// # Panics
     ///
     /// Only via an armed fault plan (the transport's `catch_unwind` turns
     /// that into a `500`); production plans are inert.
     pub fn handle(&self, req: &Request) -> Response {
         let deadline = self.deadline_for(req);
+        match self.try_handle(req, deadline) {
+            Some(resp) => resp,
+            None => self.handle_blocking(req, deadline),
+        }
+    }
+
+    /// The non-blocking half of [`handle`](Self::handle): answers
+    /// everything that cannot block on the store — health, stats, metrics,
+    /// shutdown, routing and parse errors, *warm* simulates and replays —
+    /// and returns `None` for work that might (a cold recording, or a join
+    /// of one already in flight). The event loop runs this inline on the
+    /// loop thread; `None` means "hand the request to the pool".
+    ///
+    /// Counting discipline: the store's `try_get` counts a lookup only on
+    /// a hit, so a request that falls through to
+    /// [`handle_blocking`](Self::handle_blocking) is counted exactly once
+    /// there (miss/coalesced/shed/absent), never double.
+    ///
+    /// # Panics
+    ///
+    /// Only via an armed fault plan — `serve.handle` fires here (once per
+    /// request; the blocking half never re-injects it).
+    pub fn try_handle(&self, req: &Request, _deadline: Instant) -> Option<Response> {
+        // The deadline rides along for signature parity with
+        // `handle_blocking`; nothing inline waits, so nothing checks it.
         self.faults.inject("serve.handle");
-        match (req.method.as_str(), req.path.as_str()) {
+        Some(match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::ok(json_object([(
                 "status",
                 if self.is_degraded() { "degraded" } else { "ok" },
@@ -258,15 +304,115 @@ impl App {
                 self.stats.degraded.set(self.is_degraded() as i64);
                 Response::ok_text(self.registry.render_prometheus())
             }
-            ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
-            ("POST", "/v1/replay") => self.replay(&req.body, deadline),
+            ("POST", "/v1/simulate") => return self.try_simulate(&req.body),
+            ("POST", "/v1/replay") => return self.try_replay(&req.body),
             ("POST", "/v1/shutdown") => Response {
                 shutdown: true,
                 ..Response::ok(json_object([("status", "shutting down")]))
             },
             ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(405, "method not allowed"),
+        })
+    }
+
+    /// The blocking half of [`handle`](Self::handle): runs the request to
+    /// completion, waiting on or performing recordings as needed. Only
+    /// ever called after [`try_handle`](Self::try_handle) returned `None`,
+    /// so only simulate/replay can land here; it does not re-inject
+    /// `serve.handle`.
+    pub fn handle_blocking(&self, req: &Request, deadline: Instant) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
+            ("POST", "/v1/replay") => self.replay(&req.body, deadline),
+            // try_handle answers every other route inline.
+            _ => Response::error(404, "no such endpoint"),
         }
+    }
+
+    /// The warm-path simulate: answered inline iff the pairing's trace is
+    /// resident. Parse and validation errors are also answered inline —
+    /// they never block.
+    fn try_simulate(&self, body: &[u8]) -> Option<Response> {
+        let v = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return Some(resp),
+        };
+        let config = match api::system_config_from_json(v.get("config")) {
+            Ok(c) => c,
+            Err(msg) => return Some(Response::error(400, &msg)),
+        };
+        let workload = match api::workload_from_json(v.get("trace")) {
+            Ok(w) => w,
+            Err(msg) => return Some(Response::error(400, &msg)),
+        };
+        let org = config.organization();
+        let key = keyed::trace_key(&org, &workload);
+        let TryGet::Ready(events) = self.store.try_get(key) else {
+            return None; // cold or in flight: the pool records/joins
+        };
+        Some(match cachetime::replay(&events, &config) {
+            Ok(result) => Response::ok(json_object([
+                ("key", Json::Str(api::key_hex(key))),
+                ("cached", Json::Bool(true)),
+                ("result", api::sim_result_to_json(&result)),
+            ])),
+            // Unreachable unless two pairings collide on the 64-bit key.
+            Err(e) => Response::error(500, &e.to_string()),
+        })
+    }
+
+    /// The warm-path replay: answered inline iff the key's trace is
+    /// resident. `Absent` also defers to the pool so the store's
+    /// absent-lookup counting happens exactly once, in `replay`.
+    fn try_replay(&self, body: &[u8]) -> Option<Response> {
+        let v = match parse_body(body) {
+            Ok(v) => v,
+            Err(resp) => return Some(resp),
+        };
+        let key = match v.get("key").and_then(Json::as_str) {
+            Some(s) => match api::parse_key_hex(s) {
+                Ok(k) => k,
+                Err(msg) => return Some(Response::error(400, &msg)),
+            },
+            None => return Some(Response::error(400, "key (hex string) is required")),
+        };
+        let cts = match v.get("cycle_times_ns").and_then(Json::as_array) {
+            Some(a) if !a.is_empty() => a,
+            _ => return Some(Response::error(400, "cycle_times_ns must be a non-empty array")),
+        };
+        let base = match api::system_config_from_json(v.get("timing")) {
+            Ok(c) => c.timing(),
+            Err(msg) => return Some(Response::error(400, &msg)),
+        };
+        let mut timings = Vec::with_capacity(cts.len());
+        for ct in cts {
+            let Some(ns) = ct.as_u64() else {
+                return Some(Response::error(400, "cycle_times_ns entries must be integers"));
+            };
+            let ns = match u32::try_from(ns)
+                .ok()
+                .and_then(|n| cachetime_types::CycleTime::from_ns(n).ok())
+            {
+                Some(ct) => ct,
+                None => return Some(Response::error(400, "cycle time out of range")),
+            };
+            let mut t = base;
+            t.cycle_time = ns;
+            timings.push(t);
+        }
+        let TryGet::Ready(events) = self.store.try_get(key) else {
+            return None; // in flight (join it) or absent (count + 404)
+        };
+        Some(match keyed::replay_timings(&events, &timings) {
+            Ok(results) => Response::ok(json_object([
+                ("key", Json::Str(api::key_hex(key))),
+                (
+                    "results",
+                    Json::Array(results.iter().map(api::sim_result_to_json).collect()),
+                ),
+            ])),
+            Err(e) => Response::error(400, &e.to_string()),
+        })
     }
 
     /// `POST /v1/simulate`: full config + workload → one `SimResult`.

@@ -94,9 +94,12 @@ impl ServerStats {
             (
                 "store",
                 json_object([
+                    ("lookups", Json::UInt(s.lookups)),
                     ("hits", Json::UInt(s.hits)),
                     ("misses", Json::UInt(s.misses)),
                     ("coalesced", Json::UInt(s.coalesced)),
+                    ("shed", Json::UInt(s.shed)),
+                    ("absent", Json::UInt(s.absent)),
                     ("evictions", Json::UInt(s.evictions)),
                     ("entries", Json::UInt(s.entries as u64)),
                     ("bytes", Json::UInt(s.bytes as u64)),

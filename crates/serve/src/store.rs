@@ -3,21 +3,34 @@
 //! Keys are the stable [`cachetime::keyed::trace_key`] digests of
 //! `(organization, workload)` pairings, so the same logical request always
 //! lands on the same entry — across connections, clients, and server
-//! restarts. Three properties the server depends on:
+//! restarts. Four properties the server depends on:
 //!
 //! * **Single-flight recording.** The first request for a missing key
 //!   inserts an in-flight marker and records *outside* the store lock;
 //!   concurrent requests for the same key block on a condition variable
 //!   and share the one recording instead of redoing the linear-in-trace
 //!   work. Distinct keys never wait on each other.
+//! * **Shard-locked reads.** The map is split into power-of-two shards
+//!   (key-hash addressed), each with its own mutex and condvar, so warm
+//!   replays on different keys never serialize on one global lock and a
+//!   recording in one shard never blocks a hit in another. A store built
+//!   with [`TraceStore::new`]/[`with_metrics`](TraceStore::with_metrics)
+//!   has a single shard — exact global LRU semantics — while the server
+//!   uses [`TraceStore::sharded`], which splits the byte budget evenly
+//!   and runs LRU per shard (approximate global recency, same bound).
 //! * **Byte-budgeted LRU.** Entries are charged their
-//!   [`EventTrace::approx_bytes`]; when an insertion pushes the total over
-//!   budget, least-recently-used entries are evicted until it fits (the
-//!   entry being inserted is exempt, so a single oversized trace still
-//!   serves its own request). Recency lives in an ordered `clock → key`
-//!   index, so each eviction is O(log n) instead of a full map rescan.
+//!   [`EventTrace::approx_bytes`]; when an insertion pushes a shard over
+//!   its budget, its least-recently-used entries are evicted until it
+//!   fits (the entry being inserted is exempt, so a single oversized
+//!   trace still serves its own request). Recency lives in an ordered
+//!   `clock → key` index, so each eviction is O(log n).
 //! * **Panic safety.** If a recording panics, its in-flight marker is
 //!   removed and waiters are woken to retry, rather than hanging forever.
+//!
+//! Every lookup counts in **exactly one** of five disjoint buckets —
+//! `hits`, `misses`, `coalesced`, `shed`, `absent` — and `lookups` counts
+//! them all, so `hits + misses + coalesced + shed + absent == lookups`
+//! holds at every quiescent instant (the storm tests assert it exactly).
 //!
 //! All counters are [`cachetime_obs`] metrics. A bare
 //! [`TraceStore::new`] keeps them private; [`TraceStore::with_metrics`]
@@ -47,6 +60,19 @@ pub enum Fetch {
     TimedOut,
 }
 
+/// Outcome of the non-blocking [`TraceStore::try_get`] — the event loop's
+/// inline warm path.
+#[derive(Debug)]
+pub enum TryGet {
+    /// Resident: served under one brief shard lock, counted as a hit.
+    Ready(Arc<EventTrace>),
+    /// A recording of this key is running; joining it would block.
+    /// Nothing is counted — the caller's blocking retry counts instead.
+    InFlight,
+    /// Never recorded or evicted. Nothing is counted (see `InFlight`).
+    Absent,
+}
+
 /// Marker error from [`TraceStore::get_within`]: the deadline passed
 /// while an in-flight recording of the key was still running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,14 +81,22 @@ pub struct DeadlineExceeded;
 /// A point-in-time snapshot of the store's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
+    /// Every lookup (`fetch_or_record`, `get`, `get_within`, a terminal
+    /// `try_get`); the sum of the five disjoint outcome counters below.
+    pub lookups: u64,
     /// Lookups answered from an already-resident entry. Disjoint from
     /// `coalesced`: a lookup counts exactly once, whichever way it was
     /// served.
     pub hits: u64,
     /// Lookups that had to record (first request for a key).
     pub misses: u64,
-    /// Lookups that joined another request's in-flight recording.
+    /// Lookups that joined another request's in-flight recording,
+    /// whatever happened after the wait (served, timed out, re-recorded).
     pub coalesced: u64,
+    /// Lookups refused by recording admission control.
+    pub shed: u64,
+    /// Read-only lookups of a key that was never recorded or was evicted.
+    pub absent: u64,
     /// Entries evicted to respect the byte budget.
     pub evictions: u64,
     /// Resident entries right now.
@@ -73,14 +107,25 @@ pub struct StoreStats {
     pub in_flight: usize,
 }
 
+impl StoreStats {
+    /// The exact-balance invariant the storm tests pin:
+    /// every lookup landed in exactly one outcome bucket.
+    pub fn lookups_balance(&self) -> bool {
+        self.hits + self.misses + self.coalesced + self.shed + self.absent == self.lookups
+    }
+}
+
 /// The store's counters and gauges, as shared metric handles. Mutations
-/// happen under the store lock (so snapshots are coherent); reads are
-/// lock-free from anywhere, including a registry scrape.
+/// happen under a shard lock (so per-shard snapshots are coherent); reads
+/// are lock-free from anywhere, including a registry scrape.
 #[derive(Clone)]
 pub struct StoreMetrics {
+    lookups: Arc<Counter>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     coalesced: Arc<Counter>,
+    shed: Arc<Counter>,
+    absent: Arc<Counter>,
     evictions: Arc<Counter>,
     entries: Arc<Gauge>,
     bytes: Arc<Gauge>,
@@ -92,9 +137,12 @@ impl StoreMetrics {
     /// families — what `GET /v1/metrics` exposes.
     pub fn in_registry(registry: &Registry) -> Self {
         StoreMetrics {
+            lookups: registry.counter("cachetime_store_lookups_total", &[]),
             hits: registry.counter("cachetime_store_hits_total", &[]),
             misses: registry.counter("cachetime_store_misses_total", &[]),
             coalesced: registry.counter("cachetime_store_coalesced_total", &[]),
+            shed: registry.counter("cachetime_store_shed_total", &[]),
+            absent: registry.counter("cachetime_store_absent_total", &[]),
             evictions: registry.counter("cachetime_store_evictions_total", &[]),
             entries: registry.gauge("cachetime_store_entries", &[]),
             bytes: registry.gauge("cachetime_store_bytes", &[]),
@@ -105,9 +153,12 @@ impl StoreMetrics {
     /// Private handles for a store that is not exposed via a registry.
     fn standalone() -> Self {
         StoreMetrics {
+            lookups: Arc::new(Counter::new()),
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             coalesced: Arc::new(Counter::new()),
+            shed: Arc::new(Counter::new()),
+            absent: Arc::new(Counter::new()),
             evictions: Arc::new(Counter::new()),
             entries: Arc::new(Gauge::new()),
             bytes: Arc::new(Gauge::new()),
@@ -117,7 +168,7 @@ impl StoreMetrics {
 }
 
 enum Slot {
-    /// A recording is running on some thread; wait on the store condvar.
+    /// A recording is running on some thread; wait on the shard condvar.
     InFlight,
     Ready {
         events: Arc<EventTrace>,
@@ -137,11 +188,36 @@ struct Inner {
     bytes: usize,
 }
 
+/// One lock domain: a slice of the key space with its own mutex, condvar,
+/// and byte budget.
+struct Shard {
+    inner: Mutex<Inner>,
+    /// Signaled whenever an in-flight recording in this shard completes
+    /// (or aborts).
+    done: Condvar,
+    budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Self {
+        Shard {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            done: Condvar::new(),
+            budget,
+        }
+    }
+}
+
 /// See the [module docs](self).
 pub struct TraceStore {
-    inner: Mutex<Inner>,
-    /// Signaled whenever an in-flight recording completes (or aborts).
-    done: Condvar,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
     budget: usize,
     metrics: StoreMetrics,
 }
@@ -150,6 +226,7 @@ pub struct TraceStore {
 /// unwinds; disarmed on success.
 struct InFlightGuard<'a> {
     store: &'a TraceStore,
+    shard: &'a Shard,
     key: u64,
     armed: bool,
 }
@@ -157,20 +234,21 @@ struct InFlightGuard<'a> {
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut inner = self.store.inner.lock().unwrap();
+            let mut inner = self.shard.inner.lock().unwrap();
             if matches!(inner.map.get(&self.key), Some(Slot::InFlight)) {
                 inner.map.remove(&self.key);
             }
             drop(inner);
             self.store.metrics.in_flight.add(-1);
-            self.store.done.notify_all();
+            self.shard.done.notify_all();
         }
     }
 }
 
 impl TraceStore {
-    /// An empty store that will keep at most `budget_bytes` of recorded
-    /// traces resident (approximate, see [`EventTrace::approx_bytes`]).
+    /// An empty single-shard store that will keep at most `budget_bytes`
+    /// of recorded traces resident (approximate, see
+    /// [`EventTrace::approx_bytes`]). One shard means exact global LRU.
     pub fn new(budget_bytes: usize) -> Self {
         Self::with_metrics(budget_bytes, StoreMetrics::standalone())
     }
@@ -178,22 +256,50 @@ impl TraceStore {
     /// [`new`](Self::new), but counting into the caller's metric handles
     /// (typically [`StoreMetrics::in_registry`]).
     pub fn with_metrics(budget_bytes: usize, metrics: StoreMetrics) -> Self {
+        Self::sharded_with_metrics(budget_bytes, 1, metrics)
+    }
+
+    /// A store split into `shards` lock domains (rounded up to a power of
+    /// two) so concurrent lookups of different keys never contend. The
+    /// byte budget is divided evenly; LRU runs per shard.
+    pub fn sharded(budget_bytes: usize, shards: usize) -> Self {
+        Self::sharded_with_metrics(budget_bytes, shards, StoreMetrics::standalone())
+    }
+
+    /// [`sharded`](Self::sharded) with caller-supplied metric handles.
+    pub fn sharded_with_metrics(budget_bytes: usize, shards: usize, metrics: StoreMetrics) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        // Saturating per-shard split: an unbounded store (usize::MAX)
+        // must stay unbounded per shard, not wrap to something finite.
+        let per_shard = if budget_bytes == usize::MAX {
+            usize::MAX
+        } else {
+            budget_bytes / n
+        };
         TraceStore {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                lru: BTreeMap::new(),
-                clock: 0,
-                bytes: 0,
-            }),
-            done: Condvar::new(),
+            shards: (0..n).map(|_| Shard::new(per_shard)).collect(),
+            mask: n - 1,
             budget: budget_bytes,
             metrics,
         }
     }
 
-    /// The configured byte budget.
+    /// The configured total byte budget.
     pub fn budget_bytes(&self) -> usize {
         self.budget
+    }
+
+    /// How many lock domains the key space is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`. Trace keys are already well-mixed digests,
+    /// but a cheap multiplicative remix keeps adversarially-shaped keys
+    /// (unit tests use small integers) from piling into one shard.
+    fn shard(&self, key: u64) -> &Shard {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize & self.mask]
     }
 
     /// Returns the entry for `key`, recording it via `record` exactly once
@@ -238,7 +344,9 @@ impl TraceStore {
     where
         F: FnOnce() -> EventTrace,
     {
-        let mut inner = self.inner.lock().unwrap();
+        self.metrics.lookups.inc();
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
         let mut counted_coalesce = false;
         loop {
             match inner.map.get(&key) {
@@ -249,7 +357,7 @@ impl TraceStore {
                     if !counted_coalesce {
                         self.metrics.hits.inc();
                     }
-                    return Fetch::Ready(self.touch(&mut inner, key), true);
+                    return Fetch::Ready(Self::touch(&mut inner, key), true);
                 }
                 Some(Slot::InFlight) => {
                     if !counted_coalesce {
@@ -259,22 +367,31 @@ impl TraceStore {
                     // Wait for whichever thread owns the recording; the
                     // loop re-examines the slot (it may be Ready, absent
                     // after a panic, or even evicted — then we record).
-                    match Self::wait_done(&self.done, inner, deadline) {
+                    match Self::wait_done(&shard.done, inner, deadline) {
                         Ok(g) => inner = g,
                         Err(()) => return Fetch::TimedOut,
                     }
                 }
                 None => {
                     if self.metrics.in_flight.get_unsigned() >= max_inflight as u64 {
+                        // A waiter that woke to an aborted recording and
+                        // then found no admission slot stays classified
+                        // as coalesced; only a direct refusal counts shed.
+                        if !counted_coalesce {
+                            self.metrics.shed.inc();
+                        }
                         return Fetch::Shed;
                     }
                     inner.map.insert(key, Slot::InFlight);
-                    self.metrics.misses.inc();
+                    if !counted_coalesce {
+                        self.metrics.misses.inc();
+                    }
                     self.metrics.in_flight.add(1);
                     drop(inner);
 
                     let mut guard = InFlightGuard {
                         store: self,
+                        shard,
                         key,
                         armed: true,
                     };
@@ -283,7 +400,7 @@ impl TraceStore {
                     drop(guard);
 
                     let bytes = events.approx_bytes();
-                    let mut inner = self.inner.lock().unwrap();
+                    let mut inner = shard.inner.lock().unwrap();
                     inner.clock += 1;
                     let clock = inner.clock;
                     inner.map.insert(
@@ -297,11 +414,11 @@ impl TraceStore {
                     inner.lru.insert(clock, key);
                     inner.bytes += bytes;
                     self.metrics.in_flight.add(-1);
-                    self.evict_over_budget(&mut inner, key);
-                    self.metrics.entries.set(inner.lru.len() as i64);
-                    self.metrics.bytes.set(inner.bytes as i64);
+                    self.metrics.entries.add(1);
+                    self.metrics.bytes.add(bytes as i64);
+                    self.evict_over_budget(shard, &mut inner, key);
                     drop(inner);
-                    self.done.notify_all();
+                    shard.done.notify_all();
                     return Fetch::Ready(events, false);
                 }
             }
@@ -329,6 +446,24 @@ impl TraceStore {
         }
     }
 
+    /// Non-blocking lookup: one brief shard lock, never a condvar wait.
+    /// The event loop serves [`TryGet::Ready`] inline and offloads the
+    /// other outcomes to a handler thread, whose *blocking* lookup does
+    /// the lookup accounting — so only the terminal `Ready` counts here.
+    pub fn try_get(&self, key: u64) -> TryGet {
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
+        match inner.map.get(&key) {
+            Some(Slot::Ready { .. }) => {
+                self.metrics.lookups.inc();
+                self.metrics.hits.inc();
+                TryGet::Ready(Self::touch(&mut inner, key))
+            }
+            Some(Slot::InFlight) => TryGet::InFlight,
+            None => TryGet::Absent,
+        }
+    }
+
     /// Returns the entry for `key` if it is resident (joining an in-flight
     /// recording first, if one is running); `None` if the store has never
     /// recorded it or has evicted it.
@@ -349,7 +484,9 @@ impl TraceStore {
         key: u64,
         deadline: Option<Instant>,
     ) -> Result<Option<Arc<EventTrace>>, DeadlineExceeded> {
-        let mut inner = self.inner.lock().unwrap();
+        self.metrics.lookups.inc();
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
         let mut counted_coalesce = false;
         loop {
             match inner.map.get(&key) {
@@ -357,30 +494,35 @@ impl TraceStore {
                     if !counted_coalesce {
                         self.metrics.hits.inc();
                     }
-                    return Ok(Some(self.touch(&mut inner, key)));
+                    return Ok(Some(Self::touch(&mut inner, key)));
                 }
                 Some(Slot::InFlight) => {
                     if !counted_coalesce {
                         self.metrics.coalesced.inc();
                         counted_coalesce = true;
                     }
-                    match Self::wait_done(&self.done, inner, deadline) {
+                    match Self::wait_done(&shard.done, inner, deadline) {
                         Ok(g) => inner = g,
                         Err(()) => return Err(DeadlineExceeded),
                     }
                 }
-                None => return Ok(None),
+                None => {
+                    if !counted_coalesce {
+                        self.metrics.absent.inc();
+                    }
+                    return Ok(None);
+                }
             }
         }
     }
 
     /// Marks a Ready entry used now and returns its trace. Callers must
-    /// have just observed the slot as Ready under the same lock, and are
-    /// responsible for counting the lookup (hit vs. coalesce) — the old
-    /// count-a-hit-here behavior double-counted waiters that had already
-    /// counted as coalesced, which is what made
+    /// have just observed the slot as Ready under the same shard lock, and
+    /// are responsible for counting the lookup (hit vs. coalesce) — the
+    /// old count-a-hit-here behavior double-counted waiters that had
+    /// already counted as coalesced, which is what made
     /// `same_key_storm_records_exactly_once` flaky.
-    fn touch(&self, inner: &mut Inner, key: u64) -> Arc<EventTrace> {
+    fn touch(inner: &mut Inner, key: u64) -> Arc<EventTrace> {
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&key) {
@@ -398,13 +540,13 @@ impl TraceStore {
     }
 
     /// Evicts least-recently-used Ready entries (never `keep`, never
-    /// in-flight markers) until the charged bytes fit the budget.
+    /// in-flight markers) until the shard's charged bytes fit its budget.
     ///
     /// Victim selection walks the ordered recency index from its oldest
     /// end — O(log n) per victim — instead of rescanning the whole map,
-    /// which made heavy churn O(n²) inside the global lock.
-    fn evict_over_budget(&self, inner: &mut Inner, keep: u64) {
-        while inner.bytes > self.budget {
+    /// which made heavy churn O(n²) inside the lock.
+    fn evict_over_budget(&self, shard: &Shard, inner: &mut Inner, keep: u64) {
+        while inner.bytes > shard.budget {
             // The only entry ever skipped is `keep` itself, so this scan
             // inspects at most two index entries.
             let victim = inner
@@ -417,6 +559,8 @@ impl TraceStore {
             if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&k) {
                 inner.bytes -= bytes;
                 self.metrics.evictions.inc();
+                self.metrics.entries.add(-1);
+                self.metrics.bytes.add(-(bytes as i64));
             }
         }
     }
@@ -426,9 +570,12 @@ impl TraceStore {
     pub fn stats(&self) -> StoreStats {
         let m = &self.metrics;
         StoreStats {
+            lookups: m.lookups.get(),
             hits: m.hits.get(),
             misses: m.misses.get(),
             coalesced: m.coalesced.get(),
+            shed: m.shed.get(),
+            absent: m.absent.get(),
             evictions: m.evictions.get(),
             entries: m.entries.get_unsigned() as usize,
             bytes: m.bytes.get_unsigned() as usize,
@@ -462,6 +609,8 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.lookups, 2);
+        assert!(s.lookups_balance());
         assert!(s.bytes > 0);
     }
 
@@ -495,7 +644,10 @@ mod tests {
         ));
         tx.send(()).unwrap();
         assert!(matches!(blocker.join().unwrap(), Fetch::Ready(_, false)));
-        assert_eq!(store.stats().in_flight, 0);
+        let s = store.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.shed, 1);
+        assert!(s.lookups_balance());
     }
 
     #[test]
@@ -530,15 +682,48 @@ mod tests {
         tx.send(()).unwrap();
         assert!(matches!(blocker.join().unwrap(), Fetch::Ready(_, false)));
         assert!(store.get(9).is_some());
-        assert!(store.stats().coalesced >= 1);
+        let s = store.stats();
+        assert!(s.coalesced >= 1);
+        assert!(s.lookups_balance(), "timed-out waiters stay coalesced: {s:?}");
     }
 
     #[test]
     fn get_misses_on_unknown_key() {
         let store = TraceStore::new(usize::MAX);
         assert!(store.get(42).is_none());
+        assert_eq!(store.stats().absent, 1);
         store.get_or_record(42, || tiny_trace(1));
         assert!(store.get(42).is_some());
+        assert!(store.stats().lookups_balance());
+    }
+
+    #[test]
+    fn try_get_never_blocks_and_counts_only_hits() {
+        let store = Arc::new(TraceStore::new(usize::MAX));
+        assert!(matches!(store.try_get(7), TryGet::Absent));
+        assert_eq!(store.stats().lookups, 0, "a non-terminal probe is not a lookup");
+        store.get_or_record(7, || tiny_trace(7));
+        assert!(matches!(store.try_get(7), TryGet::Ready(_)));
+        // An in-flight key reports InFlight instantly instead of joining.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let blocker = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                store.get_or_record(8, move || {
+                    rx.recv().unwrap();
+                    tiny_trace(8)
+                })
+            })
+        };
+        while store.stats().in_flight == 0 {
+            std::thread::yield_now();
+        }
+        assert!(matches!(store.try_get(8), TryGet::InFlight));
+        tx.send(()).unwrap();
+        blocker.join().unwrap();
+        let s = store.stats();
+        assert_eq!(s.hits, 1, "only the terminal try_get counts a hit");
+        assert!(s.lookups_balance());
     }
 
     #[test]
@@ -575,7 +760,7 @@ mod tests {
         // mixed workload of inserts and touches against a reference LRU
         // model and require identical eviction counts and residency at
         // every step. The indexed evictor must be a pure speedup, never
-        // a policy change.
+        // a policy change. (Single shard: global LRU is exact.)
         let one = tiny_trace(0).approx_bytes();
         const CAPACITY: usize = 8; // entries the budget can hold
         let store = TraceStore::new(one * CAPACITY + one / 2);
@@ -612,6 +797,31 @@ mod tests {
             assert!(store.get(key).is_some(), "key {key} wrongly evicted");
         }
         assert!(model_evictions > 100, "the workload must actually churn");
+        assert!(store.stats().lookups_balance());
+    }
+
+    #[test]
+    fn sharded_store_isolates_keys_and_splits_the_budget() {
+        let one = tiny_trace(1).approx_bytes();
+        let store = TraceStore::sharded(one * 8, 4);
+        assert_eq!(store.shard_count(), 4);
+        // Fill across shards; totals aggregate across all of them.
+        for key in 0..8u64 {
+            store.get_or_record(key, || tiny_trace(key));
+        }
+        let s = store.stats();
+        assert_eq!(s.misses, 8);
+        assert!(s.entries >= 4, "per-shard budgets keep at least the keep-entry");
+        assert!(s.lookups_balance());
+        // A resident key on any shard still hits.
+        let mut hits = 0;
+        for key in 0..8u64 {
+            if matches!(store.try_get(key), TryGet::Ready(_)) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 4);
+        assert!(store.stats().lookups_balance());
     }
 
     #[test]
@@ -655,6 +865,8 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.coalesced, 1);
         assert_eq!(s.hits, 0, "a coalesced join must not also count as a hit");
+        assert_eq!(s.lookups, 2);
+        assert!(s.lookups_balance());
     }
 
     #[test]
@@ -671,5 +883,6 @@ mod tests {
         let (_, hit) = store.get_or_record(5, || tiny_trace(5));
         assert!(!hit);
         assert_eq!(store.stats().in_flight, 0);
+        assert!(store.stats().lookups_balance());
     }
 }

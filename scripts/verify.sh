@@ -26,6 +26,12 @@
 #    torn reads, garbage. The server must stay correct under fire,
 #    recover to a healthy state, and shut down cleanly with zero store
 #    corruption.
+# 9. Serve benchmark: cold/warm/batch legs plus the 1..256-client
+#    concurrency sweep (p50 at 256 clients must stay within 3x of solo).
+#    Refreshes BENCH_serve.json.
+# 10. Bench regression diff: compare the freshly written BENCH_sweep.json
+#    and BENCH_serve.json against the committed baselines; any headline
+#    metric regressing by more than 15% fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -115,5 +121,11 @@ wait "$SERVE_PID"
 trap - EXIT
 rm -f "$PORT_FILE"
 echo "ctserve survived chaos and shut down cleanly"
+
+echo "==> cachetime-bench serve (cold/warm/batch + concurrency sweep; writes BENCH_serve.json)"
+cargo run --release -q -p cachetime-bench -- serve "${BENCH_SCALE:-0.05}"
+
+echo "==> cachetime-bench bench-diff (headline metrics vs committed baselines)"
+cargo run --release -q -p cachetime-bench -- bench-diff
 
 echo "==> verify OK"
