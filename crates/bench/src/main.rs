@@ -21,12 +21,12 @@
 //! harness is the one that runs offline with zero dependencies.
 
 use cachetime::{replay_many, simulate, sweep, BehavioralSim, SimResult, Simulator, SystemConfig};
-use cachetime_cache::CacheConfig;
+use cachetime_cache::{CacheConfig, VictimCacheConfig, WayPrediction};
 use cachetime_serve::client::HttpClient;
 use cachetime_serve::{api, fault, serve, ServerConfig};
 use cachetime_testkit::derive_seed;
 use cachetime_trace::{catalog, Trace};
-use cachetime_types::{json_object, CacheSize, CycleTime, Json};
+use cachetime_types::{json_object, Assoc, CacheSize, CycleTime, Json};
 use std::time::{Duration, Instant};
 
 const DEFAULT_SCALE: f64 = 0.05;
@@ -49,6 +49,24 @@ fn build_config(size_kib: u64, ct_ns: u32) -> SystemConfig {
     SystemConfig::builder()
         .cycle_time(CycleTime::from_ns(ct_ns).expect("nonzero"))
         .l1_both(l1)
+        .build()
+        .expect("valid system")
+}
+
+/// The organization-features leg compares like with like: the same 2-way
+/// cache with and without a victim buffer + MRU way prediction, so the
+/// measured delta is the feature machinery (victim probes, predictor
+/// updates, the extra event variants), not a different cache.
+fn build_features_config(size_kib: u64, ct_ns: u32, featured: bool) -> SystemConfig {
+    let mut b = CacheConfig::builder(CacheSize::from_kib(size_kib).expect("pow2"));
+    b.assoc(Assoc::new(2).expect("pow2"));
+    if featured {
+        b.victim_cache(VictimCacheConfig::new(8).expect("in range"));
+        b.way_prediction(WayPrediction::Mru);
+    }
+    SystemConfig::builder()
+        .cycle_time(CycleTime::from_ns(ct_ns).expect("nonzero"))
+        .l1_both(b.build().expect("valid cache"))
         .build()
         .expect("valid system")
 }
@@ -142,6 +160,31 @@ fn measure_two_phase(tasks: &[OrgTask], traces: &[Trace], jobs: usize) -> Measur
     }
 }
 
+/// [`measure_two_phase`] over the 2-way grid, featureless or featured —
+/// the record/replay overhead leg of the organization features.
+fn measure_two_phase_features(
+    tasks: &[OrgTask],
+    traces: &[Trace],
+    jobs: usize,
+    featured: bool,
+) -> Measurement {
+    let run = sweep::run(tasks, jobs, |_, t| {
+        let configs: Vec<SystemConfig> = CYCLE_TIMES_NS
+            .iter()
+            .map(|&ct| build_features_config(t.size_kib, ct, featured))
+            .collect();
+        let events = BehavioralSim::new(&configs[0].organization()).record(&traces[t.trace]);
+        replay_many(&events, &configs).expect("same organization")
+    })
+    .expect("sweep succeeds");
+    Measurement {
+        jobs: run.jobs,
+        wall: run.wall_time,
+        cells: tasks.len() * CYCLE_TIMES_NS.len(),
+        results: run.results.into_iter().flatten().collect(),
+    }
+}
+
 /// The direct grid is cell-major (sizes × cts × traces); the two-phase
 /// grid is task-major (sizes × traces, cts inside). Reindex and compare —
 /// the bench doubles as a full-grid equivalence check.
@@ -201,6 +244,24 @@ fn run_sweep_bench(scale: f64) {
     }
     let obs_overhead = spans_on.as_secs_f64() / spans_off.as_secs_f64() - 1.0;
 
+    // Organization-features leg: the same 2-way grid with and without a
+    // victim buffer + MRU prediction, interleaved min-of-3 like the
+    // observability leg. Records how much the feature machinery costs
+    // the record/replay pipeline end to end.
+    let mut features_off = Duration::MAX;
+    let mut features_on = Duration::MAX;
+    let mut features_on_cps = 0.0;
+    for _ in 0..3 {
+        features_off =
+            features_off.min(measure_two_phase_features(&org_tasks, &traces, 1, false).wall);
+        let on = measure_two_phase_features(&org_tasks, &traces, 1, true);
+        if on.wall < features_on {
+            features_on = on.wall;
+            features_on_cps = on.cells_per_sec();
+        }
+    }
+    let features_overhead = features_on.as_secs_f64() / features_off.as_secs_f64() - 1.0;
+
     let repricing_speedup = direct.wall.as_secs_f64() / two_phase.wall.as_secs_f64();
     println!(
         "direct    (1 job):    {:>8.1} cells/sec  wall {:?}",
@@ -224,6 +285,12 @@ fn run_sweep_bench(scale: f64) {
         obs_overhead * 100.0,
         spans_on,
         spans_off
+    );
+    println!(
+        "org-features overhead (victim+mru on vs off, 2-way grid, min of 3): {:+.2}%  ({:?} vs {:?})",
+        features_overhead * 100.0,
+        features_on,
+        features_off
     );
 
     // A 1-core host runs the "parallel" leg with one worker; a speedup of
@@ -266,6 +333,15 @@ fn run_sweep_bench(scale: f64) {
                 ("spans_on_min_secs", Json::Float(spans_on.as_secs_f64())),
                 ("spans_off_min_secs", Json::Float(spans_off.as_secs_f64())),
                 ("overhead_fraction", Json::Float(obs_overhead)),
+            ]),
+        ),
+        (
+            "features",
+            json_object([
+                ("on_min_secs", Json::Float(features_on.as_secs_f64())),
+                ("off_min_secs", Json::Float(features_off.as_secs_f64())),
+                ("overhead_fraction", Json::Float(features_overhead)),
+                ("cells_per_sec_on", Json::Float(features_on_cps)),
             ]),
         ),
     ]);
@@ -924,6 +1000,11 @@ enum Better {
 const BENCH_GUARDS: &[(&str, &str, Better)] = &[
     ("BENCH_sweep.json", "repricing_speedup", Better::Higher),
     ("BENCH_sweep.json", "two_phase.cells_per_sec", Better::Higher),
+    (
+        "BENCH_sweep.json",
+        "features.cells_per_sec_on",
+        Better::Higher,
+    ),
     ("BENCH_serve.json", "warm_speedup", Better::Higher),
     ("BENCH_serve.json", "warm.p50_us", Better::Lower),
     (

@@ -1,5 +1,6 @@
 //! Cache configuration and validation.
 
+use crate::features::{OrgFeatures, VictimCacheConfig, WayPrediction};
 use crate::replacement::ReplacementPolicy;
 use cachetime_types::{Assoc, BlockWords, CacheSize, ConfigError, StableHash, StableHasher};
 use std::fmt;
@@ -66,6 +67,7 @@ pub struct CacheConfig {
     write_allocate: WriteAllocate,
     virtual_tags: bool,
     rng_seed: u64,
+    features: OrgFeatures,
 }
 
 impl CacheConfig {
@@ -94,6 +96,7 @@ impl CacheConfig {
             write_allocate: WriteAllocate::NoAllocate,
             virtual_tags: true,
             rng_seed: 0x5eed_cace,
+            features: OrgFeatures::NONE,
         }
     }
 
@@ -162,6 +165,12 @@ impl CacheConfig {
         self.rng_seed
     }
 
+    /// Returns the optional organization features (victim cache, way
+    /// prediction). [`OrgFeatures::NONE`] for plain configurations.
+    pub const fn features(&self) -> OrgFeatures {
+        self.features
+    }
+
     /// Returns the total number of blocks.
     pub const fn blocks(&self) -> u64 {
         self.size.blocks(self.block)
@@ -212,6 +221,12 @@ impl StableHash for CacheConfig {
     /// Every field participates — including `rng_seed`, because random
     /// replacement makes the victim sequence (and therefore any recorded
     /// event trace) a function of the seed.
+    ///
+    /// Organization features are hashed as a *conditional extension*:
+    /// they contribute nothing when every feature is disabled, so
+    /// feature-free configs keep the exact digests they had before
+    /// features existed (the golden-digest tests in
+    /// `crates/core/tests/` pin this).
     fn stable_hash(&self, h: &mut StableHasher) {
         self.size.stable_hash(h);
         self.block.stable_hash(h);
@@ -222,6 +237,9 @@ impl StableHash for CacheConfig {
         self.write_allocate.stable_hash(h);
         self.virtual_tags.stable_hash(h);
         self.rng_seed.stable_hash(h);
+        if !self.features.is_none() {
+            self.features.stable_hash(h);
+        }
     }
 }
 
@@ -231,7 +249,11 @@ impl fmt::Display for CacheConfig {
             f,
             "{} {} {} blocks, {}, {}",
             self.size, self.assoc, self.block, self.write_policy, self.write_allocate
-        )
+        )?;
+        if !self.features.is_none() {
+            write!(f, ", {}", self.features)?;
+        }
+        Ok(())
     }
 }
 
@@ -251,6 +273,7 @@ pub struct CacheConfigBuilder {
     write_allocate: WriteAllocate,
     virtual_tags: bool,
     rng_seed: u64,
+    features: OrgFeatures,
 }
 
 impl CacheConfigBuilder {
@@ -305,6 +328,33 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Attaches a victim buffer behind the cache. Default: none.
+    ///
+    /// Victim caching requires whole-block fetching (`fetch == block`);
+    /// [`build`](Self::build) rejects the combination with sub-block
+    /// placement because a victim entry always holds a full block.
+    pub fn victim_cache(&mut self, victim: VictimCacheConfig) -> &mut Self {
+        self.features = self.features.with_victim_cache(victim);
+        self
+    }
+
+    /// Enables way prediction for read lookups. Default: none.
+    ///
+    /// Prediction only makes sense for set-associative caches;
+    /// [`build`](Self::build) rejects it on a direct-mapped
+    /// configuration.
+    pub fn way_prediction(&mut self, prediction: WayPrediction) -> &mut Self {
+        self.features = self.features.with_way_prediction(prediction);
+        self
+    }
+
+    /// Replaces the whole feature set at once (useful when copying
+    /// features from another configuration).
+    pub fn features(&mut self, features: OrgFeatures) -> &mut Self {
+        self.features = features;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -339,6 +389,16 @@ impl CacheConfigBuilder {
                 what: "cache smaller than one set (size < assoc * block)",
             });
         }
+        if self.features.victim_cache().is_some() && fetch.words() < block.words() {
+            return Err(ConfigError::Inconsistent {
+                what: "victim cache requires whole-block fetch (fetch == block)",
+            });
+        }
+        if self.features.way_prediction().is_some() && self.assoc.ways() < 2 {
+            return Err(ConfigError::Inconsistent {
+                what: "way prediction requires a set-associative cache (assoc >= 2)",
+            });
+        }
         Ok(CacheConfig {
             size: self.size,
             block,
@@ -349,6 +409,7 @@ impl CacheConfigBuilder {
             write_allocate: self.write_allocate,
             virtual_tags: self.virtual_tags,
             rng_seed: self.rng_seed,
+            features: self.features,
         })
     }
 }
@@ -436,5 +497,61 @@ mod tests {
         assert!(s.contains("64KB"));
         assert!(s.contains("4W"));
         assert!(s.contains("write-back"));
+        assert!(!s.contains("victim"), "no feature suffix when disabled");
+    }
+
+    #[test]
+    fn display_mentions_enabled_features() {
+        let c = CacheConfig::builder(CacheSize::from_kib(16).unwrap())
+            .assoc(Assoc::new(2).unwrap())
+            .victim_cache(VictimCacheConfig::new(8).unwrap())
+            .way_prediction(WayPrediction::Mru)
+            .build()
+            .unwrap();
+        let s = c.to_string();
+        assert!(s.contains("victim:8"), "{s}");
+        assert!(s.contains("way-pred:mru"), "{s}");
+    }
+
+    #[test]
+    fn rejects_victim_cache_with_sub_block_fetch() {
+        let r = CacheConfig::builder(CacheSize::from_kib(4).unwrap())
+            .block(BlockWords::new(8).unwrap())
+            .fetch(BlockWords::new(4).unwrap())
+            .victim_cache(VictimCacheConfig::new(4).unwrap())
+            .build();
+        assert!(matches!(r, Err(ConfigError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn rejects_way_prediction_on_direct_mapped() {
+        let r = CacheConfig::builder(CacheSize::from_kib(4).unwrap())
+            .way_prediction(WayPrediction::Mru)
+            .build();
+        assert!(matches!(r, Err(ConfigError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn features_extend_the_stable_hash_only_when_enabled() {
+        use cachetime_types::stable_hash_of;
+        let size = CacheSize::from_kib(16).unwrap();
+        let plain = CacheConfig::builder(size)
+            .assoc(Assoc::new(2).unwrap())
+            .build()
+            .unwrap();
+        let with = CacheConfig::builder(size)
+            .assoc(Assoc::new(2).unwrap())
+            .way_prediction(WayPrediction::MultiColumn)
+            .build()
+            .unwrap();
+        assert_ne!(stable_hash_of(&plain), stable_hash_of(&with));
+        // An explicitly-set empty feature struct is the same as never
+        // touching features at all.
+        let explicit = CacheConfig::builder(size)
+            .assoc(Assoc::new(2).unwrap())
+            .features(OrgFeatures::NONE)
+            .build()
+            .unwrap();
+        assert_eq!(stable_hash_of(&plain), stable_hash_of(&explicit));
     }
 }

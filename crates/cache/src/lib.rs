@@ -38,6 +38,7 @@
 mod block;
 mod cache;
 mod config;
+mod features;
 mod mapping;
 mod replacement;
 mod stats;
@@ -45,6 +46,7 @@ mod stats;
 pub use crate::cache::{Cache, Eviction, ReadOutcome, WriteOutcome};
 pub use block::{DirtyMask, MAX_BLOCK_WORDS};
 pub use config::{CacheConfig, CacheConfigBuilder, WriteAllocate, WritePolicy};
+pub use features::{OrgFeatures, VictimCacheConfig, WayPrediction, MAX_VICTIM_ENTRIES};
 pub use mapping::AddressMap;
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;

@@ -36,6 +36,20 @@ pub struct CacheStats {
     /// Words sent downstream by write-through or write-around (no-allocate
     /// write misses) word writes.
     pub word_writes_downstream: u64,
+    /// Misses served by the victim buffer instead of the next level
+    /// (victim-hit attribution: these are counted in `read_misses` /
+    /// `write_misses` too, so `victim_hits / read_misses` is the
+    /// fraction of misses the buffer absorbed).
+    pub victim_hits: u64,
+    /// Way-predicted read hits that found the block in the predicted
+    /// way (direct-mapped-speed "first hits").
+    pub way_first_hits: u64,
+    /// Way-predicted read hits that needed a second probe round
+    /// (non-first, "slow" hits).
+    pub way_slow_hits: u64,
+    /// Total probe rounds issued by way-predicted read hits (one for a
+    /// first hit, two for a slow hit) — the search-length numerator.
+    pub way_probe_rounds: u64,
 }
 
 impl CacheStats {
@@ -83,6 +97,17 @@ impl CacheStats {
             denominator,
         )
     }
+
+    /// Of way-predicted read hits, the fraction found on the first
+    /// probe. Returns 0 when way prediction never fired.
+    pub fn way_first_hit_ratio(&self) -> f64 {
+        ratio(self.way_first_hits, self.way_first_hits + self.way_slow_hits)
+    }
+
+    /// Of all misses, the fraction served by the victim buffer.
+    pub fn victim_hit_ratio(&self) -> f64 {
+        ratio(self.victim_hits, self.read_misses + self.write_misses)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -106,6 +131,10 @@ impl AddAssign for CacheStats {
         self.write_back_words += rhs.write_back_words;
         self.dirty_words_written_back += rhs.dirty_words_written_back;
         self.word_writes_downstream += rhs.word_writes_downstream;
+        self.victim_hits += rhs.victim_hits;
+        self.way_first_hits += rhs.way_first_hits;
+        self.way_slow_hits += rhs.way_slow_hits;
+        self.way_probe_rounds += rhs.way_probe_rounds;
     }
 }
 

@@ -161,14 +161,19 @@ fn outcome_matches_probe() {
             let mut cache = Cache::new(config);
             let a = WordAddr::new(addr);
             match cache.read(a, Pid(pid)) {
-                ReadOutcome::Miss { .. } | ReadOutcome::Hit => {
+                ReadOutcome::Miss { .. }
+                | ReadOutcome::Hit
+                | ReadOutcome::SlowHit
+                | ReadOutcome::VictimHit => {
                     prop_assert!(cache.probe(a, Pid(pid)));
                 }
             }
             let mut cache = Cache::new(config);
             match cache.write(a, Pid(pid)) {
                 WriteOutcome::MissNoAllocate => prop_assert!(!cache.probe(a, Pid(pid))),
-                WriteOutcome::MissAllocate { .. } | WriteOutcome::Hit { .. } => {
+                WriteOutcome::MissAllocate { .. }
+                | WriteOutcome::Hit { .. }
+                | WriteOutcome::VictimHit { .. } => {
                     prop_assert!(cache.probe(a, Pid(pid)));
                 }
             }

@@ -229,6 +229,15 @@ impl Simulator {
         };
         match outcome {
             ReadOutcome::Hit => now + self.config.read_hit_cycles(),
+            ReadOutcome::SlowHit => {
+                // A second probe round finds the block in another way.
+                now + self.config.read_hit_cycles() + self.config.way_slow_hit_cycles()
+            }
+            ReadOutcome::VictimHit => {
+                // The block swaps back from the victim buffer; nothing
+                // goes downstream.
+                now + self.config.read_hit_cycles() + self.config.victim_swap_cycles()
+            }
             ReadOutcome::Miss { fill_words, victim } => {
                 let fetch_start = WordAddr::new(r.addr.value() & !(fetch_words as u64 - 1));
                 let victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
@@ -265,6 +274,16 @@ impl Simulator {
         match outcome {
             WriteOutcome::Hit { through } => {
                 let mut done = now + whc;
+                if through {
+                    let accepted = self.down.write_word_down(now + 1, r.pid, r.addr);
+                    done = done.max(accepted + 1);
+                }
+                done
+            }
+            WriteOutcome::VictimHit { through } => {
+                // Swap the block back from the victim buffer, then write
+                // into it as a hit.
+                let mut done = now + whc + self.config.victim_swap_cycles();
                 if through {
                     let accepted = self.down.write_word_down(now + 1, r.pid, r.addr);
                     done = done.max(accepted + 1);

@@ -182,7 +182,10 @@ impl Downstream {
         }
 
         let data_ready = match outcome {
-            ReadOutcome::Hit => probe_done,
+            // The way-slow-hit and victim-swap penalties are first-level
+            // timing knobs; a mid-level array serves these in its ordinary
+            // probe time.
+            ReadOutcome::Hit | ReadOutcome::SlowHit | ReadOutcome::VictimHit => probe_done,
             ReadOutcome::Miss {
                 fill_words,
                 victim: level_victim,
@@ -343,7 +346,7 @@ impl Downstream {
         write_cycles: u64,
     ) -> u64 {
         match outcome {
-            WriteOutcome::Hit { through } => {
+            WriteOutcome::Hit { through } | WriteOutcome::VictimHit { through } => {
                 if through {
                     self.write_block_down(idx + 1, start, pid, addr, words);
                 }

@@ -315,6 +315,8 @@ impl BehavioralSim {
         let block_words = cache.config().block().words();
         match cache.read(r.addr, r.pid) {
             ReadOutcome::Hit => AccessEvent::ReadHit,
+            ReadOutcome::SlowHit => AccessEvent::ReadSlowHit,
+            ReadOutcome::VictimHit => AccessEvent::ReadVictimHit,
             ReadOutcome::Miss { fill_words, victim } => AccessEvent::ReadMiss {
                 fetch_start: cachetime_types::WordAddr::new(
                     r.addr.value() & !(fetch_words as u64 - 1),
@@ -332,6 +334,7 @@ impl BehavioralSim {
         let block_words = cache.config().block().words();
         match cache.write(r.addr, r.pid) {
             WriteOutcome::Hit { through } => AccessEvent::WriteHit { through },
+            WriteOutcome::VictimHit { through } => AccessEvent::WriteVictimHit { through },
             WriteOutcome::MissNoAllocate => AccessEvent::WriteMissAround,
             WriteOutcome::MissAllocate {
                 fill_words,
@@ -559,6 +562,8 @@ struct Replayer {
     latency: CoupletHistogram,
     read_hit: u64,
     write_hit: u64,
+    way_slow_hit: u64,
+    victim_swap: u64,
     dual_issue: bool,
     fill_policy: FillPolicy,
     /// Cycles per all-hit couplet, indexed by [`CoupletClass::index`].
@@ -601,6 +606,8 @@ impl Replayer {
             latency: CoupletHistogram::default(),
             read_hit: rh,
             write_hit: wh,
+            way_slow_hit: config.way_slow_hit_cycles(),
+            victim_swap: config.victim_swap_cycles(),
             dual_issue: dual,
             fill_policy: config.fill_policy(),
             hit_costs,
@@ -720,6 +727,8 @@ impl Replayer {
     fn complete_read(&mut self, e: &RefEvent, now: u64) -> u64 {
         match e.access {
             AccessEvent::ReadHit => now + self.read_hit,
+            AccessEvent::ReadSlowHit => now + self.read_hit + self.way_slow_hit,
+            AccessEvent::ReadVictimHit => now + self.read_hit + self.victim_swap,
             AccessEvent::ReadMiss {
                 fetch_start,
                 fill_words,
@@ -753,6 +762,14 @@ impl Replayer {
         match e.access {
             AccessEvent::WriteHit { through } => {
                 let mut done = now + whc;
+                if through {
+                    let accepted = self.down.write_word_down(now + 1, e.pid, e.addr);
+                    done = done.max(accepted + 1);
+                }
+                done
+            }
+            AccessEvent::WriteVictimHit { through } => {
+                let mut done = now + whc + self.victim_swap;
                 if through {
                     let accepted = self.down.write_word_down(now + 1, e.pid, e.addr);
                     done = done.max(accepted + 1);

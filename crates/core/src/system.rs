@@ -81,6 +81,8 @@ pub struct SystemConfig {
     write_hit_cycles: u64,
     dual_issue: bool,
     fill_policy: FillPolicy,
+    way_slow_hit_cycles: u64,
+    victim_swap_cycles: u64,
 }
 
 impl SystemConfig {
@@ -111,6 +113,8 @@ impl SystemConfig {
             write_hit_cycles: 2,
             dual_issue: true,
             fill_policy: FillPolicy::WaitWholeBlock,
+            way_slow_hit_cycles: 1,
+            victim_swap_cycles: 1,
         }
     }
 
@@ -177,6 +181,19 @@ impl SystemConfig {
         self.write_hit_cycles
     }
 
+    /// Extra cycles a way-predicted read hit pays when the block is in a
+    /// way other than the predicted one (the second probe round).
+    /// Default 1.
+    pub const fn way_slow_hit_cycles(&self) -> u64 {
+        self.way_slow_hit_cycles
+    }
+
+    /// Extra cycles a victim-buffer hit pays to swap the block back into
+    /// the set. Default 1.
+    pub const fn victim_swap_cycles(&self) -> u64 {
+        self.victim_swap_cycles
+    }
+
     /// Whether the CPU resumes as soon as the *requested* word arrives on a
     /// fill, instead of waiting for the whole block (true for both
     /// [`FillPolicy::EarlyContinuation`] and [`FillPolicy::LoadForward`]).
@@ -225,6 +242,8 @@ impl SystemConfig {
             write_hit_cycles: self.write_hit_cycles,
             dual_issue: self.dual_issue,
             fill_policy: self.fill_policy,
+            way_slow_hit_cycles: self.way_slow_hit_cycles,
+            victim_swap_cycles: self.victim_swap_cycles,
         }
     }
 
@@ -245,7 +264,9 @@ impl SystemConfig {
             .read_hit_cycles(timing.read_hit_cycles)
             .write_hit_cycles(timing.write_hit_cycles)
             .dual_issue(timing.dual_issue)
-            .fill_policy(timing.fill_policy);
+            .fill_policy(timing.fill_policy)
+            .way_slow_hit_cycles(timing.way_slow_hit_cycles)
+            .victim_swap_cycles(timing.victim_swap_cycles);
         if let Some(t) = org.translation {
             b.translation(t);
         }
@@ -331,6 +352,10 @@ pub struct TimingConfig {
     pub dual_issue: bool,
     /// The read-miss resumption policy.
     pub fill_policy: FillPolicy,
+    /// Extra cycles for a way-predicted hit in a non-predicted way.
+    pub way_slow_hit_cycles: u64,
+    /// Extra cycles for a victim-buffer hit's swap.
+    pub victim_swap_cycles: u64,
 }
 
 impl StableHash for FillPolicy {
@@ -362,6 +387,9 @@ impl StableHash for OrgConfig {
 }
 
 impl StableHash for TimingConfig {
+    /// The feature penalties are hashed as a *conditional extension*:
+    /// at their defaults they contribute nothing, so timing configs
+    /// from before the penalties existed keep their digests.
     fn stable_hash(&self, h: &mut StableHasher) {
         self.cycle_time.stable_hash(h);
         self.l2.stable_hash(h);
@@ -371,6 +399,10 @@ impl StableHash for TimingConfig {
         self.write_hit_cycles.stable_hash(h);
         self.dual_issue.stable_hash(h);
         self.fill_policy.stable_hash(h);
+        if self.way_slow_hit_cycles != 1 || self.victim_swap_cycles != 1 {
+            self.way_slow_hit_cycles.stable_hash(h);
+            self.victim_swap_cycles.stable_hash(h);
+        }
     }
 }
 
@@ -429,6 +461,8 @@ pub struct SystemConfigBuilder {
     write_hit_cycles: u64,
     dual_issue: bool,
     fill_policy: FillPolicy,
+    way_slow_hit_cycles: u64,
+    victim_swap_cycles: u64,
 }
 
 impl SystemConfigBuilder {
@@ -514,6 +548,21 @@ impl SystemConfigBuilder {
     /// Sets the write cost in cycles. Default 2.
     pub fn write_hit_cycles(&mut self, cycles: u64) -> &mut Self {
         self.write_hit_cycles = cycles;
+        self
+    }
+
+    /// Sets the extra cost of a way-predicted hit in a non-predicted
+    /// way (the second probe round). Default 1; 0 models free
+    /// mispredictions.
+    pub fn way_slow_hit_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.way_slow_hit_cycles = cycles;
+        self
+    }
+
+    /// Sets the extra cost of a victim-buffer hit's block swap.
+    /// Default 1.
+    pub fn victim_swap_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.victim_swap_cycles = cycles;
         self
     }
 
@@ -607,6 +656,8 @@ impl SystemConfigBuilder {
             write_hit_cycles: self.write_hit_cycles,
             dual_issue: self.dual_issue,
             fill_policy: self.fill_policy,
+            way_slow_hit_cycles: self.way_slow_hit_cycles,
+            victim_swap_cycles: self.victim_swap_cycles,
         })
     }
 }

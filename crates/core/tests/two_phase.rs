@@ -8,11 +8,13 @@
 use cachetime::{
     replay, simulate, simulate_two_phase, BehavioralSim, FillPolicy, LevelTwoConfig, SystemConfig,
 };
-use cachetime_cache::{CacheConfig, WriteAllocate, WritePolicy};
+use cachetime_cache::{
+    CacheConfig, VictimCacheConfig, WayPrediction, WriteAllocate, WritePolicy,
+};
 use cachetime_mem::{MemoryConfig, TransferRate};
 use cachetime_mmu::TranslationConfig;
 use cachetime_trace::{catalog, Trace};
-use cachetime_types::{BlockWords, CacheSize, CycleTime, Nanos};
+use cachetime_types::{Assoc, BlockWords, CacheSize, CycleTime, Nanos};
 
 fn traces() -> Vec<Trace> {
     vec![
@@ -164,6 +166,47 @@ fn targeted_variants_replay_bit_identically() {
             .l1_both(small)
             .unified(true)
             .dual_issue(false)
+            .build()
+            .unwrap(),
+    ));
+    let victim_dm = CacheConfig::builder(CacheSize::from_kib(2).unwrap())
+        .victim_cache(VictimCacheConfig::new(8).unwrap())
+        .build()
+        .unwrap();
+    variants.push((
+        "direct-mapped + victim cache",
+        SystemConfig::builder()
+            .l1_both(victim_dm)
+            .victim_swap_cycles(2)
+            .build()
+            .unwrap(),
+    ));
+    let mru_2way = CacheConfig::builder(CacheSize::from_kib(2).unwrap())
+        .assoc(Assoc::new(2).unwrap())
+        .way_prediction(WayPrediction::Mru)
+        .build()
+        .unwrap();
+    variants.push((
+        "2-way + mru way prediction",
+        SystemConfig::builder()
+            .l1_both(mru_2way)
+            .way_slow_hit_cycles(2)
+            .build()
+            .unwrap(),
+    ));
+    let everything_4way = CacheConfig::builder(CacheSize::from_kib(2).unwrap())
+        .assoc(Assoc::new(4).unwrap())
+        .way_prediction(WayPrediction::MultiColumn)
+        .victim_cache(VictimCacheConfig::new(4).unwrap())
+        .build()
+        .unwrap();
+    variants.push((
+        "4-way + multi-column prediction + victim cache",
+        SystemConfig::builder()
+            .l1_both(everything_4way)
+            .way_slow_hit_cycles(1)
+            .victim_swap_cycles(3)
+            .l2(LevelTwoConfig::new(l2cache))
             .build()
             .unwrap(),
     ));

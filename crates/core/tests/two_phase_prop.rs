@@ -6,7 +6,7 @@
 //! with `TESTKIT_SEED=<seed> cargo test -p cachetime --test two_phase_prop`.
 
 use cachetime::{simulate_two_phase, LevelTwoConfig, Simulator, SystemConfig};
-use cachetime_cache::{CacheConfig, WriteAllocate, WritePolicy};
+use cachetime_cache::{CacheConfig, VictimCacheConfig, WayPrediction, WriteAllocate, WritePolicy};
 use cachetime_mem::MemoryConfig;
 use cachetime_mmu::TranslationConfig;
 use cachetime_testkit::{check, prop_assert_eq, shrink, SplitMix64};
@@ -42,9 +42,24 @@ fn try_gen_system(rng: &mut SplitMix64) -> Option<SystemConfig> {
     if rng.gen_bool(0.3) {
         l1b.write_allocate(WriteAllocate::Allocate);
     }
+    // Organization features: a victim buffer and/or way prediction. The
+    // builder rejects way prediction on direct-mapped samples; that
+    // combination rejection-samples away like any other invalid draw.
+    if rng.gen_bool(0.3) {
+        l1b.victim_cache(VictimCacheConfig::new(1 << rng.gen_range(0u32..5)).ok()?);
+    }
+    if rng.gen_bool(0.3) {
+        l1b.way_prediction(if rng.gen_bool(0.5) {
+            WayPrediction::Mru
+        } else {
+            WayPrediction::MultiColumn
+        });
+    }
     let l1 = l1b.build().ok()?;
     let mut b = SystemConfig::builder();
     b.cycle_time(CycleTime::from_ns(rng.gen_range(5u32..81)).ok()?)
+        .way_slow_hit_cycles(rng.gen_range(0u64..4))
+        .victim_swap_cycles(rng.gen_range(0u64..4))
         .l1_both(l1)
         .unified(rng.gen_bool(0.25))
         .dual_issue(rng.gen_bool(0.5))

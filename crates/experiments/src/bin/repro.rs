@@ -17,8 +17,8 @@
 
 use cachetime_experiments::runner::{SpeedSizeGrid, TraceSet, SIZES_PER_CACHE_KB};
 use cachetime_experiments::{
-    csv, designer, ext, fig3_1, fig3_2, fig3_3, fig3_4, fig4_1, fig4_2, fig4_345, fig5_1, fig5_2,
-    fig5_3, fig5_4, sec6, table1, table2, table3,
+    csv, designer, ext, fig3_1, fig3_2, fig3_3, fig3_4, fig4_1, fig4_2, fig4_345,
+    fig_assoc_threshold, fig5_1, fig5_2, fig5_3, fig5_4, sec6, table1, table2, table3,
 };
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -35,6 +35,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "fig4-2",
         "execution time vs size, associativity, cycle time",
+    ),
+    (
+        "fig-assoc-threshold",
+        "associativity threshold: way prediction and victim caches vs the 2-way break-even",
     ),
     ("fig4-3", "break-even cycle time for set size 2"),
     ("fig4-4", "break-even cycle time for set size 4"),
@@ -185,6 +189,12 @@ fn run_one(ctx: &mut Ctx, id: &str) -> Result<(), String> {
                 })
                 .collect();
             write_csv(ctx, "fig4-2", &all);
+        }
+        "fig-assoc-threshold" => {
+            let jobs = ctx.jobs;
+            let study = fig_assoc_threshold::run(ctx.traces(), jobs);
+            write_csv(ctx, "fig-assoc-threshold", &fig_assoc_threshold::to_csv(&study));
+            println!("{}", fig_assoc_threshold::render(&study));
         }
         "fig4-3" | "fig4-4" | "fig4-5" => {
             let ways = match id {

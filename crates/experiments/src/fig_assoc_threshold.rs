@@ -1,0 +1,489 @@
+//! Associativity-threshold study: where does 2-way stop paying, and how
+//! do organization features move the threshold?
+//!
+//! The paper's §4 tradeoff prices associativity in *cycle time*: the wider
+//! tag mux and compare path slow every access, so a set-associative cache
+//! runs on a degraded clock (one grid step, 44 ns vs 40 ns). On the
+//! eight-trace workload that tax never pays — conflict-miss savings peak
+//! near 2 ns/ref while the tax costs 3–10 ns/ref — which is the paper-era
+//! case for direct-mapped caches. The organization features reopen the
+//! question from both sides:
+//!
+//! * **Way prediction** serves predicted hits on the direct-mapped
+//!   critical path, so a predicted set-associative cache keeps the 40 ns
+//!   clock and pays only
+//!   [`way_slow_hit_cycles`](cachetime::SystemConfig::way_slow_hit_cycles)
+//!   on the mispredicted remainder.
+//! * A **victim cache** soaks the direct-mapped baseline's conflict
+//!   misses at [`victim_swap_cycles`](cachetime::SystemConfig::victim_swap_cycles)
+//!   apiece — and at small sizes its handful of entries is a meaningful
+//!   capacity bonus on top.
+//!
+//! The threshold this study locates is the rivalry between the *best
+//! direct-mapped organization* (victim-cache variants included) and each
+//! predicted set-associative challenger. Below the crossover the victim
+//! buffer keeps direct-mapped ahead; above it the challenger's full-cache
+//! associativity wins against workloads whose power-of-two strides
+//! conflict in a direct-mapped array at any size.
+
+use crate::runner::{aggregate, TraceSet, SIZES_PER_CACHE_KB};
+use cachetime::{simulate, sweep, SimResult, SystemConfig};
+use cachetime_analysis::crossing;
+use cachetime_analysis::table::Table;
+use cachetime_cache::{CacheConfig, VictimCacheConfig, WayPrediction};
+use cachetime_types::{Assoc, CacheSize, CycleTime};
+
+/// The baseline clock (the paper grid's 40 ns column).
+pub const BASE_CT_NS: u32 = 40;
+/// The degraded clock a set-associative cache without way prediction runs
+/// at: one grid step of cycle-time tax for the mux/compare path.
+pub const ASSOC_CT_NS: u32 = 44;
+
+/// One machine variant of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct Variant {
+    /// Display name (also the CSV key).
+    pub name: &'static str,
+    /// L1 associativity.
+    pub assoc: u32,
+    /// Way predictor, if any (keeps the clock at [`BASE_CT_NS`]).
+    pub way_prediction: Option<WayPrediction>,
+    /// Victim-buffer entries, if any.
+    pub victim_entries: Option<u32>,
+    /// Clock this variant runs at.
+    pub ct_ns: u32,
+}
+
+impl Variant {
+    /// Direct-mapped variants compete on the baseline's side of the
+    /// threshold; set-associative ones are the challengers.
+    pub fn is_direct_mapped(&self) -> bool {
+        self.assoc == 1
+    }
+}
+
+/// The study's canonical variant set. Index 0 is the plain direct-mapped
+/// baseline every advantage curve is measured against.
+pub const VARIANTS: [Variant; 6] = [
+    Variant {
+        name: "1-way",
+        assoc: 1,
+        way_prediction: None,
+        victim_entries: None,
+        ct_ns: BASE_CT_NS,
+    },
+    Variant {
+        name: "2-way",
+        assoc: 2,
+        way_prediction: None,
+        victim_entries: None,
+        ct_ns: ASSOC_CT_NS,
+    },
+    Variant {
+        name: "2-way+mru",
+        assoc: 2,
+        way_prediction: Some(WayPrediction::Mru),
+        victim_entries: None,
+        ct_ns: BASE_CT_NS,
+    },
+    Variant {
+        name: "4-way+mc",
+        assoc: 4,
+        way_prediction: Some(WayPrediction::MultiColumn),
+        victim_entries: None,
+        ct_ns: BASE_CT_NS,
+    },
+    Variant {
+        name: "1-way+v8",
+        assoc: 1,
+        way_prediction: None,
+        victim_entries: Some(8),
+        ct_ns: BASE_CT_NS,
+    },
+    Variant {
+        name: "1-way+v32",
+        assoc: 1,
+        way_prediction: None,
+        victim_entries: Some(32),
+        ct_ns: BASE_CT_NS,
+    },
+];
+
+/// The full [`SystemConfig`] of one variant at one per-cache size.
+fn variant_config(v: &Variant, size_per_cache_kb: u64) -> SystemConfig {
+    let mut b = CacheConfig::builder(CacheSize::from_kib(size_per_cache_kb).expect("power of two"));
+    b.assoc(Assoc::new(v.assoc).expect("power of two"));
+    if let Some(kind) = v.way_prediction {
+        b.way_prediction(kind);
+    }
+    if let Some(entries) = v.victim_entries {
+        b.victim_cache(VictimCacheConfig::new(entries).expect("in range"));
+    }
+    SystemConfig::builder()
+        .l1_both(b.build().expect("valid cache"))
+        .cycle_time(CycleTime::from_ns(v.ct_ns).expect("nonzero"))
+        .build()
+        .expect("valid system")
+}
+
+/// Per-feature behavioral ratios of one (variant, size) cell, combined
+/// over both L1s and all traces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeatureRatios {
+    /// Predicted-way first hits / all way-predicted hits (0 without a
+    /// predictor).
+    pub way_first_hit_ratio: f64,
+    /// Victim-buffer hits / L1 misses (0 without a victim buffer).
+    pub victim_hit_ratio: f64,
+}
+
+/// Where one challenger's rivalry with the best direct-mapped
+/// organization lands on the size axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// The challenger loses below this total-L1 size (KB) and wins above
+    /// it — the associativity threshold proper.
+    StopsPayingBelowKb(f64),
+    /// The challenger wins below this size and loses above it (a clock
+    /// tax that only small caches can absorb).
+    StopsPayingAboveKb(f64),
+    /// The challenger wins at every size on the grid.
+    PaysEverywhere,
+    /// The challenger loses at every size on the grid.
+    PaysNowhere,
+}
+
+/// The computed study.
+#[derive(Debug, Clone)]
+pub struct ThresholdStudy {
+    /// Total L1 sizes (both caches), KB.
+    pub sizes_total_kb: Vec<u64>,
+    /// The variants, in [`VARIANTS`] order; index 0 is the baseline.
+    pub variants: Vec<Variant>,
+    /// `time_per_ref[variant][size]`, nanoseconds (geomean over traces).
+    pub time_per_ref: Vec<Vec<f64>>,
+    /// `feature_ratios[variant][size]`.
+    pub feature_ratios: Vec<Vec<FeatureRatios>>,
+}
+
+impl ThresholdStudy {
+    /// The advantage curve of one variant: baseline minus variant time
+    /// per reference, in ns (positive = the variant pays).
+    pub fn advantage(&self, variant: usize) -> Vec<f64> {
+        self.time_per_ref[0]
+            .iter()
+            .zip(&self.time_per_ref[variant])
+            .map(|(base, v)| base - v)
+            .collect()
+    }
+
+    /// The best direct-mapped execution time at each size: the plain
+    /// baseline and every victim-cache variant, pointwise minimum.
+    pub fn best_direct_mapped(&self) -> Vec<f64> {
+        let mut best = self.time_per_ref[0].clone();
+        for (vi, v) in self.variants.iter().enumerate() {
+            if v.is_direct_mapped() {
+                for (b, &t) in best.iter_mut().zip(&self.time_per_ref[vi]) {
+                    *b = b.min(t);
+                }
+            }
+        }
+        best
+    }
+
+    /// The rivalry curve of a set-associative challenger: best
+    /// direct-mapped time minus challenger time, in ns (positive = the
+    /// challenger beats every direct-mapped organization).
+    pub fn rivalry(&self, variant: usize) -> Vec<f64> {
+        self.best_direct_mapped()
+            .iter()
+            .zip(&self.time_per_ref[variant])
+            .map(|(dm, v)| dm - v)
+            .collect()
+    }
+
+    /// Classifies a rivalry (or advantage) curve along the size axis.
+    /// Crossings are interpolated on log2(size); when the curve wiggles
+    /// through zero more than once, the endpoints decide the direction
+    /// and the first crossing locates the threshold.
+    pub fn threshold_of(&self, curve: &[f64]) -> Threshold {
+        let has_pos = curve.iter().any(|&a| a > 0.0);
+        let has_neg = curve.iter().any(|&a| a < 0.0);
+        match (has_pos, has_neg) {
+            (true, false) => return Threshold::PaysEverywhere,
+            (false, _) => return Threshold::PaysNowhere,
+            (true, true) => {}
+        }
+        let xs: Vec<f64> = self
+            .sizes_total_kb
+            .iter()
+            .map(|&kb| (kb as f64).log2())
+            .collect();
+        let kb = crossing(&xs, curve, 0.0)
+            .map(f64::exp2)
+            .expect("a sign change has a crossing");
+        if curve[0] < 0.0 {
+            Threshold::StopsPayingBelowKb(kb)
+        } else {
+            Threshold::StopsPayingAboveKb(kb)
+        }
+    }
+
+    /// [`threshold_of`](Self::threshold_of) the challenger's rivalry with
+    /// the best direct-mapped organization.
+    pub fn rivalry_threshold(&self, variant: usize) -> Threshold {
+        self.threshold_of(&self.rivalry(variant))
+    }
+}
+
+/// Runs the study over the paper's size axis.
+pub fn run(traces: &TraceSet, jobs: usize) -> ThresholdStudy {
+    run_over(traces, &SIZES_PER_CACHE_KB, &VARIANTS, jobs)
+}
+
+/// Runs the study over explicit axes (tests and the verify leg use a
+/// shorter size axis).
+pub fn run_over(
+    traces: &TraceSet,
+    sizes_per_cache_kb: &[u64],
+    variants: &[Variant],
+    jobs: usize,
+) -> ThresholdStudy {
+    // One task per (variant, size, trace); the variant set is tiny and
+    // each cell is a single-clock simulation, so a flat fan-out beats the
+    // record/replay split (there is no timing axis to amortize).
+    let n_traces = traces.traces().len();
+    let mut tasks = Vec::with_capacity(variants.len() * sizes_per_cache_kb.len() * n_traces);
+    for (vi, _) in variants.iter().enumerate() {
+        for &kb in sizes_per_cache_kb {
+            for t in 0..n_traces {
+                tasks.push((vi, kb, t));
+            }
+        }
+    }
+    let run = sweep::run(&tasks, jobs, |_idx, &(vi, kb, t)| {
+        let config = variant_config(&variants[vi], kb);
+        simulate(&config, &traces.traces()[t])
+    })
+    .expect("simulation does not panic");
+
+    let mut time_per_ref = Vec::new();
+    let mut feature_ratios = Vec::new();
+    for (vi, _) in variants.iter().enumerate() {
+        let mut row_t = Vec::new();
+        let mut row_f = Vec::new();
+        for (si, _) in sizes_per_cache_kb.iter().enumerate() {
+            let base = (vi * sizes_per_cache_kb.len() + si) * n_traces;
+            let cell: Vec<SimResult> = (0..n_traces).map(|t| run.results[base + t]).collect();
+            row_t.push(aggregate(&cell).time_per_ref_ns);
+            row_f.push(ratios_of(&cell));
+        }
+        time_per_ref.push(row_t);
+        feature_ratios.push(row_f);
+    }
+    ThresholdStudy {
+        sizes_total_kb: sizes_per_cache_kb.iter().map(|&kb| 2 * kb).collect(),
+        variants: variants.to_vec(),
+        time_per_ref,
+        feature_ratios,
+    }
+}
+
+fn ratios_of(cell: &[SimResult]) -> FeatureRatios {
+    let mut first = 0u64;
+    let mut slow = 0u64;
+    let mut victim = 0u64;
+    let mut misses = 0u64;
+    for r in cell {
+        for s in [&r.l1i, &r.l1d] {
+            first += s.way_first_hits;
+            slow += s.way_slow_hits;
+            victim += s.victim_hits;
+            misses += s.read_misses + s.write_misses;
+        }
+    }
+    let div = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    FeatureRatios {
+        way_first_hit_ratio: div(first, first + slow),
+        victim_hit_ratio: div(victim, misses),
+    }
+}
+
+fn threshold_line(subject: &str, rival: &str, t: Threshold) -> String {
+    match t {
+        Threshold::StopsPayingBelowKb(kb) => format!(
+            "crossover: {subject} stops paying below ~{kb:.0}KB total L1 ({rival} wins there)\n"
+        ),
+        Threshold::StopsPayingAboveKb(kb) => format!(
+            "crossover: {subject} stops paying above ~{kb:.0}KB total L1 ({rival} wins there)\n"
+        ),
+        Threshold::PaysEverywhere => {
+            format!("crossover: {subject} pays across the whole grid (vs {rival})\n")
+        }
+        Threshold::PaysNowhere => {
+            format!("crossover: {subject} never pays on this grid (vs {rival})\n")
+        }
+    }
+}
+
+/// Renders the advantage table plus one `crossover:` line per variant —
+/// the lines `scripts/verify.sh` asserts on.
+pub fn render(s: &ThresholdStudy) -> String {
+    let mut headers = vec![
+        "Total L1".to_string(),
+        format!("{} ns/ref", s.variants[0].name),
+    ];
+    for v in &s.variants[1..] {
+        headers.push(format!("{} adv ns", v.name));
+    }
+    headers.push("first-hit %".into());
+    headers.push("victim-hit %".into());
+    let mut t = Table::new(headers);
+    for (j, &kb) in s.sizes_total_kb.iter().enumerate() {
+        let mut row = vec![format!("{kb}KB"), format!("{:.2}", s.time_per_ref[0][j])];
+        for vi in 1..s.variants.len() {
+            row.push(format!("{:+.3}", self_adv(s, vi, j)));
+        }
+        // The per-size feature columns summarize the *featured* variants:
+        // best first-hit ratio among predictors, best victim ratio among
+        // victim variants (the table would be unreadable with one column
+        // per variant per ratio; the CSV export keeps them all).
+        let best_first = (0..s.variants.len())
+            .filter(|&vi| s.variants[vi].way_prediction.is_some())
+            .map(|vi| s.feature_ratios[vi][j].way_first_hit_ratio)
+            .fold(0.0, f64::max);
+        let best_victim = (0..s.variants.len())
+            .filter(|&vi| s.variants[vi].victim_entries.is_some())
+            .map(|vi| s.feature_ratios[vi][j].victim_hit_ratio)
+            .fold(0.0, f64::max);
+        row.push(format!("{:.1}", 100.0 * best_first));
+        row.push(format!("{:.1}", 100.0 * best_victim));
+        t.row(row);
+    }
+    let mut out = format!(
+        "Associativity threshold: execution-time advantage over {} @ {}ns\n{t}",
+        s.variants[0].name, s.variants[0].ct_ns
+    );
+    // Plain advantage verdicts vs the unfeatured baseline.
+    for vi in 1..s.variants.len() {
+        out.push_str(&threshold_line(
+            s.variants[vi].name,
+            s.variants[0].name,
+            s.threshold_of(&s.advantage(vi)),
+        ));
+    }
+    // The threshold proper: every set-associative challenger against the
+    // best direct-mapped organization (victim variants included).
+    for (vi, v) in s.variants.iter().enumerate() {
+        if v.is_direct_mapped() {
+            continue;
+        }
+        out.push_str(&threshold_line(
+            v.name,
+            "best direct-mapped org",
+            s.rivalry_threshold(vi),
+        ));
+    }
+    out
+}
+
+fn self_adv(s: &ThresholdStudy, vi: usize, j: usize) -> f64 {
+    s.time_per_ref[0][j] - s.time_per_ref[vi][j]
+}
+
+/// CSV export: long form, one row per (variant, size).
+pub fn to_csv(s: &ThresholdStudy) -> String {
+    let mut t = Table::new([
+        "variant",
+        "assoc",
+        "ct_ns",
+        "total_kb",
+        "time_per_ref_ns",
+        "advantage_ns",
+        "rivalry_ns",
+        "way_first_hit_ratio",
+        "victim_hit_ratio",
+    ]);
+    for (vi, v) in s.variants.iter().enumerate() {
+        let rivalry = s.rivalry(vi);
+        for (j, &kb) in s.sizes_total_kb.iter().enumerate() {
+            t.row([
+                v.name.to_string(),
+                v.assoc.to_string(),
+                v.ct_ns.to_string(),
+                kb.to_string(),
+                s.time_per_ref[vi][j].to_string(),
+                self_adv(s, vi, j).to_string(),
+                rivalry[j].to_string(),
+                s.feature_ratios[vi][j].way_first_hit_ratio.to_string(),
+                s.feature_ratios[vi][j].victim_hit_ratio.to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_threshold_exists_and_the_features_drive_it() {
+        let traces = TraceSet::quick();
+        // The small end (the victim buffer is a capacity bonus) through
+        // the large end (persistent stride conflicts): enough of the axis
+        // to see both regimes.
+        let study = run_over(&traces, &[2, 8, 32, 256, 2048], &VARIANTS, 0);
+
+        // The full one-grid-step mux tax never pays: the paper-era case
+        // for direct-mapped caches.
+        let adv_2way = study.advantage(1);
+        assert!(
+            adv_2way.iter().all(|&a| a < 0.0),
+            "clock-taxed 2-way must lose everywhere: {adv_2way:?}"
+        );
+        assert_eq!(study.threshold_of(&adv_2way), Threshold::PaysNowhere);
+
+        // The threshold proper: predicted 2-way loses to the best
+        // direct-mapped org at 4KB total and beats it at 4MB.
+        let rivalry = study.rivalry(2);
+        assert!(
+            rivalry[0] < 0.0,
+            "victim-DM must win at 4KB total: {rivalry:?}"
+        );
+        assert!(
+            *rivalry.last().unwrap() > 0.0,
+            "predicted 2-way must win at 4MB total: {rivalry:?}"
+        );
+        match study.rivalry_threshold(2) {
+            Threshold::StopsPayingBelowKb(kb) => {
+                assert!(kb > 4.0 && kb < 4096.0, "threshold at {kb}KB")
+            }
+            other => panic!("expected a lower threshold, got {other:?}"),
+        }
+
+        // Featured cells actually exercised their features.
+        let last = study.feature_ratios[2].last().unwrap();
+        assert!(last.way_first_hit_ratio > 0.5, "{last:?}");
+        let v8 = study.feature_ratios[4][0];
+        assert!(v8.victim_hit_ratio > 0.0, "victim buffer never hit");
+        // The victim variants lift the direct-mapped side above the plain
+        // baseline at the small end.
+        assert!(study.advantage(4)[0] > 0.0, "v8 must pay at 4KB total");
+
+        // Render mentions the crossover for the verify leg to grep.
+        let text = render(&study);
+        assert!(
+            text.contains("crossover: 2-way+mru stops paying below ~"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn job_count_does_not_change_the_study() {
+        let traces = TraceSet::generate(0.005);
+        let serial = run_over(&traces, &[2, 16], &VARIANTS[..3], 1);
+        let parallel = run_over(&traces, &[2, 16], &VARIANTS[..3], 4);
+        assert_eq!(serial.time_per_ref, parallel.time_per_ref);
+    }
+}

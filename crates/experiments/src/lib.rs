@@ -24,6 +24,7 @@ pub mod fig3_4;
 pub mod fig4_1;
 pub mod fig4_2;
 pub mod fig4_345;
+pub mod fig_assoc_threshold;
 pub mod fig5_1;
 pub mod fig5_2;
 pub mod fig5_3;

@@ -154,9 +154,20 @@ impl Registry {
     /// and cumulative `_bucket{le="..."}` series for histograms. All
     /// values are integers — the format can never contain `NaN`.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_filtered("")
+    }
+
+    /// [`render_prometheus`](Self::render_prometheus) restricted to the
+    /// families whose name starts with `prefix` (the `/v1/metrics?family=`
+    /// query). The empty prefix renders everything; an unmatched prefix
+    /// renders an empty exposition, which is valid Prometheus text.
+    pub fn render_prometheus_filtered(&self, prefix: &str) -> String {
         let families = self.families.lock().unwrap();
         let mut out = String::new();
         for (name, family) in families.iter() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
             let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
             for (labels, handle) in family.series.iter() {
                 match handle {

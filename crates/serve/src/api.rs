@@ -8,7 +8,9 @@
 //! to keep 64-bit integers exact.
 
 use cachetime::{SimResult, SystemConfig};
-use cachetime_cache::{CacheConfig, ReplacementPolicy, WriteAllocate, WritePolicy};
+use cachetime_cache::{
+    CacheConfig, ReplacementPolicy, VictimCacheConfig, WayPrediction, WriteAllocate, WritePolicy,
+};
 use cachetime_mem::{MemoryConfig, TransferRate};
 use cachetime_mmu::TranslationConfig;
 use cachetime_trace::{catalog, WorkloadSpec};
@@ -74,6 +76,35 @@ fn field_str<'a>(v: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
     }
 }
 
+/// Every key a cache-organization object may carry. Unknown keys are
+/// rejected rather than ignored: a typo'd feature field (say
+/// `victim_entires`) would otherwise silently simulate the wrong machine.
+const CACHE_KEYS: &[&str] = &[
+    "size_kib",
+    "block_words",
+    "fetch_words",
+    "assoc",
+    "replacement",
+    "write_policy",
+    "write_allocate",
+    "virtual_tags",
+    "rng_seed",
+    "victim_entries",
+    "way_prediction",
+];
+
+/// Rejects any key of `v` outside `allowed` ∪ [`CACHE_KEYS`].
+fn reject_unknown_cache_keys(v: &Json, allowed_extra: &[&str]) -> Result<(), String> {
+    if let Some(fields) = v.as_object() {
+        for (k, _) in fields {
+            if !CACHE_KEYS.contains(&k.as_str()) && !allowed_extra.contains(&k.as_str()) {
+                return Err(format!("unknown cache config field {k:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Builds one cache organization from a JSON object; absent fields keep
 /// the paper defaults.
 fn cache_config_from_json(v: &Json) -> Result<CacheConfig, String> {
@@ -118,10 +149,21 @@ fn cache_config_from_json(v: &Json) -> Result<CacheConfig, String> {
     if let Some(seed) = field_u64(v, "rng_seed")? {
         b.rng_seed(seed);
     }
+    if let Some(entries) = field_u64(v, "victim_entries")? {
+        b.victim_cache(VictimCacheConfig::new(entries as u32).map_err(|e| e.to_string())?);
+    }
+    if let Some(name) = field_str(v, "way_prediction")? {
+        b.way_prediction(match name {
+            "mru" => WayPrediction::Mru,
+            "multi-column" => WayPrediction::MultiColumn,
+            other => return Err(format!("unknown way prediction {other:?}")),
+        });
+    }
     b.build().map_err(|e| e.to_string())
 }
 
 fn level_config_from_json(v: &Json) -> Result<LevelTwoConfig, String> {
+    reject_unknown_cache_keys(v, &["read_cycles", "write_cycles", "wb_depth"])?;
     let mut level = LevelTwoConfig::new(cache_config_from_json(v)?);
     if let Some(c) = field_u64(v, "read_cycles")? {
         level.read_cycles = c;
@@ -200,12 +242,15 @@ pub fn system_config_from_json(v: Option<&Json>) -> Result<SystemConfig, String>
         b.cycle_time(CycleTime::from_ns(ns as u32).map_err(|e| e.to_string())?);
     }
     if let Some(l1) = v.get("l1") {
+        reject_unknown_cache_keys(l1, &[])?;
         b.l1_both(cache_config_from_json(l1)?);
     }
     if let Some(l1i) = v.get("l1i") {
+        reject_unknown_cache_keys(l1i, &[])?;
         b.l1i(cache_config_from_json(l1i)?);
     }
     if let Some(l1d) = v.get("l1d") {
+        reject_unknown_cache_keys(l1d, &[])?;
         b.l1d(cache_config_from_json(l1d)?);
     }
     if let Some(unified) = field_bool(v, "unified")? {
@@ -249,6 +294,12 @@ pub fn system_config_from_json(v: Option<&Json>) -> Result<SystemConfig, String>
     }
     if let Some(c) = field_u64(v, "write_hit_cycles")? {
         b.write_hit_cycles(c);
+    }
+    if let Some(c) = field_u64(v, "way_slow_hit_cycles")? {
+        b.way_slow_hit_cycles(c);
+    }
+    if let Some(c) = field_u64(v, "victim_swap_cycles")? {
+        b.victim_swap_cycles(c);
     }
     if let Some(d) = field_bool(v, "dual_issue")? {
         b.dual_issue(d);
@@ -305,6 +356,10 @@ fn cache_stats_json(s: &cachetime_cache::CacheStats) -> Json {
             "word_writes_downstream",
             Json::from(s.word_writes_downstream),
         ),
+        ("victim_hits", Json::from(s.victim_hits)),
+        ("way_first_hits", Json::from(s.way_first_hits)),
+        ("way_slow_hits", Json::from(s.way_slow_hits)),
+        ("way_probe_rounds", Json::from(s.way_probe_rounds)),
     ])
 }
 
@@ -417,6 +472,50 @@ mod tests {
         let v = Json::parse(r#"{"l1": {"replacement": "psychic"}}"#).unwrap();
         let err = system_config_from_json(Some(&v)).unwrap_err();
         assert!(err.contains("psychic"), "{err}");
+    }
+
+    #[test]
+    fn org_feature_fields_round_trip() {
+        let v = Json::parse(
+            r#"{
+                "l1": {"size_kib": 8, "assoc": 2, "victim_entries": 8, "way_prediction": "mru"},
+                "way_slow_hit_cycles": 2,
+                "victim_swap_cycles": 3
+            }"#,
+        )
+        .unwrap();
+        let c = system_config_from_json(Some(&v)).unwrap();
+        let features = c.l1d().features();
+        assert_eq!(features.victim_cache().unwrap().entries(), 8);
+        assert_eq!(features.way_prediction(), Some(WayPrediction::Mru));
+        assert_eq!(c.way_slow_hit_cycles(), 2);
+        assert_eq!(c.victim_swap_cycles(), 3);
+        // Display mentions what JSON enabled — the human-readable half of
+        // the round trip.
+        let shown = c.l1d().to_string();
+        assert!(shown.contains("victim:8"), "{shown}");
+        assert!(shown.contains("way-pred:mru"), "{shown}");
+
+        let v = Json::parse(r#"{"l1": {"way_prediction": "psychic"}}"#).unwrap();
+        assert!(system_config_from_json(Some(&v)).unwrap_err().contains("psychic"));
+        let v = Json::parse(r#"{"l1": {"victim_entries": 1000}}"#).unwrap();
+        assert!(system_config_from_json(Some(&v)).is_err());
+    }
+
+    #[test]
+    fn unknown_cache_fields_are_rejected_not_ignored() {
+        // Regression: a typo'd feature knob used to fall through silently
+        // and simulate a machine without the feature.
+        let v = Json::parse(r#"{"l1": {"victim_entires": 8}}"#).unwrap();
+        let err = system_config_from_json(Some(&v)).unwrap_err();
+        assert!(err.contains("victim_entires"), "{err}");
+        let v = Json::parse(r#"{"l1d": {"way_predicton": "mru"}}"#).unwrap();
+        assert!(system_config_from_json(Some(&v)).is_err());
+        // Level objects allow their timing keys but nothing else.
+        let v = Json::parse(r#"{"l2": {"size_kib": 512, "read_cycles": 5}}"#).unwrap();
+        assert!(system_config_from_json(Some(&v)).is_ok());
+        let v = Json::parse(r#"{"l2": {"size_kib": 512, "reed_cycles": 5}}"#).unwrap();
+        assert!(system_config_from_json(Some(&v)).is_err());
     }
 
     #[test]

@@ -123,6 +123,8 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// Raw query string after the first `?`, if the target carried one.
+    pub query: Option<String>,
     /// Raw body bytes (`Content-Length`-framed; no chunked support).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
@@ -858,7 +860,10 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     let method = parts.next().ok_or_else(|| bad("missing method"))?.to_string();
     let target = parts.next().ok_or_else(|| bad("missing path"))?;
     let version = parts.next().unwrap_or("HTTP/1.1");
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
 
     let mut content_length: Option<usize> = None;
     let mut deadline_ms = None;
@@ -906,6 +911,7 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     Ok(Parsed::Request(Request {
         method,
         path,
+        query,
         body,
         keep_alive,
         deadline_ms,

@@ -302,7 +302,12 @@ impl App {
             }
             ("GET", "/v1/metrics") => {
                 self.stats.degraded.set(self.is_degraded() as i64);
-                Response::ok_text(self.registry.render_prometheus())
+                match metrics_family_filter(req.query.as_deref()) {
+                    Ok(prefix) => {
+                        Response::ok_text(self.registry.render_prometheus_filtered(prefix))
+                    }
+                    Err(msg) => Response::error(400, msg),
+                }
             }
             ("POST", "/v1/simulate") => return self.try_simulate(&req.body),
             ("POST", "/v1/replay") => return self.try_replay(&req.body),
@@ -558,6 +563,21 @@ impl App {
     }
 }
 
+/// Resolves the `/v1/metrics` query into a family-name prefix: no query
+/// (or an empty one) means everything; `family=<prefix>` restricts the
+/// exposition. Anything else is a client error — silently ignoring a
+/// misspelled parameter would scrape the wrong (full-size) payload.
+fn metrics_family_filter(query: Option<&str>) -> Result<&str, &'static str> {
+    let mut prefix = "";
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("family", p)) => prefix = p,
+            _ => return Err("metrics accepts only a family=<prefix> query parameter"),
+        }
+    }
+    Ok(prefix)
+}
+
 fn parse_body(body: &[u8]) -> Result<Json, Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::error(400, "body must be UTF-8 JSON"))?;
@@ -575,6 +595,7 @@ mod tests {
         Request {
             method: method.into(),
             path: path.into(),
+            query: None,
             body: body.as_bytes().to_vec(),
             keep_alive: true,
             deadline_ms: None,

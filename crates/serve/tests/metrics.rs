@@ -168,3 +168,64 @@ fn metrics_and_stats_bit_match_after_a_mixed_workload() {
     handle.shutdown();
     handle.join();
 }
+
+/// `?family=<prefix>` narrows the exposition to matching families over a
+/// real socket; a misspelled parameter is a 400, not a full-size scrape.
+#[test]
+fn metrics_family_filter_over_a_socket() {
+    let app = Arc::new(App::new(64 * 1024 * 1024));
+    let handle = serve_with_app(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..Default::default()
+        },
+        Arc::clone(&app),
+    )
+    .expect("bind an ephemeral port");
+    let addr = handle.local_addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let (status, body) = client
+        .post("/v1/simulate", r#"{"trace": {"name": "mu3", "scale": 0.004}}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // The filtered scrape carries the store families and nothing else.
+    let (status, filtered) = client.get("/v1/metrics?family=cachetime_store_").unwrap();
+    assert_eq!(status, 200, "{filtered}");
+    assert!(
+        filtered.contains("cachetime_store_misses_total"),
+        "{filtered}"
+    );
+    for line in filtered.lines() {
+        let name = line.strip_prefix("# TYPE ").unwrap_or(line);
+        assert!(
+            name.starts_with("cachetime_store_"),
+            "family leaked past the filter: {line}"
+        );
+    }
+    // The filtered payload is a strict subset of the full scrape.
+    let (_, full) = client.get("/v1/metrics").unwrap();
+    assert!(full.len() > filtered.len());
+    for line in filtered.lines() {
+        assert!(full.contains(line), "filtered-only line: {line}");
+    }
+
+    // No filter and an empty filter are the whole exposition.
+    let (status, empty_filter) = client.get("/v1/metrics?family=").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(empty_filter.lines().count(), full.lines().count());
+
+    // An unmatched prefix is an empty-but-valid exposition, not an error.
+    let (status, none) = client.get("/v1/metrics?family=nonesuch_").unwrap();
+    assert_eq!(status, 200);
+    assert!(none.is_empty(), "{none}");
+
+    // A misspelled parameter must not silently return the full payload.
+    let (status, body) = client.get("/v1/metrics?fam=oops").unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    handle.shutdown();
+    handle.join();
+}

@@ -61,6 +61,19 @@ pub enum AccessEvent {
         /// `true` in a write-through cache.
         through: bool,
     },
+    /// Read hit in a way other than the predicted one: a second probe
+    /// round was needed. Only produced by way-predicted organizations.
+    ReadSlowHit,
+    /// Read miss served by the victim buffer: the block swapped back in
+    /// without touching the next level. Only produced by organizations
+    /// with a victim cache.
+    ReadVictimHit,
+    /// Write miss served by the victim buffer; the write then proceeded
+    /// as a hit. `through` sends the word downstream as well.
+    WriteVictimHit {
+        /// `true` in a write-through cache.
+        through: bool,
+    },
 }
 
 impl AccessEvent {
@@ -71,6 +84,7 @@ impl AccessEvent {
             AccessEvent::WriteHit { .. }
                 | AccessEvent::WriteMissAround
                 | AccessEvent::WriteMissAllocate { .. }
+                | AccessEvent::WriteVictimHit { .. }
         )
     }
 }
@@ -200,6 +214,9 @@ mod tests {
             }),
         }
         .is_write());
+        assert!(!AccessEvent::ReadSlowHit.is_write());
+        assert!(!AccessEvent::ReadVictimHit.is_write());
+        assert!(AccessEvent::WriteVictimHit { through: false }.is_write());
     }
 
     #[test]

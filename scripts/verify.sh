@@ -29,7 +29,11 @@
 # 9. Serve benchmark: cold/warm/batch legs plus the 1..256-client
 #    concurrency sweep (p50 at 256 clients must stay within 3x of solo).
 #    Refreshes BENCH_serve.json.
-# 10. Bench regression diff: compare the freshly written BENCH_sweep.json
+# 10. Associativity-threshold study at small scale: the organization
+#    features (victim cache, way prediction) must reproduce the
+#    crossover — a size below which set-associativity stops paying
+#    against the best direct-mapped organization.
+# 11. Bench regression diff: compare the freshly written BENCH_sweep.json
 #    and BENCH_serve.json against the committed baselines; any headline
 #    metric regressing by more than 15% fails the gate.
 set -euo pipefail
@@ -124,6 +128,15 @@ echo "ctserve survived chaos and shut down cleanly"
 
 echo "==> cachetime-bench serve (cold/warm/batch + concurrency sweep; writes BENCH_serve.json)"
 cargo run --release -q -p cachetime-bench -- serve "${BENCH_SCALE:-0.05}"
+
+echo "==> fig-assoc-threshold (small scale; the crossover must exist)"
+THRESHOLD_OUT="$(cargo run --release -q -p cachetime-experiments --bin repro -- \
+  --scale "${BENCH_SCALE:-0.05}" fig-assoc-threshold 2>/dev/null)"
+echo "$THRESHOLD_OUT" | grep '^crossover:'
+echo "$THRESHOLD_OUT" | grep -q 'stops paying below ~' \
+  || { echo "no associativity-threshold crossover in fig-assoc-threshold output"; exit 1; }
+echo "$THRESHOLD_OUT" | grep -q '^crossover: 2-way never pays on this grid' \
+  || { echo "clock-taxed 2-way unexpectedly pays; threshold study regressed"; exit 1; }
 
 echo "==> cachetime-bench bench-diff (headline metrics vs committed baselines)"
 cargo run --release -q -p cachetime-bench -- bench-diff

@@ -241,6 +241,9 @@ impl RefMachine {
         let block_words = cache.config().block().words();
         match cache.read(r.addr, r.pid) {
             ReadOutcome::Hit => now + 1,
+            ReadOutcome::SlowHit | ReadOutcome::VictimHit => {
+                unreachable!("oracle configs enable no organization features")
+            }
             ReadOutcome::Miss { fill_words, victim } => {
                 let fetch_start = WordAddr::new(r.addr.value() & !(fill_words as u64 - 1));
                 let victim = victim.map(|ev| (ev.addr.first_word(block_words), ev.words));
@@ -257,6 +260,9 @@ impl RefMachine {
                 (now + 2).max(accepted + 1)
             }
             WriteOutcome::MissAllocate { .. } => unreachable!("no-allocate configs only"),
+            WriteOutcome::VictimHit { .. } => {
+                unreachable!("oracle configs enable no organization features")
+            }
         }
     }
 }
