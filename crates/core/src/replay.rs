@@ -122,6 +122,37 @@ impl EventTrace {
             self.ops.len() as f64 / self.couplets as f64
         }
     }
+
+    /// MMU statistics of the measured window, if the organization has a
+    /// translation layer.
+    pub fn mmu_stats(&self) -> Option<&MmuStats> {
+        self.mmu.as_ref()
+    }
+
+    /// Reassembles a trace from its decoded parts ([`crate::codec`] only).
+    ///
+    /// Callers must provide parts that came out of `encode`; the codec's
+    /// round-trip tests pin that the result is bit-identical to the
+    /// original recording.
+    pub(crate) fn from_raw_parts(
+        org: OrgConfig,
+        ops: Vec<EventOp>,
+        refs: u64,
+        couplets: u64,
+        l1i: CacheStats,
+        l1d: CacheStats,
+        mmu: Option<MmuStats>,
+    ) -> Self {
+        EventTrace {
+            org,
+            ops,
+            refs,
+            couplets,
+            l1i,
+            l1d,
+            mmu,
+        }
+    }
 }
 
 /// Phase A: the timing-free behavioral simulator.

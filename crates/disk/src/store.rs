@@ -1,0 +1,403 @@
+//! The durable segment store: one file per trace key, atomic spills,
+//! quarantine-on-corruption recovery, oldest-first eviction.
+
+use crate::fault::{mangle, DiskFault, DiskOp, FaultHook};
+use crate::metrics::DiskMetrics;
+use crate::segment;
+use cachetime::{codec, EventTrace};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// File extension of a sealed segment.
+const SEG_EXT: &str = "seg";
+
+/// Subdirectory corrupt segments are moved into (never deleted: they are
+/// evidence).
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Monotonic discriminator for temp-file names, so concurrent spills in
+/// one process never collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// What a spill actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillResult {
+    /// A new segment was durably written.
+    Written,
+    /// The key already had a segment; nothing was rewritten (segments are
+    /// content-addressed, so an existing file is already correct).
+    AlreadyPresent,
+    /// An injected write fault left a torn or corrupted file under the
+    /// final name — the crash image recovery must later quarantine. The
+    /// segment is *not* indexed and will not serve reads.
+    Corrupted,
+}
+
+/// Outcome of a startup scan, also exported under `/v1/stats` by the
+/// server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Valid segments streamed into the sink.
+    pub recovered: u64,
+    /// Corrupt files moved into `quarantine/`.
+    pub quarantined: u64,
+    /// Abandoned temp files removed (a crash between write and rename).
+    pub stale_tmp: u64,
+    /// Bytes of recovered segments now accounted against the budget.
+    pub bytes: u64,
+}
+
+/// Configuration of a [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// Directory holding the segments (created if missing, along with its
+    /// `quarantine/` subdirectory).
+    pub root: PathBuf,
+    /// Byte budget for live segments; `0` means unlimited. When a spill
+    /// pushes the total over budget, oldest-mtime segments are deleted
+    /// until it fits.
+    pub budget_bytes: u64,
+}
+
+struct SegmentInfo {
+    len: u64,
+    mtime: SystemTime,
+}
+
+#[derive(Default)]
+struct Index {
+    segments: HashMap<u64, SegmentInfo>,
+    bytes: u64,
+}
+
+/// A crash-safe, content-addressed segment store.
+///
+/// Keys are the store's stable SplitMix64 trace keys; the 16-hex key is
+/// the file name, so the directory *is* the index and recovery needs no
+/// journal. Writes go to a temp file in the same directory, are fsynced,
+/// and land under the final name with an atomic rename (followed by a
+/// directory fsync), so a segment either exists completely or not at
+/// all — the only torn states a real crash can leave are a stale temp
+/// file (removed on scan) or lost dirty pages (caught by the checksum
+/// and quarantined).
+pub struct SegmentStore {
+    root: PathBuf,
+    quarantine: PathBuf,
+    budget_bytes: u64,
+    metrics: DiskMetrics,
+    fault: Option<FaultHook>,
+    index: Mutex<Index>,
+}
+
+impl SegmentStore {
+    /// Opens (creating if needed) the store rooted at `config.root`, with
+    /// metrics registered standalone (not in any registry).
+    pub fn open(config: DiskConfig) -> io::Result<Self> {
+        Self::open_with_metrics(config, DiskMetrics::standalone())
+    }
+
+    /// Opens the store with externally built metrics handles (typically
+    /// [`DiskMetrics::in_registry`]).
+    pub fn open_with_metrics(config: DiskConfig, metrics: DiskMetrics) -> io::Result<Self> {
+        let quarantine = config.root.join(QUARANTINE_DIR);
+        fs::create_dir_all(&quarantine)?;
+        Ok(SegmentStore {
+            root: config.root,
+            quarantine,
+            budget_bytes: config.budget_bytes,
+            metrics,
+            fault: None,
+            index: Mutex::new(Index::default()),
+        })
+    }
+
+    /// Installs an I/O fault hook (tests only; see [`crate::fault`]).
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault = Some(hook);
+        self
+    }
+
+    /// The store's metric handles.
+    pub fn metrics(&self) -> &DiskMetrics {
+        &self.metrics
+    }
+
+    /// The directory this store lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of live (indexed) segments.
+    pub fn segments(&self) -> u64 {
+        self.index.lock().unwrap().segments.len() as u64
+    }
+
+    /// Bytes of live segments.
+    pub fn bytes(&self) -> u64 {
+        self.index.lock().unwrap().bytes
+    }
+
+    /// Whether a live segment exists for `key`.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.lock().unwrap().segments.contains_key(&key)
+    }
+
+    fn seg_path(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.{SEG_EXT}"))
+    }
+
+    fn fault_for(&self, op: DiskOp, key: u64, len: usize) -> DiskFault {
+        match &self.fault {
+            Some(hook) => hook(op, key, len),
+            None => DiskFault::None,
+        }
+    }
+
+    /// Durably spills one trace. Returns what happened; counts every
+    /// outcome on the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real (or injected [`DiskFault::Error`]) I/O failures;
+    /// the store stays consistent either way.
+    pub fn store(&self, key: u64, trace: &EventTrace) -> io::Result<SpillResult> {
+        if self.contains(key) {
+            return Ok(SpillResult::AlreadyPresent);
+        }
+        let sealed = segment::seal(key, &codec::encode(trace));
+        let final_path = self.seg_path(key);
+        match self.fault_for(DiskOp::Write, key, sealed.len()) {
+            DiskFault::None => {}
+            fault => {
+                self.metrics.spill_errors.inc();
+                let Some(bytes) = mangle(&sealed, fault) else {
+                    return Err(io::Error::other("injected disk.write error"));
+                };
+                // A crash image: mangled bytes under the final name, no
+                // fsync, no index entry. Recovery quarantines it.
+                fs::write(&final_path, bytes)?;
+                return Ok(SpillResult::Corrupted);
+            }
+        }
+        let tmp_path = self.root.join(format!(
+            "{key:016x}.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&sealed)?;
+            f.sync_all()?;
+            fs::rename(&tmp_path, &final_path)?;
+            // The rename is durable only once the directory entry is; a
+            // crash before this fsync may resurface the temp name, which
+            // the startup scan removes.
+            fs::File::open(&self.root)?.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = written {
+            self.metrics.spill_errors.inc();
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        let len = sealed.len() as u64;
+        self.index_insert(key, len, SystemTime::now());
+        self.metrics.spills.inc();
+        self.metrics.spill_bytes.add(len);
+        self.evict_over_budget(key);
+        Ok(SpillResult::Written)
+    }
+
+    /// Loads one trace by key. `None` means not present — including
+    /// segments that turned out corrupt (they are quarantined on the
+    /// spot) and injected read errors; read-through callers treat all of
+    /// those as a miss and re-record.
+    pub fn load(&self, key: u64) -> Option<EventTrace> {
+        if !self.contains(key) {
+            self.metrics.load_misses.inc();
+            return None;
+        }
+        let path = self.seg_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.metrics.load_errors.inc();
+                self.index_remove(key);
+                return None;
+            }
+        };
+        let bytes = match mangle(&bytes, self.fault_for(DiskOp::Read, key, bytes.len())) {
+            Some(b) => b,
+            None => {
+                self.metrics.load_errors.inc();
+                return None;
+            }
+        };
+        match segment::open(key, &bytes).map_err(|e| e.to_string()).and_then(|payload| {
+            codec::decode(payload).map_err(|e| e.to_string())
+        }) {
+            Ok(trace) => {
+                self.metrics.loads.inc();
+                Some(trace)
+            }
+            Err(_) => {
+                self.quarantine_file(&path);
+                self.index_remove(key);
+                self.metrics.load_errors.inc();
+                None
+            }
+        }
+    }
+
+    /// Startup recovery: validates every segment in the directory,
+    /// streams the intact ones (in unspecified order) into `sink`,
+    /// quarantines the rest, and removes abandoned temp files. Rebuilds
+    /// the in-memory index; call once, before serving.
+    ///
+    /// # Errors
+    ///
+    /// Only on directory-level I/O failures (cannot list the root);
+    /// per-file corruption never errors — that is the case this scan
+    /// exists to absorb.
+    pub fn scan(&self, mut sink: impl FnMut(u64, EventTrace)) -> io::Result<ScanReport> {
+        let mut report = ScanReport::default();
+        let mut recovered: Vec<(u64, u64, SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.is_dir() {
+                continue; // quarantine/ and anything else nested
+            }
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                self.quarantine_file(&path);
+                report.quarantined += 1;
+                continue;
+            };
+            if name.contains(".tmp-") {
+                let _ = fs::remove_file(&path);
+                report.stale_tmp += 1;
+                continue;
+            }
+            let key = match name.strip_suffix(&format!(".{SEG_EXT}")) {
+                Some(hex) if hex.len() == 16 => u64::from_str_radix(hex, 16).ok(),
+                _ => None,
+            };
+            let Some(key) = key else {
+                // Not a segment, not a temp file: foreign garbage.
+                self.quarantine_file(&path);
+                report.quarantined += 1;
+                continue;
+            };
+            let trace = fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| {
+                    segment::open(key, &bytes)
+                        .map_err(|e| e.to_string())
+                        .and_then(|payload| codec::decode(payload).map_err(|e| e.to_string()))
+                        .map(|trace| (trace, bytes.len() as u64))
+                });
+            match trace {
+                Ok((trace, len)) => {
+                    let mtime = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(SystemTime::UNIX_EPOCH);
+                    recovered.push((key, len, mtime));
+                    report.recovered += 1;
+                    report.bytes += len;
+                    sink(key, trace);
+                }
+                Err(_) => {
+                    self.quarantine_file(&path);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        {
+            let mut index = self.index.lock().unwrap();
+            index.segments.clear();
+            index.bytes = 0;
+            for (key, len, mtime) in recovered {
+                index.segments.insert(key, SegmentInfo { len, mtime });
+                index.bytes += len;
+            }
+            self.metrics.segments.set(index.segments.len() as i64);
+            self.metrics.bytes.set(index.bytes as i64);
+        }
+        self.metrics.recovered.add(report.recovered);
+        self.metrics.quarantined.add(report.quarantined);
+        self.evict_over_budget(0);
+        Ok(report)
+    }
+
+    fn index_insert(&self, key: u64, len: u64, mtime: SystemTime) {
+        let mut index = self.index.lock().unwrap();
+        if let Some(old) = index.segments.insert(key, SegmentInfo { len, mtime }) {
+            index.bytes -= old.len;
+        }
+        index.bytes += len;
+        self.metrics.segments.set(index.segments.len() as i64);
+        self.metrics.bytes.set(index.bytes as i64);
+    }
+
+    fn index_remove(&self, key: u64) {
+        let mut index = self.index.lock().unwrap();
+        if let Some(info) = index.segments.remove(&key) {
+            index.bytes -= info.len;
+        }
+        self.metrics.segments.set(index.segments.len() as i64);
+        self.metrics.bytes.set(index.bytes as i64);
+    }
+
+    /// Deletes oldest-mtime segments until the byte budget holds. The
+    /// just-written `keep` key survives unless it is the only segment
+    /// left (a budget smaller than one segment still converges).
+    fn evict_over_budget(&self, keep: u64) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        loop {
+            let victim = {
+                let index = self.index.lock().unwrap();
+                if index.bytes <= self.budget_bytes || index.segments.len() <= 1 {
+                    break;
+                }
+                index
+                    .segments
+                    .iter()
+                    .filter(|(k, _)| **k != keep)
+                    .min_by_key(|(k, info)| (info.mtime, **k))
+                    .map(|(k, _)| *k)
+            };
+            let Some(victim) = victim else { break };
+            let _ = fs::remove_file(self.seg_path(victim));
+            self.index_remove(victim);
+            self.metrics.evicted.inc();
+        }
+    }
+
+    /// Moves a corrupt file into `quarantine/`, keeping its name (with a
+    /// numeric suffix on collision). Best-effort: a failing rename falls
+    /// back to deletion so a poisoned file can never wedge recovery.
+    fn quarantine_file(&self, path: &Path) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".to_string());
+        let mut dest = self.quarantine.join(&name);
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = self.quarantine.join(format!("{name}.{n}"));
+        }
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Property tests for startup recovery: arbitrary mixes of intact,
+//! truncated, bit-flipped, foreign-magic, duplicate-key, and garbage
+//! segment files must never panic the scan, must quarantine exactly the
+//! corrupt set, and must leave the counters balanced.
+
+use cachetime::{keyed, EventTrace, SystemConfig};
+use cachetime_disk::{segment, DiskConfig, SegmentStore};
+use cachetime_testkit::{check, shrink, SplitMix64};
+use cachetime_trace::catalog;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cachetime-disk-prop-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A pool of real recorded traces (recording is the slow part, so it
+/// happens once; the per-case work is file mangling).
+fn trace_pool() -> &'static Vec<(u64, EventTrace)> {
+    static POOL: OnceLock<Vec<(u64, EventTrace)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let org = SystemConfig::paper_default().unwrap().organization();
+        (0..4)
+            .map(|i| keyed::record(&org, &catalog::mu3(0.004 + i as f64 * 0.001)))
+            .collect()
+    })
+}
+
+/// One file the generator plants in the data directory.
+#[derive(Debug, Clone)]
+enum Planted {
+    /// A fully valid segment of pool trace `ix`.
+    Intact { ix: usize },
+    /// A valid segment truncated to `keep` bytes.
+    Truncated { ix: usize, keep: usize },
+    /// A valid segment with one bit flipped at `offset`.
+    BitFlipped { ix: usize, offset: usize },
+    /// A correct-length file whose first bytes are not the magic.
+    ForeignMagic { ix: usize },
+    /// A valid segment of trace `ix` written under a *different* trace's
+    /// file name (a duplicate-key copy: the content key inside does not
+    /// match the name).
+    DuplicateKey { ix: usize, name_ix: usize },
+    /// Random bytes under a `.seg`-shaped name that is not a pool key.
+    Garbage { seed: u64, len: usize },
+}
+
+/// Plants the files and returns how many distinct *intact* pool keys
+/// ended up with a valid segment (duplicates of the same key collapse:
+/// one file name per key) and how many corrupt files were planted.
+fn plant(root: &PathBuf, files: &[Planted]) -> (usize, usize) {
+    std::fs::create_dir_all(root).unwrap();
+    let pool = trace_pool();
+    let sealed: Vec<Vec<u8>> = pool
+        .iter()
+        .map(|(key, trace)| segment::seal(*key, &cachetime::codec::encode(trace)))
+        .collect();
+    let name_of = |ix: usize| format!("{:016x}.seg", pool[ix].0);
+    let mut intact: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut corrupt = 0usize;
+    for file in files {
+        match file {
+            Planted::Intact { ix } => {
+                std::fs::write(root.join(name_of(*ix)), &sealed[*ix]).unwrap();
+                intact.insert(*ix);
+            }
+            Planted::Truncated { ix, keep } => {
+                let keep = *keep % sealed[*ix].len();
+                // An honest truncation: if nothing survives there is no
+                // file at all, which is the crash case rename prevents.
+                std::fs::write(root.join(name_of(*ix)), &sealed[*ix][..keep]).unwrap();
+                intact.remove(ix);
+                corrupt += 1;
+            }
+            Planted::BitFlipped { ix, offset } => {
+                let mut bytes = sealed[*ix].clone();
+                let offset = *offset % bytes.len();
+                bytes[offset] ^= 1;
+                std::fs::write(root.join(name_of(*ix)), bytes).unwrap();
+                intact.remove(ix);
+                corrupt += 1;
+            }
+            Planted::ForeignMagic { ix } => {
+                let mut bytes = sealed[*ix].clone();
+                bytes[..8].copy_from_slice(b"NOTASEG!");
+                std::fs::write(root.join(name_of(*ix)), bytes).unwrap();
+                intact.remove(ix);
+                corrupt += 1;
+            }
+            Planted::DuplicateKey { ix, name_ix } => {
+                if name_ix == ix {
+                    // Same name and key: actually an intact segment.
+                    std::fs::write(root.join(name_of(*ix)), &sealed[*ix]).unwrap();
+                    intact.insert(*ix);
+                } else {
+                    std::fs::write(root.join(name_of(*name_ix)), &sealed[*ix]).unwrap();
+                    intact.remove(name_ix);
+                    corrupt += 1;
+                }
+            }
+            Planted::Garbage { seed, len } => {
+                let mut rng = SplitMix64::from_seed(*seed);
+                let mut bytes = vec![0u8; *len];
+                rng.fill(&mut bytes);
+                let name = format!("{:016x}.seg", rng.next_u64());
+                std::fs::write(root.join(name), bytes).unwrap();
+                corrupt += 1;
+            }
+        }
+    }
+    (intact.len(), corrupt)
+}
+
+#[test]
+fn recovery_quarantines_exactly_the_corrupt_set() {
+    let pool_len = trace_pool().len();
+    check(
+        "recovery_quarantines_exactly_the_corrupt_set",
+        |rng| {
+            let n = rng.gen_range(0..8usize);
+            (0..n)
+                .map(|_| {
+                    let ix = rng.gen_range(0..pool_len);
+                    match rng.gen_range(0..6u32) {
+                        0 => Planted::Intact { ix },
+                        1 => Planted::Truncated {
+                            ix,
+                            keep: rng.gen_range(0..4096usize),
+                        },
+                        2 => Planted::BitFlipped {
+                            ix,
+                            offset: rng.gen_range(0usize..1 << 20),
+                        },
+                        3 => Planted::ForeignMagic { ix },
+                        4 => Planted::DuplicateKey {
+                            ix,
+                            name_ix: rng.gen_range(0..pool_len),
+                        },
+                        _ => Planted::Garbage {
+                            seed: rng.next_u64(),
+                            len: rng.gen_range(0..2048usize),
+                        },
+                    }
+                })
+                .collect::<Vec<_>>()
+        },
+        shrink::vec_linear,
+        |files| {
+            // Later plants overwrite earlier ones at the same name; keep
+            // only the last file per name so the oracle matches the
+            // filesystem. plant() handles this via its intact set, but
+            // only when corruption follows intactness; normalize by
+            // replaying names here.
+            let mut last: std::collections::BTreeMap<String, Planted> =
+                std::collections::BTreeMap::new();
+            let pool = trace_pool();
+            for f in files {
+                let name = match f {
+                    Planted::Intact { ix }
+                    | Planted::Truncated { ix, .. }
+                    | Planted::BitFlipped { ix, .. }
+                    | Planted::ForeignMagic { ix } => format!("{:016x}.seg", pool[*ix].0),
+                    Planted::DuplicateKey { name_ix, .. } => {
+                        format!("{:016x}.seg", pool[*name_ix].0)
+                    }
+                    Planted::Garbage { seed, .. } => format!("garbage-{seed}"),
+                };
+                last.insert(name, f.clone());
+            }
+            let deduped: Vec<Planted> = last.into_values().collect();
+
+            let root = scratch();
+            let (intact, corrupt) = plant(&root, &deduped);
+            let store = SegmentStore::open(DiskConfig {
+                root: root.clone(),
+                budget_bytes: 0,
+            })
+            .map_err(|e| e.to_string())?;
+            let mut recovered = Vec::new();
+            let report = store
+                .scan(|key, trace| recovered.push((key, trace)))
+                .map_err(|e| e.to_string())?;
+            let _ = std::fs::remove_dir_all(&root);
+
+            if report.recovered != intact as u64 {
+                return Err(format!(
+                    "recovered {} segments, expected {intact}",
+                    report.recovered
+                ));
+            }
+            if report.quarantined != corrupt as u64 {
+                return Err(format!(
+                    "quarantined {} files, expected {corrupt}",
+                    report.quarantined
+                ));
+            }
+            if store.segments() != intact as u64 {
+                return Err(format!(
+                    "index holds {} segments, expected {intact}",
+                    store.segments()
+                ));
+            }
+            // Every recovered trace must be bit-identical to its source.
+            for (key, trace) in &recovered {
+                let (_, original) = pool
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .ok_or_else(|| format!("recovered unknown key {key:016x}"))?;
+                if trace != original {
+                    return Err(format!("trace {key:016x} not bit-identical"));
+                }
+            }
+            // Counters balance: every planted file is accounted exactly
+            // once across recovered + quarantined.
+            if report.recovered + report.quarantined != deduped.len() as u64 {
+                return Err(format!(
+                    "{} files planted but {} recovered + {} quarantined",
+                    deduped.len(),
+                    report.recovered,
+                    report.quarantined
+                ));
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,205 @@
+//! Deterministic segment-store behavior: spill/load round trips, restart
+//! recovery, budget eviction, stale-temp cleanup, and injected faults.
+
+use cachetime::{keyed, SystemConfig};
+use cachetime_disk::{DiskConfig, DiskFault, DiskOp, DiskMetrics, SegmentStore, SpillResult};
+use cachetime_trace::catalog;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, empty scratch directory unique to this process and call.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cachetime-disk-{name}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_trace(scale_ix: u64) -> (u64, cachetime::EventTrace) {
+    let org = SystemConfig::paper_default().unwrap().organization();
+    let workload = catalog::mu3(0.005 + scale_ix as f64 * 0.001);
+    keyed::record(&org, &workload)
+}
+
+fn open(root: PathBuf, budget: u64) -> SegmentStore {
+    SegmentStore::open(DiskConfig {
+        root,
+        budget_bytes: budget,
+    })
+    .expect("open store")
+}
+
+#[test]
+fn spill_load_round_trip() {
+    let root = scratch("round-trip");
+    let store = open(root.clone(), 0);
+    let (key, trace) = sample_trace(0);
+    assert_eq!(store.store(key, &trace).unwrap(), SpillResult::Written);
+    assert_eq!(
+        store.store(key, &trace).unwrap(),
+        SpillResult::AlreadyPresent
+    );
+    assert!(store.contains(key));
+    assert_eq!(store.segments(), 1);
+    let back = store.load(key).expect("load");
+    assert_eq!(back, trace);
+    assert_eq!(store.metrics().spills(), 1);
+    assert_eq!(store.metrics().loads(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn restart_recovers_everything_written() {
+    let root = scratch("restart");
+    let mut written = Vec::new();
+    {
+        let store = open(root.clone(), 0);
+        for i in 0..3 {
+            let (key, trace) = sample_trace(i);
+            store.store(key, &trace).unwrap();
+            written.push((key, trace));
+        }
+    }
+    // A new store on the same directory starts cold, then scans warm.
+    let store = open(root.clone(), 0);
+    assert_eq!(store.segments(), 0);
+    let mut recovered = Vec::new();
+    let report = store.scan(|key, trace| recovered.push((key, trace))).unwrap();
+    assert_eq!(report.recovered, 3);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.stale_tmp, 0);
+    recovered.sort_by_key(|(k, _)| *k);
+    written.sort_by_key(|(k, _)| *k);
+    assert_eq!(recovered, written, "recovery must be bit-identical");
+    assert_eq!(store.segments(), 3);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scan_removes_stale_temp_files() {
+    let root = scratch("stale-tmp");
+    let store = open(root.clone(), 0);
+    let (key, trace) = sample_trace(0);
+    store.store(key, &trace).unwrap();
+    std::fs::write(root.join("0123456789abcdef.tmp-1-0"), b"half a segment").unwrap();
+    let report = store.scan(|_, _| {}).unwrap();
+    assert_eq!(report.recovered, 1);
+    assert_eq!(report.stale_tmp, 1);
+    assert!(!root.join("0123456789abcdef.tmp-1-0").exists());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn budget_evicts_oldest_first() {
+    let root = scratch("budget");
+    let unbounded = open(root.clone(), 0);
+    let (k0, t0) = sample_trace(0);
+    unbounded.store(k0, &t0).unwrap();
+    let one_len = unbounded.bytes();
+    drop(unbounded);
+
+    // Budget for two segments of this size; spill three.
+    let store = open(root.clone(), one_len * 2 + one_len / 2);
+    store.scan(|_, _| {}).unwrap();
+    let (k1, t1) = sample_trace(1);
+    let (k2, t2) = sample_trace(2);
+    // Push mtimes apart: coarse filesystems timestamp at second granularity.
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    store.store(k1, &t1).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    store.store(k2, &t2).unwrap();
+    assert!(
+        !store.contains(k0) && store.contains(k1) && store.contains(k2),
+        "oldest (k0) must be the victim"
+    );
+    assert_eq!(store.metrics().evicted(), 1);
+    assert!(store.load(k0).is_none());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_write_fault_leaves_a_quarantinable_crash_image() {
+    let root = scratch("torn-write");
+    let (key, trace) = sample_trace(0);
+    let store = open(root.clone(), 0).with_fault_hook(Arc::new(|op, _, _| match op {
+        DiskOp::Write => DiskFault::Torn { keep: 20 },
+        DiskOp::Read => DiskFault::None,
+    }));
+    assert_eq!(store.store(key, &trace).unwrap(), SpillResult::Corrupted);
+    assert!(!store.contains(key), "a corrupted spill must not be indexed");
+    assert_eq!(store.metrics().spill_errors(), 1);
+    drop(store);
+
+    // Recovery quarantines the torn file instead of crashing.
+    let store = open(root.clone(), 0);
+    let report = store.scan(|_, _| panic!("nothing valid to recover")).unwrap();
+    assert_eq!(report.recovered, 0);
+    assert_eq!(report.quarantined, 1);
+    assert!(root.join("quarantine").join(format!("{key:016x}.seg")).exists());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn read_fault_quarantines_and_misses() {
+    let root = scratch("read-fault");
+    let (key, trace) = sample_trace(0);
+    {
+        let store = open(root.clone(), 0);
+        store.store(key, &trace).unwrap();
+    }
+    let store = open(root.clone(), 0).with_fault_hook(Arc::new(|op, _, _| match op {
+        DiskOp::Write => DiskFault::None,
+        DiskOp::Read => DiskFault::BitFlip { offset: 100 },
+    }));
+    store.scan(|_, _| {}).unwrap();
+    assert!(store.load(key).is_none(), "corrupt read must be a miss");
+    assert_eq!(store.metrics().load_errors(), 1);
+    assert!(!store.contains(key), "the poisoned segment must be deindexed");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn injected_error_fails_the_spill_without_a_file() {
+    let root = scratch("io-error");
+    let (key, trace) = sample_trace(0);
+    let store = open(root.clone(), 0).with_fault_hook(Arc::new(|_, _, _| DiskFault::Error));
+    assert!(store.store(key, &trace).is_err());
+    assert!(!store.contains(key));
+    assert_eq!(store.metrics().spill_errors(), 1);
+    assert!(!root.join(format!("{key:016x}.seg")).exists());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn metrics_registry_names_are_wired() {
+    let registry = cachetime_obs::Registry::new();
+    let root = scratch("registry");
+    let store = SegmentStore::open_with_metrics(
+        DiskConfig {
+            root: root.clone(),
+            budget_bytes: 0,
+        },
+        DiskMetrics::in_registry(&registry),
+    )
+    .unwrap();
+    let (key, trace) = sample_trace(0);
+    store.store(key, &trace).unwrap();
+    store.load(key).unwrap();
+    let text = registry.render_prometheus();
+    for family in [
+        "cachetime_disk_spills_total",
+        "cachetime_disk_spill_bytes_total",
+        "cachetime_disk_loads_total",
+        "cachetime_disk_segments",
+        "cachetime_disk_bytes",
+    ] {
+        assert!(text.contains(family), "missing family {family}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -3,11 +3,16 @@
 //! ```text
 //! ctserve [--addr 127.0.0.1:8080] [--workers N] [--budget-mb MB] [--port-file PATH]
 //!         [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]
+//!         [--data-dir DIR] [--disk-budget-mb MB]
 //! ```
 //!
 //! `--workers 0` (the default) sizes the pool via
 //! `cachetime::sweep::available_jobs()`. `--port-file` writes the bound
-//! port to a file once listening — scripts binding port 0 read it back.
+//! port to a file once listening — scripts binding port 0 read it back
+//! (written atomically: temp + rename, so a poller never observes a
+//! half-written port). `--data-dir` makes the store durable: recordings
+//! spill to content-addressed segment files and a restart on the same
+//! directory recovers them before accepting traffic (restart-warm).
 //! The process runs until `POST /v1/shutdown` (or the process is killed).
 //!
 //! The three robustness knobs map onto the failure model in DESIGN.md §7:
@@ -56,18 +61,26 @@ fn main() {
                 config.request_deadline_ms =
                     parse(&value("--request-deadline-ms"), "--request-deadline-ms");
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
+            "--disk-budget-mb" => {
+                let mb: u64 = parse(&value("--disk-budget-mb"), "--disk-budget-mb");
+                config.disk_budget_bytes = mb * 1024 * 1024;
+            }
             "--help" | "-h" => {
                 println!(
                     "ctserve — cachetime simulation server\n\n\
                      USAGE: ctserve [--addr HOST:PORT] [--workers N] [--budget-mb MB] [--port-file PATH]\n\
-                     \x20              [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]\n\n\
+                     \x20              [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]\n\
+                     \x20              [--data-dir DIR] [--disk-budget-mb MB]\n\n\
                      --addr                     bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
                      --workers                  worker threads (default 0 = auto-size to the host)\n\
                      --budget-mb                EventTrace store budget in MiB (default 256)\n\
                      --port-file                write the bound port to PATH once listening\n\
                      --max-queue                connection queue bound; past it, shed with 503 (default 1024)\n\
                      --max-inflight-recordings  cold simulates in flight before shedding (default 0 = 2x workers)\n\
-                     --request-deadline-ms      per-request wall-clock budget (default 10000)"
+                     --request-deadline-ms      per-request wall-clock budget (default 10000)\n\
+                     --data-dir                 durable segment store directory (default: memory-only)\n\
+                     --disk-budget-mb           durable store budget in MiB (default 0 = unlimited)"
                 );
                 return;
             }
@@ -81,14 +94,40 @@ fn main() {
     // The process-wide registry, not a private one: `GET /v1/metrics`
     // then exposes the core engine's record/replay spans and the sweep
     // executor's counters alongside the server's own families.
-    let app = Arc::new(
-        App::with_registry(
-            config.store_budget_bytes,
-            Arc::clone(cachetime_obs::global()),
+    let mut app = App::with_registry(
+        config.store_budget_bytes,
+        Arc::clone(cachetime_obs::global()),
+    )
+    .with_limits(limits_for(&config));
+    if let Some(dir) = &config.data_dir {
+        let disk = cachetime_disk::SegmentStore::open_with_metrics(
+            cachetime_disk::DiskConfig {
+                root: dir.clone(),
+                budget_bytes: config.disk_budget_bytes,
+            },
+            cachetime_disk::DiskMetrics::in_registry(cachetime_obs::global()),
         )
-        .with_limits(limits_for(&config)),
-    );
-    let handle = match serve_with_app(config, app) {
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to open data dir {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        app = app.with_disk(disk);
+        match app.recover_from_disk() {
+            Ok(report) => {
+                if report.recovered > 0 || report.quarantined > 0 || report.stale_tmp > 0 {
+                    println!(
+                        "ctserve recovered {} segment(s) ({} bytes), quarantined {}, removed {} stale temp file(s)",
+                        report.recovered, report.bytes, report.quarantined, report.stale_tmp
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: recovery scan failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let handle = match serve_with_app(config, Arc::new(app)) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: failed to start server: {e}");
@@ -116,7 +155,16 @@ fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
     })
 }
 
+/// Writes the port atomically (temp file + rename): a script polling for
+/// the file either sees nothing or the complete port line, never an
+/// empty or half-written file. `File::create` + `writeln!` had exactly
+/// that race — the file exists (empty) before the port lands in it.
 fn write_port_file(path: &str, port: u16) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{port}")
+    let tmp = format!("{path}.tmp-{}", std::process::id());
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        writeln!(f, "{port}")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }

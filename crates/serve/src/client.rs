@@ -204,6 +204,148 @@ impl HttpClient {
     }
 }
 
+/// Client-side shard placement for a fleet of `ctserve` processes:
+/// rendezvous (highest-random-weight) hashing on the trace key.
+///
+/// Every client computes, independently and deterministically, the same
+/// owner for a key — no coordinator, no shard map to distribute, and
+/// adding or removing one endpoint only moves the keys that hashed to it
+/// (1/N of the space), never reshuffles the rest. The score is a
+/// [`StableHasher`](cachetime_types::StableHasher) digest of
+/// `(endpoint, key)`, so placement is stable across processes and
+/// platforms, exactly like the trace keys themselves.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    endpoints: Vec<String>,
+}
+
+impl ShardRing {
+    /// A ring over `endpoints` (e.g. `["127.0.0.1:8081", "127.0.0.1:8082"]`).
+    ///
+    /// # Panics
+    ///
+    /// If `endpoints` is empty — a fleet of zero servers routes nothing.
+    pub fn new(endpoints: Vec<String>) -> ShardRing {
+        assert!(!endpoints.is_empty(), "ShardRing needs at least one endpoint");
+        ShardRing { endpoints }
+    }
+
+    /// The fleet, in construction order (indices below index into this).
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// The rendezvous score of `key` on `endpoint`: higher wins.
+    fn score(key: u64, endpoint: &str) -> u64 {
+        let mut h = cachetime_types::StableHasher::new();
+        h.write_bytes(endpoint.as_bytes());
+        h.write_u64(key);
+        h.finish()
+    }
+
+    /// The endpoint index that owns `key`.
+    pub fn owner(&self, key: u64) -> usize {
+        self.preference(key)[0]
+    }
+
+    /// Every endpoint index ordered best-first for `key`: element 0 is the
+    /// owner, the rest are the deterministic failover order.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.endpoints.len()).collect();
+        // Descending score; ties (astronomically unlikely) break on index
+        // so every client still agrees.
+        order.sort_by_key(|&i| std::cmp::Reverse((Self::score(key, &self.endpoints[i]), i)));
+        order
+    }
+}
+
+/// A connection per fleet member plus the ring that routes between them.
+///
+/// Keyed requests go to the key's ring owner; if that shard is down
+/// (connect or I/O failure after the underlying client's retries) the
+/// request fails over along the key's preference order. A failed-over
+/// `simulate` re-records on the fallback shard — the store is
+/// content-addressed, so the answer is bit-identical wherever it is
+/// computed; the fleet trades one redundant recording for availability.
+pub struct FleetClient {
+    ring: ShardRing,
+    config: ClientConfig,
+    conns: Vec<Option<HttpClient>>,
+}
+
+impl FleetClient {
+    /// A fleet client over `endpoints`. Connections open lazily, per
+    /// shard, on first use — a dead shard costs nothing until a key
+    /// routes to it.
+    pub fn new(endpoints: Vec<String>, config: ClientConfig) -> FleetClient {
+        let ring = ShardRing::new(endpoints);
+        let conns = (0..ring.endpoints().len()).map(|_| None).collect();
+        FleetClient { ring, config, conns }
+    }
+
+    /// The routing ring.
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Sends `method path` to the shard owning `key`, failing over along
+    /// the preference order; returns `(status, body, shard index)` from
+    /// the first shard that answers.
+    ///
+    /// # Errors
+    ///
+    /// The *last* shard's error, once every shard in the preference order
+    /// has failed.
+    pub fn request_keyed(
+        &mut self,
+        key: u64,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String, usize)> {
+        let mut last_err = None;
+        for ix in self.ring.preference(key) {
+            match self.request_on(ix, method, path, body) {
+                Ok((status, body)) => return Ok((status, body, ix)),
+                Err(e) => {
+                    // This shard is unreachable; drop its connection so a
+                    // later request re-dials instead of reusing a corpse.
+                    self.conns[ix] = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("ring is never empty"))
+    }
+
+    /// Sends `method path` to one specific shard (stats aggregation walks
+    /// the whole fleet with this).
+    ///
+    /// # Errors
+    ///
+    /// Connect or I/O failures for that shard.
+    pub fn request_on(
+        &mut self,
+        ix: usize,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        if self.conns[ix].is_none() {
+            self.conns[ix] = Some(HttpClient::connect_with(
+                &self.ring.endpoints()[ix],
+                self.config.clone(),
+            )?);
+        }
+        let client = self.conns[ix].as_mut().expect("just connected");
+        let result = client.request(method, path, body);
+        if result.is_err() {
+            self.conns[ix] = None;
+        }
+        result
+    }
+}
+
 fn open_stream(addr: &str, config: &ClientConfig) -> std::io::Result<TcpStream> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -211,8 +353,10 @@ fn open_stream(addr: &str, config: &ClientConfig) -> std::io::Result<TcpStream> 
     Ok(stream)
 }
 
-/// Frames one `Content-Length` response at the front of `buf`; returns
+/// Frames one response at the front of `buf` — `Content-Length` or
+/// `Transfer-Encoding: chunked` — and returns
 /// `(bytes consumed, status, Retry-After secs, body)` when complete.
+/// Chunked bodies are de-chunked: the caller always sees the plain body.
 fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>, String)>> {
     let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
@@ -227,6 +371,7 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| invalid("bad status line"))?;
     let mut content_length = 0usize;
+    let mut chunked = false;
     let mut retry_after = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -235,18 +380,72 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>
                     .trim()
                     .parse()
                     .map_err(|_| invalid("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = value.trim().eq_ignore_ascii_case("chunked");
             } else if name.eq_ignore_ascii_case("retry-after") {
                 retry_after = value.trim().parse().ok();
             }
         }
     }
     let body_start = head_end + 4;
+    if chunked {
+        let Some((consumed, body)) = dechunk(&buf[body_start..])? else {
+            return Ok(None);
+        };
+        let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 response body"))?;
+        return Ok(Some((body_start + consumed, status, retry_after, body)));
+    }
     if buf.len() < body_start + content_length {
         return Ok(None);
     }
     let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
         .map_err(|_| invalid("non-UTF-8 response body"))?;
     Ok(Some((body_start + content_length, status, retry_after, body)))
+}
+
+/// Decodes a chunked body at the front of `buf`: `Ok(None)` while
+/// incomplete, otherwise the bytes consumed (through the terminating
+/// empty chunk's CRLF) and the reassembled payload.
+fn dechunk(buf: &[u8]) -> std::io::Result<Option<(usize, Vec<u8>)>> {
+    let mut pos = 0usize;
+    let mut body = Vec::new();
+    loop {
+        let Some(line_end) = find_crlf(&buf[pos..]) else {
+            return Ok(None);
+        };
+        let size_line = std::str::from_utf8(&buf[pos..pos + line_end])
+            .map_err(|_| invalid("non-UTF-8 chunk size"))?;
+        // Chunk extensions (";ext=val") are permitted noise; ignore them.
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16).map_err(|_| invalid("bad chunk size"))?;
+        pos += line_end + 2;
+        if size == 0 {
+            // The terminator: a zero chunk followed by (no) trailers and
+            // a blank line. The server sends no trailers; tolerate them
+            // anyway by scanning to the blank line.
+            loop {
+                let Some(t_end) = find_crlf(&buf[pos..]) else {
+                    return Ok(None);
+                };
+                pos += t_end + 2;
+                if t_end == 0 {
+                    return Ok(Some((pos, body)));
+                }
+            }
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(invalid("chunk not CRLF-terminated"));
+        }
+        pos += size + 2;
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 fn invalid(msg: &'static str) -> std::io::Error {
@@ -274,6 +473,39 @@ mod tests {
     }
 
     #[test]
+    fn frames_a_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n3\r\n{\"a\r\n4\r\n\":1}\r\n0\r\n\r\ntail";
+        let (consumed, status, _, body) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"a\":1}");
+        assert_eq!(&raw[consumed..], b"tail");
+    }
+
+    #[test]
+    fn waits_for_the_full_chunked_body() {
+        // Truncated at every prefix: never a panic, never a partial frame.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\n{\"a\r\n4\r\n\":1}\r\n0\r\n\r\n";
+        for cut in 0..raw.len() {
+            assert!(frame_response(&raw[..cut]).unwrap().is_none(), "cut={cut}");
+        }
+        assert!(frame_response(raw).unwrap().is_some());
+    }
+
+    #[test]
+    fn chunk_extensions_and_trailers_are_tolerated() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2;ext=1\r\nok\r\n0\r\nX-Trailer: v\r\n\r\n";
+        let (consumed, _, _, body) = frame_response(raw).unwrap().unwrap();
+        assert_eq!(body, "ok");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn garbage_chunk_sizes_error_out() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(frame_response(raw).is_err());
+    }
+
+    #[test]
     fn error_statuses_come_through() {
         let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
         let (_, status, _, body) = frame_response(raw).unwrap().unwrap();
@@ -287,6 +519,50 @@ mod tests {
         let (_, status, retry_after, _) = frame_response(raw).unwrap().unwrap();
         assert_eq!(status, 503);
         assert_eq!(retry_after, Some(1));
+    }
+
+    #[test]
+    fn ring_placement_is_deterministic_and_roughly_balanced() {
+        let endpoints: Vec<String> = (0..4).map(|i| format!("127.0.0.1:808{i}")).collect();
+        let a = ShardRing::new(endpoints.clone());
+        let b = ShardRing::new(endpoints);
+        let mut counts = [0usize; 4];
+        let mut rng = SplitMix64::from_seed(7);
+        for _ in 0..4000 {
+            let key = rng.next_u64();
+            let owner = a.owner(key);
+            assert_eq!(owner, b.owner(key), "two rings must agree");
+            let pref = a.preference(key);
+            assert_eq!(pref.len(), 4);
+            let mut seen = pref.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3], "preference must be a permutation");
+            counts[owner] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Expectation is 1000 per shard; allow wide slack, catch
+            // gross skew (a broken mix collapses onto one endpoint).
+            assert!((600..1400).contains(&c), "shard {i} owns {c} of 4000");
+        }
+    }
+
+    #[test]
+    fn removing_an_endpoint_only_moves_its_own_keys() {
+        let four: Vec<String> = (0..4).map(|i| format!("10.0.0.{i}:80")).collect();
+        let full = ShardRing::new(four.clone());
+        let reduced = ShardRing::new(four[..3].to_vec());
+        let mut rng = SplitMix64::from_seed(11);
+        for _ in 0..2000 {
+            let key = rng.next_u64();
+            let before = full.owner(key);
+            if before != 3 {
+                // The defining rendezvous property: keys not owned by the
+                // removed endpoint keep their placement.
+                assert_eq!(reduced.owner(key), before);
+            } else {
+                assert!(reduced.owner(key) < 3);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! | `serve.handle` | entry of [`App::handle`](crate::App::handle), before routing |
 //! | `serve.record` | inside the store's recording closure, before the behavioral pass |
 //! | `serve.write` | in the worker, before the response bytes are written |
+//! | `disk.write` | in the segment store, before a spill touches the disk |
+//! | `disk.read` | in the segment store, after a read-through's bytes arrive |
+//!
+//! The disk points use [`decide_disk`](FaultPlan::decide_disk) /
+//! [`DiskFaultAction`] instead of [`FaultAction`]: their failure mode is
+//! torn, shortened, or bit-flipped bytes (a crash image recovery must
+//! quarantine), not a panic or a delay.
 //!
 //! A [`FaultAction::Panic`] at `serve.handle` or `serve.record` exercises
 //! the panic-isolation path: the worker's `catch_unwind` turns it into a
@@ -54,6 +61,30 @@ pub enum FaultAction {
     Panic,
 }
 
+/// What an armed disk fault point does when hit — the `FaultPlan` side of
+/// the `cachetime-disk` fault hook. The server adapts these into
+/// `cachetime_disk::DiskFault`s (which carry concrete byte counts) once
+/// the I/O size is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiskFaultAction {
+    /// No fault.
+    Proceed,
+    /// Keep only this fraction of the bytes — a torn write (fraction
+    /// lands mid-payload) or a short write (fraction lands inside the
+    /// header). Uniform in `[0, 1)`, so both cases occur.
+    Torn {
+        /// Fraction of the I/O that survives.
+        frac: f64,
+    },
+    /// Flip one bit at this (modular) byte offset — silent corruption.
+    BitFlip {
+        /// Byte offset, reduced modulo the I/O length by the disk layer.
+        offset: u64,
+    },
+    /// Fail the whole operation with an I/O error.
+    Error,
+}
+
 #[derive(Debug, Clone)]
 struct Rule {
     /// Probability a hit panics.
@@ -62,8 +93,28 @@ struct Rule {
     delay_p: f64,
     /// Delay length: uniform in `[0, max_delay]`.
     max_delay: Duration,
+    /// Probability a disk hit is torn/short (disk points only).
+    torn_p: f64,
+    /// Probability a disk hit is bit-flipped (after the torn draw).
+    flip_p: f64,
+    /// Probability a disk hit errors outright (after the flip draw).
+    error_p: f64,
     /// Remaining faults this rule may inject; `None` = unlimited.
     budget: Option<u64>,
+}
+
+impl Rule {
+    fn new() -> Self {
+        Rule {
+            panic_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::ZERO,
+            torn_p: 0.0,
+            flip_p: 0.0,
+            error_p: 0.0,
+            budget: None,
+        }
+    }
 }
 
 struct Point {
@@ -142,9 +193,8 @@ impl FaultPlan {
             point,
             Rule {
                 panic_p: p,
-                delay_p: 0.0,
-                max_delay: Duration::ZERO,
                 budget,
+                ..Rule::new()
             },
         )
     }
@@ -155,10 +205,38 @@ impl FaultPlan {
         self.arm(
             point,
             Rule {
-                panic_p: 0.0,
                 delay_p: p,
                 max_delay,
                 budget,
+                ..Rule::new()
+            },
+        )
+    }
+
+    /// Arms a disk point (`disk.write` / `disk.read`) to tear or shorten
+    /// the I/O with probability `torn_p` and to bit-flip it with
+    /// probability `flip_p` (drawn after a torn miss), at most `budget`
+    /// faults total. Consumed via [`decide_disk`](Self::decide_disk).
+    pub fn arm_disk(self, point: &str, torn_p: f64, flip_p: f64, budget: Option<u64>) -> Self {
+        self.arm(
+            point,
+            Rule {
+                torn_p,
+                flip_p,
+                budget,
+                ..Rule::new()
+            },
+        )
+    }
+
+    /// Arms a disk point to fail outright with probability `p`.
+    pub fn arm_disk_error(self, point: &str, p: f64, budget: Option<u64>) -> Self {
+        self.arm(
+            point,
+            Rule {
+                error_p: p,
+                budget,
+                ..Rule::new()
             },
         )
     }
@@ -194,6 +272,43 @@ impl FaultPlan {
             FaultAction::Proceed
         };
         if action != FaultAction::Proceed {
+            if let Some(b) = &mut p.rule.budget {
+                *b -= 1;
+            }
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+
+    /// Decides what a disk I/O at `point` (`disk.write` / `disk.read`)
+    /// suffers on this hit, consuming fault budget like
+    /// [`decide`](Self::decide). The draw order is torn → bit-flip →
+    /// error, each evaluated only if the previous missed.
+    pub fn decide_disk(&self, point: &str) -> DiskFaultAction {
+        if !self.armed.load(Ordering::Acquire) {
+            return DiskFaultAction::Proceed;
+        }
+        let mut points = self.points.lock().unwrap();
+        let Some(p) = points.get_mut(point) else {
+            return DiskFaultAction::Proceed;
+        };
+        if p.rule.budget == Some(0) {
+            return DiskFaultAction::Proceed;
+        }
+        let action = if p.rule.torn_p > 0.0 && p.rng.gen_bool(p.rule.torn_p) {
+            DiskFaultAction::Torn {
+                frac: p.rng.next_f64(),
+            }
+        } else if p.rule.flip_p > 0.0 && p.rng.gen_bool(p.rule.flip_p) {
+            DiskFaultAction::BitFlip {
+                offset: p.rng.next_u64(),
+            }
+        } else if p.rule.error_p > 0.0 && p.rng.gen_bool(p.rule.error_p) {
+            DiskFaultAction::Error
+        } else {
+            DiskFaultAction::Proceed
+        };
+        if action != DiskFaultAction::Proceed {
             if let Some(b) = &mut p.rule.budget {
                 *b -= 1;
             }

@@ -101,6 +101,12 @@ pub struct ServerConfig {
     /// Recordings in flight before cold simulates shed; 0 = auto
     /// (twice the worker count, at least 2).
     pub max_inflight_recordings: usize,
+    /// Directory for the durable segment store (the `--data-dir` flag).
+    /// `None` (the default) runs memory-only: no spills, no recovery.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the durable store (`--disk-budget-mb`); 0 =
+    /// unlimited. Ignored without `data_dir`.
+    pub disk_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +118,8 @@ impl Default for ServerConfig {
             max_queue: 1024,
             request_deadline_ms: 10_000,
             max_inflight_recordings: 0,
+            data_dir: None,
+            disk_budget_bytes: 0,
         }
     }
 }
@@ -233,8 +241,22 @@ impl ServerHandle {
 ///
 /// Any bind failure from the OS, or epoll/self-pipe creation failure.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let app = Arc::new(App::new(config.store_budget_bytes).with_limits(limits_for(&config)));
-    serve_with_app(config, app)
+    let mut app = App::new(config.store_budget_bytes).with_limits(limits_for(&config));
+    if let Some(dir) = &config.data_dir {
+        let disk = cachetime_disk::SegmentStore::open_with_metrics(
+            cachetime_disk::DiskConfig {
+                root: dir.clone(),
+                budget_bytes: config.disk_budget_bytes,
+            },
+            cachetime_disk::DiskMetrics::in_registry(app.registry()),
+        )?;
+        app = app.with_disk(disk);
+        // Warm the in-memory store before the listener binds, so the
+        // first request after a restart already sees every intact
+        // segment and re-records nothing.
+        app.recover_from_disk()?;
+    }
+    serve_with_app(config, Arc::new(app))
 }
 
 /// The [`Limits`] that [`serve`] derives from a config — public so
@@ -816,14 +838,29 @@ fn encode_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
         Some(secs) => format!("Retry-After: {secs}\r\n"),
         None => String::new(),
     };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    if let Some(chunks) = &resp.chunks {
+        // Chunked transfer: each application chunk becomes one HTTP chunk
+        // (hex length + CRLF framing), closed by the zero-length chunk.
+        // The body is never concatenated into a single string.
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n{}Connection: {}\r\n\r\n",
+            resp.status, reason, resp.content_type, retry_after, connection,
+        );
+        let payload: usize = chunks.iter().map(|c| c.len() + 16).sum();
+        let mut out = Vec::with_capacity(head.len() + payload + 8);
+        out.extend_from_slice(head.as_bytes());
+        for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+            out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            out.extend_from_slice(chunk.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"0\r\n\r\n");
+        return out;
+    }
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
-        resp.status,
-        reason,
-        resp.content_type,
-        resp.body.len(),
-        retry_after,
-        if keep_alive { "keep-alive" } else { "close" },
+        resp.status, reason, resp.content_type, resp.body.len(), retry_after, connection,
     );
     let mut out = Vec::with_capacity(head.len() + resp.body.len());
     out.extend_from_slice(head.as_bytes());
@@ -945,6 +982,21 @@ mod tests {
         assert!(reqs[0].body.is_empty());
         assert!(reqs[0].deadline_ms.is_none());
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn chunked_responses_frame_each_chunk_and_terminate() {
+        let resp = Response {
+            chunks: Some(vec!["{\"a\":".into(), "1}".into()]),
+            body: String::new(),
+            ..Response::error(200, "")
+        };
+        let bytes = encode_response(&resp, true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        // 5-byte and 2-byte chunks, then the zero terminator.
+        assert!(text.ends_with("5\r\n{\"a\":\r\n2\r\n1}\r\n0\r\n\r\n"), "{text}");
     }
 
     #[test]

@@ -60,9 +60,10 @@ pub mod store;
 pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
 
 use cachetime::keyed;
+use cachetime_disk::{DiskFault, DiskOp, ScanReport, SegmentStore};
 use cachetime_obs::Registry;
 use cachetime_types::{json_object, Json};
-use fault::FaultPlan;
+use fault::{DiskFaultAction, FaultPlan};
 use stats::ServerStats;
 use store::{Fetch, StoreMetrics, TraceStore, TryGet};
 use std::sync::Arc;
@@ -83,8 +84,15 @@ pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON everywhere except `/v1/metrics`).
+    /// Response body (JSON everywhere except `/v1/metrics`). Empty when
+    /// [`chunks`](Self::chunks) carries the body instead.
     pub body: String,
+    /// A pre-split body for `Transfer-Encoding: chunked` transport: each
+    /// element becomes one HTTP chunk. `Some` only on `/v1/replay`, whose
+    /// per-point results can be framed as they come instead of first
+    /// concatenating one monolithic JSON string. Concatenated, the chunks
+    /// are exactly the JSON that `body` would have held.
+    pub chunks: Option<Vec<String>>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Whether the server should stop after sending this response.
@@ -98,6 +106,21 @@ impl Response {
         Response {
             status: 200,
             body: v.to_string(),
+            chunks: None,
+            content_type: CONTENT_TYPE_JSON,
+            shutdown: false,
+            retry_after: None,
+        }
+    }
+
+    /// A `200` whose body ships as `Transfer-Encoding: chunked`, one HTTP
+    /// chunk per element. Empty elements are dropped (an empty chunk would
+    /// terminate the chunked stream early).
+    fn ok_chunked(chunks: Vec<String>) -> Self {
+        Response {
+            status: 200,
+            body: String::new(),
+            chunks: Some(chunks.into_iter().filter(|c| !c.is_empty()).collect()),
             content_type: CONTENT_TYPE_JSON,
             shutdown: false,
             retry_after: None,
@@ -109,6 +132,7 @@ impl Response {
         Response {
             status: 200,
             body,
+            chunks: None,
             content_type: CONTENT_TYPE_PROMETHEUS,
             shutdown: false,
             retry_after: None,
@@ -120,9 +144,21 @@ impl Response {
         Response {
             status,
             body: json_object([("error", Json::Str(msg.into()))]).to_string(),
+            chunks: None,
             content_type: CONTENT_TYPE_JSON,
             shutdown: false,
             retry_after: None,
+        }
+    }
+
+    /// The complete body, whichever representation holds it: `body`
+    /// itself, or the chunk sequence concatenated. In-process callers
+    /// (tests, the bench harness) use this; the HTTP layer writes the
+    /// chunked framing without ever building this string.
+    pub fn body_text(&self) -> String {
+        match &self.chunks {
+            Some(chunks) => chunks.concat(),
+            None => self.body.clone(),
         }
     }
 
@@ -170,7 +206,11 @@ pub struct App {
     pub stats: ServerStats,
     registry: Arc<Registry>,
     limits: Limits,
-    faults: FaultPlan,
+    faults: Arc<FaultPlan>,
+    /// The durable segment store, when the server runs with `--data-dir`:
+    /// fresh recordings spill here (write-behind, on the handler pool) and
+    /// memory misses read through before re-recording.
+    disk: Option<Arc<SegmentStore>>,
 }
 
 impl App {
@@ -198,7 +238,8 @@ impl App {
             stats: ServerStats::in_registry(&registry),
             registry,
             limits: Limits::default(),
-            faults: FaultPlan::inert(),
+            faults: Arc::new(FaultPlan::inert()),
+            disk: None,
         }
     }
 
@@ -216,11 +257,62 @@ impl App {
     }
 
     /// Installs a fault-injection plan (builder-style; tests only — the
-    /// default plan is inert).
+    /// default plan is inert). Call before [`with_disk`](Self::with_disk):
+    /// the disk fault hook captures the plan installed at attach time.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.faults = Arc::new(faults);
         self
+    }
+
+    /// Attaches a durable segment store (builder-style), wiring the app's
+    /// fault plan into the store's `disk.write`/`disk.read` points. Call
+    /// [`recover_from_disk`](Self::recover_from_disk) afterwards to warm
+    /// the in-memory store, before serving traffic.
+    #[must_use]
+    pub fn with_disk(mut self, disk: SegmentStore) -> Self {
+        let plan = Arc::clone(&self.faults);
+        let disk = disk.with_fault_hook(Arc::new(move |op, _key, len| {
+            let point = match op {
+                DiskOp::Write => "disk.write",
+                DiskOp::Read => "disk.read",
+            };
+            match plan.decide_disk(point) {
+                DiskFaultAction::Proceed => DiskFault::None,
+                DiskFaultAction::Torn { frac } => DiskFault::Torn {
+                    keep: (frac * len as f64) as usize,
+                },
+                DiskFaultAction::BitFlip { offset } => DiskFault::BitFlip {
+                    offset: offset as usize,
+                },
+                DiskFaultAction::Error => DiskFault::Error,
+            }
+        }));
+        self.disk = Some(Arc::new(disk));
+        self
+    }
+
+    /// The attached durable store, if any.
+    pub fn disk(&self) -> Option<&Arc<SegmentStore>> {
+        self.disk.as_ref()
+    }
+
+    /// Runs the durable store's startup scan, streaming every intact
+    /// segment into the in-memory store (without disturbing its hit/miss
+    /// accounting) and quarantining the rest. A no-op without a disk.
+    ///
+    /// # Errors
+    ///
+    /// Only directory-level I/O errors; per-segment corruption is
+    /// absorbed (quarantined and counted), never fatal.
+    pub fn recover_from_disk(&self) -> std::io::Result<ScanReport> {
+        let Some(disk) = &self.disk else {
+            return Ok(ScanReport::default());
+        };
+        let store = &self.store;
+        disk.scan(|key, trace| {
+            store.seed(key, Arc::new(trace));
+        })
     }
 
     /// The active robustness limits.
@@ -298,7 +390,8 @@ impl App {
             ("GET", "/v1/stats") => {
                 let degraded = self.is_degraded();
                 self.stats.degraded.set(degraded as i64);
-                Response::ok(self.stats.to_json(&self.store, degraded))
+                let disk = self.disk.as_ref().map(|d| d.metrics());
+                Response::ok(self.stats.to_json(&self.store, disk, degraded))
             }
             ("GET", "/v1/metrics") => {
                 self.stats.degraded.set(self.is_degraded() as i64);
@@ -409,13 +502,7 @@ impl App {
             return None; // in flight (join it) or absent (count + 404)
         };
         Some(match keyed::replay_timings(&events, &timings) {
-            Ok(results) => Response::ok(json_object([
-                ("key", Json::Str(api::key_hex(key))),
-                (
-                    "results",
-                    Json::Array(results.iter().map(api::sim_result_to_json).collect()),
-                ),
-            ])),
+            Ok(results) => replay_response(key, &results),
             Err(e) => Response::error(400, &e.to_string()),
         })
     }
@@ -446,11 +533,20 @@ impl App {
         };
         let org = config.organization();
         let key = keyed::trace_key(&org, &workload);
+        // Distinguishes a disk read-through from a fresh recording after
+        // the closure runs: only fresh recordings spill back to disk.
+        let from_disk = std::cell::Cell::new(false);
         let fetched = self.store.fetch_or_record(
             key,
             self.limits.max_inflight_recordings,
             Some(deadline),
             || {
+                if let Some(disk) = &self.disk {
+                    if let Some(trace) = disk.load(key) {
+                        from_disk.set(true);
+                        return trace;
+                    }
+                }
                 self.faults.inject("serve.record");
                 keyed::record(&org, &workload).1
             },
@@ -470,6 +566,15 @@ impl App {
                 );
             }
         };
+        if !cached && !from_disk.get() {
+            // Write-behind spill: this code only runs on the handler pool
+            // (cold work never executes on the event loop), so the disk
+            // write steals no loop time. Failures are counted by the disk
+            // metrics and degrade to memory-only behavior.
+            if let Some(disk) = &self.disk {
+                let _ = disk.store(key, &events);
+            }
+        }
         if !cached && Instant::now() > deadline {
             // The recording ran past the request's budget. It is stored —
             // the client's retry will hit — but this answer is already
@@ -538,10 +643,23 @@ impl App {
         let events = match self.store.get_within(key, Some(deadline)) {
             Ok(Some(events)) => events,
             Ok(None) => {
-                return Response::error(
-                    404,
-                    "unknown key: not recorded yet or evicted; POST /v1/simulate first",
-                )
+                // Memory miss: read through to the durable store before
+                // giving up — an evicted (or pre-restart) key may still
+                // have its segment on disk. Seed it back so the next
+                // replay is a memory hit again.
+                match self.disk.as_ref().and_then(|d| d.load(key)) {
+                    Some(trace) => {
+                        let events = Arc::new(trace);
+                        self.store.seed(key, Arc::clone(&events));
+                        events
+                    }
+                    None => {
+                        return Response::error(
+                            404,
+                            "unknown key: not recorded yet or evicted; POST /v1/simulate first",
+                        )
+                    }
+                }
             }
             Err(store::DeadlineExceeded) => {
                 self.stats.timeouts.inc();
@@ -551,16 +669,34 @@ impl App {
             }
         };
         match keyed::replay_timings(&events, &timings) {
-            Ok(results) => Response::ok(json_object([
-                ("key", Json::Str(api::key_hex(key))),
-                (
-                    "results",
-                    Json::Array(results.iter().map(api::sim_result_to_json).collect()),
-                ),
-            ])),
+            Ok(results) => replay_response(key, &results),
             Err(e) => Response::error(400, &e.to_string()),
         }
     }
+}
+
+/// Builds the `/v1/replay` success response as a chunk sequence: one
+/// chunk of envelope prefix, one per `SimResult` (with its separating
+/// comma), one closing chunk. Concatenated, the chunks are byte-identical
+/// to the monolithic `{"key":...,"results":[...]}` object this endpoint
+/// used to build — but a long cycle-time axis is framed result-by-result
+/// instead of first assembling the full body string.
+fn replay_response(key: u64, results: &[cachetime::SimResult]) -> Response {
+    let mut chunks = Vec::with_capacity(results.len() + 2);
+    let mut prefix = String::from("{\"key\":");
+    prefix.push_str(&Json::Str(api::key_hex(key)).to_string());
+    prefix.push_str(",\"results\":[");
+    chunks.push(prefix);
+    for (i, r) in results.iter().enumerate() {
+        let mut chunk = String::new();
+        if i > 0 {
+            chunk.push(',');
+        }
+        chunk.push_str(&api::sim_result_to_json(r).to_string());
+        chunks.push(chunk);
+    }
+    chunks.push("]}".into());
+    Response::ok_chunked(chunks)
 }
 
 /// Resolves the `/v1/metrics` query into a family-name prefix: no query
@@ -603,7 +739,7 @@ mod tests {
     }
 
     fn parse(resp: &Response) -> Json {
-        Json::parse(&resp.body).expect("response bodies are JSON")
+        Json::parse(&resp.body_text()).expect("response bodies are JSON")
     }
 
     #[test]

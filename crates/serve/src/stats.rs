@@ -78,10 +78,16 @@ impl ServerStats {
         }
     }
 
-    /// The `/v1/stats` payload: server counters plus the store's.
-    /// `degraded` is the live load-shedding gauge (see
+    /// The `/v1/stats` payload: server counters plus the store's, and —
+    /// when the server runs with `--data-dir` — the durable segment
+    /// store's. `degraded` is the live load-shedding gauge (see
     /// [`App::is_degraded`](crate::App::is_degraded)).
-    pub fn to_json(&self, store: &crate::store::TraceStore, degraded: bool) -> Json {
+    pub fn to_json(
+        &self,
+        store: &crate::store::TraceStore,
+        disk: Option<&cachetime_disk::DiskMetrics>,
+        degraded: bool,
+    ) -> Json {
         let s = store.stats();
         let latency = |h: &Histogram| {
             json_object([
@@ -89,6 +95,21 @@ impl ServerStats {
                 ("p50_upper_us", Json::UInt(h.quantile_upper(0.5))),
                 ("p99_upper_us", Json::UInt(h.quantile_upper(0.99))),
             ])
+        };
+        let disk = match disk {
+            None => Json::Null,
+            Some(d) => json_object([
+                ("segments", Json::UInt(d.segments().max(0) as u64)),
+                ("bytes", Json::UInt(d.bytes().max(0) as u64)),
+                ("spills", Json::UInt(d.spills())),
+                ("spill_errors", Json::UInt(d.spill_errors())),
+                ("loads", Json::UInt(d.loads())),
+                ("load_misses", Json::UInt(d.load_misses())),
+                ("load_errors", Json::UInt(d.load_errors())),
+                ("recovered", Json::UInt(d.recovered())),
+                ("quarantined", Json::UInt(d.quarantined())),
+                ("evicted", Json::UInt(d.evicted())),
+            ]),
         };
         json_object([
             (
@@ -107,6 +128,7 @@ impl ServerStats {
                     ("recordings_in_flight", Json::UInt(s.in_flight as u64)),
                 ]),
             ),
+            ("disk", disk),
             (
                 "server",
                 json_object([

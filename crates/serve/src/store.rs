@@ -425,6 +425,38 @@ impl TraceStore {
         }
     }
 
+    /// Pre-populates `key` without counting a lookup: the durable store's
+    /// startup scan streams recovered traces through here before the
+    /// server accepts traffic, so recovery is invisible to the hit/miss
+    /// accounting (and to `lookups_balance`). Respects the byte budget
+    /// (the LRU may immediately evict an oversized restore) and never
+    /// displaces a resident or in-flight entry. Returns whether the trace
+    /// was inserted.
+    pub fn seed(&self, key: u64, events: Arc<EventTrace>) -> bool {
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        let bytes = events.approx_bytes();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(
+            key,
+            Slot::Ready {
+                events,
+                bytes,
+                last_used: clock,
+            },
+        );
+        inner.lru.insert(clock, key);
+        inner.bytes += bytes;
+        self.metrics.entries.add(1);
+        self.metrics.bytes.add(bytes as i64);
+        self.evict_over_budget(shard, &mut inner, key);
+        true
+    }
+
     /// Waits on the completion condvar, bounded by `deadline`; `Err(())`
     /// means the deadline passed first.
     fn wait_done<'a>(

@@ -1,0 +1,145 @@
+//! Restart-warm under disk chaos — the durability contract end to end.
+//!
+//! A server records a grid of pairings with `disk.write` faults armed, so
+//! some spills land as torn or bit-flipped crash images under their final
+//! segment names. The server is then "killed" (dropped; spills are
+//! synchronous, so an abrupt drop loses nothing a real SIGKILL wouldn't)
+//! and rebuilt on the same data directory. Recovery must:
+//!
+//! * seed every intact segment back into the in-memory store — zero
+//!   re-recordings for those keys,
+//! * quarantine every corrupt file (never crash, never serve garbage),
+//! * replay recovered keys bit-identically to a direct `Simulator::run`.
+
+use cachetime::{Simulator, SystemConfig};
+use cachetime_disk::{DiskConfig, SegmentStore};
+use cachetime_serve::fault::FaultPlan;
+use cachetime_serve::{api, App, Request};
+use cachetime_trace::catalog;
+use cachetime_types::Json;
+
+fn scratch() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cachetime-restart-chaos-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_disk(root: &std::path::Path) -> SegmentStore {
+    SegmentStore::open(DiskConfig {
+        root: root.to_path_buf(),
+        budget_bytes: 0,
+    })
+    .expect("open segment store")
+}
+
+fn post(app: &App, path: &str, body: &str) -> (u16, Json) {
+    let resp = app.handle(&Request {
+        method: "POST".into(),
+        path: path.into(),
+        query: None,
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+        deadline_ms: None,
+    });
+    let v = Json::parse(&resp.body_text()).unwrap_or(Json::Null);
+    (resp.status, v)
+}
+
+fn sim_body(scale: f64) -> String {
+    format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#)
+}
+
+#[test]
+fn restart_recovers_intact_segments_and_quarantines_torn_ones() {
+    let root = scratch();
+    let scales: Vec<f64> = (0..10).map(|i| 0.004 + i as f64 * 0.001).collect();
+
+    // ---- Life 1: record with write faults armed. Only torn/bit-flip
+    // faults (no injected I/O errors): every fault leaves a crash image
+    // on disk for recovery to find.
+    let faults = FaultPlan::seeded(0xD15C_CA05).arm_disk("disk.write", 0.3, 0.2, None);
+    let app = App::new(usize::MAX)
+        .with_faults(faults)
+        .with_disk(open_disk(&root));
+    for &scale in &scales {
+        let (status, v) = post(&app, "/v1/simulate", &sim_body(scale));
+        assert_eq!(status, 200, "recording must survive spill faults");
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+    }
+    let disk = app.disk().expect("disk attached");
+    let intact = disk.metrics().spills();
+    let corrupted = disk.metrics().spill_errors();
+    assert_eq!(intact + corrupted, scales.len() as u64);
+    assert!(intact > 0, "seed must let some spills through");
+    assert!(corrupted > 0, "seed must corrupt some spills");
+    drop(app); // SIGKILL: no shutdown path runs.
+
+    // ---- Life 2: same directory, no faults.
+    let app = App::new(usize::MAX).with_disk(open_disk(&root));
+    let report = app.recover_from_disk().expect("scan");
+    assert_eq!(report.recovered, intact, "every intact segment comes back");
+    assert_eq!(report.quarantined, corrupted, "every crash image quarantined");
+    assert!(root.join("quarantine").is_dir());
+
+    // Every pairing answers; recovered ones without re-recording.
+    let config = SystemConfig::paper_default().unwrap();
+    let mut served_warm = 0u64;
+    for &scale in &scales {
+        let (status, v) = post(&app, "/v1/simulate", &sim_body(scale));
+        assert_eq!(status, 200);
+        if v.get("cached").and_then(Json::as_bool) == Some(true) {
+            served_warm += 1;
+            // Bit-identity: the recovered trace replays exactly what a
+            // fresh in-process simulation computes.
+            let direct = Simulator::new(&config).run(&catalog::mu3(scale).generate());
+            assert_eq!(
+                v.get("result"),
+                Some(&api::sim_result_to_json(&direct)),
+                "recovered replay must be bit-identical to Simulator::run (scale {scale})"
+            );
+        }
+    }
+    assert_eq!(
+        served_warm, intact,
+        "exactly the recovered keys must serve warm (zero re-recordings)"
+    );
+    assert_eq!(
+        app.store.stats().misses,
+        scales.len() as u64 - intact,
+        "only quarantined keys may re-record after restart"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn restart_after_clean_run_rerecords_nothing() {
+    let root = scratch().with_extension("clean");
+    let _ = std::fs::remove_dir_all(&root);
+    let scales = [0.004, 0.005, 0.006];
+
+    let app = App::new(usize::MAX).with_disk(open_disk(&root));
+    for &scale in &scales {
+        let (status, _) = post(&app, "/v1/simulate", &sim_body(scale));
+        assert_eq!(status, 200);
+    }
+    drop(app);
+
+    let app = App::new(usize::MAX).with_disk(open_disk(&root));
+    let report = app.recover_from_disk().expect("scan");
+    assert_eq!(report.recovered, scales.len() as u64);
+    assert_eq!(report.quarantined, 0);
+    for &scale in &scales {
+        let (status, v) = post(&app, "/v1/simulate", &sim_body(scale));
+        assert_eq!(status, 200);
+        assert_eq!(
+            v.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "a clean restart must serve every key warm"
+        );
+    }
+    assert_eq!(app.store.stats().misses, 0, "zero re-recordings");
+    let _ = std::fs::remove_dir_all(&root);
+}

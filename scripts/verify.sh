@@ -26,14 +26,22 @@
 #    torn reads, garbage. The server must stay correct under fire,
 #    recover to a healthy state, and shut down cleanly with zero store
 #    corruption.
-# 9. Serve benchmark: cold/warm/batch legs plus the 1..256-client
-#    concurrency sweep (p50 at 256 clients must stay within 3x of solo).
-#    Refreshes BENCH_serve.json.
-# 10. Associativity-threshold study at small scale: the organization
+# 9. Restart-warm leg: boot `ctserve --data-dir`, record a small grid,
+#    SIGKILL the process, reboot on the same directory — recovery must
+#    re-record nothing (store misses stay 0) and replay bit-identically
+#    (serve-check against the rebooted server).
+# 10. Fleet leg: boot two durable `ctserve` shards and run the
+#    ring-aware `serve-check host:p1,host:p2` — deterministic rendezvous
+#    routing, one recording per key fleet-wide, aggregated stats.
+# 11. Serve benchmark: cold/warm/batch legs plus the 1..256-client
+#    concurrency sweep (p50 at 256 clients must stay within 3x of solo)
+#    and the cold-record vs restart-warm leg (>= 10x). Refreshes
+#    BENCH_serve.json.
+# 12. Associativity-threshold study at small scale: the organization
 #    features (victim cache, way prediction) must reproduce the
 #    crossover — a size below which set-associativity stops paying
 #    against the best direct-mapped organization.
-# 11. Bench regression diff: compare the freshly written BENCH_sweep.json
+# 13. Bench regression diff: compare the freshly written BENCH_sweep.json
 #    and BENCH_serve.json against the committed baselines; any headline
 #    metric regressing by more than 15% fails the gate.
 set -euo pipefail
@@ -54,14 +62,17 @@ cargo test --release -q -p cachetime --test two_phase --test two_phase_prop
 echo "==> cachetime-bench sweep (small scale; writes BENCH_sweep.json)"
 cargo run --release -q -p cachetime-bench -- sweep "${BENCH_SCALE:-0.05}"
 
-echo "==> ctserve smoke test (ephemeral port; replay bit-identity)"
+echo "==> ctserve smoke test (ephemeral port; durable store; replay bit-identity)"
 PORT_FILE="$(mktemp)"
 rm -f "$PORT_FILE" # ctserve recreates it; its presence means "listening"
-./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SMOKE_DATA_DIR="$(mktemp -d)"
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" \
+  --data-dir "$SMOKE_DATA_DIR" &
 SERVE_PID=$!
 cleanup_serve() {
   kill "$SERVE_PID" 2>/dev/null || true
   rm -f "$PORT_FILE"
+  rm -rf "$SMOKE_DATA_DIR"
 }
 trap cleanup_serve EXIT
 for _ in $(seq 1 100); do
@@ -86,7 +97,14 @@ for family in \
   cachetime_request_duration_us \
   cachetime_record_refs_total \
   cachetime_replay_refs_total \
-  cachetime_span_duration_us; do
+  cachetime_span_duration_us \
+  cachetime_disk_spills_total \
+  cachetime_disk_spill_bytes_total \
+  cachetime_disk_loads_total \
+  cachetime_disk_recovered_total \
+  cachetime_disk_quarantined_total \
+  cachetime_disk_segments \
+  cachetime_disk_bytes; do
   grep -q "^$family" <<<"$METRICS" \
     || { echo "missing metric family: $family"; exit 1; }
 done
@@ -101,6 +119,7 @@ printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection
 wait "$SERVE_PID"
 trap - EXIT
 rm -f "$PORT_FILE"
+rm -rf "$SMOKE_DATA_DIR"
 echo "ctserve shut down cleanly"
 
 echo "==> ctserve chaos test (seeded fault injection; recovery + zero corruption)"
@@ -126,7 +145,100 @@ trap - EXIT
 rm -f "$PORT_FILE"
 echo "ctserve survived chaos and shut down cleanly"
 
-echo "==> cachetime-bench serve (cold/warm/batch + concurrency sweep; writes BENCH_serve.json)"
+echo "==> restart-warm leg (--data-dir; SIGKILL; recovery must re-record nothing)"
+DATA_DIR="$(mktemp -d)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" --data-dir "$DATA_DIR" &
+SERVE_PID=$!
+cleanup_restart() {
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -f "$PORT_FILE"
+  rm -rf "$DATA_DIR"
+}
+trap cleanup_restart EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "ctserve died on startup"; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ctserve never wrote its port file"; exit 1; }
+SERVE_PORT="$(cat "$PORT_FILE")"
+# Record a small grid of distinct pairings (each spills a segment).
+for SCALE in 0.004 0.005 0.006 0.007 0.008; do
+  curl -fsS -X POST "http://127.0.0.1:$SERVE_PORT/v1/simulate" \
+    -d "{\"trace\": {\"name\": \"mu3\", \"scale\": $SCALE}}" >/dev/null
+done
+# SIGKILL: no shutdown handler runs; durability must not depend on one.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$PORT_FILE"
+# Reboot on the same directory.
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE" --data-dir "$DATA_DIR" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "rebooted ctserve died on startup"; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "rebooted ctserve never wrote its port file"; exit 1; }
+SERVE_PORT="$(cat "$PORT_FILE")"
+# Re-ask the same grid: every answer must be a store hit.
+for SCALE in 0.004 0.005 0.006 0.007 0.008; do
+  RESP="$(curl -fsS -X POST "http://127.0.0.1:$SERVE_PORT/v1/simulate" \
+    -d "{\"trace\": {\"name\": \"mu3\", \"scale\": $SCALE}}")"
+  grep -q '"cached":true' <<<"$RESP" \
+    || { echo "restart-warm miss at scale $SCALE: $RESP"; exit 1; }
+done
+STATS="$(curl -fsS "http://127.0.0.1:$SERVE_PORT/v1/stats")"
+grep -q '"misses":0' <<<"$STATS" \
+  || { echo "rebooted server re-recorded; stats: $STATS"; exit 1; }
+grep -q '"recovered":5' <<<"$STATS" \
+  || { echo "recovery did not restore all 5 segments; stats: $STATS"; exit 1; }
+# Bit-identity against an in-process Simulator::run (serve-check replays
+# the 0.005 pairing, which is part of the recovered grid).
+./target/release/cachetime-bench serve-check "127.0.0.1:$SERVE_PORT"
+printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+  > "/dev/tcp/127.0.0.1/$SERVE_PORT"
+wait "$SERVE_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+rm -rf "$DATA_DIR"
+echo "restart-warm OK (5 segments recovered, zero re-recordings, bit-identical replay)"
+
+echo "==> fleet leg (two shards; rendezvous routing + aggregated stats)"
+FLEET_DIR_A="$(mktemp -d)"; FLEET_DIR_B="$(mktemp -d)"
+PORT_FILE_A="$(mktemp)"; PORT_FILE_B="$(mktemp)"
+rm -f "$PORT_FILE_A" "$PORT_FILE_B"
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE_A" --data-dir "$FLEET_DIR_A" &
+FLEET_PID_A=$!
+./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PORT_FILE_B" --data-dir "$FLEET_DIR_B" &
+FLEET_PID_B=$!
+cleanup_fleet() {
+  kill "$FLEET_PID_A" "$FLEET_PID_B" 2>/dev/null || true
+  rm -f "$PORT_FILE_A" "$PORT_FILE_B"
+  rm -rf "$FLEET_DIR_A" "$FLEET_DIR_B"
+}
+trap cleanup_fleet EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE_A" ] && [ -s "$PORT_FILE_B" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE_A" ] && [ -s "$PORT_FILE_B" ] \
+  || { echo "a fleet shard never wrote its port file"; exit 1; }
+./target/release/cachetime-bench serve-check \
+  "127.0.0.1:$(cat "$PORT_FILE_A"),127.0.0.1:$(cat "$PORT_FILE_B")"
+for PORT_FILE_X in "$PORT_FILE_A" "$PORT_FILE_B"; do
+  printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+    > "/dev/tcp/127.0.0.1/$(cat "$PORT_FILE_X")"
+done
+wait "$FLEET_PID_A" "$FLEET_PID_B"
+trap - EXIT
+rm -f "$PORT_FILE_A" "$PORT_FILE_B"
+rm -rf "$FLEET_DIR_A" "$FLEET_DIR_B"
+echo "fleet OK (deterministic routing, one recording per key fleet-wide)"
+
+echo "==> cachetime-bench serve (cold/warm/batch + concurrency sweep + restart-warm; writes BENCH_serve.json)"
 cargo run --release -q -p cachetime-bench -- serve "${BENCH_SCALE:-0.05}"
 
 echo "==> fig-assoc-threshold (small scale; the crossover must exist)"
