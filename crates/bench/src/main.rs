@@ -1009,18 +1009,20 @@ fn run_serve_check(addr: &str) {
 
 /// Fleet smoke-check: `addrs` is a whole consistent-hash ring of running
 /// `ctserve` processes (`serve-check host:p1,host:p2,...`). Records a
-/// spread of pairings through the ring, asserting that every request
-/// lands on the key's rendezvous owner and that the server derives the
-/// same content key the client computed locally; replays each key
-/// (served warm by its owner); then aggregates `/v1/stats` ring-wide —
-/// each key must live on exactly one shard, so fleet-total entries equal
-/// distinct keys recorded.
+/// spread of pairings through the ring — replicated to the top-R
+/// endpoints of each key's preference order — asserting that the primary
+/// answer comes from the key's rendezvous owner and that the server
+/// derives the same content key the client computed locally; replays
+/// each key (served warm by its owner); then aggregates `/v1/stats`
+/// ring-wide — each key must live on exactly `min(R, shards)` shards.
 fn run_fleet_check(addrs: &[String]) {
     let fail = |what: &str, detail: &str| -> ! {
         eprintln!("fleet-check: FAIL: {what}: {detail}");
         std::process::exit(1);
     };
-    let mut fleet = FleetClient::new(addrs.to_vec(), ClientConfig::default());
+    let mut fleet = FleetClient::new(addrs.to_vec(), ClientConfig::default())
+        .unwrap_or_else(|e| fail("ring", &e.to_string()));
+    let replication = fleet.replication();
     let org = SystemConfig::paper_default().expect("paper default").organization();
 
     // One pairing per scale; enough keys that every shard in a small
@@ -1032,7 +1034,7 @@ fn run_fleet_check(addrs: &[String]) {
         let key = cachetime::keyed::trace_key(&org, &catalog::mu3(scale));
         let body = format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#);
         let (status, resp, shard) = fleet
-            .request_keyed(key, "POST", "/v1/simulate", &body)
+            .request_replicated(key, "POST", "/v1/simulate", &body)
             .unwrap_or_else(|e| fail("simulate", &e.to_string()));
         if status != 200 {
             fail("simulate", &format!("status {status}: {resp}"));
@@ -1041,7 +1043,7 @@ fn run_fleet_check(addrs: &[String]) {
         if shard != owner {
             fail(
                 "routing",
-                &format!("key {key:016x} served by shard {shard}, ring owner is {owner}"),
+                &format!("key {key:016x} answered by shard {shard}, ring owner is {owner}"),
             );
         }
         let v = Json::parse(&resp).unwrap_or_else(|e| fail("simulate", &e.to_string()));
@@ -1090,32 +1092,227 @@ fn run_fleet_check(addrs: &[String]) {
         total_misses += misses;
         per_shard.push(entries);
     }
-    if total_entries != keys.len() as u64 {
+    // Every key lives on exactly min(R, shards) shards: one copy per
+    // replica endpoint, each recorded independently (recording is
+    // deterministic, so the copies are bit-identical).
+    let expected = keys.len() as u64 * replication as u64;
+    if total_entries != expected {
         fail(
             "aggregation",
             &format!(
-                "fleet holds {total_entries} traces for {} distinct keys (per-shard: {per_shard:?}) — \
-                 a key landed on two shards or got lost",
+                "fleet holds {total_entries} traces for {} keys at replication {replication} \
+                 (expected {expected}; per-shard: {per_shard:?}) — a copy landed off-ring or got lost",
                 keys.len()
             ),
         );
     }
-    if total_misses != keys.len() as u64 {
+    if total_misses != expected {
         fail(
             "aggregation",
             &format!(
-                "fleet recorded {total_misses} times for {} keys — deterministic routing \
-                 must record each key exactly once",
+                "fleet recorded {total_misses} times for {} keys at replication {replication} — \
+                 deterministic routing must record each copy exactly once (expected {expected})",
                 keys.len()
             ),
         );
     }
     println!(
-        "fleet-check: OK ({} shards, {} keys, per-shard entries {:?}, one recording per key)",
+        "fleet-check: OK ({} shards, {} keys, replication {}, per-shard entries {:?})",
         addrs.len(),
         keys.len(),
+        replication,
         per_shard
     );
+}
+
+/// The pairings a fleet drill records: one per scale, deterministic, so
+/// every drill phase (possibly a different process) recomputes the same
+/// key set without shared state.
+fn drill_pairings(org: &cachetime::OrgConfig) -> Vec<(f64, u64)> {
+    (0..8)
+        .map(|i| {
+            let scale = 0.004 + i as f64 * 0.001;
+            (scale, cachetime::keyed::trace_key(org, &catalog::mu3(scale)))
+        })
+        .collect()
+}
+
+/// Membership-chaos drill against a running fleet, one phase per
+/// invocation (`scripts/verify.sh` kills and rejoins shards between
+/// phases):
+///
+/// * `record` — replicate a deterministic key set through the ring.
+/// * `after-kill <ix>` — with shard `ix` dead, every key must still
+///   answer warm (`cached: true`) from a survivor, and the survivors'
+///   recording counters must not move: zero lost keys, zero re-records.
+/// * `after-rejoin <ix>` — shard `ix` is back (fresh data dir, rebalanced
+///   via peer handoff): it must hold every segment the ring places on it
+///   and replay each bit-identically to an in-process `Simulator::run`.
+fn run_fleet_drill(addrs: &[String], phase: &str, shard_ix: Option<usize>) {
+    let fail = |what: &str, detail: &str| -> ! {
+        eprintln!("fleet-drill: FAIL: {what}: {detail}");
+        std::process::exit(1);
+    };
+    let config = SystemConfig::paper_default().expect("paper default");
+    let org = config.organization();
+    let pairings = drill_pairings(&org);
+    let mut fleet = FleetClient::new(addrs.to_vec(), ClientConfig::default())
+        .unwrap_or_else(|e| fail("ring", &e.to_string()));
+    let replication = fleet.replication();
+
+    // Sum of `store.misses` across the shards in `ixs` — the fleet-wide
+    // recording counter the kill phase must hold still.
+    let misses_on = |fleet: &mut FleetClient, ixs: &[usize]| -> u64 {
+        let mut total = 0;
+        for &ix in ixs {
+            let (status, body) = fleet
+                .request_on(ix, "GET", "/v1/stats", "")
+                .unwrap_or_else(|e| fail("stats", &format!("shard {ix}: {e}")));
+            if status != 200 {
+                fail("stats", &format!("shard {ix} status {status}"));
+            }
+            let v = Json::parse(&body).unwrap_or_else(|e| fail("stats", &e.to_string()));
+            total += v
+                .get("store")
+                .and_then(|s| s.get("misses"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+        }
+        total
+    };
+
+    match phase {
+        "record" => {
+            for &(scale, key) in &pairings {
+                let body = format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#);
+                let (status, resp, shard) = fleet
+                    .request_replicated(key, "POST", "/v1/simulate", &body)
+                    .unwrap_or_else(|e| fail("record", &e.to_string()));
+                if status != 200 {
+                    fail("record", &format!("key {key:016x}: status {status}: {resp}"));
+                }
+                if shard != fleet.ring().owner(key) {
+                    fail("record", &format!("key {key:016x} not answered by its owner"));
+                }
+            }
+            println!(
+                "fleet-drill record: OK ({} keys replicated x{} across {} shards)",
+                pairings.len(),
+                replication,
+                addrs.len()
+            );
+        }
+        "after-kill" => {
+            let victim = shard_ix
+                .unwrap_or_else(|| fail("usage", "after-kill needs the killed shard's index"));
+            let survivors: Vec<usize> = (0..addrs.len()).filter(|&ix| ix != victim).collect();
+            let before = misses_on(&mut fleet, &survivors);
+            for &(scale, key) in &pairings {
+                let body = format!(r#"{{"trace": {{"name": "mu3", "scale": {scale}}}}}"#);
+                let (status, resp, shard) = fleet
+                    .request_keyed(key, "POST", "/v1/simulate", &body)
+                    .unwrap_or_else(|e| fail("failover", &format!("key {key:016x}: {e}")));
+                if status != 200 {
+                    fail("failover", &format!("key {key:016x}: status {status}: {resp}"));
+                }
+                if shard == victim {
+                    fail("failover", &format!("key {key:016x} answered by the dead shard"));
+                }
+                let v = Json::parse(&resp).unwrap_or_else(|e| fail("failover", &e.to_string()));
+                if v.get("cached").and_then(Json::as_bool) != Some(true) {
+                    fail(
+                        "failover",
+                        &format!(
+                            "key {key:016x} was re-recorded after the kill — a replica was lost"
+                        ),
+                    );
+                }
+            }
+            let after = misses_on(&mut fleet, &survivors);
+            if after != before {
+                fail(
+                    "failover",
+                    &format!(
+                        "survivor recordings grew {before} -> {after}; failover must serve \
+                         warm replicas, never re-record"
+                    ),
+                );
+            }
+            let breakers: Vec<String> = fleet
+                .breakers()
+                .iter()
+                .map(|b| format!("{}={}", b.endpoint, b.state))
+                .collect();
+            println!(
+                "fleet-drill after-kill: OK (shard {victim} dead: {} keys warm on survivors, \
+                 0 re-recordings; breakers: {})",
+                pairings.len(),
+                breakers.join(" ")
+            );
+        }
+        "after-rejoin" => {
+            let rejoined = shard_ix
+                .unwrap_or_else(|| fail("usage", "after-rejoin needs the rejoined shard's index"));
+            let (status, body) = fleet
+                .request_on(rejoined, "GET", "/v1/segments", "")
+                .unwrap_or_else(|e| fail("segments", &e.to_string()));
+            if status != 200 {
+                fail("segments", &format!("status {status}: {body}"));
+            }
+            let v = Json::parse(&body).unwrap_or_else(|e| fail("segments", &e.to_string()));
+            let held: Vec<String> = v
+                .get("keys")
+                .and_then(Json::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|k| k.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut checked = 0usize;
+            for &(scale, key) in &pairings {
+                let pref = fleet.ring().preference(key);
+                if !pref[..replication].contains(&rejoined) {
+                    continue;
+                }
+                if !held.contains(&format!("{key:016x}")) {
+                    fail(
+                        "handoff",
+                        &format!("rejoined shard is missing segment {key:016x} the ring places on it"),
+                    );
+                }
+                // The handed-off copy must replay bit-identically to a
+                // from-scratch simulation.
+                let direct = Simulator::new(&config).run(&catalog::mu3(scale).generate());
+                let expected = api::sim_result_to_json(&direct);
+                let body = format!(r#"{{"key": "{key:016x}", "cycle_times_ns": [40]}}"#);
+                let (status, resp) = fleet
+                    .request_on(rejoined, "POST", "/v1/replay", &body)
+                    .unwrap_or_else(|e| fail("replay", &e.to_string()));
+                if status != 200 {
+                    fail("replay", &format!("key {key:016x}: status {status}: {resp}"));
+                }
+                let v = Json::parse(&resp).unwrap_or_else(|e| fail("replay", &e.to_string()));
+                if v.get("results").and_then(Json::as_array).and_then(|a| a.first())
+                    != Some(&expected)
+                {
+                    fail(
+                        "replay",
+                        &format!("key {key:016x}: handed-off replay differs from Simulator::run"),
+                    );
+                }
+                checked += 1;
+            }
+            if checked == 0 {
+                fail("handoff", "the ring places no drill keys on the rejoined shard");
+            }
+            println!(
+                "fleet-drill after-rejoin: OK (shard {rejoined} serves {checked} handed-off \
+                 segment(s) bit-identical to Simulator::run)"
+            );
+        }
+        other => fail("usage", &format!("unknown phase {other:?}")),
+    }
 }
 
 /// Seeded fault-injection run against a *running* `ctserve` at `addr`
@@ -1377,6 +1574,25 @@ fn main() {
                 run_serve_check(&addr);
             }
         }
+        Some("fleet-drill") => {
+            let usage = || -> ! {
+                eprintln!(
+                    "usage: cachetime-bench fleet-drill <host:port>,<host:port>,... \
+                     <record|after-kill|after-rejoin> [shard-index]"
+                );
+                std::process::exit(2);
+            };
+            let Some(addr) = args.next() else { usage() };
+            let addrs: Vec<String> = addr.split(',').map(str::to_string).collect();
+            let Some(phase) = args.next() else { usage() };
+            let ix = args.next().map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid shard index {s:?}; expected a usize");
+                    std::process::exit(2);
+                })
+            });
+            run_fleet_drill(&addrs, &phase, ix);
+        }
         Some("serve-chaos") => {
             let Some(addr) = args.next() else {
                 eprintln!("usage: cachetime-bench serve-chaos <host:port> [seed]");
@@ -1402,7 +1618,7 @@ fn main() {
             run_bench_diff(threshold);
         }
         _ => {
-            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | serve-chaos <host:port> [seed] | bench-diff [threshold]");
+            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | fleet-drill <addrs> <phase> [ix] | serve-chaos <host:port> [seed] | bench-diff [threshold]");
             eprintln!();
             eprintln!("  sweep        time a speed/size grid: direct per-cell simulation vs");
             eprintln!("               the two-phase record/replay pipeline (serial and");
@@ -1415,6 +1631,11 @@ fn main() {
             eprintln!("               be bit-identical to an in-process Simulator::run;");
             eprintln!("               a comma-separated address list checks a whole");
             eprintln!("               consistent-hash fleet (routing + aggregated stats)");
+            eprintln!("  fleet-drill  membership-chaos drill phases against a running fleet:");
+            eprintln!("               record replicates a deterministic key set; after-kill");
+            eprintln!("               asserts zero lost keys and zero re-recordings with one");
+            eprintln!("               shard dead; after-rejoin asserts handed-off segments");
+            eprintln!("               replay bit-identical to Simulator::run");
             eprintln!("  serve-chaos  seeded fault-injection clients against a running");
             eprintln!("               ctserve; asserts recovery and zero store corruption");
             eprintln!("  bench-diff   compare working-tree BENCH_*.json snapshots against");

@@ -51,8 +51,9 @@ pub type FaultHook = std::sync::Arc<dyn Fn(DiskOp, u64, usize) -> DiskFault + Se
 
 /// Applies a fault to an in-memory I/O image, returning the bytes that
 /// actually reach (or arrive from) the disk, or `None` for
-/// [`DiskFault::Error`].
-pub(crate) fn mangle(bytes: &[u8], fault: DiskFault) -> Option<Vec<u8>> {
+/// [`DiskFault::Error`]. Public because the server reuses the same
+/// mangling for injected peer-transfer faults (`peer.fetch` rules).
+pub fn mangle(bytes: &[u8], fault: DiskFault) -> Option<Vec<u8>> {
     match fault {
         DiskFault::None => Some(bytes.to_vec()),
         DiskFault::Torn { keep } => Some(bytes[..keep.min(bytes.len())].to_vec()),

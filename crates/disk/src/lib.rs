@@ -35,6 +35,8 @@ mod metrics;
 pub mod segment;
 mod store;
 
-pub use fault::{DiskFault, DiskOp, FaultHook};
+pub use fault::{mangle, DiskFault, DiskOp, FaultHook};
 pub use metrics::DiskMetrics;
-pub use store::{DiskConfig, ScanReport, SegmentStore, SpillResult};
+pub use store::{
+    AdoptOutcome, DiskConfig, ScanReport, SegmentStore, SpillResult, DEFAULT_QUARANTINE_CAP_BYTES,
+};

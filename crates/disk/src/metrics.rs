@@ -30,10 +30,22 @@ pub struct DiskMetrics {
     pub(crate) quarantined: Arc<Counter>,
     /// `cachetime_disk_evicted_total`: segments deleted by the byte budget.
     pub(crate) evicted: Arc<Counter>,
+    /// `cachetime_disk_adopted_total`: peer-transferred segments validated
+    /// and installed.
+    pub(crate) adopted: Arc<Counter>,
+    /// `cachetime_disk_dropped_total`: segments removed by ring handoff.
+    pub(crate) dropped: Arc<Counter>,
+    /// `cachetime_disk_quarantine_evicted_total`: quarantined files
+    /// deleted by the quarantine byte cap.
+    pub(crate) quarantine_evicted: Arc<Counter>,
     /// `cachetime_disk_segments`: live segments on disk.
     pub(crate) segments: Arc<Gauge>,
     /// `cachetime_disk_bytes`: bytes of live segments.
     pub(crate) bytes: Arc<Gauge>,
+    /// `cachetime_disk_quarantine_files`: files currently in `quarantine/`.
+    pub(crate) quarantine_files: Arc<Gauge>,
+    /// `cachetime_disk_quarantine_bytes`: bytes currently in `quarantine/`.
+    pub(crate) quarantine_bytes: Arc<Gauge>,
 }
 
 impl DiskMetrics {
@@ -50,8 +62,13 @@ impl DiskMetrics {
             recovered: registry.counter("cachetime_disk_recovered_total", &[]),
             quarantined: registry.counter("cachetime_disk_quarantined_total", &[]),
             evicted: registry.counter("cachetime_disk_evicted_total", &[]),
+            adopted: registry.counter("cachetime_disk_adopted_total", &[]),
+            dropped: registry.counter("cachetime_disk_dropped_total", &[]),
+            quarantine_evicted: registry.counter("cachetime_disk_quarantine_evicted_total", &[]),
             segments: registry.gauge("cachetime_disk_segments", &[]),
             bytes: registry.gauge("cachetime_disk_bytes", &[]),
+            quarantine_files: registry.gauge("cachetime_disk_quarantine_files", &[]),
+            quarantine_bytes: registry.gauge("cachetime_disk_quarantine_bytes", &[]),
         }
     }
 
@@ -67,8 +84,13 @@ impl DiskMetrics {
             recovered: Arc::new(Counter::new()),
             quarantined: Arc::new(Counter::new()),
             evicted: Arc::new(Counter::new()),
+            adopted: Arc::new(Counter::new()),
+            dropped: Arc::new(Counter::new()),
+            quarantine_evicted: Arc::new(Counter::new()),
             segments: Arc::new(Gauge::new()),
             bytes: Arc::new(Gauge::new()),
+            quarantine_files: Arc::new(Gauge::new()),
+            quarantine_bytes: Arc::new(Gauge::new()),
         }
     }
 
@@ -110,6 +132,31 @@ impl DiskMetrics {
     /// Segments deleted by the byte budget.
     pub fn evicted(&self) -> u64 {
         self.evicted.get()
+    }
+
+    /// Peer-transferred segments validated and installed.
+    pub fn adopted(&self) -> u64 {
+        self.adopted.get()
+    }
+
+    /// Segments removed by ring handoff.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Quarantined files deleted by the quarantine byte cap.
+    pub fn quarantine_evicted(&self) -> u64 {
+        self.quarantine_evicted.get()
+    }
+
+    /// Files currently in `quarantine/`.
+    pub fn quarantine_files(&self) -> i64 {
+        self.quarantine_files.get()
+    }
+
+    /// Bytes currently in `quarantine/`.
+    pub fn quarantine_bytes(&self) -> i64 {
+        self.quarantine_bytes.get()
     }
 
     /// Live segments on disk.

@@ -16,13 +16,33 @@ use std::time::SystemTime;
 /// File extension of a sealed segment.
 const SEG_EXT: &str = "seg";
 
-/// Subdirectory corrupt segments are moved into (never deleted: they are
-/// evidence).
+/// Subdirectory corrupt segments are moved into (kept as evidence, but
+/// bounded: oldest files are deleted once the directory exceeds its cap).
 const QUARANTINE_DIR: &str = "quarantine";
+
+/// Default byte cap for `quarantine/`. Quarantined files are forensic
+/// evidence, not data — a handful of recent corpses is enough, and an
+/// unbounded directory would let a corruption storm eat the disk.
+pub const DEFAULT_QUARANTINE_CAP_BYTES: u64 = 4 * 1024 * 1024;
 
 /// Monotonic discriminator for temp-file names, so concurrent spills in
 /// one process never collide.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// What adopting a peer-transferred sealed segment did.
+#[derive(Debug)]
+pub enum AdoptOutcome {
+    /// The bytes validated (header, checksum, payload decode) and were
+    /// durably installed; the decoded trace rides along so the caller can
+    /// seed its in-memory store without a second read.
+    Installed(EventTrace),
+    /// The key already has a live segment; nothing was rewritten.
+    AlreadyPresent,
+    /// The bytes failed validation. They were written into `quarantine/`
+    /// as evidence and nothing was indexed — a corrupt peer transfer can
+    /// never poison the store.
+    Rejected,
+}
 
 /// What a spill actually did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +82,11 @@ pub struct DiskConfig {
     /// pushes the total over budget, oldest-mtime segments are deleted
     /// until it fits.
     pub budget_bytes: u64,
+    /// Byte cap for the `quarantine/` directory; `0` means unlimited.
+    /// Oldest-mtime quarantined files are deleted once the directory
+    /// exceeds the cap ([`DEFAULT_QUARANTINE_CAP_BYTES`] is a sane
+    /// default).
+    pub quarantine_cap_bytes: u64,
 }
 
 struct SegmentInfo {
@@ -89,6 +114,7 @@ pub struct SegmentStore {
     root: PathBuf,
     quarantine: PathBuf,
     budget_bytes: u64,
+    quarantine_cap_bytes: u64,
     metrics: DiskMetrics,
     fault: Option<FaultHook>,
     index: Mutex<Index>,
@@ -106,14 +132,18 @@ impl SegmentStore {
     pub fn open_with_metrics(config: DiskConfig, metrics: DiskMetrics) -> io::Result<Self> {
         let quarantine = config.root.join(QUARANTINE_DIR);
         fs::create_dir_all(&quarantine)?;
-        Ok(SegmentStore {
+        let store = SegmentStore {
             root: config.root,
             quarantine,
             budget_bytes: config.budget_bytes,
+            quarantine_cap_bytes: config.quarantine_cap_bytes,
             metrics,
             fault: None,
             index: Mutex::new(Index::default()),
-        })
+        };
+        // Account (and bound) whatever a previous process left behind.
+        store.bound_quarantine();
+        Ok(store)
     }
 
     /// Installs an I/O fault hook (tests only; see [`crate::fault`]).
@@ -184,6 +214,23 @@ impl SegmentStore {
                 return Ok(SpillResult::Corrupted);
             }
         }
+        if let Err(e) = self.write_sealed_atomic(key, &sealed) {
+            self.metrics.spill_errors.inc();
+            return Err(e);
+        }
+        let len = sealed.len() as u64;
+        self.index_insert(key, len, SystemTime::now());
+        self.metrics.spills.inc();
+        self.metrics.spill_bytes.add(len);
+        self.evict_over_budget(key);
+        Ok(SpillResult::Written)
+    }
+
+    /// Writes `sealed` under `key`'s final name with the store's
+    /// crash-safety discipline: temp file, fsync, rename, directory
+    /// fsync. Does not touch the index or metrics.
+    fn write_sealed_atomic(&self, key: u64, sealed: &[u8]) -> io::Result<()> {
+        let final_path = self.seg_path(key);
         let tmp_path = self.root.join(format!(
             "{key:016x}.tmp-{}-{}",
             std::process::id(),
@@ -191,7 +238,7 @@ impl SegmentStore {
         ));
         let written = (|| -> io::Result<()> {
             let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&sealed)?;
+            f.write_all(sealed)?;
             f.sync_all()?;
             fs::rename(&tmp_path, &final_path)?;
             // The rename is durable only once the directory entry is; a
@@ -201,16 +248,90 @@ impl SegmentStore {
             Ok(())
         })();
         if let Err(e) = written {
-            self.metrics.spill_errors.inc();
             let _ = fs::remove_file(&tmp_path);
             return Err(e);
         }
-        let len = sealed.len() as u64;
-        self.index_insert(key, len, SystemTime::now());
-        self.metrics.spills.inc();
-        self.metrics.spill_bytes.add(len);
+        Ok(())
+    }
+
+    /// The keys of every live segment, in unspecified order. This is what
+    /// a rebalancing peer asks for to decide what to pull.
+    pub fn keys(&self) -> Vec<u64> {
+        self.index.lock().unwrap().segments.keys().copied().collect()
+    }
+
+    /// Reads the raw sealed container bytes for `key`, verifying the
+    /// checksum before serving — a node never forwards a segment it
+    /// cannot vouch for. A corrupt file is quarantined on the spot and
+    /// reads as absent, exactly like [`SegmentStore::load`].
+    pub fn read_sealed(&self, key: u64) -> Option<Vec<u8>> {
+        if !self.contains(key) {
+            self.metrics.load_misses.inc();
+            return None;
+        }
+        let path = self.seg_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.metrics.load_errors.inc();
+                self.index_remove(key);
+                return None;
+            }
+        };
+        match segment::open(key, &bytes) {
+            Ok(_) => {
+                self.metrics.loads.inc();
+                Some(bytes)
+            }
+            Err(_) => {
+                self.quarantine_file(&path);
+                self.index_remove(key);
+                self.metrics.load_errors.inc();
+                None
+            }
+        }
+    }
+
+    /// Adopts a sealed segment transferred from a peer. The bytes must be
+    /// the full container for exactly this `key`: header, checksum, and
+    /// payload decode are all verified *before* anything touches the live
+    /// directory, and rejected bytes land in `quarantine/` as evidence.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures installing a *valid* segment; validation
+    /// failures are the [`AdoptOutcome::Rejected`] value, not an error.
+    pub fn adopt(&self, key: u64, sealed: &[u8]) -> io::Result<AdoptOutcome> {
+        if self.contains(key) {
+            return Ok(AdoptOutcome::AlreadyPresent);
+        }
+        let trace = segment::open(key, sealed)
+            .map_err(|e| e.to_string())
+            .and_then(|payload| codec::decode(payload).map_err(|e| e.to_string()));
+        let trace = match trace {
+            Ok(trace) => trace,
+            Err(_) => {
+                self.quarantine_evidence(key, sealed);
+                return Ok(AdoptOutcome::Rejected);
+            }
+        };
+        self.write_sealed_atomic(key, sealed)?;
+        self.index_insert(key, sealed.len() as u64, SystemTime::now());
+        self.metrics.adopted.inc();
         self.evict_over_budget(key);
-        Ok(SpillResult::Written)
+        Ok(AdoptOutcome::Installed(trace))
+    }
+
+    /// Removes `key`'s segment (ring handoff: this node no longer owns
+    /// it). Returns whether a live segment was deleted.
+    pub fn remove(&self, key: u64) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        let _ = fs::remove_file(self.seg_path(key));
+        self.index_remove(key);
+        self.metrics.dropped.inc();
+        true
     }
 
     /// Loads one trace by key. `None` means not present — including
@@ -331,7 +452,6 @@ impl SegmentStore {
             self.metrics.bytes.set(index.bytes as i64);
         }
         self.metrics.recovered.add(report.recovered);
-        self.metrics.quarantined.add(report.quarantined);
         self.evict_over_budget(0);
         Ok(report)
     }
@@ -390,14 +510,66 @@ impl SegmentStore {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "unnamed".to_string());
-        let mut dest = self.quarantine.join(&name);
+        if fs::rename(path, self.quarantine_dest(&name)).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.metrics.quarantined.inc();
+        self.bound_quarantine();
+    }
+
+    /// Preserves rejected peer-transfer bytes (which never existed as a
+    /// live file) in `quarantine/` as evidence.
+    fn quarantine_evidence(&self, key: u64, bytes: &[u8]) {
+        let _ = fs::write(self.quarantine_dest(&format!("{key:016x}.peer")), bytes);
+        self.metrics.quarantined.inc();
+        self.bound_quarantine();
+    }
+
+    /// A collision-free destination inside `quarantine/` for `name`.
+    fn quarantine_dest(&self, name: &str) -> PathBuf {
+        let mut dest = self.quarantine.join(name);
         let mut n = 0u32;
         while dest.exists() {
             n += 1;
             dest = self.quarantine.join(format!("{name}.{n}"));
         }
-        if fs::rename(path, &dest).is_err() {
-            let _ = fs::remove_file(path);
+        dest
+    }
+
+    /// Re-measures `quarantine/` and deletes oldest-mtime files while it
+    /// exceeds the cap. The directory is tiny (corruption is rare and the
+    /// cap small), so a scan per quarantine event is cheap — and it keeps
+    /// the gauges honest even across restarts.
+    fn bound_quarantine(&self) {
+        let Ok(entries) = fs::read_dir(&self.quarantine) else { return };
+        let mut files: Vec<(SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                if !meta.is_file() {
+                    return None;
+                }
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        files.sort();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        let mut it = files.into_iter();
+        let mut kept = Vec::new();
+        if self.quarantine_cap_bytes > 0 {
+            while total > self.quarantine_cap_bytes {
+                let Some((mtime, path, len)) = it.next() else { break };
+                if fs::remove_file(&path).is_ok() {
+                    total -= len;
+                    self.metrics.quarantine_evicted.inc();
+                } else {
+                    kept.push((mtime, path, len));
+                }
+            }
         }
+        kept.extend(it);
+        self.metrics.quarantine_files.set(kept.len() as i64);
+        self.metrics.quarantine_bytes.set(total as i64);
     }
 }

@@ -183,6 +183,7 @@ fn recovery_quarantines_exactly_the_corrupt_set() {
             let store = SegmentStore::open(DiskConfig {
                 root: root.clone(),
                 budget_bytes: 0,
+                quarantine_cap_bytes: 0,
             })
             .map_err(|e| e.to_string())?;
             let mut recovered = Vec::new();

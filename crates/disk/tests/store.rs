@@ -2,7 +2,9 @@
 //! recovery, budget eviction, stale-temp cleanup, and injected faults.
 
 use cachetime::{keyed, SystemConfig};
-use cachetime_disk::{DiskConfig, DiskFault, DiskOp, DiskMetrics, SegmentStore, SpillResult};
+use cachetime_disk::{
+    segment, AdoptOutcome, DiskConfig, DiskFault, DiskMetrics, DiskOp, SegmentStore, SpillResult,
+};
 use cachetime_trace::catalog;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +33,7 @@ fn open(root: PathBuf, budget: u64) -> SegmentStore {
     SegmentStore::open(DiskConfig {
         root,
         budget_bytes: budget,
+        quarantine_cap_bytes: 0,
     })
     .expect("open store")
 }
@@ -177,6 +180,107 @@ fn injected_error_fails_the_spill_without_a_file() {
 }
 
 #[test]
+fn sealed_bytes_round_trip_through_adoption() {
+    // Peer handoff in miniature: read the raw container off one store,
+    // adopt it on another, and the trace comes back bit-identical.
+    let donor_root = scratch("handoff-donor");
+    let taker_root = scratch("handoff-taker");
+    let donor = open(donor_root.clone(), 0);
+    let taker = open(taker_root.clone(), 0);
+    let (key, trace) = sample_trace(0);
+    donor.store(key, &trace).unwrap();
+
+    let sealed = donor.read_sealed(key).expect("sealed bytes");
+    assert_eq!(donor.keys(), vec![key]);
+    match taker.adopt(key, &sealed).unwrap() {
+        AdoptOutcome::Installed(t) => assert_eq!(t, trace, "adoption must be bit-identical"),
+        other => panic!("expected Installed, got {other:?}"),
+    }
+    assert!(taker.contains(key));
+    assert_eq!(taker.metrics().adopted(), 1);
+    assert!(matches!(
+        taker.adopt(key, &sealed).unwrap(),
+        AdoptOutcome::AlreadyPresent
+    ));
+    assert_eq!(taker.load(key).unwrap(), trace);
+
+    // Handoff drop: the donor no longer owns the key.
+    assert!(donor.remove(key));
+    assert!(!donor.contains(key));
+    assert!(!donor_root.join(format!("{key:016x}.seg")).exists());
+    assert_eq!(donor.metrics().dropped(), 1);
+    assert!(!donor.remove(key), "second remove is a no-op");
+
+    let _ = std::fs::remove_dir_all(&donor_root);
+    let _ = std::fs::remove_dir_all(&taker_root);
+}
+
+#[test]
+fn corrupt_adoption_is_rejected_and_quarantined() {
+    let root = scratch("adopt-reject");
+    let store = open(root.clone(), 0);
+    let (key, trace) = sample_trace(0);
+    let sealed = segment::seal(key, &cachetime::codec::encode(&trace));
+
+    // A flipped payload bit, a truncated container, and bytes sealed for
+    // a different key must all be rejected without touching the index.
+    let mut flipped = sealed.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 1;
+    assert!(matches!(store.adopt(key, &flipped).unwrap(), AdoptOutcome::Rejected));
+    assert!(matches!(
+        store.adopt(key, &sealed[..sealed.len() / 2]).unwrap(),
+        AdoptOutcome::Rejected
+    ));
+    assert!(matches!(store.adopt(key ^ 1, &sealed).unwrap(), AdoptOutcome::Rejected));
+    assert!(!store.contains(key) && !store.contains(key ^ 1));
+    assert_eq!(store.segments(), 0);
+    assert_eq!(store.metrics().quarantined(), 3);
+    assert_eq!(store.metrics().quarantine_files(), 3);
+    assert!(store.metrics().quarantine_bytes() > 0);
+    assert!(
+        root.join("quarantine").join(format!("{key:016x}.peer")).exists(),
+        "rejected transfer bytes are kept as evidence"
+    );
+
+    // The same store still adopts the intact bytes afterwards.
+    assert!(matches!(store.adopt(key, &sealed).unwrap(), AdoptOutcome::Installed(_)));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quarantine_is_bounded_by_its_byte_cap() {
+    let root = scratch("quarantine-cap");
+    let (key, trace) = sample_trace(0);
+    let sealed = segment::seal(key, &cachetime::codec::encode(&trace));
+    let mut bad = sealed.clone();
+    bad[20] ^= 1;
+
+    // Cap small enough for roughly two corpses of this size.
+    let store = SegmentStore::open(DiskConfig {
+        root: root.clone(),
+        budget_bytes: 0,
+        quarantine_cap_bytes: sealed.len() as u64 * 2 + sealed.len() as u64 / 2,
+    })
+    .expect("open store");
+    for _ in 0..5 {
+        assert!(matches!(store.adopt(key, &bad).unwrap(), AdoptOutcome::Rejected));
+    }
+    assert_eq!(store.metrics().quarantined(), 5);
+    assert!(store.metrics().quarantine_evicted() >= 3, "oldest corpses evicted over the cap");
+    assert!(store.metrics().quarantine_files() <= 2);
+    assert!(store.metrics().quarantine_bytes() as u64 <= sealed.len() as u64 * 2 + sealed.len() as u64 / 2);
+    let survivors = std::fs::read_dir(root.join("quarantine")).unwrap().count();
+    assert!(survivors <= 2, "{survivors} files survived a two-file cap");
+
+    // Reopening re-measures the directory rather than trusting gauges.
+    drop(store);
+    let reopened = open(root.clone(), 0);
+    assert_eq!(reopened.metrics().quarantine_files() as usize, survivors);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn metrics_registry_names_are_wired() {
     let registry = cachetime_obs::Registry::new();
     let root = scratch("registry");
@@ -184,6 +288,7 @@ fn metrics_registry_names_are_wired() {
         DiskConfig {
             root: root.clone(),
             budget_bytes: 0,
+            quarantine_cap_bytes: 0,
         },
         DiskMetrics::in_registry(&registry),
     )
@@ -198,6 +303,11 @@ fn metrics_registry_names_are_wired() {
         "cachetime_disk_loads_total",
         "cachetime_disk_segments",
         "cachetime_disk_bytes",
+        "cachetime_disk_adopted_total",
+        "cachetime_disk_dropped_total",
+        "cachetime_disk_quarantine_files",
+        "cachetime_disk_quarantine_bytes",
+        "cachetime_disk_quarantine_evicted_total",
     ] {
         assert!(text.contains(family), "missing family {family}");
     }

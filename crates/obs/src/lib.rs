@@ -24,6 +24,6 @@ mod metric;
 mod registry;
 mod span;
 
-pub use metric::{Counter, Gauge, Histogram, BUCKETS};
+pub use metric::{Counter, Exemplar, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry};
 pub use span::{JsonlSink, Span, SpanRecord, SpanSink};

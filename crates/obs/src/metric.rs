@@ -8,6 +8,7 @@
 //! upper bound of bucket `i` is `2^(i+1)`.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -83,6 +84,23 @@ pub const BUCKETS: usize = 28;
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
+    /// Per-bucket exemplars, allocated lazily on the first
+    /// [`Histogram::record_with_exemplar`] — histograms that never attach
+    /// exemplars (the overwhelming majority) pay one `OnceLock` check.
+    exemplars: OnceLock<Mutex<[Option<Exemplar>; BUCKETS]>>,
+}
+
+/// One traced observation attached to a histogram bucket: which entity
+/// produced a latency in that range, OpenMetrics-style. The renderer
+/// appends it to the bucket's sample line as `# {label="value"} v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Label name, e.g. `key`.
+    pub label: &'static str,
+    /// Label value, e.g. a 16-hex trace key.
+    pub value: String,
+    /// The observed value that landed in this bucket.
+    pub observed: u64,
 }
 
 impl Default for Histogram {
@@ -97,14 +115,34 @@ impl Histogram {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
+    }
+
+    /// The bucket index an observation of `value` lands in.
+    fn bucket_of(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1)
     }
 
     /// Record one observation.
     pub fn record(&self, value: u64) {
-        let b = (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record one observation and attach an exemplar to its bucket
+    /// (last-writer-wins: each bucket keeps its most recent exemplar, so
+    /// a scrape always sees a live specimen rather than a frozen first).
+    pub fn record_with_exemplar(&self, value: u64, label: &'static str, id: String) {
+        self.record(value);
+        let slots = self.exemplars.get_or_init(|| Mutex::new(std::array::from_fn(|_| None)));
+        slots.lock().unwrap()[Self::bucket_of(value)] =
+            Some(Exemplar { label, value: id, observed: value });
+    }
+
+    /// The exemplar currently attached to bucket `i`, if any.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        self.exemplars.get().and_then(|slots| slots.lock().unwrap()[i].clone())
     }
 
     /// Total number of observations.
@@ -184,6 +222,23 @@ mod tests {
         assert_eq!(snap[9], 1);
         assert_eq!(snap[BUCKETS - 1], 1);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_last_writer_wins() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(0), None, "no allocation before first use");
+        h.record_with_exemplar(3, "key", "aaaa".into());
+        h.record_with_exemplar(2, "key", "bbbb".into()); // same bucket (1)
+        h.record_with_exemplar(1000, "key", "cccc".into()); // bucket 9
+        let e = h.exemplar(1).expect("bucket 1 exemplar");
+        assert_eq!((e.label, e.value.as_str(), e.observed), ("key", "bbbb", 2));
+        let e = h.exemplar(9).expect("bucket 9 exemplar");
+        assert_eq!(e.value, "cccc");
+        assert_eq!(h.exemplar(5), None);
+        // Counts and sum see exemplar'd observations like any other.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1005);
     }
 
     #[test]

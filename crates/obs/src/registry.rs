@@ -192,7 +192,13 @@ fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
         cumulative += n;
         let le = Histogram::bucket_upper(i);
         let series = join_labels(labels, &format!("le=\"{le}\""));
-        let _ = writeln!(out, "{name}_bucket{{{series}}} {cumulative}");
+        let _ = write!(out, "{name}_bucket{{{series}}} {cumulative}");
+        // OpenMetrics-style exemplar: which entity last landed here.
+        if let Some(e) = h.exemplar(i) {
+            let escaped = e.value.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = write!(out, " # {{{}=\"{escaped}\"}} {}", e.label, e.observed);
+        }
+        out.push('\n');
     }
     let series = join_labels(labels, "le=\"+Inf\"");
     let _ = writeln!(out, "{name}_bucket{{{series}}} {cumulative}");
@@ -303,5 +309,24 @@ mod tests {
         assert!(text.contains("lat_us_sum 1006\n"), "{text}");
         assert!(text.contains("lat_us_count 3\n"), "{text}");
         assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn exemplars_render_on_their_bucket_line_only() {
+        let r = Registry::new();
+        let h = r.histogram("xfer_us", &[("peer", "a")]);
+        h.record(3);
+        h.record_with_exemplar(1000, "key", "00c0ffee00c0ffee".into());
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(
+                "xfer_us_bucket{peer=\"a\",le=\"1024\"} 2 # {key=\"00c0ffee00c0ffee\"} 1000\n"
+            ),
+            "{text}"
+        );
+        // The plain observation's bucket line carries no exemplar.
+        assert!(text.contains("xfer_us_bucket{peer=\"a\",le=\"4\"} 1\n"), "{text}");
+        // Sum/count lines never carry exemplars.
+        assert!(text.contains("xfer_us_sum{peer=\"a\"} 1003\n"), "{text}");
     }
 }

@@ -4,6 +4,7 @@
 //! ctserve [--addr 127.0.0.1:8080] [--workers N] [--budget-mb MB] [--port-file PATH]
 //!         [--max-queue N] [--max-inflight-recordings N] [--request-deadline-ms MS]
 //!         [--data-dir DIR] [--disk-budget-mb MB]
+//!         [--peers HOST:P1,HOST:P2,...] [--replication N]
 //! ```
 //!
 //! `--workers 0` (the default) sizes the pool via
@@ -21,9 +22,20 @@
 //! cold simulates get `503 + Retry-After` while warm replays keep
 //! serving), and `--request-deadline-ms` is the per-request wall-clock
 //! budget (clients lower it via `X-Deadline-Ms`).
+//!
+//! `--peers` makes this server one member of a self-healing fleet: the
+//! comma-separated list is the *full* ring, this server's own `--addr`
+//! included (it must appear verbatim, so port 0 is not allowed with
+//! `--peers`). At boot — and again on every `POST /v1/rebalance` — the
+//! server runs a rebalance pass along the ring: it pulls the segments
+//! rendezvous hashing now places on it (within `--replication` copies)
+//! from whichever peers hold them, verifying each transfer's checksum
+//! before adoption, and drops segments the ring has moved elsewhere once
+//! a current owner confirms holding them. Requires `--data-dir`.
 
+use cachetime_serve::client::ClientConfig;
 use cachetime_serve::http::limits_for;
-use cachetime_serve::{serve_with_app, App, ServerConfig};
+use cachetime_serve::{serve_with_app, App, FleetConfig, ServerConfig};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -33,6 +45,8 @@ fn main() {
         ..Default::default()
     };
     let mut port_file: Option<String> = None;
+    let mut peers: Option<Vec<String>> = None;
+    let mut replication: usize = 2;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +80,16 @@ fn main() {
                 let mb: u64 = parse(&value("--disk-budget-mb"), "--disk-budget-mb");
                 config.disk_budget_bytes = mb * 1024 * 1024;
             }
+            "--peers" => {
+                peers = Some(
+                    value("--peers")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--replication" => replication = parse(&value("--replication"), "--replication"),
             "--help" | "-h" => {
                 println!(
                     "ctserve — cachetime simulation server\n\n\
@@ -80,7 +104,9 @@ fn main() {
                      --max-inflight-recordings  cold simulates in flight before shedding (default 0 = 2x workers)\n\
                      --request-deadline-ms      per-request wall-clock budget (default 10000)\n\
                      --data-dir                 durable segment store directory (default: memory-only)\n\
-                     --disk-budget-mb           durable store budget in MiB (default 0 = unlimited)"
+                     --disk-budget-mb           durable store budget in MiB (default 0 = unlimited)\n\
+                     --peers                    full fleet ring, this --addr included (enables handoff; needs --data-dir)\n\
+                     --replication              copies of each segment the fleet keeps (default 2)"
                 );
                 return;
             }
@@ -104,6 +130,7 @@ fn main() {
             cachetime_disk::DiskConfig {
                 root: dir.clone(),
                 budget_bytes: config.disk_budget_bytes,
+                quarantine_cap_bytes: cachetime_disk::DEFAULT_QUARANTINE_CAP_BYTES,
             },
             cachetime_disk::DiskMetrics::in_registry(cachetime_obs::global()),
         )
@@ -127,6 +154,23 @@ fn main() {
             }
         }
     }
+    let in_fleet = peers.is_some();
+    if let Some(peers) = peers {
+        app = app
+            .with_fleet(FleetConfig {
+                peers,
+                self_addr: config.addr.clone(),
+                replication,
+                client: ClientConfig {
+                    read_timeout: std::time::Duration::from_secs(30),
+                    ..ClientConfig::default()
+                },
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: invalid fleet configuration: {e}");
+                std::process::exit(2);
+            });
+    }
     let handle = match serve_with_app(config, Arc::new(app)) {
         Ok(h) => h,
         Err(e) => {
@@ -144,6 +188,23 @@ fn main() {
         }
     }
     println!("ctserve listening on http://{addr}");
+    if in_fleet {
+        // Boot rebalance: adopt what the ring now places here from
+        // whichever peers are already up. Peers still booting are counted
+        // as fetch failures and retried on the next POST /v1/rebalance —
+        // a half-up fleet must never fail to start.
+        match handle.app().rebalance() {
+            Ok(report) => {
+                if report.pulled > 0 || report.dropped > 0 || report.rejected > 0 {
+                    println!(
+                        "ctserve rebalance: pulled {}, dropped {}, rejected {} (fetch failures {})",
+                        report.pulled, report.dropped, report.rejected, report.fetch_failures
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: boot rebalance failed: {e}"),
+        }
+    }
     handle.join();
     println!("ctserve stopped");
 }

@@ -15,7 +15,7 @@
 use cachetime_testkit::SplitMix64;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for [`HttpClient`]; the [`Default`] matches the pre-config
 /// behavior (120 s read timeout, no retries).
@@ -33,6 +33,18 @@ pub struct ClientConfig {
     /// Seed for the jitter stream, so retry schedules are reproducible in
     /// tests and benches.
     pub retry_seed: u64,
+    /// How many endpoints of a key's preference order a
+    /// [`FleetClient::request_replicated`] write lands on. With the
+    /// default of 2, any single shard death leaves every key warm on a
+    /// survivor. Clamped to the fleet size.
+    pub replication: usize,
+    /// Consecutive transport failures that trip an endpoint's circuit
+    /// breaker open.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before one half-open probe
+    /// is allowed through (jittered ±50% from the seeded stream so a
+    /// fleet of clients does not re-dial a recovering shard in lockstep).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -43,6 +55,9 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             retry_seed: 0,
+            replication: 2,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -101,6 +116,24 @@ impl HttpClient {
         path: &str,
         body: &str,
     ) -> std::io::Result<(u16, String)> {
+        let (status, bytes) = self.request_bytes(method, path, body)?;
+        let body = String::from_utf8(bytes).map_err(|_| invalid("non-UTF-8 response body"))?;
+        Ok((status, body))
+    }
+
+    /// [`request`](Self::request) returning the raw body bytes — for
+    /// binary payloads like `GET /v1/segments/<key>` (a sealed segment
+    /// container is not UTF-8).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn request_bytes(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
         let idempotent = method == "GET" || (method == "POST" && path == "/v1/replay");
         let tries = if idempotent { self.config.retries + 1 } else { 1 };
         let mut delay = self.config.backoff_base;
@@ -167,7 +200,7 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: &str,
-    ) -> std::io::Result<(u16, Option<u32>, String)> {
+    ) -> std::io::Result<(u16, Option<u32>, Vec<u8>)> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: ctserve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             body.len(),
@@ -184,7 +217,7 @@ impl HttpClient {
         delay.mul_f64(0.5 + self.rng.next_f64())
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, Option<u32>, String)> {
+    fn read_response(&mut self) -> std::io::Result<(u16, Option<u32>, Vec<u8>)> {
         let mut chunk = [0u8; 4096];
         loop {
             if let Some((consumed, status, retry_after, body)) = frame_response(&self.buf)? {
@@ -219,15 +252,45 @@ pub struct ShardRing {
     endpoints: Vec<String>,
 }
 
+/// Constructing a [`ShardRing`] over zero endpoints: a fleet of zero
+/// servers routes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyRingError;
+
+impl std::fmt::Display for EmptyRingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("shard ring needs at least one endpoint")
+    }
+}
+
+impl std::error::Error for EmptyRingError {}
+
+impl From<EmptyRingError> for std::io::Error {
+    fn from(e: EmptyRingError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+    }
+}
+
 impl ShardRing {
     /// A ring over `endpoints` (e.g. `["127.0.0.1:8081", "127.0.0.1:8082"]`).
+    /// Repeated endpoints are deduplicated (keeping first-occurrence
+    /// order) — a duplicate would score the same shard twice and skew
+    /// placement without adding capacity.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If `endpoints` is empty — a fleet of zero servers routes nothing.
-    pub fn new(endpoints: Vec<String>) -> ShardRing {
-        assert!(!endpoints.is_empty(), "ShardRing needs at least one endpoint");
-        ShardRing { endpoints }
+    /// [`EmptyRingError`] if `endpoints` is empty.
+    pub fn new(endpoints: Vec<String>) -> Result<ShardRing, EmptyRingError> {
+        let mut deduped: Vec<String> = Vec::with_capacity(endpoints.len());
+        for e in endpoints {
+            if !deduped.contains(&e) {
+                deduped.push(e);
+            }
+        }
+        if deduped.is_empty() {
+            return Err(EmptyRingError);
+        }
+        Ok(ShardRing { endpoints: deduped })
     }
 
     /// The fleet, in construction order (indices below index into this).
@@ -259,28 +322,91 @@ impl ShardRing {
     }
 }
 
+/// Which phase of its trip cycle an endpoint's circuit breaker is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Tripped: requests skip this endpoint until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe is in flight; its outcome
+    /// closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// Per-endpoint health tracking: consecutive-failure trip, cooldown,
+/// seeded half-open probes.
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u64,
+    open_until: Instant,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            open_until: Instant::now(),
+        }
+    }
+}
+
+/// A read-only snapshot of one endpoint's breaker, for fleet-aggregated
+/// stats displays.
+#[derive(Debug, Clone)]
+pub struct BreakerView {
+    /// The endpoint this breaker guards.
+    pub endpoint: String,
+    /// `"closed"`, `"open"`, or `"half-open"`.
+    pub state: &'static str,
+    /// Transport failures since the last success.
+    pub consecutive_failures: u32,
+    /// Times this breaker has tripped open.
+    pub trips: u64,
+}
+
 /// A connection per fleet member plus the ring that routes between them.
 ///
-/// Keyed requests go to the key's ring owner; if that shard is down
-/// (connect or I/O failure after the underlying client's retries) the
-/// request fails over along the key's preference order. A failed-over
-/// `simulate` re-records on the fallback shard — the store is
-/// content-addressed, so the answer is bit-identical wherever it is
-/// computed; the fleet trades one redundant recording for availability.
+/// **Writes** ([`request_replicated`](Self::request_replicated)) land on
+/// the top-R endpoints of the key's preference order, so any single
+/// shard death leaves the key warm on a survivor. **Reads**
+/// ([`request_keyed`](Self::request_keyed)) go to the key's ring owner
+/// and fail over down the same order, so they find that survivor without
+/// re-recording. Every endpoint carries a circuit breaker
+/// (consecutive-failure trip, cooldown, seeded half-open probes): a dead
+/// shard stops eating a connect attempt per request once its breaker
+/// trips, and recovers service within one cooldown of coming back.
 pub struct FleetClient {
     ring: ShardRing,
     config: ClientConfig,
     conns: Vec<Option<HttpClient>>,
+    breakers: Vec<Breaker>,
+    rng: SplitMix64,
 }
 
 impl FleetClient {
     /// A fleet client over `endpoints`. Connections open lazily, per
     /// shard, on first use — a dead shard costs nothing until a key
     /// routes to it.
-    pub fn new(endpoints: Vec<String>, config: ClientConfig) -> FleetClient {
-        let ring = ShardRing::new(endpoints);
-        let conns = (0..ring.endpoints().len()).map(|_| None).collect();
-        FleetClient { ring, config, conns }
+    ///
+    /// # Errors
+    ///
+    /// [`EmptyRingError`] for an empty endpoint list.
+    pub fn new(endpoints: Vec<String>, config: ClientConfig) -> Result<FleetClient, EmptyRingError> {
+        let ring = ShardRing::new(endpoints)?;
+        let n = ring.endpoints().len();
+        let rng = SplitMix64::from_seed(config.retry_seed ^ 0x666c_6565_7462_726b); // "fleetbrk"
+        Ok(FleetClient {
+            ring,
+            config,
+            conns: (0..n).map(|_| None).collect(),
+            breakers: (0..n).map(|_| Breaker::new()).collect(),
+            rng,
+        })
     }
 
     /// The routing ring.
@@ -288,13 +414,82 @@ impl FleetClient {
         &self.ring
     }
 
+    /// The effective replication factor: the configured `replication`
+    /// clamped to `[1, fleet size]`.
+    pub fn replication(&self) -> usize {
+        self.config.replication.clamp(1, self.ring.endpoints().len())
+    }
+
+    /// A snapshot of every endpoint's circuit breaker, in ring order.
+    pub fn breakers(&self) -> Vec<BreakerView> {
+        self.ring
+            .endpoints()
+            .iter()
+            .zip(&self.breakers)
+            .map(|(endpoint, b)| BreakerView {
+                endpoint: endpoint.clone(),
+                state: match b.state {
+                    BreakerState::Closed => "closed",
+                    BreakerState::Open => "open",
+                    BreakerState::HalfOpen => "half-open",
+                },
+                consecutive_failures: b.consecutive_failures,
+                trips: b.trips,
+            })
+            .collect()
+    }
+
+    /// Whether a request may dial endpoint `ix` right now. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits this one call as its probe.
+    fn breaker_admits(&mut self, ix: usize) -> bool {
+        let b = &mut self.breakers[ix];
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if Instant::now() >= b.open_until {
+                    b.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn breaker_success(&mut self, ix: usize) {
+        let b = &mut self.breakers[ix];
+        b.state = BreakerState::Closed;
+        b.consecutive_failures = 0;
+    }
+
+    fn breaker_failure(&mut self, ix: usize) {
+        let jitter = 0.5 + self.rng.next_f64();
+        let b = &mut self.breakers[ix];
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        // A failed half-open probe re-opens immediately; a closed breaker
+        // trips at the threshold. The cooldown is jittered from the
+        // seeded stream so probe schedules are reproducible yet a client
+        // fleet does not re-dial a recovering shard in lockstep.
+        if b.state == BreakerState::HalfOpen
+            || b.consecutive_failures >= self.config.breaker_threshold
+        {
+            b.state = BreakerState::Open;
+            b.open_until = Instant::now() + self.config.breaker_cooldown.mul_f64(jitter);
+            b.trips += 1;
+        }
+    }
+
     /// Sends `method path` to the shard owning `key`, failing over along
     /// the preference order; returns `(status, body, shard index)` from
-    /// the first shard that answers.
+    /// the first shard that answers. Endpoints with open breakers are
+    /// skipped without a dial; if *every* endpoint is skipped, the
+    /// preference order is force-probed anyway — an all-open fleet must
+    /// still be able to discover a recovery.
     ///
     /// # Errors
     ///
-    /// The *last* shard's error, once every shard in the preference order
+    /// The last shard's error, once every shard in the preference order
     /// has failed.
     pub fn request_keyed(
         &mut self,
@@ -303,14 +498,33 @@ impl FleetClient {
         path: &str,
         body: &str,
     ) -> std::io::Result<(u16, String, usize)> {
+        let pref = self.ring.preference(key);
         let mut last_err = None;
-        for ix in self.ring.preference(key) {
+        let mut skipped = Vec::new();
+        for &ix in &pref {
+            if !self.breaker_admits(ix) {
+                skipped.push(ix);
+                continue;
+            }
             match self.request_on(ix, method, path, body) {
-                Ok((status, body)) => return Ok((status, body, ix)),
+                Ok((status, body)) => {
+                    self.breaker_success(ix);
+                    return Ok((status, body, ix));
+                }
                 Err(e) => {
-                    // This shard is unreachable; drop its connection so a
-                    // later request re-dials instead of reusing a corpse.
-                    self.conns[ix] = None;
+                    self.breaker_failure(ix);
+                    last_err = Some(e);
+                }
+            }
+        }
+        for ix in skipped {
+            match self.request_on(ix, method, path, body) {
+                Ok((status, body)) => {
+                    self.breaker_success(ix);
+                    return Ok((status, body, ix));
+                }
+                Err(e) => {
+                    self.breaker_failure(ix);
                     last_err = Some(e);
                 }
             }
@@ -318,8 +532,54 @@ impl FleetClient {
         Err(last_err.expect("ring is never empty"))
     }
 
+    /// Sends a recording write to **every** endpoint in the key's top-R
+    /// preference (R = [`replication`](Self::replication)). Recording is
+    /// deterministic, so each replica computes a bit-identical segment
+    /// independently — no primary, no copy protocol, and the write
+    /// stays correct under any interleaving. Replica failures are
+    /// tolerated as long as at least one endpoint accepts; breakers are
+    /// updated but not consulted (skipping a replica write would
+    /// silently weaken the replication invariant the caller asked for).
+    ///
+    /// Returns `(status, body, shard index)` from the best-preference
+    /// endpoint that answered.
+    ///
+    /// # Errors
+    ///
+    /// The last error, if every replica endpoint failed.
+    pub fn request_replicated(
+        &mut self,
+        key: u64,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String, usize)> {
+        let pref = self.ring.preference(key);
+        let r = self.replication();
+        let mut first: Option<(u16, String, usize)> = None;
+        let mut last_err = None;
+        for &ix in &pref[..r] {
+            match self.request_on(ix, method, path, body) {
+                Ok((status, body)) => {
+                    self.breaker_success(ix);
+                    if first.is_none() {
+                        first = Some((status, body, ix));
+                    }
+                }
+                Err(e) => {
+                    self.breaker_failure(ix);
+                    last_err = Some(e);
+                }
+            }
+        }
+        match first {
+            Some(result) => Ok(result),
+            None => Err(last_err.expect("replication factor is at least 1")),
+        }
+    }
+
     /// Sends `method path` to one specific shard (stats aggregation walks
-    /// the whole fleet with this).
+    /// the whole fleet with this). Does not consult or update breakers.
     ///
     /// # Errors
     ///
@@ -340,6 +600,8 @@ impl FleetClient {
         let client = self.conns[ix].as_mut().expect("just connected");
         let result = client.request(method, path, body);
         if result.is_err() {
+            // This shard is unreachable; drop its connection so a later
+            // request re-dials instead of reusing a corpse.
             self.conns[ix] = None;
         }
         result
@@ -355,9 +617,10 @@ fn open_stream(addr: &str, config: &ClientConfig) -> std::io::Result<TcpStream> 
 
 /// Frames one response at the front of `buf` — `Content-Length` or
 /// `Transfer-Encoding: chunked` — and returns
-/// `(bytes consumed, status, Retry-After secs, body)` when complete.
-/// Chunked bodies are de-chunked: the caller always sees the plain body.
-fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>, String)>> {
+/// `(bytes consumed, status, Retry-After secs, body bytes)` when
+/// complete. Chunked bodies are de-chunked: the caller always sees the
+/// plain body. Bodies are raw bytes; text callers convert at the edge.
+fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>, Vec<u8>)>> {
     let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
     };
@@ -392,14 +655,12 @@ fn frame_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16, Option<u32>
         let Some((consumed, body)) = dechunk(&buf[body_start..])? else {
             return Ok(None);
         };
-        let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 response body"))?;
         return Ok(Some((body_start + consumed, status, retry_after, body)));
     }
     if buf.len() < body_start + content_length {
         return Ok(None);
     }
-    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
-        .map_err(|_| invalid("non-UTF-8 response body"))?;
+    let body = buf[body_start..body_start + content_length].to_vec();
     Ok(Some((body_start + content_length, status, retry_after, body)))
 }
 
@@ -461,7 +722,7 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}tail";
         let (consumed, status, retry_after, body) = frame_response(raw).unwrap().unwrap();
         assert_eq!(status, 200);
-        assert_eq!(body, "{}");
+        assert_eq!(body, b"{}");
         assert!(retry_after.is_none());
         assert_eq!(&raw[consumed..], b"tail");
     }
@@ -477,7 +738,7 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n3\r\n{\"a\r\n4\r\n\":1}\r\n0\r\n\r\ntail";
         let (consumed, status, _, body) = frame_response(raw).unwrap().unwrap();
         assert_eq!(status, 200);
-        assert_eq!(body, "{\"a\":1}");
+        assert_eq!(body, b"{\"a\":1}");
         assert_eq!(&raw[consumed..], b"tail");
     }
 
@@ -495,7 +756,7 @@ mod tests {
     fn chunk_extensions_and_trailers_are_tolerated() {
         let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2;ext=1\r\nok\r\n0\r\nX-Trailer: v\r\n\r\n";
         let (consumed, _, _, body) = frame_response(raw).unwrap().unwrap();
-        assert_eq!(body, "ok");
+        assert_eq!(body, b"ok");
         assert_eq!(consumed, raw.len());
     }
 
@@ -524,8 +785,8 @@ mod tests {
     #[test]
     fn ring_placement_is_deterministic_and_roughly_balanced() {
         let endpoints: Vec<String> = (0..4).map(|i| format!("127.0.0.1:808{i}")).collect();
-        let a = ShardRing::new(endpoints.clone());
-        let b = ShardRing::new(endpoints);
+        let a = ShardRing::new(endpoints.clone()).unwrap();
+        let b = ShardRing::new(endpoints).unwrap();
         let mut counts = [0usize; 4];
         let mut rng = SplitMix64::from_seed(7);
         for _ in 0..4000 {
@@ -549,8 +810,8 @@ mod tests {
     #[test]
     fn removing_an_endpoint_only_moves_its_own_keys() {
         let four: Vec<String> = (0..4).map(|i| format!("10.0.0.{i}:80")).collect();
-        let full = ShardRing::new(four.clone());
-        let reduced = ShardRing::new(four[..3].to_vec());
+        let full = ShardRing::new(four.clone()).unwrap();
+        let reduced = ShardRing::new(four[..3].to_vec()).unwrap();
         let mut rng = SplitMix64::from_seed(11);
         for _ in 0..2000 {
             let key = rng.next_u64();
@@ -563,6 +824,98 @@ mod tests {
                 assert!(reduced.owner(key) < 3);
             }
         }
+    }
+
+    #[test]
+    fn an_empty_endpoint_list_is_rejected_with_a_clear_error() {
+        let err = ShardRing::new(Vec::new()).unwrap_err();
+        assert_eq!(err.to_string(), "shard ring needs at least one endpoint");
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(FleetClient::new(Vec::new(), ClientConfig::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_endpoints_collapse_to_first_occurrence_order() {
+        let noisy = vec![
+            "10.0.0.1:80".to_string(),
+            "10.0.0.2:80".to_string(),
+            "10.0.0.1:80".to_string(), // repeat of index 0
+            "10.0.0.3:80".to_string(),
+            "10.0.0.2:80".to_string(), // repeat of index 1
+        ];
+        let deduped = ShardRing::new(noisy).unwrap();
+        assert_eq!(
+            deduped.endpoints(),
+            &["10.0.0.1:80".to_string(), "10.0.0.2:80".to_string(), "10.0.0.3:80".to_string()]
+        );
+        // Placement must match a ring built from the clean list: a
+        // duplicated endpoint must not score (and win) twice.
+        let clean = ShardRing::new(vec![
+            "10.0.0.1:80".to_string(),
+            "10.0.0.2:80".to_string(),
+            "10.0.0.3:80".to_string(),
+        ])
+        .unwrap();
+        let mut rng = SplitMix64::from_seed(23);
+        for _ in 0..1000 {
+            let key = rng.next_u64();
+            assert_eq!(deduped.owner(key), clean.owner(key));
+            assert_eq!(deduped.preference(key), clean.preference(key));
+        }
+    }
+
+    #[test]
+    fn preference_is_always_a_permutation_with_the_owner_first() {
+        use cachetime_testkit::{check, prop_assert, prop_assert_eq};
+        check(
+            "ring_preference_permutation",
+            |rng| {
+                let n = 1 + (rng.next_u64() % 8) as usize;
+                let endpoints: Vec<String> = (0..n)
+                    .map(|_| {
+                        format!(
+                            "10.{}.{}.{}:{}",
+                            rng.next_u64() % 256,
+                            rng.next_u64() % 256,
+                            rng.next_u64() % 256,
+                            1024 + rng.next_u64() % 64000
+                        )
+                    })
+                    .collect();
+                let keys: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+                (endpoints, keys)
+            },
+            |(endpoints, keys)| {
+                // Shrink towards fewer endpoints and fewer keys.
+                let mut smaller = Vec::new();
+                if endpoints.len() > 1 {
+                    smaller.push((endpoints[..endpoints.len() - 1].to_vec(), keys.clone()));
+                }
+                if keys.len() > 1 {
+                    smaller.push((endpoints.clone(), keys[..1].to_vec()));
+                }
+                smaller
+            },
+            |(endpoints, keys)| {
+                let ring = ShardRing::new(endpoints.clone())
+                    .map_err(|e| e.to_string())?;
+                let n = ring.endpoints().len();
+                for &key in keys {
+                    let pref = ring.preference(key);
+                    let mut sorted = pref.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(
+                        sorted,
+                        (0..n).collect::<Vec<_>>(),
+                        "preference must be a permutation of 0..{n}"
+                    );
+                    prop_assert_eq!(ring.owner(key), pref[0], "owner must lead the preference");
+                    prop_assert!(pref[0] < n, "owner index in range");
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -19,11 +19,13 @@
 //! | `serve.write` | in the worker, before the response bytes are written |
 //! | `disk.write` | in the segment store, before a spill touches the disk |
 //! | `disk.read` | in the segment store, after a read-through's bytes arrive |
+//! | `peer.fetch` | in a rebalance pass, after a peer's segment bytes arrive and before adoption |
 //!
-//! The disk points use [`decide_disk`](FaultPlan::decide_disk) /
-//! [`DiskFaultAction`] instead of [`FaultAction`]: their failure mode is
-//! torn, shortened, or bit-flipped bytes (a crash image recovery must
-//! quarantine), not a panic or a delay.
+//! The disk points (and `peer.fetch`, which reuses their machinery) use
+//! [`decide_disk`](FaultPlan::decide_disk) / [`DiskFaultAction`] instead
+//! of [`FaultAction`]: their failure mode is torn, shortened, or
+//! bit-flipped bytes (a crash image recovery — or a segment adoption —
+//! must quarantine), not a panic or a delay.
 //!
 //! A [`FaultAction::Panic`] at `serve.handle` or `serve.record` exercises
 //! the panic-isolation path: the worker's `catch_unwind` turns it into a

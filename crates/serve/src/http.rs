@@ -247,6 +247,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
             cachetime_disk::DiskConfig {
                 root: dir.clone(),
                 budget_bytes: config.disk_budget_bytes,
+                quarantine_cap_bytes: cachetime_disk::DEFAULT_QUARANTINE_CAP_BYTES,
             },
             cachetime_disk::DiskMetrics::in_registry(app.registry()),
         )?;
@@ -858,13 +859,19 @@ fn encode_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
         out.extend_from_slice(b"0\r\n\r\n");
         return out;
     }
+    // Raw binary bodies (segment transfers) and text bodies share the
+    // Content-Length framing; only the byte source differs.
+    let payload: &[u8] = match &resp.raw {
+        Some(bytes) => bytes,
+        None => resp.body.as_bytes(),
+    };
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
-        resp.status, reason, resp.content_type, resp.body.len(), retry_after, connection,
+        resp.status, reason, resp.content_type, payload.len(), retry_after, connection,
     );
-    let mut out = Vec::with_capacity(head.len() + resp.body.len());
+    let mut out = Vec::with_capacity(head.len() + payload.len());
     out.extend_from_slice(head.as_bytes());
-    out.extend_from_slice(resp.body.as_bytes());
+    out.extend_from_slice(payload);
     out
 }
 

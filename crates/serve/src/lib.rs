@@ -60,12 +60,14 @@ pub mod store;
 pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
 
 use cachetime::keyed;
-use cachetime_disk::{DiskFault, DiskOp, ScanReport, SegmentStore};
+use cachetime_disk::{AdoptOutcome, DiskFault, DiskOp, ScanReport, SegmentStore};
 use cachetime_obs::Registry;
 use cachetime_types::{json_object, Json};
+use client::{ClientConfig, HttpClient, ShardRing};
 use fault::{DiskFaultAction, FaultPlan};
-use stats::ServerStats;
+use stats::{FleetMetrics, ServerStats};
 use store::{Fetch, StoreMetrics, TraceStore, TryGet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,6 +80,8 @@ pub const RETRY_AFTER_SECS: u32 = 1;
 pub const CONTENT_TYPE_JSON: &str = "application/json";
 /// The `Content-Type` of the Prometheus text exposition.
 pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+/// The `Content-Type` of a raw segment transfer (`GET /v1/segments/<key>`).
+pub const CONTENT_TYPE_OCTET: &str = "application/octet-stream";
 
 /// One response from the application layer, transport-agnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +97,10 @@ pub struct Response {
     /// concatenating one monolithic JSON string. Concatenated, the chunks
     /// are exactly the JSON that `body` would have held.
     pub chunks: Option<Vec<String>>,
+    /// A raw binary body (`Some` only on `GET /v1/segments/<key>`, whose
+    /// sealed segment container is not UTF-8). Takes precedence over
+    /// `body`/`chunks` at the transport.
+    pub raw: Option<Vec<u8>>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Whether the server should stop after sending this response.
@@ -107,7 +115,21 @@ impl Response {
             status: 200,
             body: v.to_string(),
             chunks: None,
+            raw: None,
             content_type: CONTENT_TYPE_JSON,
+            shutdown: false,
+            retry_after: None,
+        }
+    }
+
+    /// A `200` with a raw binary body (a sealed segment container).
+    fn ok_bytes(bytes: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            body: String::new(),
+            chunks: None,
+            raw: Some(bytes),
+            content_type: CONTENT_TYPE_OCTET,
             shutdown: false,
             retry_after: None,
         }
@@ -121,6 +143,7 @@ impl Response {
             status: 200,
             body: String::new(),
             chunks: Some(chunks.into_iter().filter(|c| !c.is_empty()).collect()),
+            raw: None,
             content_type: CONTENT_TYPE_JSON,
             shutdown: false,
             retry_after: None,
@@ -133,6 +156,7 @@ impl Response {
             status: 200,
             body,
             chunks: None,
+            raw: None,
             content_type: CONTENT_TYPE_PROMETHEUS,
             shutdown: false,
             retry_after: None,
@@ -145,6 +169,7 @@ impl Response {
             status,
             body: json_object([("error", Json::Str(msg.into()))]).to_string(),
             chunks: None,
+            raw: None,
             content_type: CONTENT_TYPE_JSON,
             shutdown: false,
             retry_after: None,
@@ -159,6 +184,15 @@ impl Response {
         match &self.chunks {
             Some(chunks) => chunks.concat(),
             None => self.body.clone(),
+        }
+    }
+
+    /// The complete body as bytes, whichever representation holds it —
+    /// the raw binary payload when present, the text body otherwise.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        match &self.raw {
+            Some(bytes) => bytes.clone(),
+            None => self.body_text().into_bytes(),
         }
     }
 
@@ -197,6 +231,45 @@ impl Default for Limits {
 /// Eight shards is plenty for the handler pool sizes `ctserve` runs.
 const STORE_SHARDS: usize = 8;
 
+/// Fleet membership for a server that participates in peer segment
+/// handoff: the full ring of endpoints (self included), which of them is
+/// this server, and how widely clients replicate.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Every endpoint of the ring, this server's included. Order does not
+    /// matter (rendezvous hashing scores each endpoint independently).
+    pub peers: Vec<String>,
+    /// This server's own endpoint string; must appear in `peers` exactly
+    /// as written there (the ring identifies members by string).
+    pub self_addr: String,
+    /// How many endpoints of a key's preference order hold its segment —
+    /// the fleet-wide replication factor rebalancing preserves.
+    pub replication: usize,
+    /// Tuning for the peer-fetch HTTP client.
+    pub client: ClientConfig,
+}
+
+/// Resolved fleet membership held by a running [`App`].
+struct FleetState {
+    ring: ShardRing,
+    self_ix: usize,
+    replication: usize,
+    client: ClientConfig,
+}
+
+/// What one rebalance pass did (`POST /v1/rebalance` answers this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Segments pulled from peers and adopted.
+    pub pulled: u64,
+    /// Local segments dropped because the ring moved them elsewhere.
+    pub dropped: u64,
+    /// Transfers rejected by the segment checksum (quarantined).
+    pub rejected: u64,
+    /// Transport-level fetch failures (peer down, torn read, non-200).
+    pub fetch_failures: u64,
+}
+
 /// The application state: the trace store plus observability counters.
 /// Shared by every worker; all methods are `&self` and thread-safe.
 pub struct App {
@@ -204,6 +277,8 @@ pub struct App {
     pub store: TraceStore,
     /// Request counters and latency histograms.
     pub stats: ServerStats,
+    /// Peer-handoff counters (zero unless the server is in a fleet).
+    pub fleet_stats: FleetMetrics,
     registry: Arc<Registry>,
     limits: Limits,
     faults: Arc<FaultPlan>,
@@ -211,6 +286,8 @@ pub struct App {
     /// fresh recordings spill here (write-behind, on the handler pool) and
     /// memory misses read through before re-recording.
     disk: Option<Arc<SegmentStore>>,
+    /// Fleet membership, when the server runs with `--peers`.
+    fleet: Option<FleetState>,
 }
 
 impl App {
@@ -236,10 +313,12 @@ impl App {
                 StoreMetrics::in_registry(&registry),
             ),
             stats: ServerStats::in_registry(&registry),
+            fleet_stats: FleetMetrics::in_registry(&registry),
             registry,
             limits: Limits::default(),
             faults: Arc::new(FaultPlan::inert()),
             disk: None,
+            fleet: None,
         }
     }
 
@@ -295,6 +374,39 @@ impl App {
     /// The attached durable store, if any.
     pub fn disk(&self) -> Option<&Arc<SegmentStore>> {
         self.disk.as_ref()
+    }
+
+    /// Joins a fleet (builder-style): the server becomes one member of a
+    /// rendezvous ring and will serve/pull/drop segments along it. Call
+    /// after [`with_disk`](Self::with_disk) — handoff is meaningless
+    /// without a durable store to move segments in and out of.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the peer list is empty, `self_addr` is not one
+    /// of the peers, or no durable store is attached.
+    pub fn with_fleet(mut self, config: FleetConfig) -> std::io::Result<Self> {
+        if self.disk.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a fleet member needs a durable store (--data-dir)",
+            ));
+        }
+        let ring = ShardRing::new(config.peers)?;
+        let Some(self_ix) = ring.endpoints().iter().position(|e| *e == config.self_addr) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("self address {:?} is not one of the peers", config.self_addr),
+            ));
+        };
+        let replication = config.replication.clamp(1, ring.endpoints().len());
+        self.fleet = Some(FleetState {
+            ring,
+            self_ix,
+            replication,
+            client: config.client,
+        });
+        Ok(self)
     }
 
     /// Runs the durable store's startup scan, streaming every intact
@@ -391,7 +503,7 @@ impl App {
                 let degraded = self.is_degraded();
                 self.stats.degraded.set(degraded as i64);
                 let disk = self.disk.as_ref().map(|d| d.metrics());
-                Response::ok(self.stats.to_json(&self.store, disk, degraded))
+                Response::ok(self.stats.to_json(&self.store, disk, &self.fleet_stats, degraded))
             }
             ("GET", "/v1/metrics") => {
                 self.stats.degraded.set(self.is_degraded() as i64);
@@ -404,6 +516,12 @@ impl App {
             }
             ("POST", "/v1/simulate") => return self.try_simulate(&req.body),
             ("POST", "/v1/replay") => return self.try_replay(&req.body),
+            // The segment key list is an index read — no disk I/O.
+            ("GET", "/v1/segments") => self.segment_keys(),
+            // A segment body read and a rebalance pass both touch the
+            // disk (the latter the network too): handler-pool work.
+            ("GET", p) if p.starts_with("/v1/segments/") => return None,
+            ("POST", "/v1/rebalance") => return None,
             ("POST", "/v1/shutdown") => Response {
                 shutdown: true,
                 ..Response::ok(json_object([("status", "shutting down")]))
@@ -422,9 +540,211 @@ impl App {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
             ("POST", "/v1/replay") => self.replay(&req.body, deadline),
+            ("GET", p) if p.starts_with("/v1/segments/") => {
+                self.segment(&p["/v1/segments/".len()..])
+            }
+            ("POST", "/v1/rebalance") => match self.rebalance() {
+                Ok(report) => Response::ok(json_object([
+                    ("pulled", Json::UInt(report.pulled)),
+                    ("dropped", Json::UInt(report.dropped)),
+                    ("rejected", Json::UInt(report.rejected)),
+                    ("fetch_failures", Json::UInt(report.fetch_failures)),
+                ])),
+                Err(e) => Response::error(400, &e.to_string()),
+            },
             // try_handle answers every other route inline.
             _ => Response::error(404, "no such endpoint"),
         }
+    }
+
+    /// `GET /v1/segments`: the durable store's key index as hex strings.
+    /// An empty list for a memory-only server — peers treat it as
+    /// "nothing to hand off", not an error.
+    fn segment_keys(&self) -> Response {
+        let keys = match &self.disk {
+            Some(disk) => {
+                let mut keys = disk.keys();
+                keys.sort_unstable();
+                keys.iter().map(|&k| Json::Str(api::key_hex(k))).collect()
+            }
+            None => Vec::new(),
+        };
+        Response::ok(json_object([("keys", Json::Array(keys))]))
+    }
+
+    /// `GET /v1/segments/<key>`: the raw sealed segment container,
+    /// checksum-verified before it leaves this server (a locally corrupt
+    /// segment 404s and is quarantined, never shipped).
+    fn segment(&self, key_hex: &str) -> Response {
+        let key = match api::parse_key_hex(key_hex) {
+            Ok(k) => k,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let Some(disk) = &self.disk else {
+            return Response::error(404, "this server has no durable store");
+        };
+        match disk.read_sealed(key) {
+            Some(bytes) => Response::ok_bytes(bytes),
+            None => Response::error(404, "no such segment"),
+        }
+    }
+
+    /// One rebalance pass along the current ring: pull every segment the
+    /// ring places on this server (within the replication factor) that is
+    /// missing locally, and drop every local segment the ring has moved
+    /// elsewhere — but only after a current owner confirmed holding it, so
+    /// a partitioned or misconfigured peer list can never orphan a key's
+    /// last copy.
+    ///
+    /// Runs at boot (`ctserve --peers`) and on `POST /v1/rebalance`.
+    /// Unreachable peers are counted as fetch failures and skipped, never
+    /// fatal: a pass against a half-up fleet does what it can.
+    ///
+    /// Every adopted transfer is checksum- and decode-verified
+    /// ([`SegmentStore::adopt`]); a corrupt transfer is quarantined and
+    /// counted, and the next holder in the key's preference order is
+    /// tried.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the server is not in a fleet. Per-peer and
+    /// per-segment failures are absorbed into the report.
+    pub fn rebalance(&self) -> std::io::Result<RebalanceReport> {
+        let Some(fleet) = &self.fleet else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "this server is not part of a fleet (start with --peers)",
+            ));
+        };
+        let disk = self.disk.as_ref().expect("with_fleet requires a durable store");
+        let r = fleet.replication;
+        let mut report = RebalanceReport::default();
+        let mut conns: HashMap<usize, HttpClient> = HashMap::new();
+
+        // Phase 1: every reachable peer's key index.
+        let mut peer_keys: HashMap<usize, HashSet<u64>> = HashMap::new();
+        for (ix, endpoint) in fleet.ring.endpoints().iter().enumerate() {
+            if ix == fleet.self_ix {
+                continue;
+            }
+            match fetch_peer_keys(&mut conns, ix, endpoint, &fleet.client) {
+                Ok(keys) => {
+                    peer_keys.insert(ix, keys);
+                }
+                Err(_) => {
+                    report.fetch_failures += 1;
+                    self.fleet_stats.fetch_failures.inc();
+                }
+            }
+        }
+
+        // Phase 2: pull what the ring places here. Keys are visited in
+        // sorted order so two rebalances of the same fleet state transfer
+        // in the same order (determinism the chaos tests lean on).
+        let mut wanted: Vec<u64> = peer_keys
+            .values()
+            .flatten()
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        wanted.sort_unstable();
+        for key in wanted {
+            let pref = fleet.ring.preference(key);
+            if !pref[..r].contains(&fleet.self_ix) || disk.contains(key) {
+                continue;
+            }
+            // Holders in the key's preference order: the most preferred
+            // copy is the one every other client reads, so it is the one
+            // to clone.
+            for &ix in &pref {
+                if ix == fleet.self_ix
+                    || !peer_keys.get(&ix).is_some_and(|ks| ks.contains(&key))
+                {
+                    continue;
+                }
+                let endpoint = &fleet.ring.endpoints()[ix];
+                let started = Instant::now();
+                let sealed = match fetch_segment(&mut conns, ix, endpoint, &fleet.client, key) {
+                    Ok(bytes) => bytes,
+                    Err(_) => {
+                        report.fetch_failures += 1;
+                        self.fleet_stats.fetch_failures.inc();
+                        continue;
+                    }
+                };
+                // The peer.fetch fault point: chaos tests tear, bit-flip,
+                // or fail the transfer between the wire and adoption.
+                let sealed = match self.mangle_transfer(&sealed) {
+                    Some(bytes) => bytes,
+                    None => {
+                        report.fetch_failures += 1;
+                        self.fleet_stats.fetch_failures.inc();
+                        continue;
+                    }
+                };
+                match disk.adopt(key, &sealed) {
+                    Ok(AdoptOutcome::Installed(trace)) => {
+                        self.store.seed(key, Arc::new(trace));
+                        report.pulled += 1;
+                        self.fleet_stats.pulled.inc();
+                        self.fleet_stats.fetch_us.record_with_exemplar(
+                            started.elapsed().as_micros() as u64,
+                            "key",
+                            api::key_hex(key),
+                        );
+                        break;
+                    }
+                    Ok(AdoptOutcome::AlreadyPresent) => break,
+                    Ok(AdoptOutcome::Rejected) => {
+                        // Quarantined by the store; try the next holder.
+                        report.rejected += 1;
+                        self.fleet_stats.rejected.inc();
+                    }
+                    Err(_) => {
+                        report.fetch_failures += 1;
+                        self.fleet_stats.fetch_failures.inc();
+                    }
+                }
+            }
+        }
+
+        // Phase 3: drop what the ring moved elsewhere — only keys a
+        // current in-preference owner is confirmed (this pass) to hold.
+        let mut local = disk.keys();
+        local.sort_unstable();
+        for key in local {
+            let pref = fleet.ring.preference(key);
+            if pref[..r].contains(&fleet.self_ix) {
+                continue;
+            }
+            let covered = pref[..r]
+                .iter()
+                .any(|ix| peer_keys.get(ix).is_some_and(|ks| ks.contains(&key)));
+            if covered && disk.remove(key) {
+                report.dropped += 1;
+                self.fleet_stats.dropped.inc();
+            }
+        }
+
+        self.fleet_stats.rebalances.inc();
+        Ok(report)
+    }
+
+    /// Applies the `peer.fetch` fault rule (if armed) to fetched segment
+    /// bytes; `None` models a transfer that failed outright.
+    fn mangle_transfer(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let fault = match self.faults.decide_disk("peer.fetch") {
+            DiskFaultAction::Proceed => DiskFault::None,
+            DiskFaultAction::Torn { frac } => DiskFault::Torn {
+                keep: (frac * bytes.len() as f64) as usize,
+            },
+            DiskFaultAction::BitFlip { offset } => DiskFault::BitFlip {
+                offset: offset as usize,
+            },
+            DiskFaultAction::Error => DiskFault::Error,
+        };
+        cachetime_disk::mangle(bytes, fault)
     }
 
     /// The warm-path simulate: answered inline iff the pairing's trace is
@@ -675,6 +995,67 @@ impl App {
     }
 }
 
+/// Lazily opens (and caches for the rest of the pass) the rebalance
+/// connection to peer `ix`.
+fn peer_conn<'a>(
+    conns: &'a mut HashMap<usize, HttpClient>,
+    ix: usize,
+    endpoint: &str,
+    config: &ClientConfig,
+) -> std::io::Result<&'a mut HttpClient> {
+    use std::collections::hash_map::Entry;
+    match conns.entry(ix) {
+        Entry::Occupied(e) => Ok(e.into_mut()),
+        Entry::Vacant(v) => Ok(v.insert(HttpClient::connect_with(endpoint, config.clone())?)),
+    }
+}
+
+/// `GET /v1/segments` against one peer, parsed into a key set.
+fn fetch_peer_keys(
+    conns: &mut HashMap<usize, HttpClient>,
+    ix: usize,
+    endpoint: &str,
+    config: &ClientConfig,
+) -> std::io::Result<HashSet<u64>> {
+    let conn = peer_conn(conns, ix, endpoint, config)?;
+    let (status, body) = conn.request("GET", "/v1/segments", "")?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!(
+            "peer {endpoint} answered {status} to a key-list request"
+        )));
+    }
+    let v = Json::parse(&body).map_err(std::io::Error::other)?;
+    let mut keys = HashSet::new();
+    if let Some(items) = v.get("keys").and_then(Json::as_array) {
+        for item in items {
+            if let Some(key) = item.as_str().and_then(|s| api::parse_key_hex(s).ok()) {
+                keys.insert(key);
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// `GET /v1/segments/<key>` against one peer: the raw sealed container.
+fn fetch_segment(
+    conns: &mut HashMap<usize, HttpClient>,
+    ix: usize,
+    endpoint: &str,
+    config: &ClientConfig,
+    key: u64,
+) -> std::io::Result<Vec<u8>> {
+    let conn = peer_conn(conns, ix, endpoint, config)?;
+    let path = format!("/v1/segments/{}", api::key_hex(key));
+    let (status, bytes) = conn.request_bytes("GET", &path, "")?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!(
+            "peer {endpoint} answered {status} for segment {}",
+            api::key_hex(key)
+        )));
+    }
+    Ok(bytes)
+}
+
 /// Builds the `/v1/replay` success response as a chunk sequence: one
 /// chunk of envelope prefix, one per `SimResult` (with its separating
 /// comma), one closing chunk. Concatenated, the chunks are byte-identical
@@ -814,6 +1195,60 @@ mod tests {
         assert_eq!(r.status, 400);
         let r = app.handle(&req("POST", "/v1/replay", r#"{"key": "ff"}"#));
         assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn segment_routes_without_a_disk_answer_cleanly() {
+        let app = App::new(usize::MAX);
+        // No durable store: an empty key list, not an error — peers read
+        // this as "nothing to hand off".
+        let r = app.handle(&req("GET", "/v1/segments", ""));
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            parse(&r).get("keys").and_then(Json::as_array).map(|a| a.len()),
+            Some(0)
+        );
+        // A segment body read 404s (nothing is stored), a malformed key
+        // 400s, and a rebalance outside any fleet is a client error.
+        assert_eq!(app.handle(&req("GET", "/v1/segments/00ff", "")).status, 404);
+        assert_eq!(app.handle(&req("GET", "/v1/segments/zz", "")).status, 400);
+        let r = app.handle(&req("POST", "/v1/rebalance", ""));
+        assert_eq!(r.status, 400);
+        assert!(parse(&r).get("error").is_some());
+        assert_eq!(app.fleet_stats.rebalances.get(), 0);
+    }
+
+    #[test]
+    fn joining_a_fleet_requires_a_disk_and_a_listed_self() {
+        let fleet = |peers: &[&str], self_addr: &str| FleetConfig {
+            peers: peers.iter().map(|s| s.to_string()).collect(),
+            self_addr: self_addr.into(),
+            replication: 2,
+            client: ClientConfig::default(),
+        };
+        // No durable store: refused.
+        let err = match App::new(usize::MAX).with_fleet(fleet(&["a:1", "b:2"], "a:1")) {
+            Err(e) => e,
+            Ok(_) => panic!("a diskless fleet member must be refused"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        // Self not in the peer list: refused.
+        let dir = std::env::temp_dir().join(format!("ct-fleet-cfg-{}", std::process::id()));
+        let disk = cachetime_disk::SegmentStore::open(cachetime_disk::DiskConfig {
+            root: dir.clone(),
+            budget_bytes: 0,
+            quarantine_cap_bytes: 0,
+        })
+        .unwrap();
+        let err = match App::new(usize::MAX)
+            .with_disk(disk)
+            .with_fleet(fleet(&["a:1", "b:2"], "c:3"))
+        {
+            Err(e) => e,
+            Ok(_) => panic!("an unlisted self address must be refused"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -67,6 +67,62 @@ impl Default for ServerStats {
     }
 }
 
+/// Fleet-resilience counters: peer segment handoff and rebalancing.
+/// Registered eagerly at `App` construction — even a server running
+/// outside any fleet exposes the families (at zero), so scrapes and
+/// dashboards never have to special-case membership.
+pub struct FleetMetrics {
+    /// Completed rebalance passes (boot + `POST /v1/rebalance`).
+    pub rebalances: Arc<Counter>,
+    /// Segments pulled from peers and adopted into the local store.
+    pub pulled: Arc<Counter>,
+    /// Local segments dropped because the ring no longer places them
+    /// here (only after a current owner confirmed having them).
+    pub dropped: Arc<Counter>,
+    /// Peer transfers that failed the segment checksum and were
+    /// quarantined instead of adopted.
+    pub rejected: Arc<Counter>,
+    /// Peer fetches that failed at the transport layer (connect, read,
+    /// or a non-200 status).
+    pub fetch_failures: Arc<Counter>,
+    /// Latency of one peer segment fetch (µs), exemplar'd with the
+    /// transferred trace key.
+    pub fetch_us: Arc<Histogram>,
+}
+
+impl FleetMetrics {
+    /// Handles registered in `registry` under the `cachetime_fleet_*`
+    /// families.
+    pub fn in_registry(registry: &Registry) -> Self {
+        FleetMetrics {
+            rebalances: registry.counter("cachetime_fleet_rebalance_total", &[]),
+            pulled: registry.counter("cachetime_fleet_segments_pulled_total", &[]),
+            dropped: registry.counter("cachetime_fleet_segments_dropped_total", &[]),
+            rejected: registry.counter("cachetime_fleet_transfers_rejected_total", &[]),
+            fetch_failures: registry.counter("cachetime_fleet_fetch_failures_total", &[]),
+            fetch_us: registry.histogram("cachetime_fleet_peer_fetch_us", &[]),
+        }
+    }
+
+    /// The `fleet` object of the `/v1/stats` payload.
+    pub fn to_json(&self) -> Json {
+        json_object([
+            ("rebalances", Json::UInt(self.rebalances.get())),
+            ("segments_pulled", Json::UInt(self.pulled.get())),
+            ("segments_dropped", Json::UInt(self.dropped.get())),
+            ("transfers_rejected", Json::UInt(self.rejected.get())),
+            ("fetch_failures", Json::UInt(self.fetch_failures.get())),
+            ("fetches", Json::UInt(self.fetch_us.count())),
+        ])
+    }
+}
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
+}
+
 impl ServerStats {
     /// The histogram a request path belongs to.
     pub fn endpoint(&self, method: &str, path: &str) -> &Histogram {
@@ -86,6 +142,7 @@ impl ServerStats {
         &self,
         store: &crate::store::TraceStore,
         disk: Option<&cachetime_disk::DiskMetrics>,
+        fleet: &FleetMetrics,
         degraded: bool,
     ) -> Json {
         let s = store.stats();
@@ -108,6 +165,11 @@ impl ServerStats {
                 ("load_errors", Json::UInt(d.load_errors())),
                 ("recovered", Json::UInt(d.recovered())),
                 ("quarantined", Json::UInt(d.quarantined())),
+                ("quarantine_files", Json::UInt(d.quarantine_files().max(0) as u64)),
+                ("quarantine_bytes", Json::UInt(d.quarantine_bytes().max(0) as u64)),
+                ("quarantine_evicted", Json::UInt(d.quarantine_evicted())),
+                ("adopted", Json::UInt(d.adopted())),
+                ("dropped", Json::UInt(d.dropped())),
                 ("evicted", Json::UInt(d.evicted())),
             ]),
         };
@@ -129,6 +191,7 @@ impl ServerStats {
                 ]),
             ),
             ("disk", disk),
+            ("fleet", fleet.to_json()),
             (
                 "server",
                 json_object([

@@ -31,7 +31,7 @@ fn sim_body(scale: f64) -> String {
 #[test]
 fn keys_route_to_their_owner_and_failover_rerecords() {
     let (mut handles, addrs) = start_fleet(3);
-    let mut fleet = FleetClient::new(addrs.clone(), ClientConfig::default());
+    let mut fleet = FleetClient::new(addrs.clone(), ClientConfig::default()).unwrap();
     let org = SystemConfig::paper_default().unwrap().organization();
 
     // Record a spread of pairings; each must be served by its ring owner

@@ -169,6 +169,115 @@ fn metrics_and_stats_bit_match_after_a_mixed_workload() {
     handle.join();
 }
 
+/// The `cachetime_fleet_*` families over a real socket: all six are
+/// present on an idle fleet member (eager registration — dashboards see
+/// zeros, not holes), and after a rebalance pull the peer-fetch
+/// histogram carries an OpenMetrics exemplar naming the transferred
+/// segment on its bucket line.
+#[test]
+fn fleet_families_expose_exemplars_over_a_socket() {
+    use cachetime_serve::client::{ClientConfig, FleetClient};
+    use cachetime_serve::FleetConfig;
+
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "cachetime-metrics-fleet-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let roots = [scratch("donor"), scratch("adopter")];
+    let addrs: Vec<String> = {
+        let held: Vec<_> = (0..2)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        held.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+    };
+    let start = |ix: usize| {
+        let disk = cachetime_disk::SegmentStore::open(cachetime_disk::DiskConfig {
+            root: roots[ix].clone(),
+            budget_bytes: 0,
+            quarantine_cap_bytes: 0,
+        })
+        .unwrap();
+        let app = App::new(usize::MAX)
+            .with_disk(disk)
+            .with_fleet(FleetConfig {
+                peers: addrs.clone(),
+                self_addr: addrs[ix].clone(),
+                replication: 2,
+                client: ClientConfig::default(),
+            })
+            .unwrap();
+        serve_with_app(
+            ServerConfig {
+                addr: addrs[ix].clone(),
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::new(app),
+        )
+        .unwrap()
+    };
+    let donor = start(0);
+    let adopter = start(1);
+
+    // Idle members already expose every fleet family, zero-valued.
+    let mut fleet = FleetClient::new(addrs.clone(), ClientConfig::default()).unwrap();
+    let (status, idle) = fleet.request_on(1, "GET", "/v1/metrics", "").unwrap();
+    assert_eq!(status, 200, "{idle}");
+    for series in [
+        "cachetime_fleet_rebalance_total",
+        "cachetime_fleet_segments_pulled_total",
+        "cachetime_fleet_segments_dropped_total",
+        "cachetime_fleet_transfers_rejected_total",
+        "cachetime_fleet_fetch_failures_total",
+    ] {
+        assert_eq!(prom(&idle, series), 0, "idle scrape must carry {series}");
+    }
+    assert_eq!(prom(&idle, "cachetime_fleet_peer_fetch_us_count"), 0);
+
+    // Record one pairing on the donor, then pull it over via rebalance.
+    let (status, body) = fleet
+        .request_on(0, "POST", "/v1/simulate", r#"{"trace": {"name": "mu3", "scale": 0.004}}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let key = Json::parse(&body).unwrap().get("key").and_then(Json::as_str).unwrap().to_string();
+    let (status, body) = fleet.request_on(1, "POST", "/v1/rebalance", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(report.get("pulled").and_then(Json::as_u64), Some(1), "{body}");
+
+    // The pull shows up in the counters, and exactly one peer-fetch
+    // bucket line carries the pulled segment's key as its exemplar.
+    let (status, scraped) = fleet.request_on(1, "GET", "/v1/metrics", "").unwrap();
+    assert_eq!(status, 200, "{scraped}");
+    assert_eq!(prom(&scraped, "cachetime_fleet_rebalance_total"), 1);
+    assert_eq!(prom(&scraped, "cachetime_fleet_segments_pulled_total"), 1);
+    assert_eq!(prom(&scraped, "cachetime_fleet_peer_fetch_us_count"), 1);
+    let exemplar_lines: Vec<&str> = scraped
+        .lines()
+        .filter(|l| {
+            l.starts_with("cachetime_fleet_peer_fetch_us_bucket{le=")
+                && l.contains(&format!(" # {{key=\"{key}\"}} "))
+        })
+        .collect();
+    assert_eq!(
+        exemplar_lines.len(),
+        1,
+        "exactly one bucket carries the exemplar:\n{scraped}"
+    );
+
+    for h in [donor, adopter] {
+        h.shutdown();
+        h.join();
+    }
+    for root in &roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
 /// `?family=<prefix>` narrows the exposition to matching families over a
 /// real socket; a misspelled parameter is a 400, not a full-size scrape.
 #[test]

@@ -31,6 +31,7 @@ fn open_disk(root: &std::path::Path) -> SegmentStore {
     SegmentStore::open(DiskConfig {
         root: root.to_path_buf(),
         budget_bytes: 0,
+        quarantine_cap_bytes: 0,
     })
     .expect("open segment store")
 }

@@ -33,15 +33,21 @@
 # 10. Fleet leg: boot two durable `ctserve` shards and run the
 #    ring-aware `serve-check host:p1,host:p2` — deterministic rendezvous
 #    routing, one recording per key fleet-wide, aggregated stats.
-# 11. Serve benchmark: cold/warm/batch legs plus the 1..256-client
+# 11. Fleet resilience leg: boot three `--peers` shards at replication 2,
+#    record through the fleet (`cachetime-bench fleet-drill record`),
+#    `kill -9` one shard and assert every key still replays warm with
+#    zero re-recordings (`after-kill`), then rejoin the shard on its old
+#    address with an EMPTY data directory, rebalance, and assert peer
+#    handoff repopulated it with bit-identical serves (`after-rejoin`).
+# 12. Serve benchmark: cold/warm/batch legs plus the 1..256-client
 #    concurrency sweep (p50 at 256 clients must stay within 3x of solo)
 #    and the cold-record vs restart-warm leg (>= 10x). Refreshes
 #    BENCH_serve.json.
-# 12. Associativity-threshold study at small scale: the organization
+# 13. Associativity-threshold study at small scale: the organization
 #    features (victim cache, way prediction) must reproduce the
 #    crossover — a size below which set-associativity stops paying
 #    against the best direct-mapped organization.
-# 13. Bench regression diff: compare the freshly written BENCH_sweep.json
+# 14. Bench regression diff: compare the freshly written BENCH_sweep.json
 #    and BENCH_serve.json against the committed baselines; any headline
 #    metric regressing by more than 15% fails the gate.
 set -euo pipefail
@@ -104,7 +110,13 @@ for family in \
   cachetime_disk_recovered_total \
   cachetime_disk_quarantined_total \
   cachetime_disk_segments \
-  cachetime_disk_bytes; do
+  cachetime_disk_bytes \
+  cachetime_fleet_rebalance_total \
+  cachetime_fleet_segments_pulled_total \
+  cachetime_fleet_segments_dropped_total \
+  cachetime_fleet_transfers_rejected_total \
+  cachetime_fleet_fetch_failures_total \
+  cachetime_fleet_peer_fetch_us; do
   grep -q "^$family" <<<"$METRICS" \
     || { echo "missing metric family: $family"; exit 1; }
 done
@@ -237,6 +249,83 @@ trap - EXIT
 rm -f "$PORT_FILE_A" "$PORT_FILE_B"
 rm -rf "$FLEET_DIR_A" "$FLEET_DIR_B"
 echo "fleet OK (deterministic routing, one recording per key fleet-wide)"
+
+echo "==> fleet resilience leg (3 shards; replication 2; kill -9 + rejoin via peer handoff)"
+# --peers needs fixed addresses (each shard's --addr appears verbatim in
+# the ring), so reserve three ephemeral ports first with throwaway
+# memory-only servers. SO_REUSEADDR makes the immediate rebind safe.
+RES_PORTS=()
+RES_PIDS=()
+RES_FILES=()
+for i in 0 1 2; do
+  PF="$(mktemp)"; rm -f "$PF"
+  ./target/release/ctserve --addr 127.0.0.1:0 --port-file "$PF" &
+  RES_PIDS+=($!); RES_FILES+=("$PF")
+done
+for PF in "${RES_FILES[@]}"; do
+  for _ in $(seq 1 100); do
+    [ -s "$PF" ] && break
+    sleep 0.1
+  done
+  [ -s "$PF" ] || { echo "a port-reserving ctserve never came up"; exit 1; }
+  RES_PORTS+=("$(cat "$PF")")
+done
+for PORT in "${RES_PORTS[@]}"; do
+  printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+    > "/dev/tcp/127.0.0.1/$PORT"
+done
+wait "${RES_PIDS[@]}"
+rm -f "${RES_FILES[@]}"
+PEERS="127.0.0.1:${RES_PORTS[0]},127.0.0.1:${RES_PORTS[1]},127.0.0.1:${RES_PORTS[2]}"
+
+DRILL_DIRS=()
+DRILL_PIDS=()
+cleanup_drill() {
+  kill -9 "${DRILL_PIDS[@]}" 2>/dev/null || true
+  rm -rf "${DRILL_DIRS[@]}"
+}
+trap cleanup_drill EXIT
+start_drill_shard() { # $1 = shard index; uses (and may recreate) its dir
+  local PORT="${RES_PORTS[$1]}"
+  local PF="$(mktemp)"; rm -f "$PF"
+  ./target/release/ctserve --addr "127.0.0.1:$PORT" --port-file "$PF" \
+    --data-dir "${DRILL_DIRS[$1]}" --peers "$PEERS" --replication 2 &
+  DRILL_PIDS[$1]=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PF" ] && break
+    kill -0 "${DRILL_PIDS[$1]}" 2>/dev/null || { echo "drill shard $1 died on startup"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$PF" ] || { echo "drill shard $1 never wrote its port file"; exit 1; }
+  rm -f "$PF"
+}
+for i in 0 1 2; do
+  DRILL_DIRS[$i]="$(mktemp -d)"
+  start_drill_shard "$i"
+done
+./target/release/cachetime-bench fleet-drill "$PEERS" record
+# kill -9 shard 1: no shutdown handler runs, its replicas must carry it.
+VICTIM=1
+kill -9 "${DRILL_PIDS[$VICTIM]}"
+wait "${DRILL_PIDS[$VICTIM]}" 2>/dev/null || true
+./target/release/cachetime-bench fleet-drill "$PEERS" after-kill "$VICTIM"
+# Rejoin on the same address with an EMPTY data directory: peer handoff
+# is the only possible source of its segments.
+rm -rf "${DRILL_DIRS[$VICTIM]}"
+DRILL_DIRS[$VICTIM]="$(mktemp -d)"
+start_drill_shard "$VICTIM"
+# The boot pass already rebalances; an explicit pass serializes with it
+# so the drill below never races a pull still in flight.
+curl -fsS -X POST "http://127.0.0.1:${RES_PORTS[$VICTIM]}/v1/rebalance" >/dev/null
+./target/release/cachetime-bench fleet-drill "$PEERS" after-rejoin "$VICTIM"
+for PORT in "${RES_PORTS[@]}"; do
+  printf 'POST /v1/shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+    > "/dev/tcp/127.0.0.1/$PORT"
+done
+wait "${DRILL_PIDS[@]}" 2>/dev/null || true
+trap - EXIT
+rm -rf "${DRILL_DIRS[@]}"
+echo "fleet resilience OK (kill -9 lost no keys; rejoin repopulated by handoff)"
 
 echo "==> cachetime-bench serve (cold/warm/batch + concurrency sweep + restart-warm; writes BENCH_serve.json)"
 cargo run --release -q -p cachetime-bench -- serve "${BENCH_SCALE:-0.05}"
