@@ -524,6 +524,32 @@ fn run_serve_bench(scale: f64) {
         );
     });
 
+    // Ingest: chunked-upload the trace once per distinct warm boundary
+    // (the boundary is part of the content digest, so every upload is
+    // fresh) — times the whole parse + digest + interval-profile pipeline
+    // and reports it as refs/sec.
+    let ingest_trace = catalog::mu3(scale).generate();
+    let mut din_body = Vec::new();
+    cachetime_trace::io::write_din(&mut din_body, ingest_trace.refs()).expect("serialize din");
+    const INGEST_UPLOADS: usize = 6;
+    let ingest = timed_leg(INGEST_UPLOADS, |i| {
+        let (status, body) = client
+            .post_chunked(
+                &format!("/v1/traces?name=bench&warm={i}"),
+                &din_body,
+                256 * 1024,
+            )
+            .expect("chunked upload");
+        let v = expect_200(status, &body, "chunked upload");
+        assert_eq!(
+            v.get("deduplicated").and_then(Json::as_bool),
+            Some(false),
+            "each warm boundary must be a fresh digest"
+        );
+    });
+    let ingest_refs_per_sec =
+        (INGEST_UPLOADS * ingest_trace.len()) as f64 / ingest.wall.as_secs_f64();
+
     // Concurrency sweep: the flatness curve the event loop exists for.
     let concurrency_sweep = run_concurrency_sweep(&addr);
 
@@ -554,6 +580,13 @@ fn run_serve_bench(scale: f64) {
         batch.percentile_us(0.5),
         batch.percentile_us(0.99),
         batch.micros.len()
+    );
+    println!(
+        "ingest (chunked POST): {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({:.0} refs/sec)",
+        ingest.mean_us(),
+        ingest.percentile_us(0.5),
+        ingest.percentile_us(0.99),
+        ingest_refs_per_sec
     );
     println!(
         "warm x{CLIENTS} clients:      {:>9.1} us/req  p50 {:>7} us  p99 {:>7} us  ({} reqs, {:.0} req/s aggregate)",
@@ -587,6 +620,15 @@ fn run_serve_bench(scale: f64) {
         ("concurrent_clients", Json::from(CLIENTS)),
         ("warm_concurrent", concurrent.to_json()),
         ("concurrency_sweep", concurrency_sweep),
+        (
+            "ingest",
+            json_object([
+                ("uploads", Json::from(INGEST_UPLOADS)),
+                ("refs_per_upload", Json::from(ingest_trace.len())),
+                ("latency", ingest.to_json()),
+                ("refs_per_sec", Json::Float(ingest_refs_per_sec)),
+            ]),
+        ),
         ("warm_speedup", Json::Float(speedup)),
         ("overload", overload),
         ("restart", restart),
@@ -1005,6 +1047,224 @@ fn run_serve_check(addr: &str) {
     }
 
     println!("serve-check: OK ({addr}: simulate + replay bit-identical to Simulator::run)");
+}
+
+/// Ingestion smoke-check against a running server at `addr`
+/// (`scripts/verify.sh` runs this right after `serve-check`):
+///
+/// * chunked-uploads a small din trace and re-uploads it — the digest
+///   must be stable and the repeat deduplicated;
+/// * simulates and replays by that digest, compared bit-for-bit over the
+///   socket against an in-process `Simulator::run` of the same refs;
+/// * uploads a ≥ 1M-ref synthetic trace and asserts the
+///   representative-interval selector prices it from ≤ 10 windows within
+///   the documented error bound;
+/// * opens a raw socket whose chunk-size line *claims* more than the
+///   body cap and asserts the server answers `413` on the claim alone;
+/// * scrapes `/metrics` for the `cachetime_ingest_*` families.
+fn run_ingest_check(addr: &str) {
+    let fail = |what: &str, detail: &str| -> ! {
+        eprintln!("ingest-check: FAIL: {what}: {detail}");
+        std::process::exit(1);
+    };
+    let mut client =
+        HttpClient::connect(addr).unwrap_or_else(|e| fail("connect", &e.to_string()));
+
+    // A small catalog trace, serialized as din text.
+    let trace = catalog::mu3(0.005).generate();
+    let mut body = Vec::new();
+    cachetime_trace::io::write_din(&mut body, trace.refs()).expect("serialize din");
+    let warm = trace.warm_start();
+    let path = format!("/v1/traces?name=ingest-check&warm={warm}");
+    // A deliberately odd chunk size, so chunk frames and the server's 4 KB
+    // reads cross in interesting places.
+    let (status, resp) = client
+        .post_chunked(&path, &body, 1021)
+        .unwrap_or_else(|e| fail("upload", &e.to_string()));
+    if status != 200 {
+        fail("upload", &format!("status {status}: {resp}"));
+    }
+    let v = Json::parse(&resp).unwrap_or_else(|e| fail("upload", &e.to_string()));
+    let digest = v
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("upload", "response has no digest"))
+        .to_string();
+    if digest.len() != 16 {
+        fail("upload", &format!("digest {digest:?} is not 16 hex chars"));
+    }
+    if v.get("refs").and_then(Json::as_u64) != Some(trace.len() as u64) {
+        fail("upload", &format!("ref count mismatch: {resp}"));
+    }
+    if v.get("deduplicated").and_then(Json::as_bool) != Some(false) {
+        fail("upload", "first upload reported as a duplicate");
+    }
+
+    // Re-upload under a different chunking: content addressing must land
+    // on the same digest and dedup.
+    let (status, resp) = client
+        .post_chunked(&path, &body, 64 * 1024)
+        .unwrap_or_else(|e| fail("re-upload", &e.to_string()));
+    if status != 200 {
+        fail("re-upload", &format!("status {status}: {resp}"));
+    }
+    let v = Json::parse(&resp).unwrap_or_else(|e| fail("re-upload", &e.to_string()));
+    if v.get("digest").and_then(Json::as_str) != Some(digest.as_str()) {
+        fail("re-upload", "digest changed between identical uploads");
+    }
+    if v.get("deduplicated").and_then(Json::as_bool) != Some(true) {
+        fail("re-upload", "identical upload was not deduplicated");
+    }
+
+    // Simulate by digest: bit-identical to an in-process run of the same
+    // refs.
+    let config = SystemConfig::paper_default().expect("paper default");
+    let expected = api::sim_result_to_json(&Simulator::new(&config).run(&trace));
+    let sim_body = format!(r#"{{"trace": {{"upload": "{digest}"}}}}"#);
+    let (status, resp) = client
+        .post("/v1/simulate", &sim_body)
+        .unwrap_or_else(|e| fail("simulate", &e.to_string()));
+    if status != 200 {
+        fail("simulate", &format!("status {status}: {resp}"));
+    }
+    let v = Json::parse(&resp).unwrap_or_else(|e| fail("simulate", &e.to_string()));
+    if v.get("result") != Some(&expected) {
+        fail(
+            "simulate",
+            "uploaded-trace result differs from a direct Simulator::run",
+        );
+    }
+    let key = v
+        .get("key")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("simulate", "response has no key"))
+        .to_string();
+
+    // ...and the recorded events replay identically by key.
+    let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40]}}"#);
+    let (status, resp) = client
+        .post("/v1/replay", &replay_body)
+        .unwrap_or_else(|e| fail("replay", &e.to_string()));
+    if status != 200 {
+        fail("replay", &format!("status {status}: {resp}"));
+    }
+    let v = Json::parse(&resp).unwrap_or_else(|e| fail("replay", &e.to_string()));
+    if v.get("results").and_then(Json::as_array).and_then(|a| a.first()) != Some(&expected) {
+        fail("replay", "replay of the uploaded trace differs from Simulator::run");
+    }
+
+    // A ≥ 1M-ref synthetic upload: the selector must price it from
+    // ≤ 10 windows within the documented bound. Six phases with different
+    // footprints and strides, so windows genuinely differ and the medoid
+    // pick has structure to find.
+    const BIG_REFS: usize = 1_050_000;
+    let mut big = Vec::with_capacity(BIG_REFS * 9);
+    {
+        use std::io::Write as _;
+        for i in 0..BIG_REFS {
+            let phase = i / (BIG_REFS / 6 + 1);
+            let stride = 1 + 2 * phase as u64;
+            let addr = ((i as u64 * stride) % (1 << (10 + phase))) << 2;
+            writeln!(big, "0 {addr:x}").expect("write to Vec");
+        }
+    }
+    let (status, resp) = client
+        .post_chunked("/v1/traces?name=big&format=din", &big, 256 * 1024)
+        .unwrap_or_else(|e| fail("big upload", &e.to_string()));
+    if status != 200 {
+        fail("big upload", &format!("status {status}: {resp}"));
+    }
+    let v = Json::parse(&resp).unwrap_or_else(|e| fail("big upload", &e.to_string()));
+    if v.get("refs").and_then(Json::as_u64).unwrap_or(0) < 1_000_000 {
+        fail("big upload", &format!("expected >= 1M refs: {resp}"));
+    }
+    let sel = v
+        .get("selection")
+        .unwrap_or_else(|| fail("big upload", "response has no selection"));
+    let picks = sel
+        .get("picks")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("big upload", "selection has no picks"))
+        .len();
+    let windows = sel.get("windows").and_then(Json::as_u64).unwrap_or(0);
+    let err = sel
+        .get("profile_error")
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::MAX);
+    let bound = sel.get("error_bound").and_then(Json::as_f64).unwrap_or(0.0);
+    if picks == 0 || picks > 10 {
+        fail(
+            "selection",
+            &format!("{picks} picks; the selector must price from <= 10 windows"),
+        );
+    }
+    if err > bound {
+        fail(
+            "selection",
+            &format!("profile_error {err} exceeds the documented bound {bound}"),
+        );
+    }
+
+    // A lying chunked upload — the size line claims more than the body
+    // cap — must be refused 413 on the claim, before any payload exists
+    // to buffer.
+    {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr)
+            .unwrap_or_else(|e| fail("raw connect", &e.to_string()));
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        s.write_all(
+            b"POST /v1/traces HTTP/1.1\r\nHost: ctserve\r\nTransfer-Encoding: chunked\r\n\r\nfffffff\r\n",
+        )
+        .unwrap_or_else(|e| fail("raw write", &e.to_string()));
+        let mut head = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&chunk[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => fail("raw read", &e.to_string()),
+            }
+        }
+        let head = String::from_utf8_lossy(&head);
+        if !head.starts_with("HTTP/1.1 413") {
+            fail(
+                "oversize claim",
+                &format!("expected 413, got: {}", head.lines().next().unwrap_or("")),
+            );
+        }
+    }
+
+    // The ingest counter families must be on /v1/metrics.
+    let (status, metrics) = client
+        .get("/v1/metrics")
+        .unwrap_or_else(|e| fail("metrics", &e.to_string()));
+    if status != 200 {
+        fail("metrics", &format!("status {status}"));
+    }
+    for family in [
+        "cachetime_ingest_uploads_total",
+        "cachetime_ingest_rejected_total",
+        "cachetime_ingest_deduplicated_total",
+        "cachetime_ingest_refs_total",
+        "cachetime_ingest_bytes_total",
+    ] {
+        if !metrics.contains(family) {
+            fail("metrics", &format!("/v1/metrics is missing {family}"));
+        }
+    }
+
+    println!(
+        "ingest-check: OK ({addr}: digest {digest} stable across chunkings, dedup on repeat, \
+         simulate/replay bit-identical; {BIG_REFS} refs priced from {picks}/{windows} windows, \
+         profile_error {err:.4} <= {bound}; oversized claim answered 413)"
+    );
 }
 
 /// Fleet smoke-check: `addrs` is a whole consistent-hash ring of running
@@ -1449,6 +1709,12 @@ const BENCH_GUARDS: &[(&str, &str, Better, f64)] = &[
         3.0,
     ),
     ("BENCH_serve.json", "warm.p50_us", Better::Lower, 3.0),
+    (
+        "BENCH_serve.json",
+        "ingest.refs_per_sec",
+        Better::Higher,
+        3.0,
+    ),
 ];
 
 /// Follows a dot-path (`"warm.p50_us"`) into a JSON object tree.
@@ -1574,6 +1840,13 @@ fn main() {
                 run_serve_check(&addr);
             }
         }
+        Some("ingest-check") => {
+            let Some(addr) = args.next() else {
+                eprintln!("usage: cachetime-bench ingest-check <host:port>");
+                std::process::exit(2);
+            };
+            run_ingest_check(&addr);
+        }
         Some("fleet-drill") => {
             let usage = || -> ! {
                 eprintln!(
@@ -1618,7 +1891,7 @@ fn main() {
             run_bench_diff(threshold);
         }
         _ => {
-            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | fleet-drill <addrs> <phase> [ix] | serve-chaos <host:port> [seed] | bench-diff [threshold]");
+            eprintln!("usage: cachetime-bench <sweep|serve> [scale] | serve-check <host:port> | ingest-check <host:port> | fleet-drill <addrs> <phase> [ix] | serve-chaos <host:port> [seed] | bench-diff [threshold]");
             eprintln!();
             eprintln!("  sweep        time a speed/size grid: direct per-cell simulation vs");
             eprintln!("               the two-phase record/replay pipeline (serial and");
@@ -1631,6 +1904,10 @@ fn main() {
             eprintln!("               be bit-identical to an in-process Simulator::run;");
             eprintln!("               a comma-separated address list checks a whole");
             eprintln!("               consistent-hash fleet (routing + aggregated stats)");
+            eprintln!("  ingest-check smoke-test /v1/traces on a running ctserve: chunked");
+            eprintln!("               upload + dedup + simulate-by-digest bit-identical to");
+            eprintln!("               Simulator::run, interval selection within its bound,");
+            eprintln!("               and an oversized chunk claim answered 413");
             eprintln!("  fleet-drill  membership-chaos drill phases against a running fleet:");
             eprintln!("               record replicates a deterministic key set; after-kill");
             eprintln!("               asserts zero lost keys and zero re-recordings with one");

@@ -32,8 +32,8 @@
 use crate::replay::{BehavioralSim, EventTrace};
 use crate::result::SimResult;
 use crate::system::{OrgConfig, SystemConfig, TimingConfig};
-use cachetime_trace::WorkloadSpec;
-use cachetime_types::{ConfigError, StableHasher};
+use cachetime_trace::{Trace, WorkloadSpec};
+use cachetime_types::{ConfigError, MemRef, StableHasher};
 
 use cachetime_types::StableHash as _;
 
@@ -44,6 +44,95 @@ pub fn trace_key(org: &OrgConfig, workload: &WorkloadSpec) -> u64 {
     org.stable_hash(&mut h);
     workload.stable_hash(&mut h);
     h.finish()
+}
+
+/// Domain separator between catalog-workload keys and uploaded-trace
+/// keys. A catalog key hashes `(org, workload recipe)`; an upload key
+/// hashes `(org, marker, content digest)`. Without the marker the two key
+/// families would share one digest space, and a recipe hash could (in
+/// principle) alias an upload digest; with it, equal keys always mean the
+/// same *kind* of source. Catalog keys are unchanged — existing clients'
+/// remembered keys stay valid.
+const UPLOAD_DOMAIN: u64 = 0x7570_6c64_7472_6163; // "upldtrac"
+
+/// A streaming [`StableHash`](cachetime_types::StableHash) digest of an
+/// uploaded reference stream — the content address uploads are stored
+/// and named by.
+///
+/// Push every reference once, in order, then [`finish`](Self::finish)
+/// with the trace's warm boundary. Equal digests imply bit-identical
+/// `(refs, warm_start)`, so the digest is valid across processes and
+/// machines exactly like [`trace_key`]. The trace *name* is
+/// deliberately excluded: two uploads of the same bytes under different
+/// names are the same content.
+#[derive(Debug)]
+pub struct UploadDigest {
+    h: StableHasher,
+    refs: u64,
+}
+
+impl UploadDigest {
+    /// An empty digest.
+    pub fn new() -> UploadDigest {
+        let mut h = StableHasher::new();
+        h.write_u64(UPLOAD_DOMAIN);
+        UploadDigest { h, refs: 0 }
+    }
+
+    /// Feeds one reference.
+    pub fn push(&mut self, r: MemRef) {
+        r.stable_hash(&mut self.h);
+        self.refs += 1;
+    }
+
+    /// References fed so far.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Seals the digest over the stream plus the warm boundary.
+    pub fn finish(mut self, warm_start: usize) -> u64 {
+        self.h.write_u64(self.refs);
+        self.h.write_u64(warm_start as u64);
+        self.h.finish()
+    }
+}
+
+impl Default for UploadDigest {
+    fn default() -> Self {
+        UploadDigest::new()
+    }
+}
+
+/// Digests a whole in-memory trace (streaming callers drive
+/// [`UploadDigest`] directly).
+pub fn upload_digest(trace: &Trace) -> u64 {
+    let mut d = UploadDigest::new();
+    for &r in trace.refs() {
+        d.push(r);
+    }
+    d.finish(trace.warm_start())
+}
+
+/// The content key of an `(organization, uploaded trace)` pairing — the
+/// upload-side sibling of [`trace_key`], addressing the recorded
+/// [`EventTrace`] for an upload named by its content digest.
+pub fn upload_trace_key(org: &OrgConfig, digest: u64) -> u64 {
+    let mut h = StableHasher::new();
+    org.stable_hash(&mut h);
+    h.write_u64(UPLOAD_DOMAIN);
+    h.write_u64(digest);
+    h.finish()
+}
+
+/// Records an uploaded trace's behavioral events under `org`, returning
+/// the pairing's content key alongside the events — the upload-side
+/// sibling of [`record`]. `digest` must be the trace's
+/// [`upload_digest`]; the caller already holds it from ingestion, so it
+/// is taken rather than recomputed (a linear pass over the refs).
+pub fn record_upload(org: &OrgConfig, digest: u64, trace: &Trace) -> (u64, EventTrace) {
+    let events = BehavioralSim::new(org).record(trace);
+    (upload_trace_key(org, digest), events)
 }
 
 /// Generates `workload`'s trace and records its behavioral events under
@@ -137,6 +226,80 @@ mod tests {
         )
         .run(&trace);
         assert_eq!(results[1], direct56);
+    }
+
+    #[test]
+    fn upload_digests_are_content_addressed() {
+        use cachetime_trace::Trace;
+        use cachetime_types::{MemRef, Pid, WordAddr};
+        let refs: Vec<MemRef> = (0..100)
+            .map(|i| MemRef::load(WordAddr::new(i), Pid((i % 3) as u16)))
+            .collect();
+        let a = Trace::new("a", refs.clone(), 10);
+        let renamed = Trace::new("b", refs.clone(), 10);
+        assert_eq!(
+            upload_digest(&a),
+            upload_digest(&renamed),
+            "names are not content"
+        );
+        let rewarmed = Trace::new("a", refs.clone(), 20);
+        assert_ne!(upload_digest(&a), upload_digest(&rewarmed));
+        let mut other_refs = refs.clone();
+        other_refs[50] = MemRef::store(WordAddr::new(50), Pid(0));
+        assert_ne!(
+            upload_digest(&a),
+            upload_digest(&Trace::new("a", other_refs, 10))
+        );
+        // Streaming digest equals the whole-trace helper.
+        let mut d = UploadDigest::new();
+        for &r in a.refs() {
+            d.push(r);
+        }
+        assert_eq!(d.refs(), 100);
+        assert_eq!(d.finish(10), upload_digest(&a));
+    }
+
+    #[test]
+    fn upload_keys_are_org_sensitive_and_domain_separated() {
+        use cachetime_trace::Trace;
+        use cachetime_types::{MemRef, Pid, WordAddr};
+        let base = SystemConfig::paper_default().unwrap();
+        let refs: Vec<MemRef> = (0..200)
+            .map(|i| MemRef::ifetch(WordAddr::new(i * 7 % 64), Pid(0)))
+            .collect();
+        let trace = Trace::new("up", refs, 0);
+        let digest = upload_digest(&trace);
+        assert_eq!(
+            upload_trace_key(&base.organization(), digest),
+            upload_trace_key(&base.organization(), digest)
+        );
+        let small = cachetime_cache::CacheConfig::builder(
+            cachetime_types::CacheSize::from_kib(16).unwrap(),
+        )
+        .build()
+        .unwrap();
+        let other = SystemConfig::builder().l1_both(small).build().unwrap();
+        assert_ne!(
+            upload_trace_key(&base.organization(), digest),
+            upload_trace_key(&other.organization(), digest)
+        );
+        // The upload key family never collides with a catalog key for the
+        // same org by construction of the domain marker; spot-check one.
+        assert_ne!(
+            upload_trace_key(&base.organization(), digest),
+            trace_key(&base.organization(), &catalog::mu3(0.01))
+        );
+    }
+
+    #[test]
+    fn record_upload_replays_bit_identical_to_direct_simulation() {
+        let config = SystemConfig::paper_default().unwrap();
+        let trace = catalog::mu3(0.01).generate();
+        let digest = upload_digest(&trace);
+        let (key, events) = record_upload(&config.organization(), digest, &trace);
+        assert_eq!(key, upload_trace_key(&config.organization(), digest));
+        let results = replay_timings(&events, &[config.timing()]).unwrap();
+        assert_eq!(results[0], crate::Simulator::new(&config).run(&trace));
     }
 
     #[test]

@@ -337,6 +337,39 @@ pub fn workload_from_json(v: Option<&Json>) -> Result<WorkloadSpec, String> {
         .ok_or_else(|| format!("unknown trace {name:?}; catalog: mu3 mu6 mu10 savec rd1n3 rd2n4 rd1n5 rd2n7"))
 }
 
+/// What a simulate request's `trace` object names: a catalog workload
+/// (`{"name": "mu3"}`) or a previously uploaded trace by content digest
+/// (`{"upload": "<hex>"}`, as returned by `POST /v1/traces`).
+#[derive(Debug)]
+pub enum TraceSelector {
+    /// A Table 1 catalog workload at some scale.
+    Catalog(WorkloadSpec),
+    /// An uploaded trace, by its content digest.
+    Upload(u64),
+}
+
+/// Resolves the request's `trace` object into a [`TraceSelector`].
+///
+/// # Errors
+///
+/// A message for a missing object, an object naming both sources, a
+/// malformed digest, or an unknown catalog trace.
+pub fn trace_selector_from_json(v: Option<&Json>) -> Result<TraceSelector, String> {
+    let obj = v.ok_or("request needs a trace object, e.g. {\"name\": \"mu3\"} or {\"upload\": \"<hex>\"}")?;
+    match field_str(obj, "upload")? {
+        Some(hex) => {
+            if obj.get("name").is_some() {
+                return Err("trace.name and trace.upload are mutually exclusive".into());
+            }
+            if obj.get("scale").is_some() {
+                return Err("trace.scale does not apply to an upload (its length is fixed)".into());
+            }
+            parse_key_hex(hex).map(TraceSelector::Upload)
+        }
+        None => workload_from_json(v).map(TraceSelector::Catalog),
+    }
+}
+
 fn cache_stats_json(s: &cachetime_cache::CacheStats) -> Json {
     json_object([
         ("reads", Json::from(s.reads)),

@@ -195,6 +195,42 @@ impl HttpClient {
         self.request("GET", path, "")
     }
 
+    /// `POST` with a `Transfer-Encoding: chunked` body — the trace-upload
+    /// sender. The body is sliced into `chunk_bytes`-sized chunks so the
+    /// server's streaming dechunker is actually exercised (a production
+    /// uploader streams from a file the same way). One-shot: no
+    /// auto-retry (the caller can resend; uploads are content-addressed,
+    /// so a duplicate is a cheap dedup).
+    ///
+    /// # Errors
+    ///
+    /// Connect/write/read failures or a torn response.
+    pub fn post_chunked(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        chunk_bytes: usize,
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: ctserve\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n"
+        );
+        self.stream.write_all(head.as_bytes())?;
+        for chunk in body.chunks(chunk_bytes.max(1)) {
+            self.stream
+                .write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            self.stream.write_all(chunk)?;
+            self.stream.write_all(b"\r\n")?;
+        }
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()?;
+        let (status, _, body) = self.read_response()?;
+        Ok((
+            status,
+            String::from_utf8(body)
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?,
+        ))
+    }
+
     fn try_once(
         &mut self,
         method: &str,

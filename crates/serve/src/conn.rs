@@ -30,7 +30,7 @@
 //! instant a request's first byte arrived); deadline *policy* (when to
 //! answer `408`, when to kill a stuck write) stays in the event loop.
 
-use crate::http::{parse_request, ParseError, Parsed, Request};
+use crate::http::{parse_request, ChunkedDecoder, ParseError, Parsed, Request};
 use std::io::{ErrorKind, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,12 @@ pub struct Connection<S> {
     buf: Vec<u8>,
     state: State,
     started: Option<Instant>,
+    /// A chunked request whose head has framed but whose body is still
+    /// streaming through the decoder. Held here (not re-derived from the
+    /// buffer) so each read feeds the decoder *incrementally* — re-parsing
+    /// the accumulated body after every 4 KiB read would make a large
+    /// upload quadratic.
+    chunked: Option<(Request, ChunkedDecoder)>,
 }
 
 impl<S: Read + Write> Connection<S> {
@@ -105,6 +111,7 @@ impl<S: Read + Write> Connection<S> {
             buf: Vec::new(),
             state: State::Reading,
             started: None,
+            chunked: None,
         }
     }
 
@@ -192,32 +199,65 @@ impl<S: Read + Write> Connection<S> {
 
     /// One parse attempt; `None` means incomplete (read more).
     fn parse_step(&mut self) -> Option<ReadEvent> {
+        // A chunked body in flight owns every incoming byte until its
+        // terminator; no head parsing happens underneath it.
+        if self.chunked.is_some() {
+            return self.feed_chunked();
+        }
         match parse_request(&mut self.buf) {
             Err(e) => Some(ReadEvent::Bad(e)),
             Ok(Parsed::Incomplete) => None,
-            Ok(Parsed::Request(req)) => {
-                // A request whose own X-Deadline-Ms budget is already gone
-                // by the time it framed is dead on arrival: answering 408
-                // now beats handler work whose result could never be
-                // delivered in time.
-                let parse_elapsed = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
-                if req
-                    .deadline_ms
-                    .is_some_and(|ms| Duration::from_millis(ms) <= parse_elapsed)
-                {
-                    return Some(ReadEvent::Doa);
-                }
-                self.started = if self.buf.is_empty() {
-                    None
-                } else {
-                    // A pipelined successor is already buffered; its clock
-                    // starts now.
-                    Some(Instant::now())
-                };
-                self.state = State::Dispatched;
-                Some(ReadEvent::Request(req))
+            Ok(Parsed::Chunked { req, decoder }) => {
+                self.chunked = Some((req, decoder));
+                // Body bytes may have arrived with the head.
+                self.feed_chunked()
+            }
+            Ok(Parsed::Request(req)) => self.finish_request(req),
+        }
+    }
+
+    /// Advances an in-flight chunked body with whatever is buffered.
+    fn feed_chunked(&mut self) -> Option<ReadEvent> {
+        let (_, decoder) = self.chunked.as_mut().expect("chunked body in flight");
+        match decoder.feed(&mut self.buf) {
+            // Framing/cap failure: answer the status, close. The rest of
+            // the upload is never buffered — the close discards it.
+            Err(e) => {
+                self.chunked = None;
+                Some(ReadEvent::Bad(e))
+            }
+            Ok(false) => None,
+            Ok(true) => {
+                let (mut req, decoder) = self.chunked.take().expect("chunked body in flight");
+                req.body = decoder.into_body();
+                self.finish_request(req)
             }
         }
+    }
+
+    /// The common tail once a request is fully framed (either framing):
+    /// the dead-on-arrival check, the deadline-clock handoff, dispatch.
+    fn finish_request(&mut self, req: Request) -> Option<ReadEvent> {
+        // A request whose own X-Deadline-Ms budget is already gone
+        // by the time it framed is dead on arrival: answering 408
+        // now beats handler work whose result could never be
+        // delivered in time.
+        let parse_elapsed = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+        if req
+            .deadline_ms
+            .is_some_and(|ms| Duration::from_millis(ms) <= parse_elapsed)
+        {
+            return Some(ReadEvent::Doa);
+        }
+        self.started = if self.buf.is_empty() {
+            None
+        } else {
+            // A pipelined successor is already buffered; its clock
+            // starts now.
+            Some(Instant::now())
+        };
+        self.state = State::Dispatched;
+        Some(ReadEvent::Request(req))
     }
 
     /// Queues a fully-encoded response. `keep` controls the post-flush

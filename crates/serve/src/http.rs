@@ -58,8 +58,28 @@ use std::time::{Duration, Instant};
 /// Cap on a request head (request line + headers), bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Cap on a request body; a larger `Content-Length` claim is refused
-/// with `413` before any body byte is read.
+/// with `413` before any body byte is read, and a chunked body is cut
+/// off with `413` the moment its *dechunked* byte count crosses the cap,
+/// whatever its chunk headers claim.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// The body cap for `POST /v1/traces`: trace uploads are the one route
+/// whose payloads are legitimately tens of megabytes (a million-reference
+/// din file is ~12 MiB of text), so they get their own ceiling instead of
+/// a global raise.
+pub const MAX_TRACE_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Cap on one chunk-size line (hex digits + extensions); a sender that
+/// streams forever without a CRLF must not grow the buffer unboundedly.
+const MAX_CHUNK_LINE_BYTES: usize = 256;
+
+/// The request-body byte cap for `path` — [`MAX_TRACE_BODY_BYTES`] for
+/// the trace-upload endpoint, [`MAX_BODY_BYTES`] everywhere else.
+pub fn body_cap_for(path: &str) -> usize {
+    if path == "/v1/traces" {
+        MAX_TRACE_BODY_BYTES
+    } else {
+        MAX_BODY_BYTES
+    }
+}
 
 /// The epoll token of the listening socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -133,7 +153,9 @@ pub struct Request {
     pub path: String,
     /// Raw query string after the first `?`, if the target carried one.
     pub query: Option<String>,
-    /// Raw body bytes (`Content-Length`-framed; no chunked support).
+    /// Raw body bytes — `Content-Length`-framed, or the dechunked stream
+    /// of a `Transfer-Encoding: chunked` upload (handlers never see chunk
+    /// framing).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
@@ -163,6 +185,161 @@ pub enum Parsed {
     Request(Request),
     /// No complete request yet; feed more bytes.
     Incomplete,
+    /// A `Transfer-Encoding: chunked` head was framed and drained; the
+    /// body must now be streamed through `decoder` (which may already be
+    /// complete if the whole upload arrived in one read). `req.body` is
+    /// empty until the caller installs the dechunked bytes.
+    Chunked {
+        /// The request, body pending.
+        req: Request,
+        /// The body decoder, capped for `req.path`.
+        decoder: ChunkedDecoder,
+    },
+}
+
+/// Incremental decoder for a `Transfer-Encoding: chunked` request body.
+///
+/// The connection loop re-enters [`feed`](Self::feed) after every socket
+/// read; the decoder consumes framing and payload from the front of the
+/// read buffer as it goes, so memory stays bounded by the body cap plus
+/// one read's worth of bytes no matter how the upload is sliced. The cap
+/// is enforced on the **dechunked** count the moment a chunk-size line
+/// would cross it — a client claiming an absurd chunk size is refused
+/// with `413` *before* any of that chunk's payload is buffered, so a
+/// lying or endless upload cannot exhaust memory.
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkState,
+    body: Vec<u8>,
+    cap: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkState {
+    /// Expecting a hex chunk-size line (`;`-extensions ignored).
+    Size,
+    /// Inside a chunk's payload; `usize` bytes remain.
+    Data(usize),
+    /// Expecting the CRLF that closes a chunk's payload.
+    DataCrlf,
+    /// After the zero chunk: skipping trailer lines to the blank line.
+    Trailers,
+    /// Terminator seen; the body is complete.
+    Done,
+}
+
+impl ChunkedDecoder {
+    fn new(cap: usize) -> ChunkedDecoder {
+        ChunkedDecoder {
+            state: ChunkState::Size,
+            body: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Consumes as much chunk framing and payload from the front of `buf`
+    /// as is available, returning `true` once the terminating zero chunk
+    /// (and its trailer section) has been seen. Bytes past the terminator
+    /// are left in `buf` for a pipelined successor.
+    ///
+    /// # Errors
+    ///
+    /// `413` when the dechunked byte count would cross the cap, `400` for
+    /// malformed framing. Either way the connection must be closed: the
+    /// stream position inside the chunked body is lost.
+    pub fn feed(&mut self, buf: &mut Vec<u8>) -> Result<bool, ParseError> {
+        let mut pos = 0;
+        let result = self.step(buf, &mut pos);
+        buf.drain(..pos);
+        result
+    }
+
+    fn step(&mut self, buf: &[u8], pos: &mut usize) -> Result<bool, ParseError> {
+        loop {
+            match self.state {
+                ChunkState::Done => return Ok(true),
+                ChunkState::Size => {
+                    let Some(eol) = find_crlf(&buf[*pos..]) else {
+                        if buf.len() - *pos > MAX_CHUNK_LINE_BYTES {
+                            return Err(bad("chunk size line too long"));
+                        }
+                        return Ok(false);
+                    };
+                    let line = std::str::from_utf8(&buf[*pos..*pos + eol])
+                        .map_err(|_| bad("non-UTF-8 chunk size line"))?;
+                    let hex = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(hex, 16).map_err(|_| bad("bad chunk size"))?;
+                    *pos += eol + 2;
+                    if size == 0 {
+                        self.state = ChunkState::Trailers;
+                    } else if self.body.len().saturating_add(size) > self.cap {
+                        // Refuse on the *claim*, before buffering payload.
+                        return Err(ParseError {
+                            status: 413,
+                            msg: "chunked body larger than the server accepts",
+                        });
+                    } else {
+                        self.state = ChunkState::Data(size);
+                    }
+                }
+                ChunkState::Data(remaining) => {
+                    let avail = buf.len() - *pos;
+                    if avail == 0 {
+                        return Ok(false);
+                    }
+                    let take = avail.min(remaining);
+                    self.body.extend_from_slice(&buf[*pos..*pos + take]);
+                    *pos += take;
+                    if take == remaining {
+                        self.state = ChunkState::DataCrlf;
+                    } else {
+                        self.state = ChunkState::Data(remaining - take);
+                        return Ok(false);
+                    }
+                }
+                ChunkState::DataCrlf => {
+                    if buf.len() - *pos < 2 {
+                        return Ok(false);
+                    }
+                    if &buf[*pos..*pos + 2] != b"\r\n" {
+                        return Err(bad("chunk payload not CRLF-terminated"));
+                    }
+                    *pos += 2;
+                    self.state = ChunkState::Size;
+                }
+                ChunkState::Trailers => {
+                    let Some(eol) = find_crlf(&buf[*pos..]) else {
+                        if buf.len() - *pos > MAX_HEAD_BYTES {
+                            return Err(ParseError {
+                                status: 431,
+                                msg: "trailer section too large",
+                            });
+                        }
+                        return Ok(false);
+                    };
+                    *pos += eol + 2;
+                    if eol == 0 {
+                        self.state = ChunkState::Done;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dechunked bytes buffered so far.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The complete dechunked body; call once [`feed`](Self::feed)
+    /// returned `true`.
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 /// A blocking job handed to the handler pool.
@@ -885,8 +1062,10 @@ fn encode_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
 ///
 /// A [`ParseError`] carrying the `4xx` the server answers: `431` for a
 /// head that exceeds [`MAX_HEAD_BYTES`] without terminating, `413` for a
-/// `Content-Length` above [`MAX_BODY_BYTES`] (refused before any body
-/// byte is read), `400` for everything structurally wrong.
+/// `Content-Length` above the route's cap ([`body_cap_for`]; refused
+/// before any body byte is read), `400` for everything structurally
+/// wrong — including a request carrying *both* `Transfer-Encoding` and
+/// `Content-Length`, the classic smuggling ambiguity.
 pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
@@ -910,6 +1089,7 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
     };
 
     let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     let mut deadline_ms = None;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
@@ -934,19 +1114,44 @@ pub fn parse_request(buf: &mut Vec<u8>) -> Result<Parsed, ParseError> {
                 keep_alive = true;
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(bad("chunked bodies are not supported"));
+            // Only the final "chunked" coding is supported; anything else
+            // (gzip, a repeated header) leaves the body unframeable.
+            if !value.eq_ignore_ascii_case("chunked") || chunked {
+                return Err(bad("unsupported Transfer-Encoding"));
+            }
+            chunked = true;
         } else if name.eq_ignore_ascii_case("x-deadline-ms") {
             deadline_ms = Some(value.parse().map_err(|_| bad("bad X-Deadline-Ms"))?);
         }
     }
+    let cap = body_cap_for(&path);
+    let body_start = head_end + 4;
+    if chunked {
+        // Transfer-Encoding alongside Content-Length is the other classic
+        // smuggling shape (RFC 9112 §6.3): two framings of one stream.
+        if content_length.is_some() {
+            return Err(bad("Transfer-Encoding with Content-Length"));
+        }
+        buf.drain(..body_start);
+        return Ok(Parsed::Chunked {
+            req: Request {
+                method,
+                path,
+                query,
+                body: Vec::new(),
+                keep_alive,
+                deadline_ms,
+            },
+            decoder: ChunkedDecoder::new(cap),
+        });
+    }
     let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    if content_length > cap {
         return Err(ParseError {
             status: 413,
             msg: "body larger than the server accepts",
         });
     }
-    let body_start = head_end + 4;
     if buf.len() < body_start + content_length {
         return Ok(Parsed::Incomplete); // body still arriving
     }
@@ -1070,9 +1275,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_chunked_and_oversized_with_their_statuses() {
-        let mut buf = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
-        assert_eq!(parse_request(&mut buf).unwrap_err().status, 400);
+    fn rejects_oversized_and_runaway_heads_with_their_statuses() {
         // Oversized Content-Length: refused at head-parse time with 413,
         // even though zero body bytes have arrived.
         let mut buf = format!(
@@ -1084,6 +1287,117 @@ mod tests {
         // A runaway head with no terminator: 431 once past the cap.
         let mut buf = vec![b'A'; MAX_HEAD_BYTES + 1];
         assert_eq!(parse_request(&mut buf).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn trace_uploads_get_the_large_body_cap() {
+        assert_eq!(body_cap_for("/v1/traces"), MAX_TRACE_BODY_BYTES);
+        assert_eq!(body_cap_for("/v1/simulate"), MAX_BODY_BYTES);
+        // The raised cap applies to Content-Length framing too.
+        let mut buf = format!(
+            "POST /v1/traces HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .into_bytes();
+        assert!(matches!(parse_request(&mut buf), Ok(Parsed::Incomplete)));
+    }
+
+    #[test]
+    fn frames_a_chunked_post_and_preserves_pipelined_successor() {
+        // Two chunks: "0 100" (5 bytes) then "0\r\n" (3 bytes), so the
+        // dechunked body is one din line, "0 1000\r\n".
+        let mut buf = b"POST /v1/traces HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+            5\r\n0 100\r\n3\r\n0\r\n\r\n0\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n"
+            .to_vec();
+        let Ok(Parsed::Chunked { req, mut decoder }) = parse_request(&mut buf) else {
+            panic!("expected a chunked head");
+        };
+        assert_eq!(req.path, "/v1/traces");
+        assert!(decoder.feed(&mut buf).unwrap());
+        assert_eq!(decoder.into_body(), b"0 1000\r\n");
+        // The pipelined GET stayed in the buffer, untouched.
+        let (reqs, rest) = {
+            let mut out = Vec::new();
+            while let Ok(Parsed::Request(r)) = parse_request(&mut buf) {
+                out.push(r);
+            }
+            (out, buf)
+        };
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].path, "/v1/stats");
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn chunked_bodies_decode_across_arbitrary_read_boundaries() {
+        // The same upload must dechunk identically however the socket
+        // slices it — including splits inside size lines and CRLFs.
+        let wire =
+            b"4\r\nabcd\r\n10\r\n0123456789abcdef\r\n1\r\nZ\r\n0\r\nTrailer: ignored\r\n\r\n";
+        let want = b"abcd0123456789abcdefZ";
+        for step in 1..=wire.len() {
+            let mut decoder = ChunkedDecoder::new(MAX_BODY_BYTES);
+            let mut buf = Vec::new();
+            let mut done = false;
+            for piece in wire.chunks(step) {
+                buf.extend_from_slice(piece);
+                done = decoder.feed(&mut buf).unwrap();
+            }
+            assert!(done, "step {step}");
+            assert!(buf.is_empty(), "step {step}");
+            assert_eq!(decoder.into_body(), want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_with_content_length_is_smuggling() {
+        let mut buf =
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\n"
+                .to_vec();
+        let err = parse_request(&mut buf).unwrap_err();
+        assert_eq!(err.status, 400);
+        // Non-chunked codings are unframeable here: also 400.
+        let mut buf = b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n".to_vec();
+        assert_eq!(parse_request(&mut buf).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn lying_chunked_upload_cannot_exhaust_memory() {
+        // Regression: the body cap used to be enforced only against
+        // Content-Length, so a chunked sender could stream forever. The
+        // decoder must refuse at the *claim* — before buffering payload —
+        // and also when many honest chunks accumulate past the cap.
+        let mut decoder = ChunkedDecoder::new(MAX_BODY_BYTES);
+        let mut buf = format!("{:x}\r\n", MAX_BODY_BYTES + 1).into_bytes();
+        let err = decoder.feed(&mut buf).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert_eq!(decoder.body_len(), 0, "no payload buffered for a lie");
+
+        // An "endless" upload of honest 64 KiB chunks: cut off at the cap
+        // with 413, with memory bounded by the cap the whole way.
+        let mut decoder = ChunkedDecoder::new(MAX_BODY_BYTES);
+        let mut buf = Vec::new();
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut refused = None;
+        for _ in 0..(MAX_BODY_BYTES / chunk.len() + 8) {
+            buf.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            buf.extend_from_slice(&chunk);
+            buf.extend_from_slice(b"\r\n");
+            match decoder.feed(&mut buf) {
+                Ok(done) => assert!(!done),
+                Err(e) => {
+                    refused = Some(e);
+                    break;
+                }
+            }
+            assert!(decoder.body_len() <= MAX_BODY_BYTES);
+        }
+        assert_eq!(refused.expect("endless upload must be refused").status, 413);
+
+        // A size line that never terminates is bounded too.
+        let mut decoder = ChunkedDecoder::new(MAX_BODY_BYTES);
+        let mut buf = vec![b'f'; MAX_CHUNK_LINE_BYTES + 1];
+        assert_eq!(decoder.feed(&mut buf).unwrap_err().status, 400);
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //!
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
-//! | `POST /v1/simulate` | `{"config": {...}, "trace": {"name": "mu3"}}` | full `SimResult` + the pairing's key |
+//! | `POST /v1/traces` | raw trace text (din/ChampSim/lackey; chunked upload supported) | content digest + representative-interval selection |
+//! | `POST /v1/simulate` | `{"config": {...}, "trace": {"name": "mu3"}}` — or `{"trace": {"upload": "<digest>"}}` | full `SimResult` + the pairing's key |
 //! | `POST /v1/replay` | `{"key": "<hex>", "cycle_times_ns": [20, ...]}` | one `SimResult` per timing point |
 //! | `GET /v1/stats` | — | store hits/misses/evictions, in-flight, per-endpoint latency |
 //! | `GET /v1/metrics` | — | the same counters as Prometheus text exposition |
@@ -56,6 +57,7 @@ pub mod http;
 pub mod poll;
 pub mod stats;
 pub mod store;
+pub mod upload;
 
 pub use http::{serve, serve_with_app, Request, ServerConfig, ServerHandle};
 
@@ -65,8 +67,10 @@ use cachetime_obs::Registry;
 use cachetime_types::{json_object, Json};
 use client::{ClientConfig, HttpClient, ShardRing};
 use fault::{DiskFaultAction, FaultPlan};
-use stats::{FleetMetrics, ServerStats};
+use cachetime_trace::import::TraceFormat;
+use stats::{FleetMetrics, IngestMetrics, ServerStats};
 use store::{Fetch, StoreMetrics, TraceStore, TryGet};
+use upload::UploadStore;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -275,10 +279,14 @@ pub struct RebalanceReport {
 pub struct App {
     /// The content-addressed EventTrace store.
     pub store: TraceStore,
+    /// The content-addressed uploaded-trace store (`POST /v1/traces`).
+    pub uploads: UploadStore,
     /// Request counters and latency histograms.
     pub stats: ServerStats,
     /// Peer-handoff counters (zero unless the server is in a fleet).
     pub fleet_stats: FleetMetrics,
+    /// Trace-ingestion counters (zero until an upload arrives).
+    pub ingest_stats: IngestMetrics,
     registry: Arc<Registry>,
     limits: Limits,
     faults: Arc<FaultPlan>,
@@ -312,8 +320,10 @@ impl App {
                 STORE_SHARDS,
                 StoreMetrics::in_registry(&registry),
             ),
+            uploads: UploadStore::new(upload::DEFAULT_UPLOAD_BUDGET_BYTES),
             stats: ServerStats::in_registry(&registry),
             fleet_stats: FleetMetrics::in_registry(&registry),
+            ingest_stats: IngestMetrics::in_registry(&registry),
             registry,
             limits: Limits::default(),
             faults: Arc::new(FaultPlan::inert()),
@@ -503,7 +513,8 @@ impl App {
                 let degraded = self.is_degraded();
                 self.stats.degraded.set(degraded as i64);
                 let disk = self.disk.as_ref().map(|d| d.metrics());
-                Response::ok(self.stats.to_json(&self.store, disk, &self.fleet_stats, degraded))
+                let ingest = self.ingest_stats.to_json(self.uploads.stats());
+                Response::ok(self.stats.to_json(&self.store, disk, &self.fleet_stats, ingest, degraded))
             }
             ("GET", "/v1/metrics") => {
                 self.stats.degraded.set(self.is_degraded() as i64);
@@ -516,6 +527,9 @@ impl App {
             }
             ("POST", "/v1/simulate") => return self.try_simulate(&req.body),
             ("POST", "/v1/replay") => return self.try_replay(&req.body),
+            // Parsing and profiling a multi-megabyte upload is CPU-bound:
+            // handler-pool work, never the loop thread's.
+            ("POST", "/v1/traces") => return None,
             // The segment key list is an index read — no disk I/O.
             ("GET", "/v1/segments") => self.segment_keys(),
             // A segment body read and a rebalance pass both touch the
@@ -540,6 +554,7 @@ impl App {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/simulate") => self.simulate(&req.body, deadline),
             ("POST", "/v1/replay") => self.replay(&req.body, deadline),
+            ("POST", "/v1/traces") => self.ingest(req),
             ("GET", p) if p.starts_with("/v1/segments/") => {
                 self.segment(&p["/v1/segments/".len()..])
             }
@@ -731,6 +746,12 @@ impl App {
         Ok(report)
     }
 
+    /// Whether the durable store's index holds `key` (false without a
+    /// disk). An index read, never segment I/O.
+    fn on_disk(&self, key: u64) -> bool {
+        self.disk.as_ref().is_some_and(|d| d.contains(key))
+    }
+
     /// Applies the `peer.fetch` fault rule (if armed) to fetched segment
     /// bytes; `None` models a transfer that failed outright.
     fn mangle_transfer(&self, bytes: &[u8]) -> Option<Vec<u8>> {
@@ -747,6 +768,126 @@ impl App {
         cachetime_disk::mangle(bytes, fault)
     }
 
+    /// `POST /v1/traces`: ingest one uploaded trace body.
+    ///
+    /// The body is raw trace text in any supported format (din,
+    /// ChampSim-style, valgrind-lackey), framed by `Content-Length` or
+    /// `Transfer-Encoding: chunked`. Query parameters:
+    /// `format=din|champsim|lackey` (sniffed from the first lines when
+    /// absent), `name=<label>`, `warm=<refs>` (warm-up prefix length),
+    /// `window=<refs>` and `picks=<k>` (representative-interval
+    /// selection; defaults adapt to the trace length).
+    ///
+    /// The answer carries the upload's content digest — the handle
+    /// `/v1/simulate` accepts as `{"trace": {"upload": "<digest>"}}` —
+    /// plus the interval selection: at most `picks` windows with weights,
+    /// and the selection's self-measured `profile_error`.
+    fn ingest(&self, req: &Request) -> Response {
+        let mut format = None;
+        let mut name = String::from("upload");
+        let mut warm = 0usize;
+        let mut window = None;
+        let mut picks = upload::DEFAULT_PICKS;
+        for pair in req.query.as_deref().unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+            let reject = |msg: String| {
+                self.ingest_stats.rejected.inc();
+                Response::error(400, &msg)
+            };
+            match pair.split_once('=') {
+                Some(("format", v)) => match TraceFormat::from_name(v) {
+                    Some(f) => format = Some(f),
+                    None => {
+                        return reject(format!(
+                            "unknown format {v:?}; expected din, champsim, or lackey"
+                        ))
+                    }
+                },
+                Some(("name", v)) => name = v.to_string(),
+                Some(("warm", v)) => match v.parse() {
+                    Ok(n) => warm = n,
+                    Err(_) => return reject("warm must be a non-negative integer".into()),
+                },
+                Some(("window", v)) => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => window = Some(n),
+                    _ => return reject("window must be a positive integer".into()),
+                },
+                Some(("picks", v)) => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => picks = n,
+                    _ => return reject("picks must be a positive integer".into()),
+                },
+                _ => {
+                    return reject(format!(
+                        "unknown query parameter {pair:?}; traces accepts format, name, warm, window, picks"
+                    ))
+                }
+            }
+        }
+        if req.body.is_empty() {
+            self.ingest_stats.rejected.inc();
+            return Response::error(400, "empty upload body");
+        }
+        let (trace, digest, format, truncated) =
+            match upload::ingest(&req.body, format, &name, warm) {
+                Ok(parsed) => parsed,
+                Err(msg) => {
+                    self.ingest_stats.rejected.inc();
+                    return Response::error(400, &msg);
+                }
+            };
+        let refs = trace.len() as u64;
+        let warm_start = trace.warm_start() as u64;
+        let (profile, selection) = upload::select_intervals(&trace, window, picks);
+        let bytes = upload::trace_bytes(&trace);
+        let inserted = self.uploads.insert(upload::UploadedTrace {
+            digest,
+            trace: Arc::new(trace),
+            format,
+            truncated,
+            bytes,
+        });
+        self.ingest_stats.uploads.inc();
+        if !inserted.fresh {
+            self.ingest_stats.deduplicated.inc();
+        }
+        self.ingest_stats.evicted.add(inserted.evicted);
+        self.ingest_stats.refs.add(refs);
+        self.ingest_stats.bytes.add(req.body.len() as u64);
+        self.ingest_stats.truncated.add(truncated);
+        let picks_json: Vec<Json> = selection
+            .picks
+            .iter()
+            .map(|p| {
+                json_object([
+                    ("window", Json::UInt(p.window as u64)),
+                    ("start_ref", Json::UInt(p.start_ref as u64)),
+                    ("len", Json::UInt(p.len as u64)),
+                    ("weight", Json::Float(p.weight)),
+                ])
+            })
+            .collect();
+        Response::ok(json_object([
+            ("digest", Json::Str(api::key_hex(digest))),
+            ("format", Json::Str(format.name().into())),
+            ("refs", Json::UInt(refs)),
+            ("warm_start", Json::UInt(warm_start)),
+            ("truncated_refs", Json::UInt(truncated)),
+            ("deduplicated", Json::Bool(!inserted.fresh)),
+            (
+                "selection",
+                json_object([
+                    ("window_refs", Json::UInt(profile.window_refs as u64)),
+                    ("windows", Json::UInt(profile.windows.len() as u64)),
+                    ("picks", Json::Array(picks_json)),
+                    ("profile_error", Json::Float(selection.profile_error)),
+                    (
+                        "error_bound",
+                        Json::Float(cachetime_trace::interval::PROFILE_ERROR_BOUND),
+                    ),
+                ]),
+            ),
+        ]))
+    }
+
     /// The warm-path simulate: answered inline iff the pairing's trace is
     /// resident. Parse and validation errors are also answered inline —
     /// they never block.
@@ -759,13 +900,26 @@ impl App {
             Ok(c) => c,
             Err(msg) => return Some(Response::error(400, &msg)),
         };
-        let workload = match api::workload_from_json(v.get("trace")) {
-            Ok(w) => w,
+        let selector = match api::trace_selector_from_json(v.get("trace")) {
+            Ok(s) => s,
             Err(msg) => return Some(Response::error(400, &msg)),
         };
         let org = config.organization();
-        let key = keyed::trace_key(&org, &workload);
+        let key = match &selector {
+            api::TraceSelector::Catalog(w) => keyed::trace_key(&org, w),
+            api::TraceSelector::Upload(digest) => keyed::upload_trace_key(&org, *digest),
+        };
         let TryGet::Ready(events) = self.store.try_get(key) else {
+            // An upload that is neither recorded nor resident can never be
+            // recorded by the pool: answer the 404 inline.
+            if let api::TraceSelector::Upload(digest) = selector {
+                if self.uploads.get(digest).is_none() && !self.on_disk(key) {
+                    return Some(Response::error(
+                        404,
+                        "unknown upload digest: not uploaded yet or evicted; POST /v1/traces first",
+                    ));
+                }
+            }
             return None; // cold or in flight: the pool records/joins
         };
         Some(match cachetime::replay(&events, &config) {
@@ -847,12 +1001,30 @@ impl App {
             Ok(c) => c,
             Err(msg) => return Response::error(400, &msg),
         };
-        let workload = match api::workload_from_json(v.get("trace")) {
-            Ok(w) => w,
+        let selector = match api::trace_selector_from_json(v.get("trace")) {
+            Ok(s) => s,
             Err(msg) => return Response::error(400, &msg),
         };
         let org = config.organization();
-        let key = keyed::trace_key(&org, &workload);
+        // Resolve the selector to its content key and a recorder closure.
+        // An upload must be resident (or its recording on disk) to record
+        // from; a catalog workload can always be regenerated.
+        let (key, source) = match &selector {
+            api::TraceSelector::Catalog(w) => (keyed::trace_key(&org, w), None),
+            api::TraceSelector::Upload(digest) => {
+                let key = keyed::upload_trace_key(&org, *digest);
+                match self.uploads.get(*digest) {
+                    Some(up) => (key, Some(up)),
+                    None if self.on_disk(key) => (key, None),
+                    None => {
+                        return Response::error(
+                            404,
+                            "unknown upload digest: not uploaded yet or evicted; POST /v1/traces first",
+                        )
+                    }
+                }
+            }
+        };
         // Distinguishes a disk read-through from a fresh recording after
         // the closure runs: only fresh recordings spill back to disk.
         let from_disk = std::cell::Cell::new(false);
@@ -868,7 +1040,15 @@ impl App {
                     }
                 }
                 self.faults.inject("serve.record");
-                keyed::record(&org, &workload).1
+                match &selector {
+                    api::TraceSelector::Catalog(w) => keyed::record(&org, w).1,
+                    api::TraceSelector::Upload(digest) => {
+                        let up = source
+                            .as_ref()
+                            .expect("resident upload checked before recording");
+                        keyed::record_upload(&org, *digest, &up.trace).1
+                    }
+                }
             },
         );
         let (events, cached) = match fetched {
@@ -1249,6 +1429,99 @@ mod tests {
         };
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn req_q(method: &str, path: &str, query: &str, body: Vec<u8>) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: Some(query.into()),
+            body,
+            keep_alive: true,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn uploaded_traces_simulate_bit_identical_to_direct_runs() {
+        let app = App::new(usize::MAX);
+        // Serialize a catalog trace to din text and upload it.
+        let trace = cachetime_trace::catalog::mu3(0.005).generate();
+        let mut body = Vec::new();
+        cachetime_trace::io::write_din(&mut body, trace.refs()).unwrap();
+        let warm = trace.warm_start();
+        let r = app.handle(&req_q("POST", "/v1/traces", &format!("warm={warm}"), body.clone()));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let up = parse(&r);
+        assert_eq!(up.get("format").and_then(Json::as_str), Some("din"));
+        assert_eq!(up.get("refs").and_then(Json::as_u64), Some(trace.len() as u64));
+        assert_eq!(up.get("deduplicated").and_then(Json::as_bool), Some(false));
+        let digest = up.get("digest").and_then(Json::as_str).unwrap().to_string();
+        let sel = up.get("selection").unwrap();
+        assert!(sel.get("picks").and_then(Json::as_array).is_some_and(|p| !p.is_empty()));
+
+        // Re-upload: same digest, deduplicated.
+        let r2 = parse(&app.handle(&req_q(
+            "POST",
+            "/v1/traces",
+            &format!("warm={warm}"),
+            body,
+        )));
+        assert_eq!(r2.get("digest").and_then(Json::as_str), Some(digest.as_str()));
+        assert_eq!(r2.get("deduplicated").and_then(Json::as_bool), Some(true));
+
+        // Simulate by digest: bit-identical to a direct Simulator run.
+        let sim_body = format!(r#"{{"trace": {{"upload": "{digest}"}}}}"#);
+        let first = app.handle(&req("POST", "/v1/simulate", &sim_body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let first = parse(&first);
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        let config = cachetime::SystemConfig::paper_default().unwrap();
+        let direct = cachetime::Simulator::new(&config).run(&trace);
+        assert_eq!(first.get("result"), Some(&api::sim_result_to_json(&direct)));
+
+        // Second simulate is a warm hit; replay by the returned key works.
+        let second = parse(&app.handle(&req("POST", "/v1/simulate", &sim_body)));
+        assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+        let key = first.get("key").and_then(Json::as_str).unwrap();
+        let replay_body = format!(r#"{{"key": "{key}", "cycle_times_ns": [40]}}"#);
+        let r = parse(&app.handle(&req("POST", "/v1/replay", &replay_body)));
+        let results = r.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(Some(&results[0]), first.get("result"));
+
+        // An unknown digest is a 404; a malformed body a 400.
+        let r = app.handle(&req(
+            "POST",
+            "/v1/simulate",
+            r#"{"trace": {"upload": "00000000deadbeef"}}"#,
+        ));
+        assert_eq!(r.status, 404, "{}", r.body);
+        let r = app.handle(&req(
+            "POST",
+            "/v1/simulate",
+            r#"{"trace": {"upload": "ff", "name": "mu3"}}"#,
+        ));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn ingest_rejects_garbage_and_counts_it() {
+        let app = App::new(usize::MAX);
+        for (query, body) in [
+            ("", &b""[..]),
+            ("format=elf", b"0 1000\n"),
+            ("", b"not a trace at all\x00\xff"),
+            ("warm=soon", b"0 1000\n"),
+        ] {
+            let r = app.handle(&req_q("POST", "/v1/traces", query, body.to_vec()));
+            assert_eq!(r.status, 400, "query={query:?}: {}", r.body);
+        }
+        assert_eq!(app.ingest_stats.rejected.get(), 4);
+        assert_eq!(app.ingest_stats.uploads.get(), 0);
+        // Stats payload carries the ingest block.
+        let stats = parse(&app.handle(&req("GET", "/v1/stats", "")));
+        let ingest = stats.get("ingest").unwrap();
+        assert_eq!(ingest.get("rejected").and_then(Json::as_u64), Some(4));
     }
 
     #[test]

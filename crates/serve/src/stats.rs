@@ -34,6 +34,8 @@ pub struct ServerStats {
     pub simulate: Arc<Histogram>,
     /// Latency of `POST /v1/replay` (µs).
     pub replay: Arc<Histogram>,
+    /// Latency of `POST /v1/traces` (µs) — parse + digest + profile.
+    pub ingest: Arc<Histogram>,
     /// Latency of `GET /v1/stats` and `GET /v1/metrics` (µs).
     pub stats: Arc<Histogram>,
     /// Latency of everything else (healthz, 404s, shutdown) (µs).
@@ -55,6 +57,7 @@ impl ServerStats {
             degraded: registry.gauge("cachetime_server_degraded", &[]),
             simulate: duration("simulate"),
             replay: duration("replay"),
+            ingest: duration("ingest"),
             stats: duration("stats"),
             other: duration("other"),
         }
@@ -123,12 +126,72 @@ impl Default for FleetMetrics {
     }
 }
 
+/// Trace-ingestion counters for `POST /v1/traces`. Registered eagerly at
+/// `App` construction like [`FleetMetrics`], so the `cachetime_ingest_*`
+/// families always scrape (at zero on a server that never saw an
+/// upload).
+pub struct IngestMetrics {
+    /// Uploads accepted (fresh digests and dedups alike).
+    pub uploads: Arc<Counter>,
+    /// Uploads refused: undetectable format, parse errors, empty bodies.
+    pub rejected: Arc<Counter>,
+    /// Uploads whose digest was already resident (stored once).
+    pub deduplicated: Arc<Counter>,
+    /// References parsed out of accepted uploads.
+    pub refs: Arc<Counter>,
+    /// Wire bytes of accepted upload bodies.
+    pub bytes: Arc<Counter>,
+    /// Sub-word byte addresses truncated to word granularity.
+    pub truncated: Arc<Counter>,
+    /// Uploads evicted from the store by the byte budget.
+    pub evicted: Arc<Counter>,
+}
+
+impl IngestMetrics {
+    /// Handles registered in `registry` under the `cachetime_ingest_*`
+    /// families.
+    pub fn in_registry(registry: &Registry) -> Self {
+        IngestMetrics {
+            uploads: registry.counter("cachetime_ingest_uploads_total", &[]),
+            rejected: registry.counter("cachetime_ingest_rejected_total", &[]),
+            deduplicated: registry.counter("cachetime_ingest_deduplicated_total", &[]),
+            refs: registry.counter("cachetime_ingest_refs_total", &[]),
+            bytes: registry.counter("cachetime_ingest_bytes_total", &[]),
+            truncated: registry.counter("cachetime_ingest_truncated_refs_total", &[]),
+            evicted: registry.counter("cachetime_ingest_evicted_total", &[]),
+        }
+    }
+
+    /// The `ingest` object of the `/v1/stats` payload; `(entries, bytes)`
+    /// is the upload store's live residency.
+    pub fn to_json(&self, resident: (usize, usize)) -> Json {
+        json_object([
+            ("uploads", Json::UInt(self.uploads.get())),
+            ("rejected", Json::UInt(self.rejected.get())),
+            ("deduplicated", Json::UInt(self.deduplicated.get())),
+            ("refs", Json::UInt(self.refs.get())),
+            ("bytes", Json::UInt(self.bytes.get())),
+            ("truncated_refs", Json::UInt(self.truncated.get())),
+            ("evicted", Json::UInt(self.evicted.get())),
+            ("resident_entries", Json::UInt(resident.0 as u64)),
+            ("resident_bytes", Json::UInt(resident.1 as u64)),
+        ])
+    }
+}
+
+impl Default for IngestMetrics {
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
+}
+
 impl ServerStats {
     /// The histogram a request path belongs to.
     pub fn endpoint(&self, method: &str, path: &str) -> &Histogram {
         match (method, path) {
             ("POST", "/v1/simulate") => &self.simulate,
             ("POST", "/v1/replay") => &self.replay,
+            ("POST", "/v1/traces") => &self.ingest,
             ("GET", "/v1/stats") | ("GET", "/v1/metrics") => &self.stats,
             _ => &self.other,
         }
@@ -143,6 +206,7 @@ impl ServerStats {
         store: &crate::store::TraceStore,
         disk: Option<&cachetime_disk::DiskMetrics>,
         fleet: &FleetMetrics,
+        ingest: Json,
         degraded: bool,
     ) -> Json {
         let s = store.stats();
@@ -192,6 +256,7 @@ impl ServerStats {
             ),
             ("disk", disk),
             ("fleet", fleet.to_json()),
+            ("ingest", ingest),
             (
                 "server",
                 json_object([
@@ -256,12 +321,14 @@ mod tests {
         let s = ServerStats::default();
         s.endpoint("POST", "/v1/simulate").record(5);
         s.endpoint("POST", "/v1/replay").record(5);
+        s.endpoint("POST", "/v1/traces").record(5);
         s.endpoint("GET", "/v1/stats").record(5);
         s.endpoint("GET", "/v1/metrics").record(5);
         s.endpoint("GET", "/healthz").record(5);
         s.endpoint("POST", "/nonsense").record(5);
         assert_eq!(s.simulate.count(), 1);
         assert_eq!(s.replay.count(), 1);
+        assert_eq!(s.ingest.count(), 1);
         assert_eq!(s.stats.count(), 2);
         assert_eq!(s.other.count(), 2);
     }

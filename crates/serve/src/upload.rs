@@ -1,0 +1,304 @@
+//! The content-addressed uploaded-trace store behind `POST /v1/traces`.
+//!
+//! An upload is named by its [`keyed::upload_digest`] — a stable hash of
+//! the reference stream plus the warm boundary, *not* of the text bytes
+//! or the name — so re-uploading the same trace (in any supported
+//! format, under any name) resolves to the same digest and is
+//! deduplicated instead of stored twice. `/v1/simulate` then names the
+//! upload by digest exactly like a catalog trace by name: the two-phase
+//! engine keys its Phase A recording on
+//! [`keyed::upload_trace_key`]`(org, digest)`, so every later timing
+//! question replays against the recorded events without resending the
+//! trace.
+//!
+//! Residency is LRU under a byte budget, like the
+//! [`TraceStore`](crate::store::TraceStore) it feeds: uploads are
+//! interactive state, not durable artifacts. An evicted digest simply
+//! requires re-uploading (the recorded EventTraces it produced remain
+//! addressable for replay as long as *they* stay resident).
+
+use cachetime::keyed;
+use cachetime_trace::import::TraceFormat;
+use cachetime_trace::interval::{IntervalProfile, Selection};
+use cachetime_trace::Trace;
+use cachetime_types::MemRef;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default byte budget of the upload store (per-ref accounting, not the
+/// wire size of the upload text).
+pub const DEFAULT_UPLOAD_BUDGET_BYTES: usize = 256 * 1024 * 1024;
+
+/// Representative-interval defaults: the selector aims for at most this
+/// many picked windows unless the request asks otherwise.
+pub const DEFAULT_PICKS: usize = 10;
+/// The selection seed; fixed so a re-upload reports the identical
+/// selection (the endpoint is deterministic end to end).
+pub const SELECTION_SEED: u64 = 0x1a7e_5e1e_c70f_u64;
+
+/// One ingested trace with the metadata the endpoints report.
+#[derive(Debug)]
+pub struct UploadedTrace {
+    /// The content digest ([`keyed::upload_digest`]).
+    pub digest: u64,
+    /// The parsed trace.
+    pub trace: Arc<Trace>,
+    /// The format the upload was parsed as.
+    pub format: TraceFormat,
+    /// Sub-word byte addresses truncated to word granularity during
+    /// parsing (external tools are byte-granular; see
+    /// `cachetime_trace::io::Alignment`).
+    pub truncated: u64,
+    /// Resident-size estimate charged against the store budget.
+    pub bytes: usize,
+}
+
+/// What [`UploadStore::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inserted {
+    /// `false` when the digest was already resident (deduplicated).
+    pub fresh: bool,
+    /// Entries evicted to fit the newcomer under the budget.
+    pub evicted: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Arc<UploadedTrace>>,
+    /// LRU order, oldest first. Small relative to the traces themselves,
+    /// so a linear touch is fine.
+    order: Vec<u64>,
+    bytes: usize,
+}
+
+/// See the [module docs](self).
+pub struct UploadStore {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl UploadStore {
+    /// An empty store with the given byte budget.
+    pub fn new(budget_bytes: usize) -> UploadStore {
+        UploadStore {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                bytes: 0,
+            }),
+            budget: budget_bytes,
+        }
+    }
+
+    /// Inserts an ingested trace under its digest, evicting LRU entries
+    /// as needed. A digest already resident is *not* replaced (equal
+    /// digests mean equal content); it is touched and reported as a
+    /// dedup.
+    pub fn insert(&self, entry: UploadedTrace) -> Inserted {
+        let mut inner = self.inner.lock().expect("upload store poisoned");
+        let digest = entry.digest;
+        if inner.entries.contains_key(&digest) {
+            touch(&mut inner.order, digest);
+            return Inserted {
+                fresh: false,
+                evicted: 0,
+            };
+        }
+        inner.bytes += entry.bytes;
+        inner.entries.insert(digest, Arc::new(entry));
+        inner.order.push(digest);
+        // Evict oldest-first until under budget — but never the entry
+        // just inserted, so one oversized upload still lands.
+        let mut evicted = 0;
+        while inner.bytes > self.budget && inner.order.len() > 1 {
+            let victim = inner.order.remove(0);
+            if let Some(old) = inner.entries.remove(&victim) {
+                inner.bytes -= old.bytes;
+                evicted += 1;
+            }
+        }
+        Inserted {
+            fresh: true,
+            evicted,
+        }
+    }
+
+    /// The upload named by `digest`, touching its LRU position.
+    pub fn get(&self, digest: u64) -> Option<Arc<UploadedTrace>> {
+        let mut inner = self.inner.lock().expect("upload store poisoned");
+        let found = inner.entries.get(&digest).cloned();
+        if found.is_some() {
+            touch(&mut inner.order, digest);
+        }
+        found
+    }
+
+    /// `(entries, resident bytes)`.
+    pub fn stats(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("upload store poisoned");
+        (inner.entries.len(), inner.bytes)
+    }
+}
+
+fn touch(order: &mut Vec<u64>, digest: u64) {
+    if let Some(pos) = order.iter().position(|&d| d == digest) {
+        order.remove(pos);
+        order.push(digest);
+    }
+}
+
+/// The per-ref resident cost charged to the budget, plus a fixed
+/// per-trace overhead for the allocation and bookkeeping.
+pub fn trace_bytes(trace: &Trace) -> usize {
+    trace.len() * std::mem::size_of::<MemRef>() + 256
+}
+
+/// Parses one uploaded body into a trace, streaming: the importer walks
+/// the bytes once, and the digest and interval profile are computed in
+/// the same pass over the growing ref vector.
+///
+/// Returns the trace, the digest, the format actually used, and the
+/// count of truncated sub-word addresses.
+///
+/// # Errors
+///
+/// A human-readable message (a 400 at the endpoint): undetectable
+/// format, a parse error with its line number, or an empty trace.
+pub fn ingest(
+    bytes: &[u8],
+    format: Option<TraceFormat>,
+    name: &str,
+    warm_refs: usize,
+) -> Result<(Trace, u64, TraceFormat, u64), String> {
+    let format = match format {
+        Some(f) => f,
+        None => {
+            let sample_len = bytes.len().min(4096);
+            let sample = String::from_utf8_lossy(&bytes[..sample_len]);
+            TraceFormat::sniff(&sample).ok_or_else(|| {
+                "cannot detect trace format; pass ?format=din|champsim|lackey".to_string()
+            })?
+        }
+    };
+    let mut iter = cachetime_trace::import::ImportIter::new(bytes, format);
+    let mut refs: Vec<MemRef> = Vec::new();
+    let mut digest = keyed::UploadDigest::new();
+    for r in &mut iter {
+        let r = r.map_err(|e| e.to_string())?;
+        digest.push(r);
+        refs.push(r);
+    }
+    let truncated = iter.truncated();
+    if refs.is_empty() {
+        return Err("upload contains no references".to_string());
+    }
+    let warm_start = warm_refs.min(refs.len());
+    let digest = digest.finish(warm_start);
+    Ok((Trace::new(name, refs, warm_start), digest, format, truncated))
+}
+
+/// Profiles an ingested trace into fixed windows and picks at most `k`
+/// representatives — the `selection` object of the upload response.
+///
+/// The window size adapts to the trace (1/40th of its length, at least
+/// 1024 refs) unless the caller fixes one, so a million-reference upload
+/// profiles into ~40 windows and is priced from ≤ `k` of them.
+pub fn select_intervals(
+    trace: &Trace,
+    window_refs: Option<usize>,
+    k: usize,
+) -> (IntervalProfile, Selection) {
+    let window = window_refs.unwrap_or_else(|| (trace.len() / 40).max(1024));
+    let profile = IntervalProfile::scan(trace.refs(), window.max(1));
+    let selection = Selection::pick(&profile, k.max(1), SELECTION_SEED);
+    (profile, selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachetime_types::{Pid, WordAddr};
+
+    fn mk(digest: u64, refs: usize) -> UploadedTrace {
+        let refs: Vec<MemRef> = (0..refs)
+            .map(|i| MemRef::load(WordAddr::new(i as u64), Pid(0)))
+            .collect();
+        let trace = Trace::new("t", refs, 0);
+        let bytes = trace_bytes(&trace);
+        UploadedTrace {
+            digest,
+            trace: Arc::new(trace),
+            format: TraceFormat::Din,
+            truncated: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn insert_dedups_and_get_resolves() {
+        let store = UploadStore::new(usize::MAX);
+        assert!(store.insert(mk(1, 10)).fresh);
+        assert!(!store.insert(mk(1, 10)).fresh, "same digest dedups");
+        assert!(store.get(1).is_some());
+        assert!(store.get(2).is_none());
+        assert_eq!(store.stats().0, 1);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let one = mk(1, 10).bytes;
+        let store = UploadStore::new(2 * one + one / 2);
+        store.insert(mk(1, 10));
+        store.insert(mk(2, 10));
+        // Touch 1 so 2 is the LRU victim.
+        store.get(1);
+        let ins = store.insert(mk(3, 10));
+        assert!(ins.fresh);
+        assert_eq!(ins.evicted, 1);
+        assert!(store.get(2).is_none(), "LRU entry evicted");
+        assert!(store.get(1).is_some());
+        assert!(store.get(3).is_some());
+    }
+
+    #[test]
+    fn an_oversized_upload_still_lands_alone() {
+        let store = UploadStore::new(1);
+        assert!(store.insert(mk(7, 100)).fresh);
+        assert!(store.get(7).is_some());
+    }
+
+    #[test]
+    fn ingest_parses_sniffs_and_digests() {
+        let body = b"0 1000\n1 2004 3\n2 3ffc\n";
+        let (trace, digest, format, truncated) = ingest(body, None, "up", 1).unwrap();
+        assert_eq!(format, TraceFormat::Din);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.warm_start(), 1);
+        assert_eq!(truncated, 0);
+        assert_eq!(digest, keyed::upload_digest(&trace));
+        // Same refs in ChampSim syntax: same digest (content, not text).
+        let champ = b"L 0x1000\nS 0x2004 3\nI 0x3ffc\n";
+        let (t2, d2, f2, _) = ingest(champ, None, "other-name", 1).unwrap();
+        assert_eq!(f2, TraceFormat::ChampSim);
+        assert_eq!(t2.refs(), trace.refs());
+        assert_eq!(d2, digest);
+        // Errors carry the line number; empty uploads are refused.
+        let err = ingest(b"0 1000\nbogus line\n", None, "x", 0).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(ingest(b"# only a comment\n", Some(TraceFormat::Din), "x", 0).is_err());
+    }
+
+    #[test]
+    fn select_intervals_is_deterministic_and_bounded() {
+        let refs: Vec<MemRef> = (0..50_000)
+            .map(|i| MemRef::load(WordAddr::new((i * 17) % 4096), Pid(0)))
+            .collect();
+        let trace = Trace::new("t", refs, 0);
+        let (profile, sel) = select_intervals(&trace, None, DEFAULT_PICKS);
+        assert!(profile.windows.len() >= 2);
+        assert!(!sel.picks.is_empty() && sel.picks.len() <= DEFAULT_PICKS);
+        let total: f64 = sel.picks.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let (_, again) = select_intervals(&trace, None, DEFAULT_PICKS);
+        assert_eq!(sel.picks, again.picks, "fixed seed, fixed picks");
+    }
+}

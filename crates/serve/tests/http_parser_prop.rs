@@ -56,6 +56,7 @@ fn garbage_never_panics_and_errors_carry_real_statuses() {
                     prop_assert!(input.len() <= MAX_HEAD_BYTES || has_head_end(input));
                 }
                 Ok(Parsed::Request(_)) => {} // garbage that happens to parse is fine
+                Ok(Parsed::Chunked { .. }) => {} // ...as is a chunked head
                 Err(status) => {
                     prop_assert!(
                         status == 400 || status == 413 || status == 431,
@@ -145,6 +146,9 @@ fn valid_requests_round_trip_and_prefixes_never_error() {
                 Ok(Parsed::Request(_)) => {
                     return Err("prefix parsed as a complete request".into())
                 }
+                Ok(Parsed::Chunked { .. }) => {
+                    return Err("Content-Length prefix parsed as chunked".into())
+                }
                 Err(s) => return Err(format!("prefix rejected with {s}")),
             }
             // The full bytes parse back to exactly what was serialized.
@@ -231,6 +235,62 @@ fn duplicate_content_length_is_always_400() {
                 Err(400) => Ok(()),
                 other => Err(format!("duplicate Content-Length parsed: {other:?}")),
             }
+        },
+    );
+}
+
+#[test]
+fn chunked_uploads_round_trip_under_any_chunking_and_read_slicing() {
+    // Two independent randomizations: how the sender splits the body into
+    // chunks, and how the "socket" slices the wire into reads. The
+    // dechunked body must be bit-identical to the original either way.
+    check(
+        "chunked_uploads_round_trip",
+        |rng| {
+            let mut body = vec![0u8; rng.gen_range(0usize..2048)];
+            rng.fill(&mut body);
+            let mut splits = Vec::new();
+            let mut at = 0;
+            while at < body.len() {
+                let take = rng.gen_range(1usize..512).min(body.len() - at);
+                splits.push(take);
+                at += take;
+            }
+            (body, splits, rng.gen_range(1usize..97))
+        },
+        shrink::none,
+        |(body, splits, read_size)| {
+            let mut wire = b"POST /v1/traces HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+            let mut at = 0;
+            for take in splits {
+                wire.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+                wire.extend_from_slice(&body[at..at + take]);
+                wire.extend_from_slice(b"\r\n");
+                at += take;
+            }
+            wire.extend_from_slice(b"0\r\n\r\n");
+            let mut buf = Vec::new();
+            let mut pending = None;
+            let mut result = None;
+            for piece in wire.chunks(*read_size) {
+                buf.extend_from_slice(piece);
+                if pending.is_none() {
+                    match parse_caught(&mut buf)? {
+                        Ok(Parsed::Incomplete) => continue,
+                        Ok(Parsed::Chunked { decoder, .. }) => pending = Some(decoder),
+                        other => return Err(format!("head did not frame chunked: {other:?}")),
+                    }
+                }
+                if let Some(decoder) = pending.as_mut() {
+                    if decoder.feed(&mut buf).map_err(|e| format!("feed: {}", e.msg))? {
+                        result = Some(pending.take().ok_or("decoder vanished")?.into_body());
+                    }
+                }
+            }
+            let got = result.ok_or("upload never completed")?;
+            prop_assert_eq!(&got, body);
+            prop_assert!(buf.is_empty(), "terminator bytes not drained");
+            Ok(())
         },
     );
 }

@@ -13,12 +13,37 @@
 //! The optional third field is a `cachetime` extension carrying the
 //! process id (default 0) so multiprogrammed traces round-trip; `#`-prefix
 //! comment lines and blank lines are ignored.
+//!
+//! The simulator is word-granular ([`WordAddr`]), so a byte address that
+//! is not a multiple of [`BYTES_PER_WORD`](cachetime_types::BYTES_PER_WORD)
+//! cannot round-trip: `write_din` would emit the word-aligned address and
+//! `write_din(parse_din(x)) != x`. Rather than corrupt silently, the
+//! parser takes an explicit [`Alignment`] policy: the default
+//! ([`Alignment::Reject`]) errors on sub-word offsets, so everything a
+//! strict parse accepts round-trips byte-identically; byte-granular
+//! sources (valgrind lackey, ChampSim) opt into [`Alignment::Truncate`],
+//! which drops the sub-word bits and counts how many lines were affected
+//! so callers can surface the loss instead of hiding it.
 
 use crate::trace::Trace;
-use cachetime_types::{AccessKind, MemRef, Pid, WordAddr};
+use cachetime_types::{AccessKind, MemRef, Pid, WordAddr, BYTES_PER_WORD};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, Write};
+
+/// What to do with byte addresses that are not word-aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Alignment {
+    /// Error on sub-word byte addresses (the default): every reference a
+    /// strict parse accepts serializes back to the identical text, so
+    /// `write_din ∘ parse_din` is the identity on accepted input.
+    #[default]
+    Reject,
+    /// Drop the sub-word bits (what `WordAddr::from_byte_addr` does) and
+    /// count the affected lines. For byte-granular formats where sub-word
+    /// offsets are expected, not suspicious.
+    Truncate,
+}
 
 /// A malformed `din` line.
 #[derive(Debug)]
@@ -43,20 +68,27 @@ impl From<ParseDinError> for io::Error {
     }
 }
 
-/// Parses a `din` stream into references.
+/// Parses a `din` stream into references under the strict (default)
+/// [`Alignment::Reject`] policy.
 ///
 /// # Errors
 ///
 /// Returns [`ParseDinError`] (wrapped in `io::Error` by the `From` impl
-/// where convenient) on unknown labels, bad hex, or trailing junk; plain
-/// `io::Error` on read failures is surfaced as a parse error with the
-/// offending line number.
+/// where convenient) on unknown labels, bad hex, sub-word addresses, or
+/// trailing junk; plain `io::Error` on read failures is surfaced as a
+/// parse error with the offending line number.
 pub fn parse_din<R: BufRead>(reader: R) -> Result<Vec<MemRef>, ParseDinError> {
     DinIter::new(reader).collect()
 }
 
-/// Parses one non-comment, non-blank `din` line.
-fn parse_line(trimmed: &str, lineno: usize) -> Result<MemRef, ParseDinError> {
+/// Parses one non-comment, non-blank `din` line. The `bool` reports
+/// whether the address lost sub-word bits (always `false` under
+/// [`Alignment::Reject`], which errors instead).
+fn parse_line(
+    trimmed: &str,
+    lineno: usize,
+    alignment: Alignment,
+) -> Result<(MemRef, bool), ParseDinError> {
     let mut fields = trimmed.split_whitespace();
     let label = fields.next().expect("nonempty line has a field");
     let kind = match label {
@@ -95,7 +127,21 @@ fn parse_line(trimmed: &str, lineno: usize) -> Result<MemRef, ParseDinError> {
             message: format!("trailing junk '{junk}'"),
         });
     }
-    Ok(MemRef::new(WordAddr::from_byte_addr(byte_addr), kind, pid))
+    let truncated = byte_addr % BYTES_PER_WORD != 0;
+    if truncated && alignment == Alignment::Reject {
+        return Err(ParseDinError {
+            line: lineno,
+            message: format!(
+                "sub-word byte address {byte_addr:#x} (not a multiple of {BYTES_PER_WORD}); \
+                 word-truncating it would break the write/parse roundtrip — \
+                 use Alignment::Truncate to accept byte-granular input"
+            ),
+        });
+    }
+    Ok((
+        MemRef::new(WordAddr::from_byte_addr(byte_addr), kind, pid),
+        truncated,
+    ))
 }
 
 /// Writes references as `din` lines (with the pid extension field whenever
@@ -125,7 +171,8 @@ pub fn write_din<W: Write>(mut writer: W, refs: &[MemRef]) -> io::Result<()> {
 ///
 /// Pair with `Simulator::run_refs` to drive arbitrarily large traces at
 /// constant memory. Errors surface as the iterator's `Err` items; parsing
-/// stops at the first error.
+/// stops at the first error — the iterator is fused, so after yielding an
+/// `Err` (or reaching end of input) every subsequent `next()` is `None`.
 ///
 /// # Examples
 ///
@@ -139,15 +186,38 @@ pub fn write_din<W: Write>(mut writer: W, refs: &[MemRef]) -> io::Result<()> {
 pub struct DinIter<R> {
     lines: io::Lines<R>,
     lineno: usize,
+    alignment: Alignment,
+    truncated: u64,
+    done: bool,
 }
 
 impl<R: BufRead> DinIter<R> {
-    /// Wraps a buffered reader.
+    /// Wraps a buffered reader with the strict default policy
+    /// ([`Alignment::Reject`]).
     pub fn new(reader: R) -> Self {
+        Self::with_alignment(reader, Alignment::Reject)
+    }
+
+    /// Wraps a buffered reader with an explicit sub-word address policy.
+    pub fn with_alignment(reader: R, alignment: Alignment) -> Self {
         DinIter {
             lines: reader.lines(),
             lineno: 0,
+            alignment,
+            truncated: 0,
+            done: false,
         }
+    }
+
+    /// How many yielded references lost sub-word address bits so far
+    /// (always 0 under [`Alignment::Reject`]).
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The 1-based number of the last line examined.
+    pub fn line(&self) -> usize {
+        self.lineno
     }
 }
 
@@ -155,25 +225,44 @@ impl<R: BufRead> Iterator for DinIter<R> {
     type Item = Result<MemRef, ParseDinError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
         loop {
             self.lineno += 1;
-            let line = match self.lines.next()? {
-                Ok(l) => l,
-                Err(e) => {
+            let line = match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Ok(l)) => l,
+                Some(Err(e)) => {
+                    self.done = true;
                     return Some(Err(ParseDinError {
                         line: self.lineno,
                         message: format!("read failed: {e}"),
-                    }))
+                    }));
                 }
             };
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            return Some(parse_line(trimmed, self.lineno));
+            return match parse_line(trimmed, self.lineno, self.alignment) {
+                Ok((r, truncated)) => {
+                    self.truncated += u64::from(truncated);
+                    Some(Ok(r))
+                }
+                Err(e) => {
+                    self.done = true;
+                    Some(Err(e))
+                }
+            };
         }
     }
 }
+
+impl<R: BufRead> std::iter::FusedIterator for DinIter<R> {}
 
 /// Reads a whole `din` file into a [`Trace`].
 ///
@@ -198,7 +287,7 @@ mod tests {
 
     #[test]
     fn parses_the_three_labels() {
-        let input = "0 1000\n1 0x2004\n2 3fff\n";
+        let input = "0 1000\n1 0x2004\n2 3ffc\n";
         let refs = parse_din(input.as_bytes()).unwrap();
         assert_eq!(refs.len(), 3);
         assert_eq!(
@@ -211,7 +300,7 @@ mod tests {
         );
         assert_eq!(
             refs[2],
-            MemRef::ifetch(WordAddr::from_byte_addr(0x3fff), Pid(0))
+            MemRef::ifetch(WordAddr::from_byte_addr(0x3ffc), Pid(0))
         );
     }
 
@@ -252,9 +341,33 @@ mod tests {
     }
 
     #[test]
-    fn sub_word_byte_addresses_truncate_to_words() {
-        let refs = parse_din("0 1001\n0 1002\n".as_bytes()).unwrap();
+    fn strict_parse_rejects_sub_word_byte_addresses() {
+        // Regression: the old parser word-truncated "1001" silently, so
+        // write_din(parse_din(x)) was not identity. Strict mode now errors.
+        let err = parse_din("0 1000\n0 1001\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("sub-word"), "{err}");
+    }
+
+    #[test]
+    fn truncate_policy_accepts_and_counts_sub_word_addresses() {
+        let mut it = DinIter::with_alignment("0 1001\n0 1002\n0 1004\n".as_bytes(), Alignment::Truncate);
+        let refs: Vec<MemRef> = it.by_ref().map(|r| r.unwrap()).collect();
         assert_eq!(refs[0].addr, refs[1].addr, "same word");
+        assert_ne!(refs[1].addr, refs[2].addr);
+        assert_eq!(it.truncated(), 2, "two of three lines lost sub-word bits");
+    }
+
+    #[test]
+    fn strict_roundtrip_is_identity_on_accepted_input() {
+        // Everything strict parse accepts must serialize back to the same
+        // bytes (modulo the canonical single-space/no-0x formatting, which
+        // this input already uses).
+        let text = "0 1000\n1 2004 3\n2 3ffc\n";
+        let refs = parse_din(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_din(&mut buf, &refs).unwrap();
+        assert_eq!(std::str::from_utf8(&buf).unwrap(), text);
     }
 
     #[test]
@@ -271,6 +384,26 @@ mod tests {
         assert!(it.next().unwrap().is_ok());
         let err = it.next().unwrap().unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn streaming_iterator_is_fused_after_an_error() {
+        // Regression: the doc promises parsing stops at the first error,
+        // but the iterator used to keep yielding refs from lines after the
+        // malformed one.
+        let mut it = DinIter::new("0 10\n5 20\n0 30\n0 40\n".as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "fused after the first error");
+        assert!(it.next().is_none(), "stays fused");
+    }
+
+    #[test]
+    fn streaming_iterator_is_fused_after_end() {
+        let mut it = DinIter::new("0 10\n".as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
     }
 
     #[test]

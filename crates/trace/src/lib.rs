@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod import;
+pub mod interval;
 pub mod io;
 pub mod locality;
 mod mtf;

@@ -232,6 +232,24 @@ impl StableHash for crate::WordAddr {
     }
 }
 
+impl StableHash for crate::AccessKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(match self {
+            crate::AccessKind::IFetch => 0,
+            crate::AccessKind::Load => 1,
+            crate::AccessKind::Store => 2,
+        });
+    }
+}
+
+impl StableHash for crate::MemRef {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.kind.stable_hash(h);
+        self.addr.stable_hash(h);
+        self.pid.stable_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,38 +16,45 @@
 #    simulate + replay + stats through `cachetime-bench serve-check`
 #    (which asserts the responses are bit-identical to a direct
 #    Simulator::run), then shut it down cleanly.
-# 7. Observability scrape: while the smoke-test server is still up and
+# 7. Ingestion leg: against the same smoke-test server, `cachetime-bench
+#    ingest-check` chunked-uploads a din trace to `POST /v1/traces`
+#    (stable content digest, dedup on re-upload), simulates and replays
+#    by digest bit-identically to a direct `Simulator::run`, uploads a
+#    >= 1M-ref synthetic trace whose representative-interval selection
+#    must price it from <= 10 windows within the documented error bound,
+#    and asserts an oversized chunk-size claim is answered 413.
+# 8. Observability scrape: while the smoke-test server is still up and
 #    has served real traffic, curl `/v1/metrics` and require every core
-#    metric family (store, server, engine, span) to be present in the
-#    Prometheus text output, with no NaN samples.
-# 8. Server chaos test: start `ctserve` with tight robustness limits and
+#    metric family (store, server, engine, span, ingest) to be present
+#    in the Prometheus text output, with no NaN samples.
+# 9. Server chaos test: start `ctserve` with tight robustness limits and
 #    run the seeded fault-injection clients (`cachetime-bench
 #    serve-chaos`, fixed seed): half-written heads, mid-body disconnects,
 #    torn reads, garbage. The server must stay correct under fire,
 #    recover to a healthy state, and shut down cleanly with zero store
 #    corruption.
-# 9. Restart-warm leg: boot `ctserve --data-dir`, record a small grid,
+# 10. Restart-warm leg: boot `ctserve --data-dir`, record a small grid,
 #    SIGKILL the process, reboot on the same directory — recovery must
 #    re-record nothing (store misses stay 0) and replay bit-identically
 #    (serve-check against the rebooted server).
-# 10. Fleet leg: boot two durable `ctserve` shards and run the
+# 11. Fleet leg: boot two durable `ctserve` shards and run the
 #    ring-aware `serve-check host:p1,host:p2` — deterministic rendezvous
 #    routing, one recording per key fleet-wide, aggregated stats.
-# 11. Fleet resilience leg: boot three `--peers` shards at replication 2,
+# 12. Fleet resilience leg: boot three `--peers` shards at replication 2,
 #    record through the fleet (`cachetime-bench fleet-drill record`),
 #    `kill -9` one shard and assert every key still replays warm with
 #    zero re-recordings (`after-kill`), then rejoin the shard on its old
 #    address with an EMPTY data directory, rebalance, and assert peer
 #    handoff repopulated it with bit-identical serves (`after-rejoin`).
-# 12. Serve benchmark: cold/warm/batch legs plus the 1..256-client
-#    concurrency sweep (p50 at 256 clients must stay within 3x of solo)
-#    and the cold-record vs restart-warm leg (>= 10x). Refreshes
-#    BENCH_serve.json.
-# 13. Associativity-threshold study at small scale: the organization
+# 13. Serve benchmark: cold/warm/batch legs, a chunked-ingest throughput
+#    leg (refs/sec), the 1..256-client concurrency sweep (p50 at 256
+#    clients must stay within 3x of solo), and the cold-record vs
+#    restart-warm leg (>= 10x). Refreshes BENCH_serve.json.
+# 14. Associativity-threshold study at small scale: the organization
 #    features (victim cache, way prediction) must reproduce the
 #    crossover — a size below which set-associativity stops paying
 #    against the best direct-mapped organization.
-# 14. Bench regression diff: compare the freshly written BENCH_sweep.json
+# 15. Bench regression diff: compare the freshly written BENCH_sweep.json
 #    and BENCH_serve.json against the committed baselines; any headline
 #    metric regressing by more than 15% fails the gate.
 set -euo pipefail
@@ -90,6 +97,9 @@ done
 SERVE_PORT="$(cat "$PORT_FILE")"
 ./target/release/cachetime-bench serve-check "127.0.0.1:$SERVE_PORT"
 
+echo "==> ingestion leg (chunked POST /v1/traces; simulate-by-digest bit-identity; interval selection)"
+./target/release/cachetime-bench ingest-check "127.0.0.1:$SERVE_PORT"
+
 echo "==> /v1/metrics scrape (required families present, no NaN samples)"
 METRICS="$(curl -fsS "http://127.0.0.1:$SERVE_PORT/v1/metrics")"
 for family in \
@@ -116,7 +126,14 @@ for family in \
   cachetime_fleet_segments_dropped_total \
   cachetime_fleet_transfers_rejected_total \
   cachetime_fleet_fetch_failures_total \
-  cachetime_fleet_peer_fetch_us; do
+  cachetime_fleet_peer_fetch_us \
+  cachetime_ingest_uploads_total \
+  cachetime_ingest_rejected_total \
+  cachetime_ingest_deduplicated_total \
+  cachetime_ingest_refs_total \
+  cachetime_ingest_bytes_total \
+  cachetime_ingest_truncated_refs_total \
+  cachetime_ingest_evicted_total; do
   grep -q "^$family" <<<"$METRICS" \
     || { echo "missing metric family: $family"; exit 1; }
 done
